@@ -1,0 +1,67 @@
+"""§II-D / §III-C — the complexity claims measured on real netlists.
+
+Paper: converter has n(n+1)/2 comparators (structural: n(n−1)/2 after
+folding the trivial line), shuffle has n(n−1)/2 crossovers; both are
+O(n²) in area and O(n) in stage delay.  We fit log-log exponents over a
+range of n on the actual gate-level circuits.
+"""
+
+from conftest import write_report
+
+from repro.analysis.complexity import (
+    converter_complexity,
+    fit_power_law,
+    shuffle_complexity,
+)
+
+NS = [4, 6, 8, 10, 12, 14, 16]
+
+
+def test_complexity_exponents(benchmark, results_dir):
+    conv, shuf = benchmark.pedantic(
+        lambda: (
+            [converter_complexity(n) for n in NS],
+            [shuffle_complexity(n) for n in NS],
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    a_cmp, r_cmp = fit_power_law(NS, [c.unit_count for c in conv])
+    a_gates, r_gates = fit_power_law(NS, [c.logic_gates for c in conv])
+    a_stage, _ = fit_power_law(NS, [c.stages for c in conv])
+    a_cross, _ = fit_power_law(NS, [s.unit_count for s in shuf])
+
+    # the paper's orders: O(n^2) units, O(n) stages
+    assert 1.7 < a_cmp < 2.3 and r_cmp > 0.99
+    assert 1.7 < a_cross < 2.3
+    assert 0.9 < a_stage < 1.1
+    assert a_gates < 4.0  # low-order polynomial area
+
+    lines = [
+        "Complexity verification on gate-level netlists",
+        "",
+        f"{'n':>3}  {'conv comparators':>16}  {'conv gates':>10}  {'conv depth':>10}  "
+        f"{'shuffle crossovers':>18}  {'shuffle gates':>13}",
+    ]
+    for c, s in zip(conv, shuf):
+        lines.append(
+            f"{c.n:>3}  {c.unit_count:>16}  {c.logic_gates:>10}  {c.depth:>10}  "
+            f"{s.unit_count:>18}  {s.logic_gates:>13}"
+        )
+    lines += [
+        "",
+        f"comparator exponent  = {a_cmp:.2f}  (paper: 2, formula n(n-1)/2; "
+        f"paper accounting n(n+1)/2)",
+        f"crossover exponent   = {a_cross:.2f}  (paper: 2, formula n(n-1)/2)",
+        f"gate-area exponent   = {a_gates:.2f}",
+        f"stage-delay exponent = {a_stage:.2f}  (paper: 1)",
+    ]
+    write_report(results_dir, "complexity", "\n".join(lines))
+
+
+def test_netlist_build_scaling(benchmark):
+    """Constructing the n = 16 converter netlist (the heavy structural op)."""
+    from repro.core.converter import IndexToPermutationConverter
+
+    benchmark(lambda: IndexToPermutationConverter(16).build_netlist(pipelined=True))

@@ -1,0 +1,217 @@
+"""Extension experiments beyond the paper's evaluation.
+
+* The **ranking circuit** (permutation → index): same cascade shape as
+  Fig. 1 run backwards; resources and gate-level forward∘inverse
+  round-trip.
+* The **LUT-cascade** realisation the paper mentions (§II-B, ref. [16]):
+  memory-vs-logic crossover against the discrete gate design.
+* **Order ablation**: lexicographic (Lehmer) vs Myrvold–Ruskey unranking
+  throughput.
+"""
+
+import math
+
+import numpy as np
+from conftest import write_report
+
+from repro.core.converter import IndexToPermutationConverter
+from repro.core.inverse_converter import PermutationToIndexConverter
+from repro.core.lehmer import unrank_batch, unrank_naive
+from repro.core.orders import mr_unrank, mr_unrank_batch
+from repro.fpga import render_resource_table, synthesize
+from repro.fpga.cascade import converter_cascade
+from repro.fpga.lut_map import map_to_luts
+from repro.hdl.optimize import sweep
+
+
+def test_ranking_circuit_resources(benchmark, results_dir):
+    """Table-III-style rows for the inverse (ranking) circuit."""
+    ns = [2, 4, 6, 8, 10]
+
+    def job():
+        rows = []
+        for n in ns:
+            nl = PermutationToIndexConverter(n).build_netlist(pipelined=True)
+            rows.append(synthesize(nl, n))
+        return rows
+
+    rows = benchmark.pedantic(job, rounds=1, iterations=1)
+    luts = [r.total_luts for r in rows]
+    assert luts == sorted(luts)
+    write_report(
+        results_dir,
+        "ext_ranking_resources",
+        "Extension: permutation->index (ranking) circuit resources\n"
+        "(same cascade shape as Fig. 1 run backwards)\n\n"
+        + render_resource_table(rows),
+    )
+
+
+def test_gate_level_roundtrip(benchmark):
+    """forward(index) then inverse(permutation) at gate level = identity."""
+    n = 5
+    fwd = IndexToPermutationConverter(n)
+    inv = PermutationToIndexConverter(n)
+    idx = np.arange(0, math.factorial(n), 3)
+
+    def job():
+        return inv.simulate_netlist(fwd.simulate_netlist(idx))
+
+    back = benchmark.pedantic(job, rounds=1, iterations=1)
+    assert np.array_equal(back, idx)
+
+
+def test_lut_cascade_crossover(benchmark, results_dir):
+    """Memory bits of the §II-B LUT cascade vs the discrete gate design."""
+    ns = [3, 4, 5, 6, 7, 8, 9]
+
+    def job():
+        rows = []
+        for n in ns:
+            cas = converter_cascade(n)
+            luts = map_to_luts(IndexToPermutationConverter(n).build_netlist(), k=6)
+            lut_bits = sum(1 << l.size for l in luts)
+            rows.append((n, cas.total_memory_bits, lut_bits, cas.max_cell_address_bits))
+        return rows
+
+    rows = benchmark.pedantic(job, rounds=1, iterations=1)
+    # the cascade must lose eventually (exponential memory)
+    assert rows[-1][1] > rows[-1][2]
+    lines = [
+        "Extension: LUT-cascade (ref. [16]) vs discrete logic, converter",
+        "",
+        f"{'n':>3}  {'cascade ROM bits':>16}  {'LUT mask bits':>13}  {'max cell addr':>13}",
+    ]
+    for n, cas_bits, lut_bits, addr in rows:
+        lines.append(f"{n:>3}  {cas_bits:>16}  {lut_bits:>13}  {addr:>13}")
+    write_report(results_dir, "ext_lut_cascade", "\n".join(lines))
+
+
+def test_sweep_effectiveness(benchmark, results_dir):
+    """Dead-logic elimination on the generated netlists."""
+    def job():
+        rows = []
+        for n in (4, 8, 12):
+            nl = IndexToPermutationConverter(n).build_netlist(pipelined=True)
+            _, stats = sweep(nl)
+            rows.append((n, stats))
+        return rows
+
+    rows = benchmark.pedantic(job, rounds=1, iterations=1)
+    lines = ["Extension: dead-logic sweep on generated converter netlists", "",
+             f"{'n':>3}  {'gates before':>12}  {'gates after':>11}  {'removed':>8}"]
+    for n, s in rows:
+        assert s.gates_removed >= 0
+        lines.append(f"{n:>3}  {s.gates_before:>12}  {s.gates_after:>11}  {s.gates_removed:>8}")
+    write_report(results_dir, "ext_sweep", "\n".join(lines))
+
+
+def test_serial_vs_parallel_area_time(benchmark, results_dir):
+    """The digit-serial converter vs the paper's parallel cascade:
+    area (LUTs/registers) against throughput — the classic AT trade."""
+    from repro.core.serial_converter import SerialConverter
+
+    ns = [4, 6, 8, 10, 12]
+
+    def job():
+        rows = []
+        for n in ns:
+            ser = synthesize(SerialConverter(n).build_netlist(), n)
+            par = synthesize(
+                IndexToPermutationConverter(n).build_netlist(pipelined=True), n
+            )
+            rows.append((n, ser, par))
+        return rows
+
+    rows = benchmark.pedantic(job, rounds=1, iterations=1)
+    # the serial design always wins registers, and wins LUTs for large n
+    for n, ser, par in rows:
+        assert ser.registers < par.registers or n <= 4
+    assert rows[-1][1].total_luts < rows[-1][2].total_luts
+
+    lines = [
+        "Extension: digit-serial vs parallel converter (area-time trade)",
+        "serial: 1 permutation per n clocks; parallel: 1 per clock",
+        "",
+        f"{'n':>3}  {'ser LUTs':>8}  {'ser regs':>8}  {'par LUTs':>8}  {'par regs':>8}  "
+        f"{'AT(ser)':>9}  {'AT(par)':>9}",
+    ]
+    for n, ser, par in rows:
+        at_ser = ser.total_luts * n  # LUTs × clocks per permutation
+        at_par = par.total_luts * 1
+        lines.append(
+            f"{n:>3}  {ser.total_luts:>8}  {ser.registers:>8}  "
+            f"{par.total_luts:>8}  {par.registers:>8}  {at_ser:>9}  {at_par:>9}"
+        )
+    write_report(results_dir, "ext_serial_converter", "\n".join(lines))
+
+
+def test_formal_verification(benchmark, results_dir):
+    """BDD-based proof that sweep preserves the converter's function."""
+    from repro.hdl.model_check import prove_equivalent
+
+    def job():
+        results = []
+        for n in (3, 4, 5):
+            nl = IndexToPermutationConverter(n).build_netlist()
+            swept, _ = sweep(nl)
+            results.append((n, prove_equivalent(nl, swept)))
+        return results
+
+    results = benchmark.pedantic(job, rounds=1, iterations=1)
+    assert all(ok for _, ok in results)
+    write_report(
+        results_dir,
+        "ext_formal",
+        "Extension: BDD-based formal equivalence (converter vs swept form)\n\n"
+        + "\n".join(f"n = {n}: PROVED equivalent" for n, _ in results),
+    )
+
+
+def test_benes_routing(benchmark, results_dir):
+    """Beneš network: route throughput and switch-count minimality."""
+    from repro.core.benes import BenesNetwork, route
+
+    rng = np.random.default_rng(0)
+    perms = [tuple(int(x) for x in rng.permutation(64)) for _ in range(100)]
+
+    def job():
+        return [route(p).switch_count for p in perms]
+
+    counts = benchmark(job)
+    net = BenesNetwork(64)
+    assert all(c == net.switch_count for c in counts)
+    write_report(
+        results_dir,
+        "ext_benes",
+        "Extension: Benes permutation network (the wired complement of the\n"
+        "converter for the DSP/crypto reorder use-cases)\n\n"
+        + "\n".join(
+            f"n = {n}: {BenesNetwork(n).switch_count} switches, "
+            f"{BenesNetwork(n).stage_count} stages"
+            for n in (4, 8, 16, 64, 256)
+        ),
+    )
+
+
+def test_order_ablation_lehmer_scalar(benchmark):
+    benchmark(lambda: unrank_naive(1_234_567, 12))
+
+
+def test_order_ablation_mr_scalar(benchmark):
+    """Myrvold–Ruskey is O(n): measurably cheaper per call."""
+    benchmark(lambda: mr_unrank(1_234_567, 12))
+
+
+def test_order_ablation_batch(benchmark, results_dir):
+    idx = list(range(0, math.factorial(10), 1811))
+
+    def job():
+        return unrank_batch(idx, 10), mr_unrank_batch(idx, 10)
+
+    lex, mr = benchmark(job)
+    assert lex.shape == mr.shape
+    # same multiset of permutations is not expected — different orders —
+    # but both must be valid
+    for arr in (lex, mr):
+        assert np.array_equal(np.sort(arr, axis=1), np.broadcast_to(np.arange(10), arr.shape))

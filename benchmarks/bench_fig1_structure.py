@@ -1,0 +1,62 @@
+"""Figure 1 — the 4-element converter circuit's structure.
+
+Fig. 1 draws the n = 4 cascade: per stage an A−B subtractor column, a
+comparator bank (thresholds 6/12/18, then 2/4, then 1) and a one-hot MUX.
+We regenerate that inventory from the StageSpec description and the real
+netlist, and benchmark netlist construction and simulation.
+"""
+
+import numpy as np
+from conftest import write_report
+
+from repro.core.converter import IndexToPermutationConverter
+from repro.core.factorial import factorial
+
+
+def test_fig1_stage_inventory(benchmark, results_dir):
+    conv = IndexToPermutationConverter(4)
+    nl = benchmark(conv.build_netlist)
+
+    stages = conv.stages
+    # Fig. 1's comparator thresholds for n = 4: multiples of 3!, 2!, 1!
+    assert stages[0].thresholds == (6, 12, 18)
+    assert stages[1].thresholds == (2, 4)
+    assert stages[2].thresholds == (1,)
+    assert conv.comparator_count() == 6
+    assert conv.paper_comparator_count() == 10  # n(n+1)/2 accounting
+    assert nl.num_registers == 0  # Fig. 1 is the combinational form
+
+    lines = [
+        "Figure 1 reproduction — index-to-permutation converter, n = 4",
+        f"index input: {conv.index_width} bits; output: 4 elements x "
+        f"{conv.element_width} bits (word = {conv.word_width} bits)",
+        "",
+        f"{'stage':>5}  {'pool':>4}  {'weight':>6}  {'comparators':>11}  thresholds",
+    ]
+    for s in stages:
+        lines.append(
+            f"{s.position:>5}  {s.pool_size:>4}  {s.weight:>6}  "
+            f"{s.comparators:>11}  {list(s.thresholds)}"
+        )
+    lines += [
+        "",
+        f"netlist: {nl.summary()}",
+        f"structural comparators n(n-1)/2 = {conv.comparator_count()}; "
+        f"paper accounting n(n+1)/2 = {conv.paper_comparator_count()}",
+    ]
+    write_report(results_dir, "fig1_structure", "\n".join(lines))
+
+
+def test_fig1_circuit_simulation_throughput(benchmark):
+    """Gate-level batch simulation of all 24 indices through the circuit."""
+    conv = IndexToPermutationConverter(4)
+    out = benchmark(lambda: conv.simulate_netlist(range(24)))
+    assert len({tuple(r) for r in out}) == 24
+
+
+def test_fig1_pipeline_simulation(benchmark):
+    conv = IndexToPermutationConverter(4)
+    out = benchmark.pedantic(
+        lambda: conv.simulate_netlist(range(24), pipelined=True), rounds=1, iterations=1
+    )
+    assert np.array_equal(out, conv.convert_batch(range(24)))

@@ -1,0 +1,62 @@
+"""Figure 2 — the scaled random-integer generator and its pigeonhole bias.
+
+The paper's worked example: at m = 5, k = 24, seven integers arise from two
+LFSR words and seventeen from one (a 2× probability ratio); at m = 31 the
+imbalance is negligible.  The bias is a closed form over one LFSR period —
+regenerated exactly here — and the gate-level block is benchmarked.
+"""
+
+from conftest import write_report
+
+from repro.hdl.simulator import SequentialSimulator
+from repro.rng.scaled import bias_profile, build_scaled_netlist
+
+K = 24
+MS = [5, 8, 12, 16, 24, 31]
+
+
+def test_fig2_bias_profile(benchmark, results_dir):
+    reports = benchmark(lambda: [bias_profile(K, m) for m in MS])
+
+    by_m = dict(zip(MS, reports))
+    # the paper's m = 5 example, exactly
+    assert by_m[5].ratio == 2.0
+    assert sorted(by_m[5].counts).count(2) == 7
+    assert sorted(by_m[5].counts).count(1) == 17
+    # monotone improvement with m; near-uniform at 31 bits
+    errs = [by_m[m].max_relative_error for m in MS]
+    assert errs == sorted(errs, reverse=True)
+    assert by_m[31].max_relative_error < 1e-7
+
+    lines = [
+        f"Figure 2 reproduction — index bias of i = (k*x) >> m for k = {K}",
+        "(exact over one maximal-LFSR period; paper quotes the m=5 case:",
+        " 7 integers from two words, 17 from one, ratio 2x)",
+        "",
+        f"{'m':>3}  {'period':>12}  {'min#':>5}  {'max#':>5}  {'ratio':>8}  {'max rel err':>12}",
+    ]
+    for m in MS:
+        r = by_m[m]
+        lines.append(
+            f"{m:>3}  {r.period:>12}  {r.min_count:>5}  {r.max_count:>5}  "
+            f"{r.ratio:>8.5f}  {r.max_relative_error:>12.3e}"
+        )
+    write_report(results_dir, "fig2_bias", "\n".join(lines))
+
+
+def test_fig2_gate_level_block(benchmark):
+    """Clock the full hardware block (LFSR + k·x multiplier + truncate)."""
+    nl = build_scaled_netlist(16, K)
+    sim = SequentialSimulator(nl)
+
+    def run():
+        return [int(sim.step({})["i"][0]) for _ in range(64)]
+
+    draws = benchmark(run)
+    assert all(0 <= d < K for d in draws)
+
+
+def test_fig2_bias_profile_large_k(benchmark):
+    """Closed-form bias stays exact for k = 10! (index generator regime)."""
+    report = benchmark.pedantic(lambda: bias_profile(3_628_800, 31), rounds=1, iterations=1)
+    assert sum(report.counts) == (1 << 31) - 1

@@ -1,0 +1,54 @@
+"""Figure 3 — the Knuth-shuffle cascade structure.
+
+Fig. 3 draws n−1 stages, each with a random integer generator and a
+crossover row; stage t swaps position t with one of the n−t positions to
+its right.  We regenerate the inventory and benchmark construction plus a
+clocked gate-level run.
+"""
+
+import numpy as np
+from conftest import write_report
+
+from repro.core.knuth import KnuthShuffleCircuit
+
+
+def test_fig3_stage_inventory(benchmark, results_dir):
+    circ = KnuthShuffleCircuit(4)
+    nl = benchmark(circ.build_netlist)
+
+    assert circ.num_stages == 3
+    assert circ.stage_choices() == (4, 3, 2)
+    assert circ.crossover_count() == 6  # n(n-1)/2
+    # unpipelined registers = exactly the embedded LFSR state bits
+    assert nl.num_registers == sum(circ.widths)
+
+    lines = [
+        "Figure 3 reproduction — Knuth shuffle circuit, n = 4",
+        "",
+        f"{'stage':>5}  {'choices k':>9}  {'LFSR width':>10}  {'crossovers':>10}",
+    ]
+    for t in range(circ.num_stages):
+        lines.append(
+            f"{t:>5}  {circ.n - t:>9}  {circ.widths[t]:>10}  {circ.n - 1 - t:>10}"
+        )
+    lines += [
+        "",
+        f"total crossovers n(n-1)/2 = {circ.crossover_count()}",
+        f"netlist: {nl.summary()}",
+    ]
+    write_report(results_dir, "fig3_structure", "\n".join(lines))
+
+
+def test_fig3_clocked_run(benchmark):
+    """One random permutation per clock out of the gate-level cascade."""
+    out = benchmark.pedantic(
+        lambda: KnuthShuffleCircuit(4, m=16).simulate_netlist(32), rounds=1, iterations=1
+    )
+    assert np.array_equal(np.sort(out, axis=1), np.broadcast_to(np.arange(4), (32, 4)))
+
+
+def test_fig3_functional_throughput(benchmark):
+    """The batched functional model (what the big experiments run on)."""
+    circ = KnuthShuffleCircuit(16)
+    out = benchmark(lambda: circ.sample(10_000))
+    assert out.shape == (10_000, 16)

@@ -1,0 +1,44 @@
+"""Figure 4 — distribution of 2^20 Knuth-shuffle 4-element permutations.
+
+The paper plots 24 bars of ≈43,690 occurrences each (quoting 43,399 and
+43,897 for two of them) and concludes uniformity.  We run the same 2^20
+samples through the LFSR-driven shuffle, write the full bar chart, and
+assert flatness quantitatively (bar spread, chi-square, total variation).
+"""
+
+from conftest import write_report
+
+from repro.analysis.distribution import fig4_experiment
+
+SAMPLES = 1 << 20
+
+
+def test_fig4_regeneration(benchmark, results_dir):
+    result = benchmark.pedantic(
+        lambda: fig4_experiment(n=4, samples=SAMPLES), rounds=1, iterations=1
+    )
+
+    assert result.counts_by_index.sum() == SAMPLES
+    expected = result.expected_per_bar  # 43,690.67
+    # paper's two quoted bars sit within ±0.7 % of expected; we allow ±2.5 %
+    assert result.min_bar > expected * 0.975
+    assert result.max_bar < expected * 1.025
+    # quantitative uniformity
+    assert result.p_value > 1e-3
+    assert result.tv_distance < 0.01
+
+    header = (
+        f"Figure 4 reproduction — {SAMPLES} Knuth-shuffle permutations, n = 4\n"
+        f"expected per bar = {expected:.1f} (paper quotes bars 43,399 and 43,897)\n"
+        f"measured min = {result.min_bar}, max = {result.max_bar}, "
+        f"chi2 p = {result.p_value:.4f}, TV = {result.tv_distance:.5f}\n"
+    )
+    write_report(results_dir, "fig4_distribution", header + result.render())
+
+
+def test_fig4_sampling_throughput(benchmark):
+    """Raw sampling rate of the vectorised shuffle at n = 4."""
+    from repro.core.knuth import KnuthShuffleCircuit
+
+    circ = KnuthShuffleCircuit(4)
+    benchmark(lambda: circ.sample(65_536))

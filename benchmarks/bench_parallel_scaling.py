@@ -1,0 +1,55 @@
+"""Extension: strong scaling of the process-parallel experiment runners.
+
+Fixed problems, growing worker counts; results are asserted bit-identical
+across counts (the harness refuses otherwise) and the wall-clock table is
+written out.  Speedup depends on the host's core count (this container
+exposes a single CPU, so expect flat times here); the *determinism* of the
+decomposition — the property a cluster deployment actually relies on — is
+host-independent and is what the assertions check.
+"""
+
+import os
+
+from conftest import write_report
+
+from repro.parallel.experiments import parallel_derangements, parallel_fig4_counts
+from repro.perf.scaling import render_scaling_table, strong_scaling
+
+SAMPLES = 1 << 18
+
+
+def test_derangement_strong_scaling(benchmark, results_dir):
+    def run():
+        return strong_scaling(
+            lambda w: parallel_derangements(8, samples=SAMPLES, workers=w).derangements,
+            worker_counts=(1, 2, 4),
+        )
+
+    points = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert len({p.result_digest for p in points}) == 1
+    write_report(
+        results_dir,
+        "ext_scaling_derangements",
+        f"Strong scaling: derangement count, n = 8, {SAMPLES} samples\n"
+        f"(host exposes {os.cpu_count()} CPU(s); result bit-identical at "
+        "every worker count)\n\n"
+        + render_scaling_table(points),
+    )
+
+
+def test_fig4_strong_scaling(benchmark, results_dir):
+    def run():
+        return strong_scaling(
+            lambda w: parallel_fig4_counts(4, samples=SAMPLES, workers=w),
+            worker_counts=(1, 2, 4),
+        )
+
+    points = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert len({p.result_digest for p in points}) == 1
+    write_report(
+        results_dir,
+        "ext_scaling_fig4",
+        f"Strong scaling: Fig.-4 histogram, n = 4, {SAMPLES} samples\n"
+        f"(host exposes {os.cpu_count()} CPU(s))\n\n"
+        + render_scaling_table(points),
+    )

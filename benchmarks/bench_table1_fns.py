@@ -1,0 +1,47 @@
+"""Table I — the factorial number system for n = 4.
+
+Regenerates the paper's 24-row table (index, digit vector, value check,
+permutation) and benchmarks digit extraction / unranking throughput.
+"""
+
+from conftest import write_report
+
+from repro.core.converter import IndexToPermutationConverter
+from repro.core.factorial import FactorialDigits, digits_from_index, index_from_digits
+
+
+def _build_table():
+    conv = IndexToPermutationConverter(4)
+    rows = []
+    for index in range(24):
+        digits = FactorialDigits.from_index(index, 4)
+        assert int(digits) == index  # the "Value of N" column checks out
+        perm = conv.convert(index)
+        rows.append((index, str(digits), digits.expansion(), " ".join(map(str, perm))))
+    return rows
+
+
+def test_table1_regeneration(benchmark, results_dir):
+    rows = benchmark(_build_table)
+
+    # Spot-check the rows quoted in the paper's Table I.
+    table = {index: (digits, perm) for index, digits, _, perm in rows}
+    assert table[0] == ("0 0 0 0", "0 1 2 3")
+    assert table[23] == ("3 2 1 0", "3 2 1 0")
+    assert table[6][0] == "1 0 0 0"  # 6 = 1·3!
+    assert len({perm for _, _, _, perm in rows}) == 24
+
+    lines = [f"{'N':>3}  {'digits':>8}  {'expansion':>28}  permutation"]
+    for index, digits, expansion, perm in rows:
+        lines.append(f"{index:>3}  {digits:>8}  {expansion:>28}  {perm}")
+    write_report(results_dir, "table1_fns", "\n".join(lines))
+
+
+def test_digit_extraction_throughput(benchmark):
+    """Microbenchmark: the greedy digit chain the hardware implements."""
+    benchmark(lambda: [digits_from_index(i, 10) for i in range(0, 3_628_800, 36_288)])
+
+
+def test_digit_evaluation_throughput(benchmark):
+    digit_vectors = [digits_from_index(i, 10) for i in range(500)]
+    benchmark(lambda: [index_from_digits(d) for d in digit_vectors])

@@ -1,0 +1,52 @@
+"""Table II — hardware (pipelined circuit @ 100 MHz) vs software, n = 2..10.
+
+The paper's SRC-6 column is a constant 10 ns (one clock per permutation);
+the Xeon column grows with n, giving a speedup of ~2,800× at n = 10 for
+their C code.  We model the hardware identically (cycle counts × the SRC-6
+clock) and *measure* the software on this machine — a scalar Python
+unranker standing in for the C program, plus the vectorised NumPy unranker
+as the strongest software baseline.  The reproduced claim is the shape:
+constant hardware cost, growing software cost, speedup rising with n.
+"""
+
+from conftest import write_report
+
+from repro.core.lehmer import unrank_batch, unrank_naive
+from repro.perf.speedup import render_table2, table2_rows
+
+NS = list(range(2, 11))
+ITERS = 20_000
+
+
+def test_table2_regeneration(benchmark, results_dir):
+    rows = benchmark.pedantic(
+        lambda: table2_rows(ns=NS, iterations=ITERS), rounds=1, iterations=1
+    )
+
+    # hardware column: constant one clock period, independent of n
+    assert len({r.hw_ns for r in rows}) == 1
+    assert rows[0].hw_ns == 10.0
+    # software column grows with n … (Python call overhead compresses the
+    # dynamic range relative to the paper's C baseline, so we assert the
+    # direction and a ≥30 % end-to-end rise rather than the paper's ~30×)
+    assert rows[-1].sw_ns > rows[0].sw_ns
+    assert rows[-1].speedup > 1.3 * rows[0].speedup
+    # hardware beats even the vectorised software at every n
+    assert all(r.speedup_vs_batch > 1 for r in rows)
+
+    header = (
+        "Table II reproduction — hardware model (100 MHz pipelined circuit)\n"
+        "vs measured software on this host.  Paper: SRC-6 = 10 ns at all n;\n"
+        "Xeon time grows with n; speedup ~2,800x at n = 10 (C baseline).\n"
+    )
+    write_report(results_dir, "table2_speedup", header + render_table2(rows))
+
+
+def test_scalar_unrank_n10(benchmark):
+    """The software baseline inner loop at the paper's largest n."""
+    benchmark(lambda: unrank_naive(1_234_567, 10))
+
+
+def test_batch_unrank_n10(benchmark):
+    idx = list(range(0, 3_628_800, 907))  # 4002 indices
+    benchmark(lambda: unrank_batch(idx, 10))

@@ -1,0 +1,61 @@
+"""Table III — FPGA resources of the index-to-permutation converter vs n.
+
+The paper synthesises the converter for a range of n on a Stratix IV and
+reports Fmax, a LUT histogram by input count, packed-ALM estimates and
+registers.  We regenerate the same columns from the gate-level netlist
+through the k-LUT mapper and ALM/timing models, and assert the structural
+trends: area grows ~quadratically, registers track the pipeline cut sizes,
+frequency falls as stages deepen.
+"""
+
+from conftest import write_report
+
+from repro.analysis.complexity import fit_power_law
+from repro.core.converter import IndexToPermutationConverter
+from repro.fpga import render_resource_table, synthesize
+
+NS = [2, 3, 4, 5, 6, 7, 8, 9, 10, 12, 14]
+
+
+def _synthesize_all():
+    rows = []
+    for n in NS:
+        nl = IndexToPermutationConverter(n).build_netlist(pipelined=True)
+        rows.append(synthesize(nl, n))
+    return rows
+
+
+def test_table3_regeneration(benchmark, results_dir):
+    rows = benchmark.pedantic(_synthesize_all, rounds=1, iterations=1)
+
+    luts = [r.total_luts for r in rows]
+    regs = [r.registers for r in rows]
+    fmax = [r.fmax_mhz for r in rows]
+
+    # monotone growth of area and registers with n
+    assert luts == sorted(luts)
+    assert regs == sorted(regs)
+    # paper: "relatively few resources are used" — thousands, not millions
+    assert luts[-1] < 20_000
+    # area is low-order polynomial in n (paper: O(n^2) comparators)
+    alpha, r2 = fit_power_law(NS[2:], luts[2:])
+    assert 1.5 < alpha < 4.0 and r2 > 0.97
+    # frequency degrades as stage logic deepens (Table III trend)
+    assert fmax[-1] < fmax[1]
+
+    header = (
+        "Table III reproduction — converter resources (k=6 LUT map, ALM\n"
+        "packing and delay model in lieu of Quartus/Stratix IV).\n"
+        f"area exponent alpha = {alpha:.2f} (R^2 = {r2:.3f})\n"
+    )
+    write_report(results_dir, "table3_converter_resources",
+                 header + render_resource_table(rows))
+
+
+def test_synthesis_speed_n8(benchmark):
+    """Time one full build+map+pack+time pipeline at n = 8."""
+    def job():
+        nl = IndexToPermutationConverter(8).build_netlist(pipelined=True)
+        return synthesize(nl, 8)
+
+    benchmark(job)

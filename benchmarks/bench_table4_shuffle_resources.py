@@ -1,0 +1,60 @@
+"""Table IV — FPGA resources of the Knuth-shuffle circuit vs n.
+
+Same columns as Table III but for the Fig.-3 cascade, whose rows include a
+scaled-LFSR random integer generator per stage — the paper's 31-bit
+generators dominate the register count, which is what distinguishes
+Table IV's register column from Table III's.
+"""
+
+from conftest import write_report
+
+from repro.analysis.complexity import fit_power_law
+from repro.core.converter import IndexToPermutationConverter
+from repro.core.knuth import KnuthShuffleCircuit
+from repro.fpga import render_resource_table, synthesize
+
+NS = [2, 3, 4, 5, 6, 7, 8, 10, 12]
+
+
+def _synthesize_all():
+    rows = []
+    for n in NS:
+        nl = KnuthShuffleCircuit(n).build_netlist(pipelined=True)
+        rows.append(synthesize(nl, n))
+    return rows
+
+
+def test_table4_regeneration(benchmark, results_dir):
+    rows = benchmark.pedantic(_synthesize_all, rounds=1, iterations=1)
+
+    luts = [r.total_luts for r in rows]
+    regs = [r.registers for r in rows]
+    assert luts == sorted(luts)
+    assert regs == sorted(regs)
+
+    # the per-stage LFSRs floor the register count at sum(widths)
+    for n, rep in zip(NS, rows):
+        assert rep.registers >= sum(KnuthShuffleCircuit(n).widths)
+
+    # Table IV vs Table III: at equal n the shuffle carries far more
+    # registers (its RNGs) than the pipelined converter
+    conv8 = synthesize(IndexToPermutationConverter(8).build_netlist(pipelined=True), 8)
+    shuf8 = rows[NS.index(8)]
+    assert shuf8.registers > conv8.registers
+
+    alpha, r2 = fit_power_law(NS[2:], luts[2:])
+    header = (
+        "Table IV reproduction — Knuth-shuffle circuit resources, one\n"
+        "scaled-LFSR random integer generator per stage (paper: 31-bit).\n"
+        f"area exponent alpha = {alpha:.2f} (R^2 = {r2:.3f})\n"
+    )
+    write_report(results_dir, "table4_shuffle_resources",
+                 header + render_resource_table(rows))
+
+
+def test_shuffle_synthesis_speed_n8(benchmark):
+    def job():
+        nl = KnuthShuffleCircuit(8).build_netlist(pipelined=True)
+        return synthesize(nl, 8)
+
+    benchmark(job)

@@ -1,0 +1,27 @@
+"""Shared helpers for the benchmark/reproduction harness.
+
+Each ``bench_*`` module regenerates one table or figure of the paper:
+it times the underlying computation with pytest-benchmark, asserts the
+qualitative claims (who wins, growth orders, uniformity), and writes the
+regenerated artefact to ``results/<name>.txt`` so the numbers survive the
+run (pytest captures stdout).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def write_report(results_dir: pathlib.Path, name: str, text: str) -> None:
+    path = results_dir / f"{name}.txt"
+    path.write_text(text + "\n")

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""BDD variable-ordering search driven by permutation enumeration.
+
+The paper's §I motivation: "The complexity of the BDD is strongly dependent
+on the order in which variables are applied … the BDD of the Achilles Heel
+function has a polynomial number of nodes for the optimum ordering and an
+exponential number of nodes for the worst case ordering.  Determining the
+optimum ordering involves the generation of typically many permutations."
+
+This example enumerates ALL n! variable orders with the index-to-permutation
+converter (exactly what the hardware would stream, one order per clock),
+scores each by ROBDD node count, and reports the best/worst spread for the
+Achilles-heel function x0·x1 + x2·x3 + x4·x5.
+
+Run:  python examples/bdd_variable_ordering.py
+"""
+
+import time
+
+from repro.apps.bdd import achilles_heel, bdd_size_under_order
+from repro.core.factorial import factorial
+from repro.core.sequences import all_permutations
+
+
+def main() -> None:
+    k = 3
+    tt, n_vars = achilles_heel(k)
+    print(f"Achilles-heel function with k={k} product terms ({n_vars} variables)")
+    print(f"Searching all {n_vars}! = {factorial(n_vars)} variable orders…\n")
+
+    t0 = time.perf_counter()
+    sizes: dict[tuple[int, ...], int] = {}
+    for order in all_permutations(n_vars):
+        sizes[order] = bdd_size_under_order(tt, n_vars, order)
+    elapsed = time.perf_counter() - t0
+
+    best = min(sizes, key=sizes.get)
+    worst = max(sizes, key=sizes.get)
+    histogram: dict[int, int] = {}
+    for s in sizes.values():
+        histogram[s] = histogram.get(s, 0) + 1
+
+    print(f"best  order: {best}  ->  {sizes[best]} nodes (paired variables)")
+    print(f"worst order: {worst}  ->  {sizes[worst]} nodes (interleaved factors)")
+    print(f"searched {len(sizes)} orders in {elapsed:.2f}s\n")
+
+    print("node-count histogram over all orders:")
+    for size in sorted(histogram):
+        bar = "#" * (60 * histogram[size] // max(histogram.values()))
+        print(f"  {size:>4} nodes: {histogram[size]:>4} orders {bar}")
+
+    print("\nExponential gap versus k (paired order vs split order):")
+    print(f"{'k':>3}  {'paired':>7}  {'split':>7}")
+    for kk in (2, 3, 4, 5):
+        tt_k, n_k = achilles_heel(kk)
+        paired = bdd_size_under_order(tt_k, n_k, list(range(n_k)))
+        split = bdd_size_under_order(
+            tt_k, n_k, list(range(0, n_k, 2)) + list(range(1, n_k, 2))
+        )
+        print(f"{kk:>3}  {paired:>7}  {split:>7}")
+
+
+if __name__ == "__main__":
+    main()

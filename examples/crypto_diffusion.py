@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Permutation diffusion layers for ciphers (paper §I, crypto motivation).
+
+"Permutations are used to create diffusion, where information in the
+plaintext is spread out across the ciphertext."  A hardware index-to-
+permutation converter lets a cipher derive its wire-crossing layer from a
+key-dependent *index* on the fly.  This example builds a toy SPN whose
+per-round bit permutations come from converter indices and measures the
+avalanche effect round by round.
+
+Run:  python examples/crypto_diffusion.py
+"""
+
+from repro.apps.crypto import PermutationDiffusionLayer, SPNetwork, avalanche_profile
+from repro.core.factorial import factorial
+
+
+def main() -> None:
+    width = 16
+    key = 0xDEADBEEFCAFEF00D
+
+    print("Key-dependent diffusion layer from an index:")
+    layer = PermutationDiffusionLayer.from_key(width, key)
+    print(f"  key  = {key:#x}")
+    print(f"  index = key mod {width}! = {key % factorial(width)}")
+    print(f"  layer permutation: {' '.join(map(str, layer.permutation))}")
+    block = 0x0001
+    print(f"  forward({block:#06x}) = {layer.forward(block):#06x}; "
+          f"inverse round-trips: {layer.inverse(layer.forward(block)) == block}\n")
+
+    print("Avalanche vs round count (ideal: half the output bits flip):")
+    print(f"{'rounds':>7}  {'mean flips':>10}  {'ratio to ideal':>14}")
+    for rounds in (1, 2, 3, 4, 6):
+        indices = [(key * (r + 1)) % factorial(width) for r in range(rounds)]
+        spn = SPNetwork(width, layer_indices=indices)
+        report = avalanche_profile(spn, samples=64)
+        print(f"{rounds:>7}  {report.mean_flips:>10.2f}  {report.avalanche_ratio:>14.3f}")
+
+    print("\nOutput Hamming-distance histogram at 4 rounds:")
+    spn = SPNetwork(width, layer_indices=[(key * (r + 1)) % factorial(width) for r in range(4)])
+    report = avalanche_profile(spn, samples=64)
+    peak = max(report.histogram)
+    for flips, count in enumerate(report.histogram):
+        if count:
+            print(f"  {flips:>2} bits: {'#' * (50 * count // peak)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Data-stream reordering for pipelined FFT engines (paper §I, ref. [15]).
+
+"Permutations can be used to reorder data streams in FPGA-based digital
+signal processing engines … to automatically generate efficient parallel
+pipelined FFT architectures."  Every classical FFT reorder — bit reversal,
+stride/corner-turn — is one element of S_n, i.e. one converter index.
+
+This example shows the indices, runs blocks through the cycle-accurate
+double-buffered reorder engine, and verifies a radix-2 FFT built on the
+explicit bit-reversal reorder against numpy.fft.
+
+Run:  python examples/fft_stream_reorder.py
+"""
+
+import numpy as np
+
+from repro.apps.dsp import (
+    StreamReorderEngine,
+    bit_reversal_permutation,
+    fft_with_explicit_reorder,
+    permutation_index,
+    stride_permutation,
+)
+
+
+def main() -> None:
+    n = 16
+    bitrev = bit_reversal_permutation(n)
+    stride4 = stride_permutation(n, 4)
+
+    print(f"Classical FFT reorders on {n} points as converter indices:")
+    print(f"  bit-reversal : perm = {' '.join(map(str, bitrev))}")
+    print(f"                 index = {permutation_index(bitrev)}  (of {n}! - 1)")
+    print(f"  stride-4     : perm = {' '.join(map(str, stride4))}")
+    print(f"                 index = {permutation_index(stride4)}\n")
+
+    engine = StreamReorderEngine(bitrev)
+    stream = np.arange(2 * n)
+    print("Double-buffered engine, one sample per clock, latency = one block:")
+    log = engine.simulate_cycles(list(stream))
+    fill = sum(1 for _, v in log if v is None)
+    emitted = [v for _, v in log if v is not None]
+    print(f"  fill cycles: {fill}  (= block size {engine.latency})")
+    print(f"  first reordered block: {emitted[:n]}")
+    assert emitted == engine.process(stream).tolist()
+
+    rng = np.random.default_rng(42)
+    x = rng.normal(size=256) + 1j * rng.normal(size=256)
+    ours = fft_with_explicit_reorder(x)
+    ref = np.fft.fft(x)
+    err = float(np.max(np.abs(ours - ref)))
+    print(f"\nRadix-2 DIT FFT over the explicit reorder vs numpy.fft.fft:")
+    print(f"  256-point max abs error = {err:.2e}  (match: {err < 1e-9})")
+
+
+if __name__ == "__main__":
+    main()

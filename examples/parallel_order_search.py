@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Index-parallel search: shard 'all n! permutations' across processes.
+
+The converter turns brute-force permutation search into an embarrassingly
+parallel job: worker w unranks and processes its own contiguous slice of
+``0..n!−1`` (no permutation lists cross process boundaries — only integer
+ranges).  This example runs the BDD variable-ordering search of the
+paper's introduction that way, validates the parallel result against the
+sequential one, and prints a strong-scaling table.
+
+Run:  python examples/parallel_order_search.py
+"""
+
+import time
+
+from repro.apps.bdd import achilles_heel, best_variable_order, sift_order
+from repro.core.factorial import factorial
+from repro.parallel.experiments import parallel_best_order
+from repro.perf.scaling import render_scaling_table, strong_scaling
+
+
+def main() -> None:
+    k = 3
+    tt, n_vars = achilles_heel(k)
+    total = factorial(n_vars)
+    print(f"Achilles-heel function, {n_vars} variables; searching {total} orders.\n")
+
+    t0 = time.perf_counter()
+    sb, sbs, sw, sws = best_variable_order(tt, n_vars)
+    t_seq = time.perf_counter() - t0
+    print(f"sequential : best {sbs} nodes {sb}, worst {sws} nodes ({t_seq:.2f}s)")
+
+    pb, pbs, pw, pws = parallel_best_order(tt, n_vars, workers=4)
+    print(f"parallel   : best {pbs} nodes {pb}, worst {pws} nodes")
+    print(f"results identical: {(sbs, sws) == (pbs, pws)}\n")
+
+    import os
+
+    print(f"Strong scaling (fixed problem, growing workers; host has "
+          f"{os.cpu_count()} CPU(s) — speedup needs real cores):")
+    points = strong_scaling(
+        lambda w: parallel_best_order(tt, n_vars, workers=w)[1],
+        worker_counts=(1, 2, 4),
+    )
+    print(render_scaling_table(points))
+
+    print("\nWhen n! is out of reach, sifting gets close in O(n²) evaluations:")
+    worst_order = list(range(0, n_vars, 2)) + list(range(1, n_vars, 2))
+    order, size = sift_order(tt, n_vars, initial=worst_order, passes=3)
+    print(f"  sifting from the worst order: {size} nodes via {order} "
+          f"(exhaustive optimum: {sbs})")
+
+
+if __name__ == "__main__":
+    main()

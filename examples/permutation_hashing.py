@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Unique-permutation hashing: contention in a shared-memory table.
+
+The paper's §I headline application: "Such a circuit is needed in the
+hardware implementation of unique-permutation hash functions to specify how
+parallel machines interact through a shared memory.  Such hash functions
+yield the minimal possible contention, as they probe each location with the
+same probability regardless of which locations are currently occupied."
+
+This example fills hash tables to increasing load factors with
+(a) permutation probing — probe sequence = the converter output for a
+    hashed index, a uniformly random permutation per key — and
+(b) linear probing, and prints the mean/max probe counts.  Watch linear
+probing's clustering penalty explode at high load while permutation probing
+stays near the ideal 1/(1−α) curve.
+
+Run:  python examples/permutation_hashing.py
+"""
+
+from repro.apps.hashing import simulate_contention
+
+
+def main() -> None:
+    table_size = 16
+    trials = 200
+    print(f"table size n = {table_size}, {trials} trials per point\n")
+    print(f"{'load':>6}  {'perm mean':>9}  {'perm max':>8}  {'lin mean':>9}  "
+          f"{'lin max':>8}  {'ideal 1/(1-a)':>13}")
+    for load in (0.25, 0.5, 0.75, 0.875, 0.9375):
+        res = simulate_contention(table_size, load_factor=load, trials=trials, seed=7)
+        perm, lin = res["permutation"], res["linear"]
+        # uniform-probing ideal: expected probes ≈ (1/α)·ln(1/(1−α)) per
+        # successful insert averaged over the fill; the simple marginal
+        # bound 1/(1−α) is quoted for the last insert.
+        ideal = 1.0 / (1.0 - load + 1.0 / table_size)
+        print(f"{load:>6.3f}  {perm.mean_probes:>9.3f}  {perm.max_probes:>8}  "
+              f"{lin.mean_probes:>9.3f}  {lin.max_probes:>8}  {ideal:>13.2f}")
+
+    print("\nPer-insert probe-count histogram at 94% load:")
+    res = simulate_contention(table_size, load_factor=0.9375, trials=trials, seed=7)
+    peak = max(max(res["permutation"].probe_histogram), max(res["linear"].probe_histogram))
+    print(f"{'probes':>7}  {'permutation':>24}  {'linear':>24}")
+    for probes in range(1, 13):
+        p = res["permutation"].probe_histogram[probes]
+        l = res["linear"].probe_histogram[probes]
+        pb = "#" * (22 * p // peak)
+        lb = "#" * (22 * l // peak)
+        print(f"{probes:>7}  {pb:<24}  {lb:<24}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Back to real hardware: export the circuits as Verilog + VCD traces.
+
+The paper's artefact was Verilog on an SRC-6; this example regenerates
+that artefact from the netlists — a synthesizable module per circuit plus
+a GTKWave-loadable waveform of the pipelined converter filling up and
+then emitting one permutation per clock.
+
+Run:  python examples/verilog_export.py [outdir]
+Writes:  idx2perm_n8.v, knuth_shuffle_n8.v, perm2idx_n8.v, pipeline.vcd
+"""
+
+import pathlib
+import sys
+
+from repro.core.converter import IndexToPermutationConverter
+from repro.core.inverse_converter import PermutationToIndexConverter
+from repro.core.knuth import KnuthShuffleCircuit
+from repro.hdl.export import VCDWriter, to_verilog
+from repro.hdl.optimize import sweep
+from repro.hdl.simulator import SequentialSimulator
+
+
+def main() -> None:
+    outdir = pathlib.Path(sys.argv[1]) if len(sys.argv) > 1 else pathlib.Path("export")
+    outdir.mkdir(exist_ok=True)
+    n = 8
+
+    designs = {
+        "idx2perm_n8": IndexToPermutationConverter(n).build_netlist(pipelined=True),
+        "knuth_shuffle_n8": KnuthShuffleCircuit(n).build_netlist(pipelined=True),
+        "perm2idx_n8": PermutationToIndexConverter(n).build_netlist(pipelined=True),
+    }
+    for name, nl in designs.items():
+        swept, stats = sweep(nl)
+        verilog = to_verilog(swept, module_name=name)
+        path = outdir / f"{name}.v"
+        path.write_text(verilog)
+        print(f"{path}: {len(verilog.splitlines())} lines "
+              f"({swept.num_logic_gates} gates, {swept.num_registers} regs; "
+              f"sweep removed {stats.gates_removed} dead gates)")
+
+    # cycle-accurate trace of the converter pipeline
+    conv = IndexToPermutationConverter(4)
+    nl = conv.build_netlist(pipelined=True)
+    sim = SequentialSimulator(nl)
+    vcd = VCDWriter({"index": conv.index_width, "word": conv.word_width})
+    for i in list(range(12)) + [0] * 3:
+        outs = sim.step({"index": i if i < 12 else 0})
+        vcd.sample({"index": i if i < 12 else 0, "word": int(outs["word"][0])})
+    trace = outdir / "pipeline.vcd"
+    vcd.write(str(trace))
+    print(f"{trace}: {vcd.cycles} cycles "
+          f"(watch 'word' become valid after {conv.pipeline_register_stages} fill clocks)")
+
+
+if __name__ == "__main__":
+    main()

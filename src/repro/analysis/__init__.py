@@ -1,0 +1,84 @@
+"""Statistical and structural analysis of the generators.
+
+* :mod:`repro.analysis.derangements` — the §III-C experiment: count
+  derangements among random permutations and estimate ``e ≈ n!/d_n``;
+* :mod:`repro.analysis.uniformity` — chi-square / total-variation /
+  entropy tests of permutation uniformity;
+* :mod:`repro.analysis.distribution` — the Fig.-4 histogram of 2²⁰ random
+  4-element permutations keyed by the packed 8-bit word;
+* :mod:`repro.analysis.complexity` — the §II-D / §III-C complexity claims
+  (O(n²) comparators/crossovers, O(n) delay) checked against real
+  netlists, with least-squares exponents.
+"""
+
+from repro.analysis.derangements import (
+    subfactorial,
+    derangement_mask,
+    DerangementResult,
+    derangement_experiment,
+    estimate_e,
+)
+from repro.analysis.uniformity import (
+    chi_square_uniform,
+    total_variation_from_uniform,
+    empirical_entropy_bits,
+    UniformityReport,
+    uniformity_report,
+)
+from repro.analysis.distribution import (
+    permutation_histogram,
+    packed_histogram,
+    fig4_experiment,
+    Fig4Result,
+)
+from repro.analysis.randtests import (
+    monobit_test,
+    runs_test,
+    serial_correlation,
+    permutation_chi2,
+    battery,
+    TestResult,
+)
+from repro.analysis.mixing import (
+    MixingCurve,
+    transposition_walk_tv,
+    shuffle_vs_walk,
+    cutoff_estimate,
+)
+from repro.analysis.complexity import (
+    ComplexityReport,
+    converter_complexity,
+    shuffle_complexity,
+    fit_power_law,
+)
+
+__all__ = [
+    "subfactorial",
+    "derangement_mask",
+    "DerangementResult",
+    "derangement_experiment",
+    "estimate_e",
+    "chi_square_uniform",
+    "total_variation_from_uniform",
+    "empirical_entropy_bits",
+    "UniformityReport",
+    "uniformity_report",
+    "permutation_histogram",
+    "packed_histogram",
+    "fig4_experiment",
+    "Fig4Result",
+    "ComplexityReport",
+    "converter_complexity",
+    "shuffle_complexity",
+    "fit_power_law",
+    "monobit_test",
+    "runs_test",
+    "serial_correlation",
+    "permutation_chi2",
+    "battery",
+    "TestResult",
+    "MixingCurve",
+    "transposition_walk_tv",
+    "shuffle_vs_walk",
+    "cutoff_estimate",
+]

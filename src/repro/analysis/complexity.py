@@ -1,0 +1,84 @@
+"""Verifying the paper's complexity claims on real netlists (§II-D, §III-C).
+
+Claims:
+
+* converter — ``n(n+1)/2`` comparators by the paper's accounting (our
+  structural count after constant folding is ``n(n−1)/2``; both Θ(n²)),
+  gate area O(n²·poly-log), delay O(n) stages;
+* Knuth shuffle — ``n(n−1)/2`` crossovers, same orders.
+
+:func:`fit_power_law` least-squares-fits ``log(count) ~ α·log(n)`` so the
+benchmarks can assert the measured exponents (≈2 for area, ≈1 for stage
+depth) instead of eyeballing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.converter import IndexToPermutationConverter
+from repro.core.knuth import KnuthShuffleCircuit
+
+__all__ = [
+    "ComplexityReport",
+    "converter_complexity",
+    "shuffle_complexity",
+    "fit_power_law",
+]
+
+
+@dataclass(frozen=True)
+class ComplexityReport:
+    """Structural counts for one circuit size."""
+
+    n: int
+    unit_count: int  #: comparators (converter) / crossovers (shuffle)
+    paper_formula: int  #: the closed form printed in the paper
+    logic_gates: int
+    depth: int
+    stages: int
+
+
+def converter_complexity(n: int) -> ComplexityReport:
+    """Counts for the index→permutation converter at size n."""
+    conv = IndexToPermutationConverter(n)
+    nl = conv.build_netlist(pipelined=False)
+    return ComplexityReport(
+        n=n,
+        unit_count=conv.comparator_count(),
+        paper_formula=conv.paper_comparator_count(),
+        logic_gates=nl.num_live_gates,
+        depth=nl.depth,
+        stages=n,
+    )
+
+
+def shuffle_complexity(n: int, m: int = 31) -> ComplexityReport:
+    """Counts for the Knuth-shuffle circuit at size n."""
+    circ = KnuthShuffleCircuit(n, m=m)
+    nl = circ.build_netlist(pipelined=False)
+    return ComplexityReport(
+        n=n,
+        unit_count=circ.crossover_count(),
+        paper_formula=n * (n - 1) // 2,
+        logic_gates=nl.num_live_gates,
+        depth=nl.depth,
+        stages=circ.num_stages,
+    )
+
+
+def fit_power_law(ns: list[int], values: list[int | float]) -> tuple[float, float]:
+    """Fit ``value ≈ C·n^α``; returns ``(α, R²)`` of the log-log fit."""
+    vals = np.asarray(values, dtype=np.float64)
+    if np.any(vals <= 0):
+        raise ValueError("values must be positive")
+    x = np.log(np.asarray(ns, dtype=np.float64))
+    y = np.log(vals)
+    alpha, intercept = np.polyfit(x, y, 1)
+    pred = alpha * x + intercept
+    ss_res = float(((y - pred) ** 2).sum())
+    ss_tot = float(((y - y.mean()) ** 2).sum())
+    r2 = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    return float(alpha), r2

@@ -1,0 +1,103 @@
+"""Mixing of random-transposition walks toward the uniform distribution.
+
+How many random swaps does it take before a deck of n elements is "random"?
+The celebrated Diaconis–Shahshahani answer for the random-transposition
+walk is a sharp cutoff at ``(1/2)·n·log n`` steps.  The Knuth-shuffle
+circuit side-steps the question — its n−1 *structured* stages reach exact
+uniformity — but the comparison quantifies what the Fig.-3 structure buys
+over naive "just swap random pairs for a while" hardware.
+
+:func:`transposition_walk_tv` measures empirical total-variation distance
+to uniform versus step count; :func:`shuffle_vs_walk` contrasts it with
+the one-pass Fisher–Yates cascade.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.analysis.uniformity import total_variation_from_uniform
+from repro.core.factorial import factorial
+from repro.core.knuth import KnuthShuffleCircuit
+from repro.core.lehmer import rank_batch
+
+__all__ = ["MixingCurve", "transposition_walk_tv", "shuffle_vs_walk", "cutoff_estimate"]
+
+
+@dataclass(frozen=True)
+class MixingCurve:
+    """Empirical TV distance to uniform vs number of random swaps."""
+
+    n: int
+    samples: int
+    steps: tuple[int, ...]
+    tv: tuple[float, ...]
+
+    def steps_to_reach(self, threshold: float) -> int | None:
+        """First measured step count with TV below ``threshold``."""
+        for s, d in zip(self.steps, self.tv):
+            if d < threshold:
+                return s
+        return None
+
+
+def _walk_batch(n: int, steps: int, samples: int, rng: np.random.Generator) -> np.ndarray:
+    perms = np.broadcast_to(np.arange(n, dtype=np.int64), (samples, n)).copy()
+    rows = np.arange(samples)
+    for _ in range(steps):
+        i = rng.integers(0, n, size=samples)
+        j = rng.integers(0, n, size=samples)
+        vi = perms[rows, i].copy()
+        perms[rows, i] = perms[rows, j]
+        perms[rows, j] = vi
+    return perms
+
+
+def transposition_walk_tv(
+    n: int,
+    step_counts: Sequence[int],
+    samples: int = 20_000,
+    rng: np.random.Generator | None = None,
+) -> MixingCurve:
+    """TV distance to uniform after k uniformly-random transpositions.
+
+    The empirical TV of a finite sample has a noise floor of roughly
+    ``√(n!/samples)/2``; interpret values near that floor as "mixed".
+    """
+    rng = rng if rng is not None else np.random.default_rng(0)
+    tvs = []
+    for steps in step_counts:
+        perms = _walk_batch(n, steps, samples, rng)
+        counts = np.bincount(rank_batch(perms), minlength=factorial(n))
+        tvs.append(total_variation_from_uniform(counts))
+    return MixingCurve(n=n, samples=samples, steps=tuple(step_counts), tv=tuple(tvs))
+
+
+def cutoff_estimate(n: int) -> float:
+    """The Diaconis–Shahshahani mixing time ``(1/2)·n·ln n``."""
+    return 0.5 * n * math.log(n)
+
+
+def shuffle_vs_walk(
+    n: int, samples: int = 20_000, rng: np.random.Generator | None = None
+) -> dict[str, float]:
+    """One-pass Fisher–Yates vs an equal-swap-budget random walk.
+
+    The cascade spends exactly n−1 swaps and is exactly uniform; the
+    unstructured walk with the same n−1 swaps is still visibly far from
+    uniform (its TV exceeds the cascade's by a clear margin).
+    """
+    rng = rng if rng is not None else np.random.default_rng(0)
+    cascade = KnuthShuffleCircuit(n).sample_ideal(samples, rng)
+    cascade_counts = np.bincount(rank_batch(cascade), minlength=factorial(n))
+    walk = _walk_batch(n, n - 1, samples, rng)
+    walk_counts = np.bincount(rank_batch(walk), minlength=factorial(n))
+    return {
+        "cascade_tv": total_variation_from_uniform(cascade_counts),
+        "walk_tv": total_variation_from_uniform(walk_counts),
+        "noise_floor": 0.5 * math.sqrt(factorial(n) / samples),
+    }

@@ -1,0 +1,190 @@
+"""Permutation-based compression (paper §I, refs. [1], [2], [13]).
+
+Two §I motivations are implemented:
+
+* **Succinct permutation coding** (Barbay & Navarro, ref. [2]): a
+  permutation of n elements stored naively takes ``n·⌈log2 n⌉`` bits; its
+  Lehmer rank takes only ``⌈log2 n!⌉`` bits — the information-theoretic
+  optimum.  :class:`PermutationCodec` packs/unpacks permutation streams
+  at that density (e.g. n = 9: 19 bits vs 36 — the paper's own word-width
+  example).  A runs-aware variant exploits "internal regularities": a
+  permutation that is a merge of few ascending runs codes in
+  ``O(runs · log n)`` bits.
+* **Reorder-then-compress** for multispectral-style data (refs. [1],
+  [13]): reordering correlated channels by a learned permutation makes a
+  simple delta+varint coder dramatically more effective.
+  :func:`best_channel_order` finds the permutation greedily and
+  :func:`compress_reordered` measures the win.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.factorial import element_width, index_width
+from repro.core.lehmer import rank, unrank
+
+__all__ = [
+    "PermutationCodec",
+    "runs_of",
+    "run_length_code_size_bits",
+    "delta_varint_size_bits",
+    "best_channel_order",
+    "compress_reordered",
+    "ReorderReport",
+]
+
+
+class PermutationCodec:
+    """Pack permutations at the information-theoretic density.
+
+    ``encode`` maps a batch of permutations into a single integer bit
+    stream of ``⌈log2 n!⌉`` bits each; ``decode`` inverts it.
+    """
+
+    def __init__(self, n: int):
+        if n < 1:
+            raise ValueError("n must be at least 1")
+        self.n = n
+        self.bits_per_permutation = index_width(n)
+        self.naive_bits_per_permutation = n * element_width(n)
+
+    @property
+    def savings_ratio(self) -> float:
+        """naive bits / succinct bits (≥ 1; ≈1.9 for n = 9)."""
+        return self.naive_bits_per_permutation / self.bits_per_permutation
+
+    def encode(self, perms: Sequence[Sequence[int]]) -> tuple[int, int]:
+        """Returns ``(bitstream, count)``; LSB-first packing."""
+        stream = 0
+        shift = 0
+        count = 0
+        for p in perms:
+            stream |= rank(list(p)) << shift
+            shift += self.bits_per_permutation
+            count += 1
+        return stream, count
+
+    def decode(self, stream: int, count: int) -> list[tuple[int, ...]]:
+        mask = (1 << self.bits_per_permutation) - 1
+        out = []
+        for _ in range(count):
+            out.append(unrank(stream & mask, self.n))
+            stream >>= self.bits_per_permutation
+        return out
+
+
+def runs_of(perm: Sequence[int]) -> list[tuple[int, ...]]:
+    """Maximal ascending runs — the regularity measure of ref. [2]."""
+    p = list(perm)
+    if not p:
+        return []
+    runs = [[p[0]]]
+    for prev, cur in zip(p, p[1:]):
+        if cur > prev:
+            runs[-1].append(cur)
+        else:
+            runs.append([cur])
+    return [tuple(r) for r in runs]
+
+
+def run_length_code_size_bits(perm: Sequence[int]) -> int:
+    """Size of a runs-based encoding: ``Σ (1 + ⌈log2 n⌉)`` per element of
+    a merge tree over the runs — upper-bounded here by the standard
+    ``n·(⌈log2 ρ⌉ + 1) + ρ·⌈log2 n⌉`` with ρ runs.
+
+    For ρ = 1 (the identity) this is ~n bits instead of n·log n; for a
+    random permutation (ρ ≈ n/2) it degrades gracefully past the plain
+    Lehmer bound, quantifying when regularity-aware coding pays.
+    """
+    p = list(perm)
+    n = len(p)
+    if n == 0:
+        return 0
+    rho = len(runs_of(p))
+    ew = element_width(max(n, 2))
+    merge_bits = max(1, (rho - 1).bit_length() + 1)
+    return n * merge_bits + rho * ew
+
+
+def delta_varint_size_bits(values: np.ndarray) -> int:
+    """Bits a delta + Elias-gamma coder needs for a 1-D series.
+
+    Deltas are zigzag-mapped to non-negatives; gamma codes ``z`` in
+    ``2·⌊log2(z+1)⌋ + 1`` bits, so small residues cost few bits and the
+    size is sensitive to how well the ordering decorrelates the data.
+    """
+    v = np.asarray(values, dtype=np.int64).ravel()
+    if v.size == 0:
+        return 0
+    deltas = np.diff(v, prepend=v[:1] * 0)
+    zigzag = np.abs(deltas) * 2 - (deltas < 0)
+    return int(sum(2 * (int(z) + 1).bit_length() - 1 for z in zigzag))
+
+
+@dataclass(frozen=True)
+class ReorderReport:
+    """Outcome of reorder-then-compress on a channel block."""
+
+    channels: int
+    order: tuple[int, ...]
+    original_bits: int
+    reordered_bits: int
+
+    @property
+    def improvement(self) -> float:
+        """original / reordered (> 1 when reordering helps)."""
+        return self.original_bits / max(1, self.reordered_bits)
+
+
+def best_channel_order(block: np.ndarray) -> tuple[int, ...]:
+    """Greedy nearest-neighbour channel ordering (refs. [1], [13]).
+
+    ``block`` is ``(channels, samples)``; channels are chained so each
+    next channel is the unvisited one with the smallest mean absolute
+    difference to the current — the standard band-ordering heuristic for
+    multispectral images.
+    """
+    data = np.asarray(block, dtype=np.int64)
+    c = data.shape[0]
+    if c == 0:
+        raise ValueError("need at least one channel")
+    remaining = set(range(1, c))
+    order = [0]
+    while remaining:
+        cur = data[order[-1]]
+        nxt = min(remaining, key=lambda j: int(np.abs(data[j] - cur).sum()))
+        order.append(nxt)
+        remaining.remove(nxt)
+    return tuple(order)
+
+
+def compress_reordered(block: np.ndarray, order: Sequence[int] | None = None) -> ReorderReport:
+    """Measure delta-coder size before/after channel reordering.
+
+    Deltas are taken *across channels* (sample-wise), which is where the
+    ordering matters; the permutation used is recorded so a decoder can
+    invert it (its index costs ``⌈log2 c!⌉`` extra bits, included).
+    """
+    data = np.asarray(block, dtype=np.int64)
+    if data.ndim != 2:
+        raise ValueError("block must be (channels, samples)")
+    c = data.shape[0]
+    perm = tuple(order) if order is not None else best_channel_order(data)
+    if sorted(perm) != list(range(c)):
+        raise ValueError("order must permute the channels")
+
+    def cross_channel_bits(d: np.ndarray) -> int:
+        bits = delta_varint_size_bits(d[0])
+        for prev, cur in zip(d, d[1:]):
+            bits += delta_varint_size_bits(cur - prev)
+        return bits
+
+    original = cross_channel_bits(data)
+    reordered = cross_channel_bits(data[list(perm)]) + index_width(c)
+    return ReorderReport(
+        channels=c, order=perm, original_bits=original, reordered_bits=reordered
+    )

@@ -1,0 +1,134 @@
+"""Data-stream reordering for pipelined FFT engines (paper §I, ref. [15]).
+
+Parsons' observation (IEEE SPL 2009): the data permutations inside
+high-bandwidth pipelined FFTs — bit-reversal, stride (corner-turn) and
+their compositions — are elements of the symmetric group, so a generic
+permutation engine addressed by an *index* can realise any of them.  This
+module computes those classical permutations, exhibits them as converter
+indices, and provides a cycle-accurate double-buffered stream reorder
+engine such as an FPGA DSP pipeline would instantiate.
+
+The FFT connection is verified end-to-end: a radix-2 decimation-in-time
+FFT computed over bit-reversal-permuted input matches ``numpy.fft.fft``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.lehmer import rank
+from repro.core.permutation import Permutation
+
+__all__ = [
+    "bit_reversal_permutation",
+    "stride_permutation",
+    "permutation_index",
+    "StreamReorderEngine",
+    "fft_with_explicit_reorder",
+]
+
+
+def bit_reversal_permutation(n: int) -> Permutation:
+    """The bit-reversal permutation on ``n = 2^k`` points."""
+    if n < 1 or n & (n - 1):
+        raise ValueError("n must be a power of two")
+    k = n.bit_length() - 1
+    seq = [int(format(i, f"0{k}b")[::-1], 2) if k else 0 for i in range(n)]
+    return Permutation(seq)
+
+
+def stride_permutation(n: int, stride: int) -> Permutation:
+    """The stride-s (corner turn) permutation: ``i ↦ (i mod s)·(n/s) + i div s``.
+
+    ``stride`` must divide ``n``.  This is the L(n, s) operator of FFT
+    factorizations (matrix transpose of an (s × n/s) block).
+    """
+    if n < 1 or stride < 1 or n % stride:
+        raise ValueError("stride must divide n")
+    cols = n // stride
+    return Permutation((i % stride) * cols + i // stride for i in range(n))
+
+
+def permutation_index(perm: Permutation) -> int:
+    """The converter index that reproduces ``perm`` — how a hardware
+    engine would *address* this reorder pattern."""
+    return rank(perm.seq)
+
+
+class StreamReorderEngine:
+    """Double-buffered block reorder: one output sample per clock.
+
+    Models the standard FPGA structure: while buffer A plays out the
+    previous block in permuted order, buffer B records the incoming
+    block; buffers swap every ``n`` clocks.  Latency is therefore one
+    full block (``n`` cycles), throughput one sample per cycle —
+    the stream analogue of the converter pipeline's 1/clock rate.
+    """
+
+    def __init__(self, permutation: Permutation):
+        self.permutation = permutation
+        self.n = permutation.n
+
+    @property
+    def latency(self) -> int:
+        return self.n
+
+    def process(self, stream: Sequence[complex] | np.ndarray) -> np.ndarray:
+        """Reorder a stream block-by-block; length must be a multiple of n.
+
+        Output sample ``b·n + i`` is input sample ``b·n + perm[i]``.
+        """
+        data = np.asarray(stream)
+        if data.size % self.n:
+            raise ValueError(f"stream length must be a multiple of {self.n}")
+        blocks = data.reshape(-1, self.n)
+        return blocks[:, list(self.permutation)].reshape(-1)
+
+    def simulate_cycles(self, stream: Sequence[complex]) -> list[tuple[int, complex | None]]:
+        """Cycle log ``(cycle, output)``: None during the first-block fill."""
+        data = list(stream)
+        if len(data) % self.n:
+            raise ValueError(f"stream length must be a multiple of {self.n}")
+        out: list[tuple[int, complex | None]] = []
+        buffers: list[list[complex]] = [[None] * self.n, [None] * self.n]
+        for cycle, sample in enumerate(data + [0] * self.n):
+            block, phase = divmod(cycle, self.n)
+            write_buf = buffers[block % 2]
+            read_buf = buffers[(block + 1) % 2]
+            emitted = None
+            if block >= 1:
+                emitted = read_buf[self.permutation[phase]]
+            if cycle < len(data):
+                write_buf[phase] = sample
+            out.append((cycle, emitted))
+        return out[: len(data) + self.n]
+
+
+def fft_with_explicit_reorder(x: Sequence[complex] | np.ndarray) -> np.ndarray:
+    """Radix-2 DIT FFT with the bit-reversal reorder made explicit.
+
+    The input passes through a :class:`StreamReorderEngine` configured
+    with the bit-reversal permutation, then through iterative butterfly
+    stages — the textbook pipelined-FFT structure.  Matches
+    ``numpy.fft.fft`` to floating-point tolerance (asserted in tests).
+    """
+    a = np.asarray(x, dtype=np.complex128).copy()
+    n = a.size
+    if n < 1 or n & (n - 1):
+        raise ValueError("length must be a power of two")
+    engine = StreamReorderEngine(bit_reversal_permutation(n))
+    a = engine.process(a)
+    size = 2
+    while size <= n:
+        half = size // 2
+        tw = np.exp(-2j * np.pi * np.arange(half) / size)
+        a = a.reshape(-1, size)
+        even = a[:, :half].copy()
+        odd = a[:, half:] * tw
+        a[:, :half] = even + odd
+        a[:, half:] = even - odd
+        a = a.reshape(-1)
+        size *= 2
+    return a

@@ -1,0 +1,120 @@
+"""P-equivalence classification of Boolean functions (paper §I, ref. [5]).
+
+"Two Boolean functions are P-equivalent if they differ only by a
+permutation of variables.  In [5], a breadth-first search technique is
+shown for computing the P-representative of a given function … Such a
+classification is useful in a lookup table implementation of Boolean
+functions.  This advance was made in the software implementation, but a
+faster hardware implementation requires hardware generation of
+permutations."
+
+This module is that workload: the **P-representative** of an ``n``-input
+function is the lexicographically smallest truth table among the ``n!``
+variable relabelings, found by streaming every permutation from the
+converter enumeration.  :func:`classify_all` partitions the whole 2^(2^n)
+function space into P-classes — the class counts for small n are known
+closed forms (OEIS A000612-adjacent; asserted in the tests via Burnside's
+lemma, also implemented here as an independent check).
+"""
+
+from __future__ import annotations
+
+from math import factorial
+from repro.apps.bdd import permute_truth_table
+from repro.core.permutation import Permutation
+from repro.core.sequences import all_permutations
+
+__all__ = [
+    "p_representative",
+    "p_class",
+    "are_p_equivalent",
+    "classify_all",
+    "count_p_classes_burnside",
+]
+
+
+def p_representative(tt: int, n_vars: int) -> int:
+    """Smallest truth table over all n! variable permutations.
+
+    The canonical form of ref. [5]: two functions are P-equivalent iff
+    their representatives coincide.
+    """
+    best = None
+    for order in all_permutations(n_vars):
+        candidate = permute_truth_table(tt, n_vars, order)
+        if best is None or candidate < best:
+            best = candidate
+    assert best is not None
+    return best
+
+
+def p_class(tt: int, n_vars: int) -> frozenset[int]:
+    """The full orbit of ``tt`` under variable permutation."""
+    return frozenset(
+        permute_truth_table(tt, n_vars, order) for order in all_permutations(n_vars)
+    )
+
+
+def are_p_equivalent(ta: int, tb: int, n_vars: int) -> bool:
+    """True when the two functions differ only by a variable permutation."""
+    return p_representative(ta, n_vars) == p_representative(tb, n_vars)
+
+
+def classify_all(n_vars: int) -> dict[int, list[int]]:
+    """Partition all 2^(2^n) functions into P-classes.
+
+    Returns representative → sorted members.  Feasible for n ≤ 3
+    (2 variables: 16 functions; 3 variables: 256; 4 would be 65,536
+    functions × 24 permutations — still minutes, use with care).
+    """
+    if n_vars < 1:
+        raise ValueError("n_vars must be at least 1")
+    total = 1 << (1 << n_vars)
+    orders = list(all_permutations(n_vars))
+    classes: dict[int, list[int]] = {}
+    seen: set[int] = set()
+    for tt in range(total):
+        if tt in seen:
+            continue
+        orbit = {permute_truth_table(tt, n_vars, order) for order in orders}
+        rep = min(orbit)
+        classes[rep] = sorted(orbit)
+        seen.update(orbit)
+    return classes
+
+
+def _cycle_index_fixed_functions(perm: Permutation, n_vars: int) -> int:
+    """Number of n-var functions fixed by a variable permutation.
+
+    A function is fixed iff it is constant on the orbits the permutation
+    induces on the 2^n assignments: the count is ``2^(#orbits)``.
+    """
+    n_assignments = 1 << n_vars
+    seen = [False] * n_assignments
+    orbits = 0
+    for start in range(n_assignments):
+        if seen[start]:
+            continue
+        orbits += 1
+        a = start
+        while not seen[a]:
+            seen[a] = True
+            b = 0
+            for j in range(n_vars):
+                if (a >> perm[j]) & 1:
+                    b |= 1 << j
+            a = b
+    return 1 << orbits
+
+
+def count_p_classes_burnside(n_vars: int) -> int:
+    """Number of P-classes via Burnside's lemma — an independent check.
+
+    ``#classes = (1/n!) Σ_π #functions fixed by π`` over all variable
+    permutations π.  Must (and does, in tests) equal
+    ``len(classify_all(n_vars))``.
+    """
+    total = 0
+    for order in all_permutations(n_vars):
+        total += _cycle_index_fixed_functions(Permutation(order), n_vars)
+    return total // factorial(n_vars)

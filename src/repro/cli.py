@@ -1,0 +1,116 @@
+"""Command-line interface: ``repro-perm <subcommand>`` (or ``python -m repro``).
+
+Subcommands mirror the paper's artefacts:
+
+* ``unrank N n``       — print the N-th n-element permutation (Table I row)
+* ``rank P0 P1 …``     — print the index of a permutation
+* ``table1 [n]``       — print the full factorial-number-system table
+* ``shuffle n [count]``— sample random permutations from the Knuth circuit
+* ``resources n``      — Table-III-style resource row for the converter
+* ``fig4 [samples]``   — run the Fig.-4 histogram experiment
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.converter import IndexToPermutationConverter
+from repro.core.factorial import FactorialDigits, factorial
+from repro.core.knuth import KnuthShuffleCircuit
+from repro.core.lehmer import rank as rank_perm
+
+__all__ = ["main"]
+
+
+def _cmd_unrank(args: argparse.Namespace) -> int:
+    conv = IndexToPermutationConverter(args.n)
+    perm = conv.convert(args.index)
+    print(" ".join(str(x) for x in perm))
+    return 0
+
+
+def _cmd_rank(args: argparse.Namespace) -> int:
+    print(rank_perm(args.elements))
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    n = args.n
+    conv = IndexToPermutationConverter(n)
+    print(f"{'N':>4}  {'digits':>{2 * n}}  permutation")
+    for idx in range(factorial(n)):
+        digits = FactorialDigits.from_index(idx, n)
+        perm = conv.convert(idx)
+        print(f"{idx:>4}  {str(digits):>{2 * n}}  {' '.join(str(x) for x in perm)}")
+    return 0
+
+
+def _cmd_shuffle(args: argparse.Namespace) -> int:
+    circuit = KnuthShuffleCircuit(args.n)
+    for row in circuit.sample(args.count):
+        print(" ".join(str(int(x)) for x in row))
+    return 0
+
+
+def _cmd_resources(args: argparse.Namespace) -> int:
+    from repro.fpga import render_resource_table, synthesize
+
+    conv = IndexToPermutationConverter(args.n)
+    nl = conv.build_netlist(pipelined=True)
+    print(render_resource_table([synthesize(nl, args.n)]))
+    return 0
+
+
+def _cmd_fig4(args: argparse.Namespace) -> int:
+    from repro.analysis.distribution import fig4_experiment
+
+    result = fig4_experiment(samples=args.samples)
+    print(result.render())
+    print(
+        f"\nexpected/bar={result.expected_per_bar:.1f}  "
+        f"min={result.min_bar}  max={result.max_bar}  "
+        f"chi2 p={result.p_value:.4f}"
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-perm",
+        description="Hardware index-to-permutation converter reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("unrank", help="index -> permutation")
+    p.add_argument("index", type=int)
+    p.add_argument("n", type=int)
+    p.set_defaults(fn=_cmd_unrank)
+
+    p = sub.add_parser("rank", help="permutation -> index")
+    p.add_argument("elements", type=int, nargs="+")
+    p.set_defaults(fn=_cmd_rank)
+
+    p = sub.add_parser("table1", help="print the paper's Table I")
+    p.add_argument("n", type=int, nargs="?", default=4)
+    p.set_defaults(fn=_cmd_table1)
+
+    p = sub.add_parser("shuffle", help="sample Knuth-shuffle permutations")
+    p.add_argument("n", type=int)
+    p.add_argument("count", type=int, nargs="?", default=10)
+    p.set_defaults(fn=_cmd_shuffle)
+
+    p = sub.add_parser("resources", help="Table-III-style resource row")
+    p.add_argument("n", type=int)
+    p.set_defaults(fn=_cmd_resources)
+
+    p = sub.add_parser("fig4", help="run the Fig.-4 histogram experiment")
+    p.add_argument("samples", type=int, nargs="?", default=1 << 18)
+    p.set_defaults(fn=_cmd_fig4)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

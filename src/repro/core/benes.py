@@ -1,0 +1,256 @@
+"""Beneš rearrangeable permutation networks.
+
+The converter *generates* permutations from indices; a Beneš network
+*applies* an arbitrary permutation to live data with the provably minimal
+switch budget — ``n·log2(n) − n/2`` two-by-two crossovers in ``2·log2(n)
+− 1`` stages.  It is the standard fabric behind the data-reordering
+engines of the paper's DSP motivation (ref. [15]) and the permutation
+layers of its crypto motivation, so a complete release pairs the two:
+index → permutation (converter) → switch settings (this module) → wired
+reorder.
+
+:func:`route` computes switch settings with the classical looping
+algorithm; :class:`BenesNetwork` applies them functionally or as a
+gate-level netlist whose control inputs are the setting bits (making the
+fabric run-time programmable, one permutation per reconfiguration).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.permutation import Permutation
+from repro.hdl.components import crossover
+from repro.hdl.netlist import Bus, Netlist
+from repro.hdl.simulator import CombinationalSimulator
+
+__all__ = ["BenesSettings", "route", "BenesNetwork"]
+
+
+@dataclass(frozen=True)
+class BenesSettings:
+    """Switch states of one n-port network (recursive layout).
+
+    ``inputs``/``outputs`` are the outer columns (n/2 bits each, True =
+    crossed); ``upper``/``lower`` are the two half-size subnetworks
+    (None at the n = 2 base, where the single switch lives in
+    ``inputs`` and ``outputs`` is empty).
+    """
+
+    n: int
+    inputs: tuple[bool, ...]
+    outputs: tuple[bool, ...]
+    upper: "BenesSettings | None"
+    lower: "BenesSettings | None"
+
+    @property
+    def switch_count(self) -> int:
+        count = len(self.inputs) + len(self.outputs)
+        if self.upper is not None:
+            count += self.upper.switch_count + self.lower.switch_count
+        return count
+
+    def flatten(self) -> list[bool]:
+        """All switch bits in a fixed depth-first order (for netlists)."""
+        bits = list(self.inputs)
+        if self.upper is not None:
+            bits += self.upper.flatten()
+            bits += self.lower.flatten()
+        bits += list(self.outputs)
+        return bits
+
+
+def _validate_size(n: int) -> None:
+    if n < 2 or n & (n - 1):
+        raise ValueError("Beneš networks need n a power of two, n ≥ 2")
+
+
+def route(perm: Sequence[int]) -> BenesSettings:
+    """Switch settings realising ``perm`` (output j carries input perm[j]).
+
+    The looping algorithm: the two inputs of each outer input switch must
+    enter different subnetworks, and likewise the two outputs of each
+    output switch must leave different subnetworks; following these
+    constraints around their cycles 2-colours the edges, the colours fix
+    the outer switches, and the halves recurse.
+    """
+    p = list(Permutation(perm))  # validates
+    n = len(p)
+    _validate_size(n)
+    if n == 2:
+        return BenesSettings(
+            n=2, inputs=(p[0] == 1,), outputs=(), upper=None, lower=None
+        )
+
+    # output j carries input p[j]; input i appears at output inv[i]
+    inv = [0] * n
+    for j, i in enumerate(p):
+        inv[i] = j
+
+    # Colour each *input* with its subnetwork (0 = upper, 1 = lower).
+    # Constraint graph on inputs: every input has exactly two neighbours —
+    # its input-switch partner (i ^ 1) and its output-switch partner (the
+    # input feeding the other output of its output switch).  The graph is
+    # a union of even cycles, so walking each cycle with alternating edge
+    # types and alternating colours 2-colours it.
+    def out_partner(i: int) -> int:
+        return p[inv[i] ^ 1]
+
+    colour: list[int | None] = [None] * n
+    for start in range(n):
+        if colour[start] is not None:
+            continue
+        i, c, edge = start, 0, "in"
+        while colour[i] is None:
+            colour[i] = c
+            i = (i ^ 1) if edge == "in" else out_partner(i)
+            edge = "out" if edge == "in" else "in"
+            c ^= 1
+
+    half = n // 2
+    # straight: even input → upper; crossed when the even input is lower
+    in_switch = [colour[2 * s] == 1 for s in range(half)]
+    # output 2t receives from upper when straight; crossed when the input
+    # destined for output 2t sits in the lower subnetwork
+    out_switch = [colour[p[2 * t]] == 1 for t in range(half)]
+
+    # sub-permutations: the colour-c member of input switch s enters
+    # subnetwork c at port s and must emerge at port t = its output switch
+    sub_perm: list[list[int]] = [[0] * half, [0] * half]
+    for i in range(n):
+        c = colour[i]
+        assert c is not None
+        sub_perm[c][inv[i] // 2] = i // 2
+
+    upper = route(sub_perm[0])
+    lower = route(sub_perm[1])
+    return BenesSettings(
+        n=n,
+        inputs=tuple(in_switch),
+        outputs=tuple(out_switch),
+        upper=upper,
+        lower=lower,
+    )
+
+
+class BenesNetwork:
+    """An n-port Beneš fabric over ``width``-bit words."""
+
+    def __init__(self, n: int, width: int = 8):
+        _validate_size(n)
+        if width < 1:
+            raise ValueError("width must be positive")
+        self.n = n
+        self.width = width
+
+    @property
+    def switch_count(self) -> int:
+        """``n·log2(n) − n/2`` crossovers — the rearrangeable minimum."""
+        import math
+
+        k = int(math.log2(self.n))
+        return self.n * k - self.n // 2
+
+    @property
+    def stage_count(self) -> int:
+        import math
+
+        return 2 * int(math.log2(self.n)) - 1
+
+    # -- functional ------------------------------------------------------ #
+
+    def apply(self, settings: BenesSettings, data: Sequence) -> list:
+        """Route a data vector through the configured network."""
+        items = list(data)
+        if len(items) != self.n or settings.n != self.n:
+            raise ValueError("size mismatch")
+        return self._apply(settings, items)
+
+    def _apply(self, s: BenesSettings, items: list) -> list:
+        n = len(items)
+        if n == 2:
+            return [items[1], items[0]] if s.inputs[0] else items
+        half = n // 2
+        upper_in = []
+        lower_in = []
+        for sw in range(half):
+            a, b = items[2 * sw], items[2 * sw + 1]
+            if s.inputs[sw]:
+                a, b = b, a
+            upper_in.append(a)
+            lower_in.append(b)
+        upper_out = self._apply(s.upper, upper_in)
+        lower_out = self._apply(s.lower, lower_in)
+        out = []
+        for sw in range(half):
+            a, b = upper_out[sw], lower_out[sw]
+            if s.outputs[sw]:
+                a, b = b, a
+            out.extend((a, b))
+        return out
+
+    def permute(self, perm: Sequence[int], data: Sequence) -> list:
+        """Route + apply in one call: output j = data[perm[j]]."""
+        return self.apply(route(perm), data)
+
+    # -- structural -------------------------------------------------------- #
+
+    def build_netlist(self) -> Netlist:
+        """The fabric with per-switch control inputs.
+
+        Inputs: ``in0..in{n-1}`` (data words) and ``ctrl`` (one bit per
+        switch, in :meth:`BenesSettings.flatten` order).  Outputs:
+        ``out0..out{n-1}``.
+        """
+        nl = Netlist(name=f"benes_n{self.n}_w{self.width}")
+        data = [nl.input(f"in{i}", self.width) for i in range(self.n)]
+        ctrl = nl.input("ctrl", self.switch_count)
+        cursor = [0]
+
+        def next_ctrl() -> int:
+            wire = ctrl[cursor[0]]
+            cursor[0] += 1
+            return wire
+
+        def build(items: list[Bus]) -> list[Bus]:
+            n = len(items)
+            if n == 2:
+                a, b = crossover(nl, next_ctrl(), items[0], items[1])
+                return [a, b]
+            half = n // 2
+            upper_in, lower_in = [], []
+            for sw in range(half):
+                a, b = crossover(nl, next_ctrl(), items[2 * sw], items[2 * sw + 1])
+                upper_in.append(a)
+                lower_in.append(b)
+            upper_out = build(upper_in)
+            lower_out = build(lower_in)
+            out: list[Bus] = []
+            for sw in range(half):
+                a, b = crossover(nl, next_ctrl(), upper_out[sw], lower_out[sw])
+                out.extend((a, b))
+            return out
+
+        outs = build(data)
+        assert cursor[0] == self.switch_count
+        for i, bus in enumerate(outs):
+            nl.output(f"out{i}", bus)
+        return nl
+
+    def simulate_netlist(
+        self, perm: Sequence[int], data: Sequence[int]
+    ) -> list[int]:
+        """Route ``perm``, load the control word, push data through gates."""
+        settings = route(perm)
+        bits = settings.flatten()
+        ctrl_word = 0
+        for i, bit in enumerate(bits):
+            if bit:
+                ctrl_word |= 1 << i
+        nl = self.build_netlist()
+        sim = CombinationalSimulator(nl)
+        inputs = {"ctrl": ctrl_word}
+        inputs.update({f"in{i}": int(v) for i, v in enumerate(data)})
+        outs = sim.run(inputs)
+        return [int(outs[f"out{i}"][0]) for i in range(self.n)]

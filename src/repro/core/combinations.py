@@ -1,0 +1,146 @@
+"""Index → combination conversion (the companion paper, ref. [4]).
+
+The paper presents itself as "a companion to [4] which describes the
+high-speed generation of combinations … together the two papers cover a
+subset of circuits that produce combinatorial objects."  This module
+implements that companion function in the same style: the *combinadic*
+(combinatorial number system) maps an index ``0 ≤ N < C(n, r)`` to the
+``N``-th ``r``-subset of ``{0..n−1}`` in lexicographic order, and a
+greedy comparator cascade realises it in hardware terms.
+
+The constant-weight-codeword view: a combination is an ``n``-bit word of
+weight ``r`` (bit ``i`` set iff ``i`` is chosen).
+"""
+
+from __future__ import annotations
+
+from math import comb
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.rng.lfsr import FibonacciLFSR, LFSRBase
+from repro.rng.scaled import ScaledRandomInteger
+
+__all__ = [
+    "combination_unrank",
+    "combination_rank",
+    "combination_to_codeword",
+    "codeword_to_combination",
+    "IndexToCombinationConverter",
+    "RandomCombinationGenerator",
+]
+
+
+def combination_unrank(index: int, n: int, r: int) -> tuple[int, ...]:
+    """The ``index``-th ``r``-subset of ``{0..n−1}`` in lexicographic order.
+
+    Greedy digit extraction, mirroring the permutation converter: choose
+    the smallest feasible first element, charge the skipped blocks against
+    the index, recurse on the suffix.  O(n) comparator steps.
+    """
+    if not (0 <= r <= n):
+        raise ValueError(f"need 0 ≤ r ≤ n, got r={r}, n={n}")
+    total = comb(n, r)
+    if not (0 <= index < max(total, 1)):
+        raise ValueError(f"index {index} outside 0..{total - 1}")
+    out = []
+    x = 0  # candidate element
+    remaining = index
+    k = r
+    while k > 0:
+        block = comb(n - x - 1, k - 1)  # combinations starting with x
+        if remaining < block:
+            out.append(x)
+            k -= 1
+        else:
+            remaining -= block
+        x += 1
+    return tuple(out)
+
+
+def combination_rank(combo: Sequence[int], n: int) -> int:
+    """Lexicographic rank of an ``r``-subset of ``{0..n−1}``."""
+    c = sorted(int(x) for x in combo)
+    if c and not (0 <= c[0] and c[-1] < n):
+        raise ValueError("elements outside 0..n-1")
+    if len(set(c)) != len(c):
+        raise ValueError("duplicate elements")
+    r = len(c)
+    index = 0
+    prev = -1
+    k = r
+    for x in c:
+        for skipped in range(prev + 1, x):
+            index += comb(n - skipped - 1, k - 1)
+        prev = x
+        k -= 1
+    return index
+
+
+def combination_to_codeword(combo: Sequence[int], n: int) -> int:
+    """Constant-weight codeword: bit ``i`` set iff ``i`` is chosen."""
+    word = 0
+    for x in combo:
+        if not (0 <= x < n):
+            raise ValueError(f"element {x} outside 0..{n - 1}")
+        if word >> x & 1:
+            raise ValueError(f"duplicate element {x}")
+        word |= 1 << x
+    return word
+
+
+def codeword_to_combination(word: int, n: int) -> tuple[int, ...]:
+    """Inverse of :func:`combination_to_codeword`."""
+    if word < 0 or word >> n:
+        raise ValueError(f"word does not fit in {n} bits")
+    return tuple(i for i in range(n) if (word >> i) & 1)
+
+
+class IndexToCombinationConverter:
+    """Index → r-combination converter with batch and codeword outputs."""
+
+    def __init__(self, n: int, r: int):
+        if not (0 <= r <= n):
+            raise ValueError(f"need 0 ≤ r ≤ n, got r={r}, n={n}")
+        self.n = n
+        self.r = r
+        self.index_limit = comb(n, r)
+        self.index_width = max(1, (self.index_limit - 1).bit_length())
+
+    def convert(self, index: int) -> tuple[int, ...]:
+        return combination_unrank(index, self.n, self.r)
+
+    def convert_batch(self, indices: Sequence[int]) -> np.ndarray:
+        idx = [int(i) for i in indices]
+        rows = [combination_unrank(i, self.n, self.r) for i in idx]
+        return np.asarray(rows, dtype=np.int64).reshape(len(idx), self.r)
+
+    def codeword(self, index: int) -> int:
+        return combination_to_codeword(self.convert(index), self.n)
+
+    def __iter__(self) -> Iterator[tuple[int, ...]]:
+        for i in range(self.index_limit):
+            yield self.convert(i)
+
+    def comparator_count(self) -> int:
+        """One feasibility comparator per candidate element: n (O(n))."""
+        return self.n
+
+
+class RandomCombinationGenerator:
+    """Random r-subsets via a scaled-LFSR index (the companion's §III)."""
+
+    def __init__(self, n: int, r: int, m: int = 31, lfsr: LFSRBase | None = None):
+        self.converter = IndexToCombinationConverter(n, r)
+        src = lfsr if lfsr is not None else FibonacciLFSR(m)
+        if (1 << src.width) - 1 < self.converter.index_limit:
+            raise ValueError("LFSR state space smaller than C(n, r)")
+        self.index_generator = ScaledRandomInteger(self.converter.index_limit, lfsr=src)
+
+    def next_combination(self) -> tuple[int, ...]:
+        return self.converter.convert(self.index_generator.next_int())
+
+    def sample(self, count: int) -> np.ndarray:
+        indices = self.index_generator.ints(count)
+        return self.converter.convert_batch(list(indices))

@@ -1,0 +1,86 @@
+"""The indexed random permutation generator (paper §III-A, Fig. 2).
+
+The first of the paper's two random-permutation approaches: draw a random
+*index* with the scaled LFSR block (``k = n!``) and feed it to the
+index-to-permutation converter.  Its two documented trade-offs are modelled
+exactly:
+
+* **bias** — with an ``m``-bit LFSR the index distribution deviates from
+  uniform per the pigeonhole principle; :meth:`RandomPermutationGenerator.
+  index_bias` returns the closed-form profile (§III-A's 2×-at-m=5
+  example);
+* **index width** — the index needs ``ceil(log2 n!)`` bits, which grows
+  superlinearly (e.g. 296 bits for n = 64); :func:`required_index_bits`
+  quantifies the paper's "disadvantage … the large size of the index".
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.converter import IndexToPermutationConverter
+from repro.core.factorial import factorial, index_width
+from repro.rng.lfsr import FibonacciLFSR, LFSRBase, dense_seed
+from repro.rng.scaled import BiasReport, ScaledRandomInteger, bias_profile
+
+__all__ = ["RandomPermutationGenerator", "required_index_bits"]
+
+
+def required_index_bits(n: int) -> int:
+    """Index width in bits for n-element permutations: ``ceil(log2 n!)``."""
+    return index_width(n)
+
+
+class RandomPermutationGenerator:
+    """Random permutations via random index → converter (Fig. 2).
+
+    Parameters
+    ----------
+    n:
+        Permutation size.
+    m:
+        LFSR width.  Must satisfy ``2^m > n!`` for every permutation to be
+        reachable; a :class:`ValueError` explains the pigeonhole violation
+        otherwise (the paper's "m = 5 is too small for n = 4" caveat is the
+        boundary case: 31 states over 24 indices is allowed but biased —
+        what is rejected is ``2^m − 1 < n!``).
+    """
+
+    def __init__(
+        self,
+        n: int,
+        m: int = 31,
+        lfsr: LFSRBase | None = None,
+        input_permutation: Sequence[int] | None = None,
+    ):
+        self.n = n
+        self.k = factorial(n)
+        self.converter = IndexToPermutationConverter(n, input_permutation)
+        src_lfsr = lfsr if lfsr is not None else FibonacciLFSR(m, seed=dense_seed(m))
+        self.m = src_lfsr.width
+        if (1 << self.m) - 1 < self.k:
+            raise ValueError(
+                f"m={self.m} gives only {(1 << self.m) - 1} LFSR states for "
+                f"{self.k} permutations: some permutations would never occur"
+            )
+        self.index_generator = ScaledRandomInteger(self.k, lfsr=src_lfsr)
+
+    def next_permutation(self) -> tuple[int, ...]:
+        """Draw one random permutation."""
+        return self.converter.convert(self.index_generator.next_int())
+
+    def sample(self, count: int) -> np.ndarray:
+        """Draw ``count`` permutations as a ``(B, n)`` array (vectorised)."""
+        indices = self.index_generator.ints(count)
+        return self.converter.convert_batch(indices)
+
+    def index_bias(self) -> BiasReport:
+        """Exact index distribution over one LFSR period (pigeonhole)."""
+        return bias_profile(self.k, self.m)
+
+    def permutation_probability(self, index: int) -> float:
+        """Long-run probability of the permutation at ``index``."""
+        report = self.index_bias()
+        return report.counts[index] / report.period

@@ -1,0 +1,239 @@
+"""A digit-serial index-to-permutation converter (area–time trade-off).
+
+The paper's Fig.-1 cascade instantiates every stage: O(n²) comparators,
+one permutation per clock.  The natural resource-shared alternative — one
+stage's datapath reused across ``n`` clocks under a stage counter — costs
+O(n) comparators plus a small weight ROM, at 1/n of the throughput.  This
+module builds that design, making the area×time product comparison
+concrete (see ``benchmarks/bench_extensions.py``).
+
+Operation (one permutation per ``n``-clock round):
+
+* cycle ``T = 0`` *loads*: the running index takes the ``index`` input and
+  the pool registers take the fixed input permutation, while stage 0 is
+  processed in the same cycle;
+* cycles ``T = 1..n−1`` process stages 1..n−1 against the registered
+  state; element ``T`` is written into output register ``T``;
+* when ``T`` wraps to 0 the output registers hold the complete
+  permutation of the index loaded ``n`` cycles earlier (``valid`` rises),
+  and the next index is absorbed in the same cycle — full utilisation,
+  no dead cycles.
+
+The per-stage comparator thresholds ``j·(n−1−T)!`` vary with the stage,
+so they come from a constant ROM (a mux over ``T``) — the one structure
+the parallel design hard-wires per stage.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.core.factorial import element_width, factorial, index_width
+from repro.hdl.components import (
+    equals_const,
+    mux2_bus,
+    onehot_mux,
+    reduce_or,
+    ripple_sub,
+    thermometer_to_onehot,
+)
+from repro.hdl.gates import Op
+from repro.hdl.netlist import Bus, Netlist, Register
+from repro.hdl.simulator import SequentialSimulator
+
+__all__ = ["SerialConverter"]
+
+
+class SerialConverter:
+    """Resource-shared index → permutation converter.
+
+    Parameters mirror :class:`~repro.core.converter.
+    IndexToPermutationConverter`; the difference is purely
+    architectural: one shared stage datapath, ``n`` clocks per result.
+    """
+
+    def __init__(self, n: int, input_permutation: Sequence[int] | None = None):
+        if n < 2:
+            raise ValueError("the serial design needs n ≥ 2")
+        self.n = n
+        if input_permutation is None:
+            self.input_permutation = tuple(range(n))
+        else:
+            pool = tuple(int(x) for x in input_permutation)
+            if sorted(pool) != list(range(n)):
+                raise ValueError("input permutation must permute 0..n-1")
+            self.input_permutation = pool
+        self.index_width = index_width(n)
+        self.element_width = element_width(n)
+        self.index_limit = factorial(n)
+
+    # ------------------------------------------------------------------ #
+    # structure
+
+    @property
+    def cycles_per_permutation(self) -> int:
+        return self.n
+
+    @property
+    def comparator_count(self) -> int:
+        """One shared bank: n−1 comparators (the parallel design's
+        n(n−1)/2)."""
+        return self.n - 1
+
+    @property
+    def throughput(self) -> float:
+        """Permutations per clock: 1/n."""
+        return 1.0 / self.n
+
+    # ------------------------------------------------------------------ #
+    # functional model (cycle-accurate FSM mirror)
+
+    def run(self, indices: Sequence[int]) -> np.ndarray:
+        """Feed indices back-to-back; returns the ``(B, n)`` results.
+
+        Index ``b`` is absorbed on cycle ``b·n`` and its permutation
+        completes at cycle ``(b+1)·n − 1``.
+        """
+        out = []
+        for index in indices:
+            if not (0 <= int(index) < self.index_limit):
+                raise ValueError(f"index {index} outside 0..{self.index_limit - 1}")
+            remaining = int(index)
+            pool = list(self.input_permutation)
+            result = []
+            for t in range(self.n):
+                m = self.n - t
+                w = factorial(self.n - 1 - t)
+                s = 0
+                for j in range(1, m):
+                    if remaining >= j * w:
+                        s = j
+                remaining -= s * w
+                result.append(pool.pop(s))
+            out.append(result)
+        return np.asarray(out, dtype=np.int64)
+
+    # ------------------------------------------------------------------ #
+    # structural model
+
+    def build_netlist(self) -> Netlist:
+        """The shared-datapath FSM as a gate-level netlist.
+
+        Inputs: ``index``.  Outputs: ``out0..out{n-1}``, ``valid`` (high
+        on the load cycle of the *next* round, when the previous round's
+        outputs are complete) and ``stage`` (the counter, for test
+        visibility).
+        """
+        n = self.n
+        ew = self.element_width
+        tw = max(1, (n - 1).bit_length())
+        nl = Netlist(name=f"serial_idx2perm_n{n}")
+        index_in = nl.input("index", self.index_width)
+
+        # state registers (Q wires allocated first; D bound at the end)
+        t_q = [nl._new_wire(Op.REG, (), name=f"T[{b}]") for b in range(tw)]
+        r_q = [nl._new_wire(Op.REG, (), name=f"R[{b}]") for b in range(self.index_width)]
+        pool_q = [
+            [nl._new_wire(Op.REG, (), name=f"pool{j}[{b}]") for b in range(ew)]
+            for j in range(n)
+        ]
+        out_q = [
+            [nl._new_wire(Op.REG, (), name=f"out{t}[{b}]") for b in range(ew)]
+            for t in range(n)
+        ]
+        seen_first_q = nl._new_wire(Op.REG, (), name="seen_first")
+
+        t_bus = Bus(t_q)
+        loading = equals_const(nl, t_bus, 0)
+
+        # current-round state: on the load cycle, substitute the inputs
+        cur_r = mux2_bus(nl, loading, Bus(r_q), index_in)
+        cur_pool = [
+            mux2_bus(nl, loading, Bus(pool_q[j]), nl.const_bus(self.input_permutation[j], ew))
+            for j in range(n)
+        ]
+
+        # stage parameters from the weight ROM: threshold_j(T) = j·(n−1−T)!
+        stage_onehot = [equals_const(nl, t_bus, t) for t in range(n)]
+        therm = []
+        lane_threshold: list[Bus] = []  # j·w(T), reused for the subtract
+        for j in range(1, n):
+            # lane j is valid while j ≤ (n − T − 1)  ⇔  T ≤ n − 1 − j
+            valid = reduce_or(nl, stage_onehot[: n - j])
+            thresholds = [
+                nl.const_bus(j * factorial(n - 1 - t), self.index_width)
+                for t in range(n)
+            ]
+            threshold = onehot_mux(nl, stage_onehot, thresholds)
+            lane_threshold.append(threshold)
+            _, borrow = ripple_sub(nl, cur_r, threshold)
+            geq = nl.gate(Op.NOT, borrow)
+            therm.append(nl.gate(Op.AND, valid, geq))
+        onehot = thermometer_to_onehot(nl, therm)
+
+        # element select and output register write (addressed by T)
+        element = onehot_mux(nl, onehot, cur_pool)
+        out_d = []
+        for t in range(n):
+            write = stage_onehot[t]
+            out_d.append(mux2_bus(nl, write, Bus(out_q[t]), element))
+
+        # running index update: R' = cur_R − s·w(T); the subtrahend is the
+        # digit's lane threshold (already formed above), 0 for digit 0
+        subtrahend = onehot_mux(nl, onehot[1:], lane_threshold)
+        r_next, _ = ripple_sub(nl, cur_r, subtrahend)
+
+        # pool compaction (lane j keeps while j < digit)
+        pool_next = []
+        for j in range(n - 1):
+            pool_next.append(mux2_bus(nl, therm[j], cur_pool[j + 1], cur_pool[j]))
+        pool_next.append(cur_pool[n - 1])  # top lane: don't care once dead
+
+        # counter: T' = T + 1 mod n
+        t_next_options = [nl.const_bus((t + 1) % n, tw) for t in range(n)]
+        t_next = onehot_mux(nl, stage_onehot, t_next_options)
+
+        # bind register Ds
+        for q, d in zip(t_q, t_next):
+            nl.registers.append(Register(q=q, d=d, init=False))
+        for q, d in zip(r_q, r_next):
+            nl.registers.append(Register(q=q, d=d, init=False))
+        for j in range(n):
+            for q, d in zip(pool_q[j], pool_next[j]):
+                nl.registers.append(Register(q=q, d=d, init=False))
+        for t in range(n):
+            for q, d in zip(out_q[t], out_d[t]):
+                nl.registers.append(Register(q=q, d=d, init=False))
+        # valid: a full round has completed and T wrapped to 0
+        nl.registers.append(Register(q=seen_first_q, d=nl.const(1), init=False))
+
+        for t in range(n):
+            nl.output(f"out{t}", Bus(out_q[t]))
+        nl.output("valid", Bus([nl.gate(Op.AND, loading, seen_first_q)]))
+        nl.output("stage", t_bus)
+        return nl
+
+    def simulate_netlist(self, indices: Sequence[int]) -> np.ndarray:
+        """Clock the FSM through a back-to-back index stream.
+
+        Index ``b`` is presented (held) during its round's cycles; results
+        are captured on each ``valid`` cycle.
+        """
+        idx = [int(i) for i in indices]
+        nl = self.build_netlist()
+        sim = SequentialSimulator(nl, batch=1)
+        results = []
+        stream = idx + [0]  # one extra round-start to flush the last result
+        for b, value in enumerate(stream):
+            for _ in range(self.n if b < len(idx) else 1):
+                outs = sim.step({"index": value})
+                if int(outs["valid"][0]):
+                    results.append([int(outs[f"out{t}"][0]) for t in range(self.n)])
+        return np.asarray(results, dtype=np.int64)
+
+    def stream(self, indices: Sequence[int]) -> Iterator[tuple[int, ...]]:
+        """Functional streaming interface (one result per n model-cycles)."""
+        for row in self.run(list(indices)):
+            yield tuple(int(x) for x in row)

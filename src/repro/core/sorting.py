@@ -1,0 +1,151 @@
+"""The §IV closing remark: the converter/shuffle cascades as sorting networks.
+
+"The alert reader will note that the factorial number system circuit and
+the Knuth shuffle circuit can also serve as a sorting network."
+
+The observation: replace each stage's digit/random-integer input with a
+*minimum finder* over the remaining pool and the same select-and-compact
+(or swap) datapath performs selection sort.  :class:`SelectionSortNetwork`
+builds exactly that circuit — stage ``t`` compares every remaining pool
+word, one-hot-selects the minimum into position ``t`` and compacts — and a
+functional model mirrors it.
+
+:func:`sort_via_ranking` demonstrates the converse arithmetic identity:
+unranking the index of a permutation's inverse through the converter
+reproduces sorted order, i.e. ``unrank(rank(argsort(x)), pool=x)`` sorts
+``x``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.lehmer import rank_naive, unrank_naive
+from repro.hdl.components import (
+    mux2_bus,
+    onehot_mux,
+    reduce_and,
+    reduce_or,
+    ripple_sub,
+)
+from repro.hdl.gates import Op
+from repro.hdl.netlist import Bus, Netlist
+from repro.hdl.simulator import CombinationalSimulator
+
+__all__ = ["SelectionSortNetwork", "sort_via_ranking"]
+
+
+def sort_via_ranking(values: Sequence[int]) -> list[int]:
+    """Sort by the converter's own arithmetic: rank then unrank.
+
+    ``argsort`` gives the permutation carrying sorted positions to input
+    positions; unranking the rank of its inverse over the pool ``values``
+    routes each element to its sorted slot through exactly the converter
+    datapath.  Duplicates are stable-sorted.
+    """
+    order = sorted(range(len(values)), key=lambda i: (values[i], i))
+    index = rank_naive(order)
+    routed = unrank_naive(index, len(values), pool=list(values))
+    return list(routed)
+
+
+class SelectionSortNetwork:
+    """A gate-level selection-sort cascade with the converter's datapath.
+
+    Parameters
+    ----------
+    n:
+        Number of input words.
+    width:
+        Bit width of each word (unsigned).
+    """
+
+    def __init__(self, n: int, width: int):
+        if n < 1:
+            raise ValueError("n must be at least 1")
+        if width < 1:
+            raise ValueError("width must be at least 1")
+        self.n = n
+        self.width = width
+
+    def comparator_count(self) -> int:
+        """Word comparators across all stages: n(n−1)/2 — same O(n²) as
+        the converter (§IV)."""
+        return self.n * (self.n - 1) // 2
+
+    # -- functional ------------------------------------------------------ #
+
+    def sort(self, values: Sequence[int]) -> list[int]:
+        """Stage-accurate selection sort (mirrors the netlist)."""
+        pool = [int(v) for v in values]
+        if len(pool) != self.n:
+            raise ValueError(f"expected {self.n} values")
+        for v in pool:
+            if not (0 <= v < (1 << self.width)):
+                raise ValueError(f"value {v} exceeds {self.width} bits")
+        out = []
+        while pool:
+            # the hardware picks the first minimum (lowest slot wins ties)
+            s = min(range(len(pool)), key=lambda i: (pool[i], i))
+            out.append(pool.pop(s))
+        return out
+
+    # -- structural -------------------------------------------------------- #
+
+    def build_netlist(self, pipelined: bool = False) -> Netlist:
+        """Stage ``t``: find the pool minimum, select it, compact the pool.
+
+        The min-finder computes, per slot ``i``, the flag "pool[i] is
+        strictly less than every earlier slot and not greater than every
+        later slot"; ties resolve to the lowest slot, matching
+        :meth:`sort`.
+        """
+        nl = Netlist(name=f"selsort_n{self.n}_w{self.width}" + ("_pipe" if pipelined else ""))
+        pool: list[Bus] = [nl.input(f"in{i}", self.width) for i in range(self.n)]
+        outputs: list[Bus] = []
+
+        for t in range(self.n):
+            m = self.n - t
+            if m == 1:
+                outputs.append(pool[0])
+                break
+            # pairwise "a < b" via subtractor borrow: borrow(a − b) = a < b
+            onehot = []
+            for i in range(m):
+                conditions = []
+                for j in range(m):
+                    if i == j:
+                        continue
+                    _, borrow = ripple_sub(nl, pool[i], pool[j])
+                    if j < i:
+                        conditions.append(borrow)  # strictly less than earlier
+                    else:
+                        _, rev = ripple_sub(nl, pool[j], pool[i])
+                        conditions.append(nl.gate(Op.NOT, rev))  # not greater later
+                onehot.append(reduce_and(nl, conditions))
+            selected = onehot_mux(nl, onehot, pool)
+            outputs.append(selected)
+            # compact: slot j keeps pool[j] while the minimum is at a
+            # higher slot, else takes pool[j+1] — thermometer of the one-hot
+            new_pool = []
+            for j in range(m - 1):
+                # min already found at or below slot j → shift pool[j+1] in
+                passed = reduce_or(nl, onehot[: j + 1])
+                new_pool.append(mux2_bus(nl, passed, pool[j], pool[j + 1]))
+            pool = new_pool
+            if pipelined:
+                pool = [nl.register_bus(b, name=f"s{t}.pool{j}") for j, b in enumerate(pool)]
+                outputs = [
+                    nl.register_bus(b, name=f"s{t}.out{j}") for j, b in enumerate(outputs)
+                ]
+
+        for i, bus in enumerate(outputs):
+            nl.output(f"out{i}", bus)
+        return nl
+
+    def sort_netlist(self, values: Sequence[int]) -> list[int]:
+        """Run one input vector through the combinational netlist."""
+        nl = self.build_netlist(pipelined=False)
+        sim = CombinationalSimulator(nl)
+        outs = sim.run({f"in{i}": int(v) for i, v in enumerate(values)})
+        return [int(outs[f"out{i}"][0]) for i in range(self.n)]

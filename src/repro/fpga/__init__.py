@@ -1,0 +1,52 @@
+"""FPGA resource and timing model (stand-in for Quartus II synthesis).
+
+Tables III and IV of the paper report, per circuit size ``n``: achievable
+frequency, a histogram of LUTs by input count, an estimate of packed ALMs,
+and the register total on an Altera Stratix IV EP4SE530.  This package
+produces the same columns from our gate-level netlists:
+
+* :mod:`repro.fpga.lut_map` — covers the logic with k-input LUTs using
+  greedy single-fanout cone packing (the textbook heuristic behind real
+  mappers);
+* :mod:`repro.fpga.alm` — packs LUTs pairwise into Stratix-IV-style ALMs;
+* :mod:`repro.fpga.timing` — unit-delay LUT levels → Fmax through a
+  simple calibrated delay-per-level model;
+* :mod:`repro.fpga.report` — a :class:`ResourceReport` per circuit and a
+  paper-style table renderer.
+
+Absolute LUT counts from a heuristic mapper will not equal Quartus's, but
+the *columns* and the growth trends versus ``n`` — the content of the
+paper's tables — are reproduced structurally.
+"""
+
+from repro.fpga.lut_map import LUT, map_to_luts, lut_histogram
+from repro.fpga.alm import pack_alms
+from repro.fpga.timing import lut_levels, estimate_fmax_mhz, DelayModel
+from repro.fpga.report import ResourceReport, synthesize, render_resource_table
+from repro.fpga.cascade import CascadeCell, CascadeReport, converter_cascade
+from repro.fpga.power import (
+    ActivityReport,
+    measure_activity,
+    estimate_dynamic_power_mw,
+    output_toggle_comparison,
+)
+
+__all__ = [
+    "LUT",
+    "map_to_luts",
+    "lut_histogram",
+    "pack_alms",
+    "lut_levels",
+    "estimate_fmax_mhz",
+    "DelayModel",
+    "ResourceReport",
+    "synthesize",
+    "render_resource_table",
+    "CascadeCell",
+    "CascadeReport",
+    "converter_cascade",
+    "ActivityReport",
+    "measure_activity",
+    "estimate_dynamic_power_mw",
+    "output_toggle_comparison",
+]

@@ -1,0 +1,27 @@
+"""Adaptive Logic Module (ALM) packing estimate.
+
+A Stratix-IV ALM contains one fracturable 8-input structure that can
+implement a single 6- or 7-input function or a pair of smaller functions
+(two independent 4-input LUTs, or a 5-input plus a 3-input sharing
+inputs).  The paper's Tables III/IV report "Est. # of Packed ALMs"; we use
+the standard first-order packing estimate:
+
+* every LUT of 5+ inputs occupies its own ALM;
+* LUTs of ≤ 4 inputs pack two per ALM.
+
+This matches the estimate Quartus prints pre-fit ("Estimate of Logic
+utilization (ALMs needed)") to first order.
+"""
+
+from __future__ import annotations
+
+from repro.fpga.lut_map import LUT
+
+__all__ = ["pack_alms"]
+
+
+def pack_alms(luts: list[LUT]) -> int:
+    """Estimated ALM count for a mapped LUT list."""
+    large = sum(1 for l in luts if l.size >= 5)
+    small = sum(1 for l in luts if l.size <= 4)
+    return large + (small + 1) // 2

@@ -1,0 +1,96 @@
+"""LUT-cascade realisation of the converter (paper §II-B, ref. [16]).
+
+"Note that this circuit can be implemented as an LUT cascade.  At each
+stage of the LUT cascade, there are inputs and outputs that carry a
+partially completed output.  Also, there are inputs and outputs that carry
+index reduced by the values contributed by higher order digits."
+
+A cascade cell is a single memory: its address is the stage's rail input
+(the reduced running index plus the partial output assembled so far) and
+its word is the rail output (further-reduced index, the partial output
+extended by one element).  This module sizes that realisation exactly —
+per-cell address/word widths and memory bits — and exposes the classic
+memory-vs-logic trade-off against the discrete gate implementation of
+:mod:`repro.core.converter`: cascade memory grows like ``2^(n log n)``
+while discrete logic grows polynomially, so cells win only for small
+stages (which is precisely how LUT-cascade synthesis mixes the two).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.converter import IndexToPermutationConverter
+from repro.core.factorial import element_width
+
+__all__ = ["CascadeCell", "converter_cascade", "CascadeReport"]
+
+
+@dataclass(frozen=True)
+class CascadeCell:
+    """One memory cell of the cascade."""
+
+    stage: int
+    index_bits_in: int  #: reduced-index rail entering the cell
+    partial_bits_in: int  #: partially completed output entering
+    index_bits_out: int
+    partial_bits_out: int
+
+    @property
+    def address_bits(self) -> int:
+        return self.index_bits_in + self.partial_bits_in
+
+    @property
+    def word_bits(self) -> int:
+        return self.index_bits_out + self.partial_bits_out
+
+    @property
+    def memory_bits(self) -> int:
+        """ROM size: ``2^address × word``."""
+        return (1 << self.address_bits) * self.word_bits
+
+
+@dataclass(frozen=True)
+class CascadeReport:
+    """The full cascade and its totals."""
+
+    n: int
+    cells: tuple[CascadeCell, ...]
+
+    @property
+    def total_memory_bits(self) -> int:
+        return sum(c.memory_bits for c in self.cells)
+
+    @property
+    def max_cell_address_bits(self) -> int:
+        return max(c.address_bits for c in self.cells)
+
+    @property
+    def levels(self) -> int:
+        """Cascade delay in cells — O(n), matching the discrete design."""
+        return len(self.cells)
+
+
+def converter_cascade(n: int) -> CascadeReport:
+    """Size the LUT-cascade realisation of the n-element converter.
+
+    The partial output carried between cells is the elements emitted so
+    far (``t`` elements × ⌈log2 n⌉ bits entering cell ``t``); with a fixed
+    input permutation the remaining pool is a function of those elements,
+    so no separate pool rail is needed — exactly the paper's description.
+    """
+    conv = IndexToPermutationConverter(n)
+    ew = element_width(n)
+    cells = []
+    for spec in conv.stages:
+        t = spec.position
+        cells.append(
+            CascadeCell(
+                stage=t,
+                index_bits_in=spec.index_bits_in if spec.pool_size > 1 else 0,
+                partial_bits_in=t * ew,
+                index_bits_out=spec.index_bits_out if spec.pool_size > 2 else 0,
+                partial_bits_out=(t + 1) * ew,
+            )
+        )
+    return CascadeReport(n=n, cells=tuple(cells))

@@ -1,0 +1,162 @@
+"""Switching activity and dynamic power estimation.
+
+FPGA dynamic power follows ``P = Σ α_i · C · V² · f`` over nets, with
+``α_i`` the per-net toggle rate.  We measure α directly by running the
+cycle-accurate simulator and counting transitions on every live wire —
+the vector-based power-estimation flow of the vendor tools.
+
+This quantifies a design point the permutation-generation literature
+cares about: enumerating permutations in a *minimal-change* order
+(Steinhaus–Johnson–Trotter, :mod:`repro.core.orders`) toggles far fewer
+output bits per step than counter-order enumeration, because successive
+outputs differ by one adjacent transposition instead of an arbitrary
+rearrangement.  :func:`output_toggle_comparison` measures exactly that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Mapping, Sequence
+
+import numpy as np
+
+from repro.core.factorial import element_width, factorial
+from repro.core.orders import sjt_permutations
+from repro.core.sequences import all_permutations
+from repro.hdl.netlist import Netlist
+from repro.hdl.simulator import SequentialSimulator
+
+__all__ = [
+    "ActivityReport",
+    "measure_activity",
+    "estimate_dynamic_power_mw",
+    "word_toggles",
+    "output_toggle_comparison",
+]
+
+
+@dataclass(frozen=True)
+class ActivityReport:
+    """Per-netlist switching statistics over a simulated run."""
+
+    cycles: int
+    live_wires: int
+    total_toggles: int
+    per_wire_rate: np.ndarray  #: toggles/cycle for each live wire (sorted ids)
+
+    @property
+    def mean_activity(self) -> float:
+        """Average toggle probability per wire per cycle (the α of the
+        power model)."""
+        if self.cycles == 0 or self.live_wires == 0:
+            return 0.0
+        return self.total_toggles / (self.cycles * self.live_wires)
+
+    @property
+    def peak_activity(self) -> float:
+        return float(self.per_wire_rate.max()) if self.per_wire_rate.size else 0.0
+
+
+def measure_activity(
+    netlist: Netlist, input_stream: Sequence[Mapping[str, int]]
+) -> ActivityReport:
+    """Clock the netlist through ``input_stream``, counting wire toggles."""
+    if not input_stream:
+        raise ValueError("need at least one input vector")
+    sim = SequentialSimulator(netlist, batch=1)
+    live = sorted(netlist.live_wires())
+    toggles = np.zeros(len(live), dtype=np.int64)
+    prev: np.ndarray | None = None
+    for inputs in input_stream:
+        sim.step(inputs)
+        values = sim.comb._wire_values
+        current = np.array([bool(values[w][0]) for w in live])
+        if prev is not None:
+            toggles += current != prev
+        prev = current
+    return ActivityReport(
+        cycles=len(input_stream),
+        live_wires=len(live),
+        total_toggles=int(toggles.sum()),
+        per_wire_rate=toggles / max(1, len(input_stream) - 1),
+    )
+
+
+def estimate_dynamic_power_mw(
+    report: ActivityReport,
+    clock_mhz: float,
+    c_eff_pf: float = 0.015,
+    vdd: float = 0.9,
+) -> float:
+    """First-order dynamic power: ``Σα · C_eff · V² · f`` in milliwatts.
+
+    Defaults approximate a 40 nm FPGA net (15 fF effective, 0.9 V core).
+    """
+    alpha_sum = float(report.per_wire_rate.sum())
+    watts = alpha_sum * (c_eff_pf * 1e-12) * vdd * vdd * (clock_mhz * 1e6)
+    return watts * 1e3
+
+
+def word_toggles(perm_sequence: Iterator[tuple[int, ...]], n: int) -> tuple[int, int]:
+    """``(total, worst_step)`` output-word bit flips across a sequence."""
+    ew = element_width(n)
+    total = 0
+    worst = 0
+    prev: int | None = None
+    for perm in perm_sequence:
+        word = 0
+        for v in perm:
+            word = (word << ew) | v
+        if prev is not None:
+            step = bin(word ^ prev).count("1")
+            total += step
+            worst = max(worst, step)
+        prev = word
+    return total, worst
+
+
+@dataclass(frozen=True)
+class ToggleComparison:
+    """Output switching of the two enumeration orders."""
+
+    n: int
+    steps: int
+    counter_order_toggles: int
+    sjt_order_toggles: int
+    counter_worst_step: int
+    sjt_worst_step: int
+
+    @property
+    def mean_reduction(self) -> float:
+        """counter/SJT total-toggle ratio (> 1: minimal-change wins).
+
+        Modest in the mean — lexicographic successors usually rewrite
+        only a short suffix too."""
+        return self.counter_order_toggles / max(1, self.sjt_order_toggles)
+
+    @property
+    def worst_step_reduction(self) -> float:
+        """Worst single-step toggle ratio — the di/dt headline: SJT is
+        bounded by one adjacent pair (≤ 2·⌈log2 n⌉ bits) while counter
+        order periodically rewrites the whole word."""
+        return self.counter_worst_step / max(1, self.sjt_worst_step)
+
+
+def output_toggle_comparison(n: int) -> ToggleComparison:
+    """Enumerate all n! permutations both ways; compare word toggling.
+
+    SJT changes exactly one adjacent pair per step; counter order (index
+    i → i+1) rewrites whole suffixes whenever low factorial digits carry
+    — e.g. the wrap from the reversal back toward identity-like prefixes
+    flips a large fraction of the word at once.
+    """
+    counter_total, counter_worst = word_toggles(all_permutations(n), n)
+    sjt_total, sjt_worst = word_toggles(sjt_permutations(n), n)
+    return ToggleComparison(
+        n=n,
+        steps=factorial(n) - 1,
+        counter_order_toggles=counter_total,
+        sjt_order_toggles=sjt_total,
+        counter_worst_step=counter_worst,
+        sjt_worst_step=sjt_worst,
+    )

@@ -1,0 +1,65 @@
+"""Resource reports in the shape of the paper's Tables III and IV."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.fpga.alm import pack_alms
+from repro.fpga.lut_map import lut_histogram, map_to_luts
+from repro.fpga.timing import DelayModel, estimate_fmax_mhz, lut_levels
+from repro.hdl.netlist import Netlist
+
+__all__ = ["ResourceReport", "synthesize", "render_resource_table"]
+
+
+@dataclass(frozen=True)
+class ResourceReport:
+    """One row of a Table-III/IV-style resource table."""
+
+    name: str
+    n: int
+    fmax_mhz: float
+    lut_hist: dict[int, int]  #: input-count → LUT count
+    total_luts: int
+    packed_alms: int
+    registers: int
+    lut_levels: int
+
+    def luts_of_size(self, size: int) -> int:
+        return self.lut_hist.get(size, 0)
+
+
+def synthesize(
+    nl: Netlist, n: int, k: int = 6, model: DelayModel | None = None
+) -> ResourceReport:
+    """Map, pack and time a netlist; returns one report row."""
+    luts = map_to_luts(nl, k=k)
+    hist = lut_histogram(luts, k=k)
+    levels = lut_levels(nl, luts)
+    return ResourceReport(
+        name=nl.name,
+        n=n,
+        fmax_mhz=estimate_fmax_mhz(nl, luts, model),
+        lut_hist=hist,
+        total_luts=len(luts),
+        packed_alms=pack_alms(luts),
+        registers=nl.num_registers,
+        lut_levels=levels,
+    )
+
+
+def render_resource_table(rows: list[ResourceReport], k: int = 6) -> str:
+    """ASCII rendering with the paper's column layout."""
+    sizes = list(range(2, k + 1))
+    header = (
+        ["n", "Freq(MHz)"]
+        + [f"{s}-LUT" for s in sizes]
+        + ["LUTs", "ALMs", "Regs", "Levels"]
+    )
+    lines = ["  ".join(f"{h:>9}" for h in header)]
+    for r in sorted(rows, key=lambda x: x.n):
+        cells = [str(r.n), f"{r.fmax_mhz:.1f}"]
+        cells += [str(r.luts_of_size(s) + (r.luts_of_size(1) if s == 2 else 0)) for s in sizes]
+        cells += [str(r.total_luts), str(r.packed_alms), str(r.registers), str(r.lut_levels)]
+        lines.append("  ".join(f"{c:>9}" for c in cells))
+    return "\n".join(lines)

@@ -1,0 +1,68 @@
+"""Gate-level hardware description and simulation substrate.
+
+This package stands in for the Verilog + SRC-6/Stratix-IV toolchain used in
+the paper.  Circuits are built as netlists of primitive gates
+(:mod:`repro.hdl.gates`), grouped into word-level components such as ripple
+subtractors, constant comparators and one-hot multiplexers
+(:mod:`repro.hdl.components`), and simulated either combinationally or as a
+clocked pipeline (:mod:`repro.hdl.simulator`).  Evaluation is vectorised:
+every wire carries a NumPy boolean array so that thousands of input vectors
+are pushed through the circuit per pass, following the batch-first idiom of
+scientific Python.
+
+The substrate exposes exactly the quantities the paper's evaluation relies
+on: gate counts by type, levelised logic depth (delay), register counts and
+pipeline latency/throughput.  :mod:`repro.fpga` maps these netlists onto a
+k-LUT/ALM resource model to regenerate Tables III and IV.
+"""
+
+from repro.hdl.gates import Op, GATE_ARITY, evaluate_op
+from repro.hdl.netlist import Netlist, Bus, Wire
+from repro.hdl.simulator import CombinationalSimulator, SequentialSimulator
+from repro.hdl.verify import (
+    assert_equivalent,
+    exhaustive_check,
+    random_check,
+)
+from repro.hdl.export import to_verilog, VCDWriter
+from repro.hdl.optimize import sweep, SweepStats
+from repro.hdl.serialize import (
+    netlist_to_dict,
+    netlist_from_dict,
+    save_netlist,
+    load_netlist,
+)
+from repro.hdl.model_check import (
+    netlist_to_bdds,
+    prove_equivalent,
+    prove_constant_output,
+    find_distinguishing_input,
+)
+from repro.hdl import components
+
+__all__ = [
+    "Op",
+    "GATE_ARITY",
+    "evaluate_op",
+    "Netlist",
+    "Bus",
+    "Wire",
+    "CombinationalSimulator",
+    "SequentialSimulator",
+    "assert_equivalent",
+    "exhaustive_check",
+    "random_check",
+    "to_verilog",
+    "VCDWriter",
+    "sweep",
+    "SweepStats",
+    "netlist_to_dict",
+    "netlist_from_dict",
+    "save_netlist",
+    "load_netlist",
+    "netlist_to_bdds",
+    "prove_equivalent",
+    "prove_constant_output",
+    "find_distinguishing_input",
+    "components",
+]

@@ -1,0 +1,266 @@
+"""Word-level combinational components.
+
+These are the building blocks named in the paper's Figures 1–3:
+
+* ``A − B`` ripple-borrow **subtractors** that reduce the running index
+  after each factorial digit is extracted,
+* **comparators** against constants (the ``> 8``, ``> 16`` … blocks of
+  Fig. 1) that compute a factorial digit in thermometer code,
+* **one-hot multiplexers** that pick the next permutation element out of
+  the pool of unassigned elements,
+* **crossover switches** (conditional swaps) for the Knuth shuffle cascade
+  of Fig. 3, and
+* a **shift-and-add constant multiplier** for the ``k·x`` scaling block of
+  the random-integer generator in Fig. 2.
+
+All functions take the :class:`~repro.hdl.netlist.Netlist` under
+construction as their first argument and return :class:`Bus`/wire handles.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.hdl.gates import Op
+from repro.hdl.netlist import Bus, Netlist, Wire
+
+__all__ = [
+    "zero_extend",
+    "reduce_or",
+    "reduce_and",
+    "mux2_bus",
+    "binary_mux",
+    "onehot_mux",
+    "thermometer_to_onehot",
+    "onehot_to_binary",
+    "ripple_add",
+    "ripple_sub",
+    "sub_const",
+    "geq_const",
+    "less_const",
+    "equals_const",
+    "crossover",
+    "decoder",
+    "shift_add_mult_const",
+    "truncate_high",
+]
+
+
+def zero_extend(nl: Netlist, bus: Bus, width: int) -> Bus:
+    """Pad ``bus`` with constant-0 wires up to ``width`` bits."""
+    if bus.width > width:
+        raise ValueError(f"cannot zero-extend {bus.width} bits down to {width}")
+    return bus + Bus(nl.const(0) for _ in range(width - bus.width))
+
+
+def _reduce(nl: Netlist, op: Op, wires: Sequence[Wire], empty: int) -> Wire:
+    """Balanced reduction tree — keeps depth logarithmic."""
+    ws = list(wires)
+    if not ws:
+        return nl.const(empty)
+    while len(ws) > 1:
+        nxt = []
+        for i in range(0, len(ws) - 1, 2):
+            nxt.append(nl.gate(op, ws[i], ws[i + 1]))
+        if len(ws) % 2:
+            nxt.append(ws[-1])
+        ws = nxt
+    return ws[0]
+
+
+def reduce_or(nl: Netlist, wires: Sequence[Wire]) -> Wire:
+    """OR-reduce a set of wires (0 if empty)."""
+    return _reduce(nl, Op.OR, wires, 0)
+
+
+def reduce_and(nl: Netlist, wires: Sequence[Wire]) -> Wire:
+    """AND-reduce a set of wires (1 if empty)."""
+    return _reduce(nl, Op.AND, wires, 1)
+
+
+def mux2_bus(nl: Netlist, sel: Wire, a: Bus, b: Bus) -> Bus:
+    """Bit-wise 2:1 multiplexer: ``b`` when ``sel`` else ``a``.
+
+    Unequal widths are zero-extended to the wider operand.
+    """
+    w = max(a.width, b.width)
+    a, b = zero_extend(nl, a, w), zero_extend(nl, b, w)
+    return Bus(nl.gate(Op.MUX, sel, x, y) for x, y in zip(a, b))
+
+
+def binary_mux(nl: Netlist, sel: Bus, options: Sequence[Bus]) -> Bus:
+    """Select ``options[sel]`` with a tree of 2:1 muxes.
+
+    ``len(options)`` may be any positive count ≤ ``2**sel.width``; the tree
+    simply reuses the last real option for out-of-range upper leaves, which
+    never occurs for in-range selects.
+    """
+    if not options:
+        raise ValueError("binary_mux needs at least one option")
+    layer = list(options)
+    for bit in sel:
+        nxt = []
+        for i in range(0, len(layer), 2):
+            lo = layer[i]
+            hi = layer[i + 1] if i + 1 < len(layer) else layer[i]
+            nxt.append(mux2_bus(nl, bit, lo, hi))
+        layer = nxt
+        if len(layer) == 1:
+            break
+    return layer[0]
+
+
+def onehot_mux(nl: Netlist, select: Sequence[Wire], data: Sequence[Bus]) -> Bus:
+    """One-hot multiplexer (the "One-Hot MUX" blocks of Fig. 1).
+
+    ``select`` is a one-hot vector; the output is the OR of the AND-masked
+    data words.  If no select line is high the output is all zeros.
+    """
+    if len(select) != len(data):
+        raise ValueError("select and data lengths differ")
+    width = max(d.width for d in data)
+    out = []
+    for bit in range(width):
+        terms = []
+        for s, d in zip(select, data):
+            if bit < d.width:
+                terms.append(nl.gate(Op.AND, s, d[bit]))
+        out.append(reduce_or(nl, terms))
+    return Bus(out)
+
+
+def thermometer_to_onehot(nl: Netlist, therm: Sequence[Wire]) -> list[Wire]:
+    """Convert a thermometer code to one-hot.
+
+    ``therm[j]`` means "value ≥ j+1"; the returned vector has
+    ``onehot[v] = 1`` where ``v`` is the encoded value in ``0..len(therm)``
+    (so the output is one entry longer than the input).
+    """
+    n = len(therm)
+    out: list[Wire] = []
+    for v in range(n + 1):
+        if v == 0:
+            out.append(nl.gate(Op.NOT, therm[0]) if n else nl.const(1))
+        elif v == n:
+            out.append(therm[n - 1])
+        else:
+            out.append(nl.gate(Op.ANDN, therm[v - 1], therm[v]))
+    return out
+
+
+def onehot_to_binary(nl: Netlist, onehot: Sequence[Wire]) -> Bus:
+    """Encode a one-hot vector as a binary bus."""
+    n = len(onehot)
+    width = max(1, (n - 1).bit_length())
+    bits = []
+    for b in range(width):
+        bits.append(reduce_or(nl, [onehot[v] for v in range(n) if (v >> b) & 1]))
+    return Bus(bits)
+
+
+def ripple_add(nl: Netlist, a: Bus, b: Bus, cin: Wire | None = None) -> tuple[Bus, Wire]:
+    """Ripple-carry adder; returns (sum, carry-out)."""
+    w = max(a.width, b.width)
+    a, b = zero_extend(nl, a, w), zero_extend(nl, b, w)
+    carry = cin if cin is not None else nl.const(0)
+    bits = []
+    for x, y in zip(a, b):
+        s1 = nl.gate(Op.XOR, x, y)
+        bits.append(nl.gate(Op.XOR, s1, carry))
+        c1 = nl.gate(Op.AND, x, y)
+        c2 = nl.gate(Op.AND, s1, carry)
+        carry = nl.gate(Op.OR, c1, c2)
+    return Bus(bits), carry
+
+
+def ripple_sub(nl: Netlist, a: Bus, b: Bus) -> tuple[Bus, Wire]:
+    """Ripple-borrow subtractor ``a − b``; returns (difference, borrow-out).
+
+    Borrow-out is 1 exactly when ``a < b`` (difference then wraps modulo
+    2^width).  This is the ``A−B`` block drawn at the top of each stage in
+    Fig. 1, and its borrow output doubles as the ``a < b`` comparator.
+    """
+    w = max(a.width, b.width)
+    a, b = zero_extend(nl, a, w), zero_extend(nl, b, w)
+    borrow = nl.const(0)
+    bits = []
+    for x, y in zip(a, b):
+        d1 = nl.gate(Op.XOR, x, y)
+        bits.append(nl.gate(Op.XOR, d1, borrow))
+        nb1 = nl.gate(Op.ANDN, y, x)  # y and not x
+        nb2 = nl.gate(Op.AND, borrow, nl.gate(Op.NOT, d1))
+        borrow = nl.gate(Op.OR, nb1, nb2)
+    return Bus(bits), borrow
+
+
+def sub_const(nl: Netlist, a: Bus, c: int) -> tuple[Bus, Wire]:
+    """``a − c`` for a compile-time constant ``c``; folds aggressively."""
+    return ripple_sub(nl, a, nl.const_bus(c, a.width))
+
+
+def geq_const(nl: Netlist, a: Bus, c: int) -> Wire:
+    """Comparator ``a ≥ c`` against a constant (the Fig.-1 ``>`` blocks).
+
+    Implemented as NOT(borrow(a − c)); constant folding in the netlist
+    prunes the borrow chain down to the few gates a synthesiser would keep.
+    """
+    if c == 0:
+        return nl.const(1)
+    if c.bit_length() > a.width:
+        return nl.const(0)
+    _, borrow = sub_const(nl, a, c)
+    return nl.gate(Op.NOT, borrow)
+
+
+def less_const(nl: Netlist, a: Bus, c: int) -> Wire:
+    """Comparator ``a < c`` against a constant."""
+    return nl.gate(Op.NOT, geq_const(nl, a, c))
+
+
+def equals_const(nl: Netlist, a: Bus, c: int) -> Wire:
+    """Comparator ``a == c`` against a constant."""
+    if c.bit_length() > a.width:
+        return nl.const(0)
+    terms = [w if (c >> i) & 1 else nl.gate(Op.NOT, w) for i, w in enumerate(a)]
+    return reduce_and(nl, terms)
+
+
+def crossover(nl: Netlist, ctrl: Wire, a: Bus, b: Bus) -> tuple[Bus, Bus]:
+    """Conditional swap: straight-through when ``ctrl=0``, crossed when 1.
+
+    This is the crossover cell whose count gives the O(n²) complexity of
+    the Knuth shuffle circuit (§III-C).
+    """
+    return mux2_bus(nl, ctrl, a, b), mux2_bus(nl, ctrl, b, a)
+
+
+def decoder(nl: Netlist, sel: Bus, count: int | None = None) -> list[Wire]:
+    """Binary→one-hot decoder with ``count`` outputs (default 2^width)."""
+    n = count if count is not None else 1 << sel.width
+    return [equals_const(nl, sel, v) for v in range(n)]
+
+
+def shift_add_mult_const(nl: Netlist, x: Bus, k: int) -> Bus:
+    """Shift-and-add multiplier ``k · x`` for constant ``k`` (Fig. 2).
+
+    The paper notes this is "much faster than the multiplier typically
+    found in an FPGA" because only ``popcount(k)`` shifted copies are
+    added.  The result is full width: ``x.width + k.bit_length()`` bits.
+    """
+    if k < 0:
+        raise ValueError("k must be non-negative")
+    out_width = x.width + max(k.bit_length(), 1)
+    acc = nl.const_bus(0, out_width)
+    for shift in range(k.bit_length()):
+        if (k >> shift) & 1:
+            shifted = Bus(nl.const(0) for _ in range(shift)) + x
+            shifted = zero_extend(nl, shifted, out_width)
+            acc, _ = ripple_add(nl, acc, shifted)
+    return acc
+
+
+def truncate_high(nl: Netlist, bus: Bus, drop_low: int) -> Bus:
+    """Right-shift-and-truncate: keep bits ``drop_low..`` (Fig. 2 block)."""
+    if drop_low >= bus.width:
+        return Bus((nl.const(0),))
+    return bus[drop_low:]

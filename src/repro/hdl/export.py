@@ -1,0 +1,185 @@
+"""Export netlists to synthesizable Verilog and simulations to VCD.
+
+The paper's artefact was "a Verilog program … on an SRC-6 reconfigurable
+computer"; an open-source release of the system therefore ships a path
+back to real hardware.  :func:`to_verilog` emits a flat structural module
+(`assign` per gate, one always-block for the registers) that any
+synthesis tool accepts, and :class:`VCDWriter` dumps cycle-accurate
+simulation traces in the standard Value Change Dump format for waveform
+viewers (GTKWave etc.).
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Mapping
+
+from repro.hdl.gates import Op
+from repro.hdl.netlist import Netlist
+
+__all__ = ["to_verilog", "VCDWriter"]
+
+_BINARY_FMT = {
+    Op.AND: "{a} & {b}",
+    Op.OR: "{a} | {b}",
+    Op.XOR: "{a} ^ {b}",
+    Op.NAND: "~({a} & {b})",
+    Op.NOR: "~({a} | {b})",
+    Op.XNOR: "~({a} ^ {b})",
+    Op.ANDN: "{a} & ~{b}",
+    Op.ORN: "{a} | ~{b}",
+}
+
+
+def _wname(w: int) -> str:
+    return f"w{w}"
+
+
+def to_verilog(nl: Netlist, module_name: str | None = None) -> str:
+    """Render the netlist as a flat structural Verilog-2001 module.
+
+    Ports: every input/output bus, plus ``clk`` when registers exist.
+    Gates become continuous assignments; registers a single clocked
+    always-block with their declared init values applied at declaration
+    (FPGA-style register initialisation).
+    """
+    nl.check()
+    name = module_name or nl.name.replace("-", "_")
+    out = io.StringIO()
+
+    ports = []
+    if nl.registers:
+        ports.append("clk")
+    ports += [f"in_{p}" for p in nl.inputs]
+    ports += [f"out_{p}" for p in nl.outputs]
+    out.write(f"module {name}({', '.join(ports)});\n")
+    if nl.registers:
+        out.write("  input clk;\n")
+    for pname, bus in nl.inputs.items():
+        out.write(f"  input [{bus.width - 1}:0] in_{pname};\n")
+    for pname, bus in nl.outputs.items():
+        out.write(f"  output [{bus.width - 1}:0] out_{pname};\n")
+    out.write("\n")
+
+    live = nl.live_wires()
+    reg_wires = {r.q for r in nl.registers}
+    for w, g in enumerate(nl.gates):
+        if w not in live:
+            continue
+        if g.op is Op.REG:
+            init = next(r.init for r in nl.registers if r.q == w)
+            out.write(f"  reg {_wname(w)} = 1'b{int(init)};\n")
+        elif g.op not in (Op.INPUT,):
+            out.write(f"  wire {_wname(w)};\n")
+    out.write("\n")
+
+    # input bit aliases
+    for pname, bus in nl.inputs.items():
+        for i, w in enumerate(bus):
+            if w in live:
+                out.write(f"  wire {_wname(w)} = in_{pname}[{i}];\n")
+
+    for w, g in enumerate(nl.gates):
+        if w not in live:
+            continue
+        if g.op in (Op.INPUT, Op.REG):
+            continue
+        if g.op is Op.CONST0:
+            out.write(f"  assign {_wname(w)} = 1'b0;\n")
+        elif g.op is Op.CONST1:
+            out.write(f"  assign {_wname(w)} = 1'b1;\n")
+        elif g.op is Op.BUF:
+            out.write(f"  assign {_wname(w)} = {_wname(g.fanin[0])};\n")
+        elif g.op is Op.NOT:
+            out.write(f"  assign {_wname(w)} = ~{_wname(g.fanin[0])};\n")
+        elif g.op is Op.MUX:
+            s, a, b = (_wname(f) for f in g.fanin)
+            out.write(f"  assign {_wname(w)} = {s} ? {b} : {a};\n")
+        else:
+            expr = _BINARY_FMT[g.op].format(a=_wname(g.fanin[0]), b=_wname(g.fanin[1]))
+            out.write(f"  assign {_wname(w)} = {expr};\n")
+
+    if nl.registers:
+        out.write("\n  always @(posedge clk) begin\n")
+        for r in nl.registers:
+            if r.q in live:
+                out.write(f"    {_wname(r.q)} <= {_wname(r.d)};\n")
+        out.write("  end\n")
+
+    out.write("\n")
+    for pname, bus in nl.outputs.items():
+        bits = ", ".join(_wname(w) for w in reversed(list(bus)))
+        out.write(f"  assign out_{pname} = {{{bits}}};\n")
+    out.write("endmodule\n")
+    return out.getvalue()
+
+
+class VCDWriter:
+    """Value Change Dump writer for cycle-accurate traces.
+
+    Record word-level bus values per clock with :meth:`sample`; the dump
+    is standard VCD loadable in GTKWave.  Time unit: one step per clock.
+    """
+
+    def __init__(self, signals: Mapping[str, int], timescale: str = "1ns"):
+        """``signals`` maps signal name → bit width."""
+        if not signals:
+            raise ValueError("at least one signal required")
+        self.signals = dict(signals)
+        self.timescale = timescale
+        self._ids = {}
+        for i, name in enumerate(self.signals):
+            self._ids[name] = self._short_id(i)
+        self._changes: list[tuple[int, str, int]] = []
+        self._last: dict[str, int | None] = {n: None for n in self.signals}
+        self._time = 0
+
+    @staticmethod
+    def _short_id(i: int) -> str:
+        chars = "!#$%&'()*+,-./0123456789:;<=>?@ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+        out = ""
+        i += 1
+        while i:
+            i, rem = divmod(i - 1, len(chars))
+            out = chars[rem] + out
+        return out
+
+    def sample(self, values: Mapping[str, int]) -> None:
+        """Record one clock's worth of signal values; advances time."""
+        for name, value in values.items():
+            if name not in self.signals:
+                raise ValueError(f"unknown signal {name!r}")
+            v = int(value)
+            if self._last[name] != v:
+                self._changes.append((self._time, name, v))
+                self._last[name] = v
+        self._time += 1
+
+    @property
+    def cycles(self) -> int:
+        return self._time
+
+    def render(self) -> str:
+        """The complete VCD text."""
+        out = io.StringIO()
+        out.write(f"$timescale {self.timescale} $end\n")
+        out.write("$scope module top $end\n")
+        for name, width in self.signals.items():
+            out.write(f"$var wire {width} {self._ids[name]} {name} $end\n")
+        out.write("$upscope $end\n$enddefinitions $end\n")
+        current = -1
+        for time, name, value in self._changes:
+            if time != current:
+                out.write(f"#{time}\n")
+                current = time
+            width = self.signals[name]
+            if width == 1:
+                out.write(f"{value & 1}{self._ids[name]}\n")
+            else:
+                out.write(f"b{value:b} {self._ids[name]}\n")
+        out.write(f"#{self._time}\n")
+        return out.getvalue()
+
+    def write(self, path: str) -> None:
+        with open(path, "w") as fh:
+            fh.write(self.render())

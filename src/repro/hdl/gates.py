@@ -1,0 +1,101 @@
+"""Primitive gate library.
+
+The gate set mirrors what a synthesis front-end hands to an FPGA technology
+mapper: constants, buffers/inverters, the standard two-input Boolean
+functions and a 2:1 multiplexer.  Every gate is evaluated on NumPy boolean
+arrays so a single pass through the netlist simulates an arbitrary batch of
+input vectors (one array lane per vector).
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+__all__ = ["Op", "GATE_ARITY", "evaluate_op"]
+
+
+class Op(enum.Enum):
+    """Primitive gate operations.
+
+    ``MUX`` follows the convention ``MUX(sel, a, b) = b if sel else a``.
+    """
+
+    CONST0 = "const0"
+    CONST1 = "const1"
+    INPUT = "input"  # primary input; value supplied externally
+    REG = "reg"  # register output (Q); value supplied by sequential state
+    BUF = "buf"
+    NOT = "not"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    NAND = "nand"
+    NOR = "nor"
+    XNOR = "xnor"
+    ANDN = "andn"  # a AND (NOT b)
+    ORN = "orn"  # a OR (NOT b)
+    MUX = "mux"
+
+
+#: Number of data fanins for each op.  ``INPUT``/``REG``/constants have none.
+GATE_ARITY: dict[Op, int] = {
+    Op.CONST0: 0,
+    Op.CONST1: 0,
+    Op.INPUT: 0,
+    Op.REG: 0,
+    Op.BUF: 1,
+    Op.NOT: 1,
+    Op.AND: 2,
+    Op.OR: 2,
+    Op.XOR: 2,
+    Op.NAND: 2,
+    Op.NOR: 2,
+    Op.XNOR: 2,
+    Op.ANDN: 2,
+    Op.ORN: 2,
+    Op.MUX: 3,
+}
+
+
+def evaluate_op(op: Op, args: tuple[np.ndarray, ...]) -> np.ndarray:
+    """Evaluate a single gate on boolean array operands.
+
+    Parameters
+    ----------
+    op:
+        Gate operation.  ``INPUT`` and ``REG`` cannot be evaluated here;
+        their values come from the simulation environment.
+    args:
+        Operand arrays, all of identical shape.
+
+    Returns
+    -------
+    numpy.ndarray
+        Boolean array of the same shape as the operands.
+    """
+    if op is Op.BUF:
+        return args[0].copy()
+    if op is Op.NOT:
+        return ~args[0]
+    if op is Op.AND:
+        return args[0] & args[1]
+    if op is Op.OR:
+        return args[0] | args[1]
+    if op is Op.XOR:
+        return args[0] ^ args[1]
+    if op is Op.NAND:
+        return ~(args[0] & args[1])
+    if op is Op.NOR:
+        return ~(args[0] | args[1])
+    if op is Op.XNOR:
+        return ~(args[0] ^ args[1])
+    if op is Op.ANDN:
+        return args[0] & ~args[1]
+    if op is Op.ORN:
+        return args[0] | ~args[1]
+    if op is Op.MUX:
+        sel, a, b = args
+        return np.where(sel, b, a)
+    raise ValueError(f"op {op} has no combinational evaluation")

@@ -1,0 +1,79 @@
+"""Netlist (de)serialisation to a stable JSON document.
+
+Lets a synthesised circuit be saved, diffed, shipped to another tool, or
+golden-filed in tests without re-running the generator.  The format is a
+plain dict: gate table (op + fanins), register list, and named port maps —
+loadable with :func:`netlist_from_dict` into a bit-identical netlist
+(asserted structurally and behaviourally in the tests).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.hdl.gates import Op
+from repro.hdl.netlist import Bus, Netlist, Register
+
+__all__ = ["netlist_to_dict", "netlist_from_dict", "save_netlist", "load_netlist"]
+
+FORMAT_VERSION = 1
+
+
+def netlist_to_dict(nl: Netlist) -> dict[str, Any]:
+    """A JSON-ready description of the netlist."""
+    nl.check()
+    return {
+        "format": "repro-netlist",
+        "version": FORMAT_VERSION,
+        "name": nl.name,
+        "gates": [
+            {"op": g.op.value, "fanin": list(g.fanin), **({"name": g.name} if g.name else {})}
+            for g in nl.gates
+        ],
+        "registers": [
+            {"q": r.q, "d": r.d, "init": bool(r.init)} for r in nl.registers
+        ],
+        "inputs": {name: list(bus) for name, bus in nl.inputs.items()},
+        "outputs": {name: list(bus) for name, bus in nl.outputs.items()},
+    }
+
+
+def netlist_from_dict(doc: dict[str, Any]) -> Netlist:
+    """Rebuild a netlist from :func:`netlist_to_dict` output.
+
+    Reconstruction bypasses folding/CSE (the stored structure is already
+    the final one) by appending gates directly, then re-validates.
+    """
+    if doc.get("format") != "repro-netlist":
+        raise ValueError("not a repro netlist document")
+    if doc.get("version") != FORMAT_VERSION:
+        raise ValueError(f"unsupported version {doc.get('version')!r}")
+    nl = Netlist(name=doc.get("name", "top"))
+    for entry in doc["gates"]:
+        op = Op(entry["op"])
+        nl._new_wire(op, tuple(entry["fanin"]), entry.get("name"))
+    # restore shared-constant bookkeeping so further edits stay folded
+    for w, g in enumerate(nl.gates):
+        if g.op is Op.CONST0 and nl._const0 is None:
+            nl._const0 = w
+        elif g.op is Op.CONST1 and nl._const1 is None:
+            nl._const1 = w
+    for entry in doc["registers"]:
+        nl.registers.append(Register(q=entry["q"], d=entry["d"], init=bool(entry["init"])))
+    for name, wires in doc["inputs"].items():
+        nl.inputs[name] = Bus(wires)
+    for name, wires in doc["outputs"].items():
+        nl.outputs[name] = Bus(wires)
+    nl.check()
+    return nl
+
+
+def save_netlist(nl: Netlist, path: str) -> None:
+    with open(path, "w") as fh:
+        json.dump(netlist_to_dict(nl), fh)
+
+
+def load_netlist(path: str) -> Netlist:
+    with open(path) as fh:
+        return netlist_from_dict(json.load(fh))

@@ -1,0 +1,91 @@
+"""Deterministic work decomposition and a small map-reduce runner.
+
+Everything here is *deterministic by construction*: a job's result must
+not depend on the worker count or on scheduling order.  That is achieved
+by (a) contiguous index shards with a fixed boundary rule and (b) reducing
+partial results in shard order, not completion order.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Sequence, TypeVar
+
+__all__ = ["ShardSpec", "index_shards", "parallel_map_reduce", "default_workers"]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """A contiguous half-open index range ``[start, stop)``."""
+
+    shard_id: int
+    start: int
+    stop: int
+
+    @property
+    def size(self) -> int:
+        return self.stop - self.start
+
+    def __iter__(self):
+        return iter(range(self.start, self.stop))
+
+
+def index_shards(total: int, shards: int) -> list[ShardSpec]:
+    """Split ``range(total)`` into ``shards`` near-equal contiguous ranges.
+
+    The first ``total mod shards`` shards get one extra element, so the
+    decomposition is independent of anything but ``(total, shards)``.
+    Empty shards are omitted (``total < shards``).
+    """
+    if total < 0:
+        raise ValueError("total must be non-negative")
+    if shards < 1:
+        raise ValueError("shards must be positive")
+    base, extra = divmod(total, shards)
+    out = []
+    start = 0
+    for i in range(shards):
+        size = base + (1 if i < extra else 0)
+        if size == 0:
+            continue
+        out.append(ShardSpec(shard_id=i, start=start, stop=start + size))
+        start += size
+    assert start == total
+    return out
+
+
+def default_workers() -> int:
+    """A conservative worker count for the experiment runners."""
+    return max(1, min(8, os.cpu_count() or 1))
+
+
+def parallel_map_reduce(
+    work: Callable[[ShardSpec], R],
+    shards: Sequence[ShardSpec],
+    reduce_fn: Callable[[R, R], R],
+    workers: int | None = None,
+) -> R:
+    """Run ``work`` on every shard and fold the results *in shard order*.
+
+    ``workers <= 1`` (or a single shard) runs inline — no pool, no pickle
+    round-trips — which is also how the tests prove worker-count
+    invariance.  ``work`` and ``reduce_fn`` must be picklable (module
+    level) for the process path.
+    """
+    if not shards:
+        raise ValueError("no shards to process")
+    workers = workers if workers is not None else default_workers()
+    if workers <= 1 or len(shards) == 1:
+        results = [work(s) for s in shards]
+    else:
+        with ProcessPoolExecutor(max_workers=min(workers, len(shards))) as pool:
+            results = list(pool.map(work, shards))
+    acc = results[0]
+    for r in results[1:]:
+        acc = reduce_fn(acc, r)
+    return acc

@@ -1,0 +1,44 @@
+"""Performance harness reproducing Table II.
+
+Table II compares the SRC-6 circuit (one permutation per 10 ns clock) with
+a sequential C program on a Xeon.  Here:
+
+* :mod:`repro.perf.clock_model` — hardware time from first principles:
+  cycle counts of the simulated pipeline × a clock period, the period
+  coming either from the paper's platform (100 MHz SRC-6) or from the
+  :mod:`repro.fpga` timing model;
+* :mod:`repro.perf.software_baseline` — measured per-permutation cost of
+  the same greedy algorithm in scalar Python (the role of the paper's C
+  code) plus the vectorised NumPy batch variant as an ablation;
+* :mod:`repro.perf.speedup` — assembles the Table-II rows and the speedup
+  column.
+
+As DESIGN.md §2 notes, absolute numbers shift with the software substrate
+(Python vs C); the reproduced claim is the *shape*: constant hardware cost
+per permutation versus per-element-growing software cost, hence a speedup
+that grows with n into the thousands.
+"""
+
+from repro.perf.clock_model import HardwareTimingModel, HardwareEstimate, SRC6_CLOCK_MHZ
+from repro.perf.software_baseline import (
+    software_unrank_ns,
+    software_batch_unrank_ns,
+    software_shuffle_ns,
+)
+from repro.perf.speedup import Table2Row, table2_rows, render_table2
+from repro.perf.scaling import ScalingPoint, strong_scaling, render_scaling_table
+
+__all__ = [
+    "HardwareTimingModel",
+    "HardwareEstimate",
+    "SRC6_CLOCK_MHZ",
+    "software_unrank_ns",
+    "software_batch_unrank_ns",
+    "software_shuffle_ns",
+    "Table2Row",
+    "table2_rows",
+    "render_table2",
+    "ScalingPoint",
+    "strong_scaling",
+    "render_scaling_table",
+]

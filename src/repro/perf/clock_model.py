@@ -1,0 +1,84 @@
+"""Hardware timing from the simulated pipeline's cycle counts.
+
+The pipelined converter produces one permutation per clock after a fill of
+``n − 1`` register stages (verified cycle-accurately by
+``IndexToPermutationConverter.simulate_netlist``).  Total time for ``count``
+permutations is therefore ``(fill + count) · T_clk``; the marginal cost —
+the paper's "SRC-6 time (ns)" column — is exactly one clock period,
+independent of ``n``.  The clock can be pinned to the SRC-6's 100 MHz or
+derived from the :mod:`repro.fpga` timing model of the actual netlist.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.converter import IndexToPermutationConverter
+from repro.fpga.report import synthesize
+from repro.fpga.timing import DelayModel
+
+__all__ = ["SRC6_CLOCK_MHZ", "HardwareEstimate", "HardwareTimingModel"]
+
+#: The SRC-6's fixed user-logic clock (the paper: "one clock period of a
+#: 100 MHz clock" → the 10 ns entries of Table II).
+SRC6_CLOCK_MHZ = 100.0
+
+
+@dataclass(frozen=True)
+class HardwareEstimate:
+    """Timing of a pipelined run of ``count`` permutations."""
+
+    n: int
+    clock_mhz: float
+    fill_cycles: int
+    count: int
+
+    @property
+    def period_ns(self) -> float:
+        return 1e3 / self.clock_mhz
+
+    @property
+    def total_ns(self) -> float:
+        return (self.fill_cycles + self.count) * self.period_ns
+
+    @property
+    def ns_per_permutation(self) -> float:
+        """Amortised cost; tends to one clock period as count grows."""
+        return self.total_ns / self.count
+
+    @property
+    def marginal_ns_per_permutation(self) -> float:
+        """Steady-state cost — the Table-II "SRC-6 time" entry."""
+        return self.period_ns
+
+
+class HardwareTimingModel:
+    """Clock-accurate throughput/latency model of the pipelined converter."""
+
+    def __init__(self, n: int, clock_mhz: float | None = SRC6_CLOCK_MHZ):
+        """With ``clock_mhz=None`` the clock comes from the FPGA timing
+        model applied to the actual pipelined netlist."""
+        self.n = n
+        self.converter = IndexToPermutationConverter(n)
+        if clock_mhz is None:
+            nl = self.converter.build_netlist(pipelined=True)
+            clock_mhz = synthesize(nl, n, model=DelayModel()).fmax_mhz
+        self.clock_mhz = float(clock_mhz)
+
+    @property
+    def latency_cycles(self) -> int:
+        return self.converter.pipeline_register_stages
+
+    @property
+    def latency_ns(self) -> float:
+        return self.latency_cycles * 1e3 / self.clock_mhz
+
+    def estimate(self, count: int) -> HardwareEstimate:
+        if count < 1:
+            raise ValueError("count must be positive")
+        return HardwareEstimate(
+            n=self.n,
+            clock_mhz=self.clock_mhz,
+            fill_cycles=self.latency_cycles,
+            count=count,
+        )

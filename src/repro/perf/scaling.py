@@ -1,0 +1,88 @@
+"""Strong-scaling measurement of the parallel experiment runners.
+
+Measures wall-clock of a fixed problem at increasing worker counts and
+reports speedup/efficiency — the standard strong-scaling table.  Results
+are deterministic in *value* (the runners are bit-exact under sharding);
+only the timing varies with the machine, so the harness asserts values
+and reports times.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+__all__ = ["ScalingPoint", "strong_scaling", "render_scaling_table"]
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    workers: int
+    seconds: float
+    result_digest: int  #: hash of the result, for cross-point validation
+
+    def speedup_vs(self, baseline: "ScalingPoint") -> float:
+        return baseline.seconds / self.seconds
+
+    def efficiency_vs(self, baseline: "ScalingPoint") -> float:
+        return self.speedup_vs(baseline) / max(1, self.workers)
+
+
+def strong_scaling(
+    job: Callable[[int], object],
+    worker_counts: Sequence[int] = (1, 2, 4),
+    repeats: int = 1,
+) -> list[ScalingPoint]:
+    """Run ``job(workers)`` at each worker count; best-of-``repeats`` time.
+
+    Raises if any worker count produces a different result — scaling runs
+    that change answers are bugs, not performance data.
+    """
+    if not worker_counts:
+        raise ValueError("need at least one worker count")
+    points = []
+    for w in worker_counts:
+        best = float("inf")
+        digest: int | None = None
+        for _ in range(max(1, repeats)):
+            t0 = time.perf_counter()
+            result = job(w)
+            dt = time.perf_counter() - t0
+            best = min(best, dt)
+            d = hash(_freeze(result))
+            if digest is None:
+                digest = d
+            elif digest != d:
+                raise AssertionError(f"job not deterministic at workers={w}")
+        points.append(ScalingPoint(workers=w, seconds=best, result_digest=digest or 0))
+    digests = {p.result_digest for p in points}
+    if len(digests) != 1:
+        raise AssertionError("result differs across worker counts")
+    return points
+
+
+def _freeze(obj: object) -> object:
+    """Make common result shapes hashable."""
+    import numpy as np
+
+    if isinstance(obj, np.ndarray):
+        return (obj.shape, obj.tobytes())
+    if isinstance(obj, (list, tuple)):
+        return tuple(_freeze(x) for x in obj)
+    if isinstance(obj, set):
+        return frozenset(obj)
+    if isinstance(obj, dict):
+        return tuple(sorted((k, _freeze(v)) for k, v in obj.items()))
+    return obj
+
+
+def render_scaling_table(points: list[ScalingPoint]) -> str:
+    base = points[0]
+    lines = [f"{'workers':>7}  {'seconds':>8}  {'speedup':>7}  {'efficiency':>10}"]
+    for p in points:
+        lines.append(
+            f"{p.workers:>7}  {p.seconds:>8.3f}  {p.speedup_vs(base):>7.2f}"
+            f"  {p.efficiency_vs(base):>10.2f}"
+        )
+    return "\n".join(lines)

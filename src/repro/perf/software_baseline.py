@@ -1,0 +1,100 @@
+"""Measured software baselines (the role of the paper's Xeon C program).
+
+The paper's methodology, §II-C: "we repeatedly (redundantly) did the
+computations for many iterations and divided the time durations by the
+number of iterations" — exactly what these helpers do with
+``time.perf_counter_ns``.  Iteration counts scale down as ``n`` grows,
+mirroring the paper's "# iterations" column.
+
+Two software paths are timed:
+
+* :func:`software_unrank_ns` — the scalar greedy algorithm on sequential
+  indices, one permutation per call (the direct C-program analogue);
+* :func:`software_batch_unrank_ns` — the vectorised NumPy unranker, the
+  best software can do on this substrate (an ablation row showing the
+  hardware claim survives an optimised baseline).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+from repro.core.factorial import factorial
+from repro.core.knuth import KnuthShuffleCircuit
+from repro.core.lehmer import unrank_batch, unrank_naive
+
+__all__ = [
+    "software_unrank_ns",
+    "software_batch_unrank_ns",
+    "software_shuffle_ns",
+    "default_iterations",
+]
+
+
+def default_iterations(n: int) -> int:
+    """Iteration counts in the spirit of Table II's right column —
+    millions for small n, tens of thousands for n = 10."""
+    if n <= 5:
+        return 200_000
+    if n <= 7:
+        return 100_000
+    return 50_000
+
+
+def _time_loop(fn: Callable[[], None], iterations: int, repeats: int = 3) -> float:
+    """Best-of-``repeats`` mean ns per call (timeit's convention: the
+    minimum suppresses scheduler noise)."""
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter_ns()
+        fn()
+        dt = time.perf_counter_ns() - t0
+        best = min(best, dt / iterations)
+    return best
+
+
+def software_unrank_ns(n: int, iterations: int | None = None) -> float:
+    """Mean ns per permutation, scalar greedy unranking, sequential indices."""
+    iterations = iterations if iterations is not None else default_iterations(n)
+    limit = factorial(n)
+
+    def body() -> None:
+        idx = 0
+        for _ in range(iterations):
+            unrank_naive(idx, n)
+            idx += 1
+            if idx == limit:
+                idx = 0
+
+    return _time_loop(body, iterations)
+
+
+def software_batch_unrank_ns(n: int, iterations: int | None = None, batch: int = 4096) -> float:
+    """Mean ns per permutation through the vectorised NumPy unranker."""
+    iterations = iterations if iterations is not None else default_iterations(n)
+    limit = factorial(n)
+    batches, rem = divmod(iterations, batch)
+
+    def body() -> None:
+        start = 0
+        for _ in range(batches):
+            idx = [(start + i) % limit for i in range(batch)]
+            unrank_batch(idx, n)
+            start += batch
+        if rem:
+            unrank_batch([(start + i) % limit for i in range(rem)], n)
+
+    return _time_loop(body, iterations)
+
+
+def software_shuffle_ns(n: int, iterations: int | None = None) -> float:
+    """Mean ns per random permutation via the software Knuth shuffle."""
+    iterations = iterations if iterations is not None else default_iterations(n)
+    circuit = KnuthShuffleCircuit(n, m=31)
+
+    def body() -> None:
+        for _ in range(iterations):
+            circuit.shuffle_once()
+
+    return _time_loop(body, iterations)

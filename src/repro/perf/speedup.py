@@ -1,0 +1,70 @@
+"""Assemble the Table-II comparison: hardware vs software per-permutation time."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.perf.clock_model import SRC6_CLOCK_MHZ, HardwareTimingModel
+from repro.perf.software_baseline import (
+    default_iterations,
+    software_batch_unrank_ns,
+    software_unrank_ns,
+)
+
+__all__ = ["Table2Row", "table2_rows", "render_table2"]
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    """One Table-II row (with our extra vectorised-software column)."""
+
+    n: int
+    hw_ns: float  #: hardware marginal time per permutation (one clock)
+    sw_ns: float  #: scalar software time per permutation
+    sw_batch_ns: float  #: vectorised software time per permutation
+    iterations: int
+
+    @property
+    def speedup(self) -> float:
+        """Hardware rate ÷ scalar software rate — the paper's headline
+        (≈2,800× at n = 10 against their C code)."""
+        return self.sw_ns / self.hw_ns
+
+    @property
+    def speedup_vs_batch(self) -> float:
+        return self.sw_batch_ns / self.hw_ns
+
+
+def table2_rows(
+    ns: list[int] | None = None,
+    clock_mhz: float | None = SRC6_CLOCK_MHZ,
+    iterations: int | None = None,
+) -> list[Table2Row]:
+    """Measure software and model hardware for each n (default 2..10)."""
+    ns = ns if ns is not None else list(range(2, 11))
+    rows = []
+    for n in ns:
+        iters = iterations if iterations is not None else default_iterations(n)
+        hw = HardwareTimingModel(n, clock_mhz=clock_mhz)
+        rows.append(
+            Table2Row(
+                n=n,
+                hw_ns=hw.estimate(iters).marginal_ns_per_permutation,
+                sw_ns=software_unrank_ns(n, iters),
+                sw_batch_ns=software_batch_unrank_ns(n, iters),
+                iterations=iters,
+            )
+        )
+    return rows
+
+
+def render_table2(rows: list[Table2Row]) -> str:
+    """ASCII table in the paper's layout plus the speedup columns."""
+    header = f"{'n':>3}  {'HW ns':>8}  {'SW ns':>10}  {'SWbatch ns':>11}  {'iters':>9}  {'speedup':>9}  {'vs batch':>9}"
+    lines = [header]
+    for r in rows:
+        lines.append(
+            f"{r.n:>3}  {r.hw_ns:>8.1f}  {r.sw_ns:>10.1f}  {r.sw_batch_ns:>11.1f}"
+            f"  {r.iterations:>9}  {r.speedup:>9.1f}  {r.speedup_vs_batch:>9.1f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,106 @@
+"""Index sources feeding the converter front-end.
+
+The converter itself is a pure function of its index input; what varies
+between the paper's experiments is *where the index comes from*:
+
+* Table II streams sequential indices (a counter) to measure throughput;
+* the §III-A random generator feeds scaled LFSR draws (``k = n!``);
+* test benches replay explicit index lists.
+
+Sources are infinite iterators of integers in ``0 .. limit−1`` plus a
+``take`` convenience for batch draws.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.rng.lfsr import LFSRBase
+from repro.rng.scaled import ScaledRandomInteger
+
+__all__ = ["IndexSource", "CounterSource", "ListSource", "LFSRIndexSource"]
+
+
+class IndexSource:
+    """Base class: an endless stream of indices below ``limit``."""
+
+    def __init__(self, limit: int):
+        if limit < 1:
+            raise ValueError("limit must be positive")
+        self.limit = limit
+
+    def __iter__(self) -> Iterator[int]:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def take(self, count: int) -> np.ndarray:
+        """Materialise the next ``count`` indices as an int64/object array."""
+        it = iter(self)
+        use_object = self.limit > np.iinfo(np.int64).max
+        dtype = object if use_object else np.int64
+        out = np.empty(count, dtype=dtype)
+        for i in range(count):
+            out[i] = next(it)
+        return out
+
+
+class CounterSource(IndexSource):
+    """Sequential indices ``start, start+1, …`` wrapping at ``limit``.
+
+    This is the Table-II workload: the hardware pipeline is fed one new
+    index per clock, producing all ``n!`` permutations in order.
+    """
+
+    def __init__(self, limit: int, start: int = 0):
+        super().__init__(limit)
+        if not (0 <= start < limit):
+            raise ValueError("start must lie in 0..limit-1")
+        self.value = start
+        self._iterating = False
+
+    def __iter__(self) -> Iterator[int]:
+        while True:
+            v = self.value
+            self.value = (v + 1) % self.limit
+            yield v
+
+
+class ListSource(IndexSource):
+    """Replay an explicit index sequence, cycling at the end."""
+
+    def __init__(self, indices: Sequence[int], limit: int | None = None):
+        seq = [int(i) for i in indices]
+        if not seq:
+            raise ValueError("index list must be non-empty")
+        lim = limit if limit is not None else max(seq) + 1
+        super().__init__(lim)
+        for i in seq:
+            if not (0 <= i < lim):
+                raise ValueError(f"index {i} outside 0..{lim - 1}")
+        self.indices = seq
+        self._pos = 0
+
+    def __iter__(self) -> Iterator[int]:
+        while True:
+            yield self.indices[self._pos]
+            self._pos = (self._pos + 1) % len(self.indices)
+
+
+class LFSRIndexSource(IndexSource):
+    """Random indices from the Fig.-2 scaled generator with ``k = limit``."""
+
+    def __init__(
+        self, limit: int, lfsr: LFSRBase | None = None, m: int = 31, seed: int | None = None
+    ):
+        super().__init__(limit)
+        self.generator = ScaledRandomInteger(limit, lfsr=lfsr, m=m, seed=seed)
+
+    def __iter__(self) -> Iterator[int]:
+        while True:
+            yield self.generator.next_int()
+
+    def take(self, count: int) -> np.ndarray:
+        if self.limit > np.iinfo(np.int64).max:
+            return super().take(count)
+        return self.generator.ints(count)

@@ -1,0 +1,103 @@
+"""Maximal-length LFSR feedback taps.
+
+Tap positions (1-based, counting from the most significant stage) for
+maximal-length sequences, i.e. primitive feedback polynomials over GF(2).
+This is the standard table circulated with Xilinx application note
+XAPP052, which is exactly the source a reconfigurable-computing design like
+the paper's would have used.  An ``m``-bit maximal LFSR cycles through all
+``2^m − 1`` nonzero states — the property the paper leans on when it notes
+that "the LFSR random number generator generates all 31 5-bit numbers
+except 0".
+"""
+
+from __future__ import annotations
+
+__all__ = ["MAXIMAL_TAPS", "taps_for_width", "feedback_mask"]
+
+#: width -> tap positions (1-based, 1 = LSB here; see :func:`feedback_mask`).
+#: Positions follow the XAPP052 convention where the width itself is always
+#: a tap (the output stage feeds back).
+MAXIMAL_TAPS: dict[int, tuple[int, ...]] = {
+    2: (2, 1),
+    3: (3, 2),
+    4: (4, 3),
+    5: (5, 3),
+    6: (6, 5),
+    7: (7, 6),
+    8: (8, 6, 5, 4),
+    9: (9, 5),
+    10: (10, 7),
+    11: (11, 9),
+    12: (12, 6, 4, 1),
+    13: (13, 4, 3, 1),
+    14: (14, 5, 3, 1),
+    15: (15, 14),
+    16: (16, 15, 13, 4),
+    17: (17, 14),
+    18: (18, 11),
+    19: (19, 6, 2, 1),
+    20: (20, 17),
+    21: (21, 19),
+    22: (22, 21),
+    23: (23, 18),
+    24: (24, 23, 22, 17),
+    25: (25, 22),
+    26: (26, 6, 2, 1),
+    27: (27, 5, 2, 1),
+    28: (28, 25),
+    29: (29, 27),
+    30: (30, 6, 4, 1),
+    31: (31, 28),
+    32: (32, 22, 2, 1),
+    33: (33, 20),
+    34: (34, 27, 2, 1),
+    35: (35, 33),
+    36: (36, 25),
+    37: (37, 5, 4, 3, 2, 1),
+    38: (38, 6, 5, 1),
+    39: (39, 35),
+    40: (40, 38, 21, 19),
+    41: (41, 38),
+    42: (42, 41, 20, 19),
+    43: (43, 42, 38, 37),
+    44: (44, 43, 18, 17),
+    45: (45, 44, 42, 41),
+    46: (46, 45, 26, 25),
+    47: (47, 42),
+    48: (48, 47, 21, 20),
+    49: (49, 40),
+    50: (50, 49, 24, 23),
+    51: (51, 50, 36, 35),
+    52: (52, 49),
+    53: (53, 52, 38, 37),
+    54: (54, 53, 18, 17),
+    55: (55, 31),
+    56: (56, 55, 35, 34),
+    57: (57, 50),
+    58: (58, 39),
+    59: (59, 58, 38, 37),
+    60: (60, 59),
+    61: (61, 60, 46, 45),
+    62: (62, 61, 6, 5),
+    63: (63, 62),
+    64: (64, 63, 61, 60),
+}
+
+
+def taps_for_width(width: int) -> tuple[int, ...]:
+    """The default maximal-length taps for ``width``-bit registers."""
+    try:
+        return MAXIMAL_TAPS[width]
+    except KeyError:
+        raise ValueError(f"no maximal-length taps tabulated for width {width}") from None
+
+
+def feedback_mask(width: int, taps: tuple[int, ...] | None = None) -> int:
+    """Bit mask of the tapped stages (tap position p → bit p−1)."""
+    taps = taps if taps is not None else taps_for_width(width)
+    mask = 0
+    for p in taps:
+        if not (1 <= p <= width):
+            raise ValueError(f"tap {p} outside 1..{width}")
+        mask |= 1 << (p - 1)
+    return mask

@@ -1,0 +1,68 @@
+"""The §II-D / §III-C complexity claims, measured on real netlists."""
+
+import pytest
+
+from repro.analysis.complexity import (
+    converter_complexity,
+    fit_power_law,
+    shuffle_complexity,
+)
+
+
+class TestFormulas:
+    @pytest.mark.parametrize("n", [2, 4, 8, 12])
+    def test_converter_counts(self, n):
+        rep = converter_complexity(n)
+        assert rep.unit_count == n * (n - 1) // 2
+        assert rep.paper_formula == n * (n + 1) // 2
+        assert rep.stages == n
+
+    @pytest.mark.parametrize("n", [2, 4, 8])
+    def test_shuffle_counts(self, n):
+        rep = shuffle_complexity(n, m=10)
+        assert rep.unit_count == rep.paper_formula == n * (n - 1) // 2
+        assert rep.stages == n - 1
+
+    def test_paper_identity(self):
+        """n + (n−1) + … + 1 = n(n+1)/2 as printed in §II-D."""
+        for n in range(2, 20):
+            assert sum(range(1, n + 1)) == converter_complexity(n).paper_formula
+
+
+class TestAsymptotics:
+    NS = [4, 6, 8, 10, 12, 14]
+
+    def test_comparators_quadratic(self):
+        alpha, r2 = fit_power_law(self.NS, [converter_complexity(n).unit_count for n in self.NS])
+        assert 1.7 < alpha < 2.3 and r2 > 0.99
+
+    def test_gate_area_polynomial_near_quadratic(self):
+        """Gate count is Θ(n²·log²n)-ish: the log-log slope sits a bit
+        above 2 but well below cubic growth at these sizes."""
+        alpha, r2 = fit_power_law(self.NS, [converter_complexity(n).logic_gates for n in self.NS])
+        assert 2.0 < alpha < 4.0 and r2 > 0.98
+
+    def test_stage_delay_linear(self):
+        alpha, r2 = fit_power_law(self.NS, [converter_complexity(n).stages for n in self.NS])
+        assert 0.9 < alpha < 1.1 and r2 > 0.999
+
+    def test_netlist_depth_superlinear_subquadratic(self):
+        """Unit-delay depth: O(n) stages × O(log n!) ripple chains."""
+        alpha, r2 = fit_power_law(self.NS, [converter_complexity(n).depth for n in self.NS])
+        assert 1.0 < alpha < 2.5 and r2 > 0.95
+
+    def test_shuffle_crossovers_quadratic(self):
+        alpha, _ = fit_power_law(self.NS, [shuffle_complexity(n, m=8).unit_count for n in self.NS])
+        assert 1.7 < alpha < 2.3
+
+
+class TestFit:
+    def test_exact_power_law(self):
+        ns = [2, 4, 8, 16]
+        alpha, r2 = fit_power_law(ns, [5 * n**2 for n in ns])
+        assert alpha == pytest.approx(2.0)
+        assert r2 == pytest.approx(1.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            fit_power_law([1, 2], [0, 4])

@@ -1,0 +1,84 @@
+"""Derangement combinatorics and the e-estimation experiment."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.derangements import (
+    DerangementResult,
+    derangement_experiment,
+    derangement_mask,
+    derangement_probability,
+    estimate_e,
+    fixed_point_counts,
+    subfactorial,
+)
+from repro.core.knuth import KnuthShuffleCircuit
+
+
+class TestSubfactorial:
+    def test_known_values(self):
+        assert [subfactorial(n) for n in range(8)] == [1, 0, 1, 2, 9, 44, 265, 1854]
+
+    def test_rounds_to_n_over_e(self):
+        """d_n = ⌊n!/e⌉ — the identity the paper quotes."""
+        for n in range(1, 12):
+            assert subfactorial(n) == round(math.factorial(n) / math.e)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            subfactorial(-1)
+
+    def test_probability_tends_to_inverse_e(self):
+        assert derangement_probability(4) == pytest.approx(0.375)
+        assert derangement_probability(12) == pytest.approx(1 / math.e, rel=1e-8)
+
+
+class TestMasks:
+    def test_fixed_point_counts(self):
+        arr = np.array([[0, 1, 2], [1, 0, 2], [1, 2, 0]])
+        assert fixed_point_counts(arr).tolist() == [3, 1, 0]
+
+    def test_derangement_mask(self):
+        arr = np.array([[0, 1, 2], [1, 2, 0]])
+        assert derangement_mask(arr).tolist() == [False, True]
+
+
+class TestEstimator:
+    def test_estimate_e(self):
+        assert estimate_e(1_048_576, 385_811) == pytest.approx(2.7178, abs=1e-3)
+
+    def test_zero_derangements_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_e(100, 0)
+
+    def test_result_properties(self):
+        r = DerangementResult(n=4, samples=1000, derangements=375)
+        assert r.e_estimate == pytest.approx(1000 / 375)
+        assert r.observed_fraction == pytest.approx(0.375)
+        assert r.expected_fraction == pytest.approx(0.375)
+
+
+class TestExperiment:
+    @pytest.mark.parametrize("n", [4, 8])
+    def test_estimates_e_to_a_few_percent(self, n):
+        r = derangement_experiment(n, samples=1 << 15)
+        assert r.samples == 1 << 15
+        # At 32k samples the standard error of the fraction is ~0.3 %.
+        assert abs(r.observed_fraction - r.expected_fraction) < 0.02
+        assert abs(r.e_estimate - math.e) / math.e < 0.05
+
+    def test_batching_equals_single_pass(self):
+        a = derangement_experiment(4, samples=5000, batch=256)
+        b = derangement_experiment(4, samples=5000, batch=5000)
+        assert a.derangements == b.derangements
+
+    def test_custom_circuit(self):
+        circ = KnuthShuffleCircuit(5, m=20)
+        r = derangement_experiment(5, samples=2000, circuit=circ)
+        assert 0 < r.derangements < 2000
+
+    def test_circuit_size_mismatch(self):
+        with pytest.raises(ValueError):
+            derangement_experiment(4, samples=10, circuit=KnuthShuffleCircuit(5))

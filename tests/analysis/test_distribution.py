@@ -1,0 +1,72 @@
+"""Fig.-4 experiment tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.distribution import (
+    fig4_experiment,
+    packed_histogram,
+    packed_values,
+    permutation_histogram,
+)
+from repro.core.knuth import KnuthShuffleCircuit
+
+
+class TestPacking:
+    def test_paper_packed_examples(self):
+        """Fig. 4: 30 and 228 are the packed words of 0132 and 3210...
+        (paper: '00011110 and 11100100 represent 0 1 3 2 and 3 2 1 0')."""
+        arr = np.array([[0, 1, 3, 2], [3, 2, 1, 0]])
+        assert packed_values(arr).tolist() == [30, 228]
+
+    def test_histogram_counts(self):
+        arr = np.array([[0, 1, 2, 3]] * 3 + [[3, 2, 1, 0]] * 2)
+        h = packed_histogram(arr)
+        assert h == {27: 3, 228: 2}
+
+    def test_permutation_histogram_indexing(self):
+        arr = np.array([[0, 1, 2], [2, 1, 0], [2, 1, 0]])
+        h = permutation_histogram(arr)
+        assert h.tolist() == [1, 0, 0, 0, 0, 2]
+
+
+class TestExperiment:
+    def test_small_run_structure(self):
+        res = fig4_experiment(n=4, samples=4096, batch=1000)
+        assert res.counts_by_index.sum() == 4096
+        assert len(res.counts_by_index) == 24
+        assert sum(res.counts_by_packed.values()) == 4096
+        assert res.expected_per_bar == pytest.approx(4096 / 24)
+        assert res.min_bar <= res.expected_per_bar <= res.max_bar
+
+    def test_only_permutation_words_appear(self):
+        """'Of the 256 possible output values, only 24 represent
+        permutations … this bar chart has 24 bars.'"""
+        res = fig4_experiment(n=4, samples=2048)
+        assert len(res.counts_by_packed) <= 24
+        valid = {packed for packed, _, _ in res.bars()}
+        assert set(res.counts_by_packed) <= valid
+
+    def test_bars_sorted_by_packed_value(self):
+        res = fig4_experiment(n=4, samples=1024)
+        packed = [b[0] for b in res.bars()]
+        assert packed == sorted(packed)
+        assert len(packed) == 24
+
+    def test_render_has_24_lines(self):
+        res = fig4_experiment(n=4, samples=1024)
+        assert len(res.render().splitlines()) == 24
+
+    def test_full_scale_uniformity(self):
+        """The headline: at 2¹⁸+ samples every bar is within a few % of
+        samples/24 and the distribution passes a 0.1 % chi-square test."""
+        res = fig4_experiment(n=4, samples=1 << 18)
+        spread = (res.max_bar - res.min_bar) / res.expected_per_bar
+        assert spread < 0.15
+        assert res.p_value > 1e-3
+        assert res.tv_distance < 0.02
+
+    def test_custom_circuit(self):
+        circ = KnuthShuffleCircuit(3, m=16)
+        res = fig4_experiment(n=3, samples=600, circuit=circ)
+        assert len(res.counts_by_index) == 6

@@ -1,0 +1,70 @@
+"""Uniformity statistics tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.uniformity import (
+    chi_square_uniform,
+    empirical_entropy_bits,
+    total_variation_from_uniform,
+    uniformity_report,
+)
+from repro.core.knuth import KnuthShuffleCircuit
+
+
+class TestChiSquare:
+    def test_perfectly_uniform_has_p_one(self):
+        stat, p = chi_square_uniform(np.full(24, 1000))
+        assert stat == 0.0 and p == pytest.approx(1.0)
+
+    def test_skewed_detected(self):
+        counts = np.full(24, 1000)
+        counts[0] = 3000
+        _, p = chi_square_uniform(counts)
+        assert p < 1e-6
+
+    def test_needs_two_cells(self):
+        with pytest.raises(ValueError):
+            chi_square_uniform(np.array([5]))
+
+
+class TestTotalVariation:
+    def test_uniform_is_zero(self):
+        assert total_variation_from_uniform(np.full(10, 7)) == 0.0
+
+    def test_point_mass_close_to_one(self):
+        counts = np.zeros(100)
+        counts[0] = 1000
+        tv = total_variation_from_uniform(counts)
+        assert tv == pytest.approx(0.99)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            total_variation_from_uniform(np.zeros(4))
+
+
+class TestEntropy:
+    def test_uniform_is_log_k(self):
+        assert empirical_entropy_bits(np.full(16, 5)) == pytest.approx(4.0)
+
+    def test_point_mass_zero(self):
+        counts = np.zeros(8)
+        counts[3] = 42
+        assert empirical_entropy_bits(counts) == 0.0
+
+
+class TestReport:
+    def test_ideal_sampler_looks_uniform(self):
+        perms = KnuthShuffleCircuit(4).sample_ideal(30000, np.random.default_rng(1))
+        rep = uniformity_report(perms)
+        assert rep.n == 4 and rep.samples == 30000
+        assert rep.looks_uniform
+        assert rep.entropy_bits == pytest.approx(rep.max_entropy_bits, abs=0.01)
+        assert rep.tv_distance < 0.05
+
+    def test_constant_sampler_flagged(self):
+        perms = np.tile(np.arange(4), (5000, 1))
+        rep = uniformity_report(perms)
+        assert not rep.looks_uniform
+        assert rep.entropy_bits == 0.0
+        assert rep.counts.sum() == 5000

@@ -1,0 +1,163 @@
+"""ROBDD package and variable-ordering search tests."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.bdd import (
+    BDD,
+    achilles_heel,
+    bdd_size_under_order,
+    best_variable_order,
+    permute_truth_table,
+    truth_table_from_function,
+)
+
+
+class TestTruthTables:
+    def test_tabulation(self):
+        tt = truth_table_from_function(lambda b: b[0] & b[1], 2)
+        assert tt == 0b1000  # only assignment 11 (index 3)
+
+    def test_permute_identity(self):
+        tt = 0b10110010
+        assert permute_truth_table(tt, 3, (0, 1, 2)) == tt
+
+    def test_permute_swap_semantics(self):
+        # f = x0 (bit i of index = variable i): assignments 1, 3 -> 0b1010
+        tt = 0b1010
+        # relabel: new var 0 = old var 1 → g = x1
+        g = permute_truth_table(tt, 2, (1, 0))
+        assert g == 0b1100
+
+    @given(st.integers(0, 255), st.permutations([0, 1, 2]))
+    def test_permute_roundtrip_via_inverse(self, tt, order):
+        inv = [0] * 3
+        for i, v in enumerate(order):
+            inv[v] = i
+        once = permute_truth_table(tt, 3, order)
+        assert permute_truth_table(once, 3, inv) == tt
+
+    def test_permute_invalid_order(self):
+        with pytest.raises(ValueError):
+            permute_truth_table(0, 2, (0, 0))
+
+
+class TestBDDCore:
+    def test_terminals(self):
+        mgr = BDD(2)
+        assert mgr.from_truth_table(0) == BDD.FALSE
+        assert mgr.from_truth_table(0b1111) == BDD.TRUE
+
+    def test_reduction_no_redundant_test(self):
+        mgr = BDD(1)
+        assert mgr.node(0, 5, 5) == 5
+
+    def test_hash_consing(self):
+        mgr = BDD(2)
+        a = mgr.node(1, BDD.FALSE, BDD.TRUE)
+        b = mgr.node(1, BDD.FALSE, BDD.TRUE)
+        assert a == b
+
+    def test_variable_function(self):
+        mgr = BDD(3)
+        x1 = mgr.variable(1)
+        assert mgr.evaluate(x1, (0, 1, 0)) == 1
+        assert mgr.evaluate(x1, (1, 0, 1)) == 0
+
+    def test_variable_range(self):
+        with pytest.raises(ValueError):
+            BDD(2).variable(2)
+
+    @given(st.integers(0, 2**16 - 1))
+    def test_from_truth_table_evaluates_correctly(self, tt):
+        n = 4
+        mgr = BDD(n)
+        root = mgr.from_truth_table(tt)
+        for a in range(1 << n):
+            bits = tuple((a >> i) & 1 for i in range(n))
+            assert mgr.evaluate(root, bits) == ((tt >> a) & 1)
+
+    def test_oversized_table_rejected(self):
+        with pytest.raises(ValueError):
+            BDD(2).from_truth_table(1 << 16)
+
+    def test_size_counts_reachable_nodes(self):
+        mgr = BDD(2)
+        # XOR needs 3 nodes: x0 node + two x1 nodes
+        root = mgr.from_truth_table(0b0110)
+        assert mgr.size(root) == 3
+
+    def test_size_of_terminal_zero(self):
+        mgr = BDD(2)
+        assert mgr.size(BDD.TRUE) == 0
+
+
+class TestApply:
+    @given(st.integers(0, 255), st.integers(0, 255))
+    def test_apply_matches_truth_tables(self, ta, tb):
+        n = 3
+        mgr = BDD(n)
+        u = mgr.from_truth_table(ta)
+        v = mgr.from_truth_table(tb)
+        for op, fn in [("and", lambda a, b: a & b), ("or", lambda a, b: a | b), ("xor", lambda a, b: a ^ b)]:
+            w = mgr.apply(op, u, v)
+            want = mgr.from_truth_table(fn(ta, tb) & 0xFF)
+            assert w == want  # canonical: same manager → same node id
+
+    def test_unknown_op(self):
+        mgr = BDD(1)
+        with pytest.raises(ValueError):
+            mgr.apply("nand", BDD.TRUE, BDD.TRUE)
+
+    @given(st.integers(0, 255))
+    def test_negate_is_involution(self, tt):
+        mgr = BDD(3)
+        u = mgr.from_truth_table(tt)
+        assert mgr.negate(mgr.negate(u)) == u
+
+    @given(st.integers(0, 255))
+    def test_negate_matches_complement(self, tt):
+        mgr = BDD(3)
+        assert mgr.negate(mgr.from_truth_table(tt)) == mgr.from_truth_table(~tt & 0xFF)
+
+
+class TestOrderSearch:
+    def test_achilles_heel_order_gap(self):
+        """The paper's §I example: polynomial vs exponential node count."""
+        tt, n = achilles_heel(3)
+        paired = bdd_size_under_order(tt, n, list(range(n)))
+        split = bdd_size_under_order(tt, n, [0, 2, 4, 1, 3, 5])
+        assert split > paired
+        assert paired == 2 * 3  # 2 nodes per product term
+
+    def test_achilles_gap_grows_exponentially(self):
+        sizes = []
+        for k in (2, 3, 4):
+            tt, n = achilles_heel(k)
+            split = list(range(0, n, 2)) + list(range(1, n, 2))
+            sizes.append(bdd_size_under_order(tt, n, split))
+        # worst-order size grows like 2^k, paired order like 2k
+        assert sizes[1] / sizes[0] > 1.5 and sizes[2] / sizes[1] > 1.5
+
+    def test_best_order_search(self):
+        tt, n = achilles_heel(2)
+        best, best_size, worst, worst_size = best_variable_order(tt, n)
+        assert best_size <= worst_size
+        assert best_size == 4  # 2 nodes per term, 2 terms
+        # the paired order achieves the optimum
+        assert bdd_size_under_order(tt, n, best) == best_size
+
+    def test_search_exhausts_all_orders(self):
+        """The search must consider all n! orders — its result equals a
+        brute force over itertools.permutations."""
+        tt = 0b0110_1001_1100_0011  # some 4-var function
+        best, best_size, _, worst_size = best_variable_order(tt, 4)
+        brute = [bdd_size_under_order(tt, 4, o) for o in itertools.permutations(range(4))]
+        assert best_size == min(brute)
+        assert worst_size == max(brute)
+
+    def test_achilles_invalid_k(self):
+        with pytest.raises(ValueError):
+            achilles_heel(0)

@@ -1,0 +1,137 @@
+"""Permutation-based compression tests (refs. [1], [2], [13])."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.apps.compression import (
+    PermutationCodec,
+    best_channel_order,
+    compress_reordered,
+    delta_varint_size_bits,
+    run_length_code_size_bits,
+    runs_of,
+)
+
+
+class TestCodec:
+    def test_paper_word_width_example(self):
+        """n = 9: naive word is 36 bits (the paper's own figure); the
+        succinct rank needs only ceil(log2 9!) = 19."""
+        codec = PermutationCodec(9)
+        assert codec.naive_bits_per_permutation == 36
+        assert codec.bits_per_permutation == 19
+        assert codec.savings_ratio == pytest.approx(36 / 19)
+
+    @given(st.lists(st.permutations(list(range(6))), min_size=1, max_size=10))
+    def test_roundtrip(self, perms):
+        codec = PermutationCodec(6)
+        perms = [tuple(p) for p in perms]
+        stream, count = codec.encode(perms)
+        assert codec.decode(stream, count) == perms
+
+    def test_stream_density(self):
+        codec = PermutationCodec(8)
+        perms = [tuple(np.random.default_rng(i).permutation(8)) for i in range(100)]
+        stream, count = codec.encode(perms)
+        assert stream.bit_length() <= 100 * codec.bits_per_permutation
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            PermutationCodec(0)
+
+
+class TestRuns:
+    def test_identity_is_one_run(self):
+        assert runs_of(range(8)) == [tuple(range(8))]
+
+    def test_reversal_is_n_runs(self):
+        assert len(runs_of([3, 2, 1, 0])) == 4
+
+    def test_runs_partition(self):
+        p = [2, 5, 7, 1, 3, 0, 4, 6]
+        runs = runs_of(p)
+        assert [x for r in runs for x in r] == p
+
+    def test_empty(self):
+        assert runs_of([]) == []
+
+    def test_sorted_input_codes_small(self):
+        """One run codes far below the Lehmer bound for large n."""
+        from repro.core.factorial import index_width
+
+        n = 64
+        assert run_length_code_size_bits(range(n)) < index_width(n)
+
+    def test_random_input_codes_larger_than_sorted(self, rng):
+        n = 64
+        random_bits = run_length_code_size_bits(rng.permutation(n))
+        sorted_bits = run_length_code_size_bits(range(n))
+        assert random_bits > sorted_bits
+
+
+class TestDeltaCoder:
+    def test_constant_series_is_cheap(self):
+        flat = delta_varint_size_bits(np.full(100, 42))
+        noisy = delta_varint_size_bits(np.random.default_rng(0).integers(0, 1000, 100))
+        assert flat < noisy
+
+    def test_empty(self):
+        assert delta_varint_size_bits(np.array([])) == 0
+
+    def test_monotone_in_magnitude(self):
+        small = delta_varint_size_bits(np.arange(0, 100, 1))
+        large = delta_varint_size_bits(np.arange(0, 10000, 100))
+        assert small < large
+
+
+def _grouped_channels(rng, channels=8, samples=300):
+    """Two independent signal groups: ordering that clusters a group
+    makes cross-channel residuals small."""
+    a = np.cumsum(rng.integers(-5, 6, samples))
+    b = np.cumsum(rng.integers(-5, 6, samples)) + 500
+    chans = []
+    for i in range(channels):
+        base = a if i < channels // 2 else b
+        chans.append(base + rng.integers(-2, 3, samples))
+    return np.array(chans)
+
+
+class TestReorder:
+    def test_greedy_order_groups_similar_channels(self, rng):
+        block = _grouped_channels(rng)
+        interleave = [0, 4, 1, 5, 2, 6, 3, 7]
+        order = best_channel_order(block[interleave])
+        # group membership after un-interleaving: first 4 original = group A
+        groups = [0 if interleave[j] < 4 else 1 for j in order]
+        # the chain should switch groups exactly once
+        switches = sum(1 for x, y in zip(groups, groups[1:]) if x != y)
+        assert switches == 1
+
+    def test_reordering_improves_interleaved_block(self, rng):
+        block = _grouped_channels(rng)
+        interleaved = block[[0, 4, 1, 5, 2, 6, 3, 7]]
+        report = compress_reordered(interleaved)
+        assert report.improvement > 1.1
+
+    def test_explicit_order_respected(self, rng):
+        block = _grouped_channels(rng, channels=4)
+        report = compress_reordered(block, order=(3, 2, 1, 0))
+        assert report.order == (3, 2, 1, 0)
+
+    def test_invalid_order_rejected(self, rng):
+        block = _grouped_channels(rng, channels=4)
+        with pytest.raises(ValueError):
+            compress_reordered(block, order=(0, 0, 1, 2))
+
+    def test_shape_validated(self):
+        with pytest.raises(ValueError):
+            compress_reordered(np.zeros(5))
+
+    def test_report_accounts_for_permutation_index(self, rng):
+        """The decoder needs the order: its index cost is included."""
+        block = _grouped_channels(rng, channels=4)
+        identity = compress_reordered(block, order=(0, 1, 2, 3))
+        from repro.core.factorial import index_width
+
+        assert identity.reordered_bits == identity.original_bits + index_width(4)

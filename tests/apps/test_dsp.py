@@ -1,0 +1,100 @@
+"""Stream-reorder engine and FFT permutation tests."""
+
+import numpy as np
+import pytest
+
+from repro.apps.dsp import (
+    StreamReorderEngine,
+    bit_reversal_permutation,
+    fft_with_explicit_reorder,
+    permutation_index,
+    stride_permutation,
+)
+from repro.core.lehmer import unrank
+
+
+class TestBitReversal:
+    def test_small_values(self):
+        assert list(bit_reversal_permutation(8)) == [0, 4, 2, 6, 1, 5, 3, 7]
+
+    def test_involution(self):
+        p = bit_reversal_permutation(16)
+        assert p * p == type(p).identity(16)
+
+    def test_power_of_two_required(self):
+        with pytest.raises(ValueError):
+            bit_reversal_permutation(6)
+
+    def test_trivial_size(self):
+        assert list(bit_reversal_permutation(1)) == [0]
+
+
+class TestStride:
+    def test_corner_turn_8_2(self):
+        assert list(stride_permutation(8, 2)) == [0, 4, 1, 5, 2, 6, 3, 7]
+
+    def test_inverse_is_conjugate_stride(self):
+        n, s = 12, 3
+        p = stride_permutation(n, s)
+        q = stride_permutation(n, n // s)
+        assert p * q == type(p).identity(n)
+
+    def test_stride_must_divide(self):
+        with pytest.raises(ValueError):
+            stride_permutation(8, 3)
+
+
+class TestPermutationIndex:
+    def test_index_reproduces_permutation(self):
+        """Any reorder pattern is just an address into the converter."""
+        p = bit_reversal_permutation(8)
+        idx = permutation_index(p)
+        assert unrank(idx, 8) == tuple(p)
+
+    def test_identity_is_index_zero(self):
+        assert permutation_index(stride_permutation(6, 1)) == 0
+
+
+class TestEngine:
+    def test_process_single_block(self):
+        engine = StreamReorderEngine(bit_reversal_permutation(4))
+        out = engine.process(np.array([10, 11, 12, 13]))
+        assert out.tolist() == [10, 12, 11, 13]
+
+    def test_process_multi_block(self):
+        engine = StreamReorderEngine(stride_permutation(4, 2))
+        out = engine.process(np.arange(8))
+        assert out.tolist() == [0, 2, 1, 3, 4, 6, 5, 7]
+
+    def test_length_must_be_multiple(self):
+        with pytest.raises(ValueError):
+            StreamReorderEngine(bit_reversal_permutation(4)).process(np.arange(6))
+
+    def test_cycle_simulation_matches_process(self):
+        engine = StreamReorderEngine(bit_reversal_permutation(4))
+        data = list(range(100, 108))
+        log = engine.simulate_cycles(data)
+        emitted = [v for _, v in log if v is not None]
+        assert emitted == engine.process(np.array(data)).tolist()
+
+    def test_latency_is_one_block(self):
+        engine = StreamReorderEngine(bit_reversal_permutation(8))
+        assert engine.latency == 8
+        log = engine.simulate_cycles(list(range(16)))
+        assert all(v is None for _, v in log[:8])
+        assert log[8][1] is not None
+
+
+class TestFFT:
+    @pytest.mark.parametrize("n", [1, 2, 4, 8, 64, 256])
+    def test_matches_numpy(self, n, rng):
+        x = rng.normal(size=n) + 1j * rng.normal(size=n)
+        assert np.allclose(fft_with_explicit_reorder(x), np.fft.fft(x))
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError):
+            fft_with_explicit_reorder(np.arange(6))
+
+    def test_impulse(self):
+        out = fft_with_explicit_reorder([1, 0, 0, 0])
+        assert np.allclose(out, np.ones(4))

@@ -1,0 +1,82 @@
+"""P-equivalence classification tests (ref. [5] workload)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.apps.bdd import permute_truth_table
+from repro.apps.pclass import (
+    are_p_equivalent,
+    classify_all,
+    count_p_classes_burnside,
+    p_class,
+    p_representative,
+)
+
+
+class TestRepresentative:
+    @given(st.integers(0, 255))
+    def test_idempotent(self, tt):
+        rep = p_representative(tt, 3)
+        assert p_representative(rep, 3) == rep
+
+    @given(st.integers(0, 255), st.permutations([0, 1, 2]))
+    def test_invariant_under_permutation(self, tt, order):
+        permuted = permute_truth_table(tt, 3, order)
+        assert p_representative(tt, 3) == p_representative(permuted, 3)
+
+    @given(st.integers(0, 255))
+    def test_representative_is_in_class(self, tt):
+        assert p_representative(tt, 3) in p_class(tt, 3)
+
+    def test_representative_is_minimum_of_class(self):
+        tt = 0b10110100
+        assert p_representative(tt, 3) == min(p_class(tt, 3))
+
+    def test_known_equivalences(self):
+        # x0 and x1 are P-equivalent; x0 and x0&x1 are not
+        x0, x1, conj = 0b1010, 0b1100, 0b1000
+        assert are_p_equivalent(x0, x1, 2)
+        assert not are_p_equivalent(x0, conj, 2)
+
+    def test_constants_are_singletons(self):
+        assert p_class(0, 3) == frozenset({0})
+        assert p_class(255, 3) == frozenset({255})
+
+
+class TestClassification:
+    def test_two_variable_class_count(self):
+        """Known: 12 P-classes of 2-variable Boolean functions."""
+        classes = classify_all(2)
+        assert len(classes) == 12
+        assert sum(len(m) for m in classes.values()) == 16
+
+    def test_three_variable_class_count(self):
+        """Known: 80 P-classes of 3-variable Boolean functions."""
+        classes = classify_all(3)
+        assert len(classes) == 80
+        assert sum(len(m) for m in classes.values()) == 256
+
+    def test_classes_are_disjoint(self):
+        classes = classify_all(2)
+        members = [tt for ms in classes.values() for tt in ms]
+        assert len(members) == len(set(members))
+
+    def test_class_sizes_divide_group_order(self):
+        """Orbit-stabiliser: every class size divides n!."""
+        for ms in classify_all(3).values():
+            assert 6 % len(ms) == 0
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            classify_all(0)
+
+
+class TestBurnside:
+    @pytest.mark.parametrize("n", [1, 2, 3])
+    def test_matches_explicit_classification(self, n):
+        assert count_p_classes_burnside(n) == len(classify_all(n))
+
+    def test_four_variables_closed_form(self):
+        """n = 4 is infeasible to classify explicitly here but Burnside
+        gives the count directly: 3984 P-classes (known value)."""
+        assert count_p_classes_burnside(4) == 3984

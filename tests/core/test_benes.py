@@ -1,0 +1,126 @@
+"""Beneš network tests: routing correctness, minimality, gate level."""
+
+import itertools
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.benes import BenesNetwork, BenesSettings, route
+
+
+class TestRoute:
+    def test_identity_needs_no_crossing_at_base(self):
+        s = route((0, 1))
+        assert s.inputs == (False,)
+
+    def test_swap_crosses(self):
+        s = route((1, 0))
+        assert s.inputs == (True,)
+
+    @pytest.mark.parametrize("n", [2, 4, 8])
+    def test_settings_shape(self, n):
+        s = route(tuple(range(n)))
+        assert s.n == n
+        assert s.switch_count == BenesNetwork(n).switch_count
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError):
+            route((0, 1, 2))
+
+    def test_invalid_permutation_rejected(self):
+        with pytest.raises(ValueError):
+            route((0, 0, 1, 1))
+
+    def test_flatten_length(self):
+        s = route(tuple(range(8)))
+        assert len(s.flatten()) == BenesNetwork(8).switch_count
+
+
+class TestFunctionalRouting:
+    def test_every_4_permutation_routes(self):
+        net = BenesNetwork(4, width=4)
+        data = ["a", "b", "c", "d"]
+        for p in itertools.permutations(range(4)):
+            assert net.permute(p, data) == [data[p[j]] for j in range(4)]
+
+    @given(st.permutations(list(range(8))))
+    def test_random_8_permutations_route(self, p):
+        net = BenesNetwork(8)
+        data = list(range(100, 108))
+        assert net.permute(p, data) == [data[p[j]] for j in range(8)]
+
+    @given(st.permutations(list(range(16))))
+    @settings(max_examples=25)
+    def test_random_16_permutations_route(self, p):
+        net = BenesNetwork(16)
+        data = list(range(16))
+        assert net.permute(p, data) == [data[p[j]] for j in range(16)]
+
+    def test_size_mismatch_rejected(self):
+        net = BenesNetwork(4)
+        with pytest.raises(ValueError):
+            net.apply(route((0, 1)), [1, 2, 3, 4])
+
+
+class TestMinimality:
+    @pytest.mark.parametrize("n", [2, 4, 8, 16, 32])
+    def test_switch_count_formula(self, n):
+        net = BenesNetwork(n)
+        k = int(math.log2(n))
+        assert net.switch_count == n * k - n // 2
+        assert net.stage_count == 2 * k - 1
+
+    def test_rearrangeability_information_bound(self):
+        """The switch count must at least encode n! configurations."""
+        for n in (4, 8, 16):
+            assert BenesNetwork(n).switch_count >= math.log2(math.factorial(n))
+
+
+class TestGateLevel:
+    def test_exhaustive_n4(self):
+        net = BenesNetwork(4, width=3)
+        data = [5, 1, 7, 2]
+        for p in itertools.permutations(range(4)):
+            assert net.simulate_netlist(p, data) == [data[p[j]] for j in range(4)]
+
+    def test_random_n8(self, rng):
+        net = BenesNetwork(8, width=4)
+        data = [int(x) for x in rng.integers(0, 16, size=8)]
+        for _ in range(10):
+            p = tuple(int(x) for x in rng.permutation(8))
+            assert net.simulate_netlist(p, data) == [data[p[j]] for j in range(8)]
+
+    def test_netlist_structure(self):
+        net = BenesNetwork(8, width=4)
+        nl = net.build_netlist()
+        assert nl.inputs["ctrl"].width == net.switch_count
+        assert len([k for k in nl.outputs]) == 8
+        nl.check()
+
+    def test_control_word_all_zero_is_identity(self):
+        """Straight-through switches pass data unchanged."""
+        net = BenesNetwork(4, width=3)
+        nl = net.build_netlist()
+        from repro.hdl.simulator import CombinationalSimulator
+
+        sim = CombinationalSimulator(nl)
+        inputs = {"ctrl": 0, "in0": 4, "in1": 5, "in2": 6, "in3": 7}
+        outs = sim.run(inputs)
+        assert [int(outs[f"out{i}"][0]) for i in range(4)] == [4, 5, 6, 7]
+
+
+class TestConverterIntegration:
+    def test_index_to_wired_reorder(self):
+        """The full §I pipeline: index → permutation → switch settings →
+        reordered data, entirely through this library."""
+        from repro.core.converter import IndexToPermutationConverter
+
+        conv = IndexToPermutationConverter(8)
+        net = BenesNetwork(8)
+        data = list(range(50, 58))
+        for index in (0, 1, 5000, 40319):
+            perm = conv.convert(index)
+            out = net.permute(perm, data)
+            assert out == [data[perm[j]] for j in range(8)]

@@ -1,0 +1,122 @@
+"""Index ⇄ combination conversion (the companion-paper module)."""
+
+import itertools
+from math import comb
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.combinations import (
+    IndexToCombinationConverter,
+    RandomCombinationGenerator,
+    codeword_to_combination,
+    combination_rank,
+    combination_to_codeword,
+    combination_unrank,
+)
+
+nr_cases = st.integers(0, 10).flatmap(
+    lambda n: st.integers(0, n).map(lambda r: (n, r))
+)
+
+
+class TestUnrank:
+    @pytest.mark.parametrize("n,r", [(5, 2), (6, 3), (7, 0), (7, 7), (8, 4)])
+    def test_lexicographic_order(self, n, r):
+        expected = list(itertools.combinations(range(n), r))
+        got = [combination_unrank(i, n, r) for i in range(comb(n, r))]
+        assert got == expected
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            combination_unrank(comb(5, 2), 5, 2)
+        with pytest.raises(ValueError):
+            combination_unrank(-1, 5, 2)
+
+    def test_invalid_r(self):
+        with pytest.raises(ValueError):
+            combination_unrank(0, 4, 5)
+
+
+class TestRank:
+    @given(nr_cases)
+    def test_roundtrip(self, case):
+        n, r = case
+        for i in range(comb(n, r)):
+            assert combination_rank(combination_unrank(i, n, r), n) == i
+
+    def test_accepts_unsorted_input(self):
+        assert combination_rank((4, 1, 2), 6) == combination_rank((1, 2, 4), 6)
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValueError):
+            combination_rank((1, 1), 4)
+
+    def test_range_checked(self):
+        with pytest.raises(ValueError):
+            combination_rank((5,), 5)
+
+
+class TestCodewords:
+    def test_weight_preserved(self):
+        word = combination_to_codeword((0, 2, 5), 8)
+        assert bin(word).count("1") == 3
+        assert word == 0b100101
+
+    @given(nr_cases)
+    def test_roundtrip(self, case):
+        n, r = case
+        for i in range(min(comb(n, r), 20)):
+            c = combination_unrank(i, n, r)
+            assert codeword_to_combination(combination_to_codeword(c, n), n) == c
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(ValueError):
+            combination_to_codeword((1, 1), 4)
+
+    def test_oversized_word_rejected(self):
+        with pytest.raises(ValueError):
+            codeword_to_combination(16, 4)
+
+
+class TestConverter:
+    def test_enumeration(self):
+        conv = IndexToCombinationConverter(6, 2)
+        assert list(conv) == list(itertools.combinations(range(6), 2))
+
+    def test_batch_shape(self):
+        conv = IndexToCombinationConverter(7, 3)
+        out = conv.convert_batch([0, 1, 2])
+        assert out.shape == (3, 3)
+
+    def test_codeword_method(self):
+        conv = IndexToCombinationConverter(4, 2)
+        assert conv.codeword(0) == 0b0011
+
+    def test_comparator_count_linear(self):
+        assert IndexToCombinationConverter(12, 5).comparator_count() == 12
+
+    def test_index_width(self):
+        conv = IndexToCombinationConverter(10, 5)  # C(10,5)=252
+        assert conv.index_width == 8
+
+
+class TestRandomGenerator:
+    def test_samples_valid(self):
+        gen = RandomCombinationGenerator(8, 3, m=16)
+        out = gen.sample(200)
+        assert out.shape == (200, 3)
+        for row in out:
+            assert len(set(row.tolist())) == 3
+            assert list(row) == sorted(row)
+            assert row.max() < 8
+
+    def test_narrow_lfsr_rejected(self):
+        with pytest.raises(ValueError):
+            RandomCombinationGenerator(30, 15, m=8)
+
+    def test_next_matches_sample(self):
+        a = RandomCombinationGenerator(6, 2, m=12)
+        b = RandomCombinationGenerator(6, 2, m=12)
+        assert [tuple(r) for r in a.sample(20)] == [b.next_combination() for _ in range(20)]

@@ -1,0 +1,142 @@
+"""Factorial number system tests, including the paper's Table I."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.factorial import (
+    FactorialDigits,
+    digits_from_index,
+    digits_from_index_greedy,
+    element_width,
+    factorial,
+    index_from_digits,
+    index_width,
+    iter_digit_vectors,
+    max_index,
+    word_width,
+)
+
+
+class TestFactorial:
+    @pytest.mark.parametrize("n", range(0, 15))
+    def test_matches_math(self, n):
+        assert factorial(n) == math.factorial(n)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            factorial(-1)
+
+    def test_exact_for_large_n(self):
+        assert factorial(25) == math.factorial(25)  # beyond float precision
+
+
+class TestWidths:
+    def test_max_index(self):
+        assert max_index(4) == 23
+        # Observation 1: n! − 1 = Σ i·i!
+        for n in range(1, 8):
+            assert max_index(n) == sum(i * factorial(i) for i in range(n))
+
+    @pytest.mark.parametrize("n,w", [(1, 1), (2, 1), (4, 5), (9, 19), (10, 22)])
+    def test_index_width(self, n, w):
+        assert index_width(n) == w
+
+    @pytest.mark.parametrize("n,w", [(2, 1), (4, 2), (8, 3), (9, 4), (16, 4), (17, 5)])
+    def test_element_width(self, n, w):
+        assert element_width(n) == w
+
+    def test_word_width_paper_example(self):
+        """§II-C: 'each word has n·log2(n) bits, which is 36 for n = 9'."""
+        assert word_width(9) == 36
+
+
+# Table I of the paper, n = 4: (N, digit vector MSB-first).
+TABLE_I = {
+    0: (0, 0, 0, 0),
+    1: (0, 0, 1, 0),
+    2: (0, 1, 0, 0),
+    3: (0, 1, 1, 0),
+    4: (0, 2, 0, 0),
+    5: (0, 2, 1, 0),
+    6: (1, 0, 0, 0),
+    7: (1, 0, 1, 0),
+    11: (1, 2, 1, 0),
+    12: (2, 0, 0, 0),
+    17: (2, 2, 1, 0),
+    18: (3, 0, 0, 0),
+    23: (3, 2, 1, 0),
+}
+
+
+class TestDigits:
+    @pytest.mark.parametrize("N,msb_digits", sorted(TABLE_I.items()))
+    def test_table_one_rows(self, N, msb_digits):
+        got = digits_from_index(N, 4)
+        assert tuple(reversed(got)) == msb_digits
+
+    @pytest.mark.parametrize("n", range(1, 8))
+    def test_greedy_equals_divmod(self, n):
+        for N in range(factorial(n)):
+            assert digits_from_index(N, n) == digits_from_index_greedy(N, n)
+
+    @given(st.integers(1, 10).flatmap(lambda n: st.tuples(st.just(n), st.integers(0, math.factorial(n) - 1))))
+    def test_roundtrip(self, n_and_index):
+        n, N = n_and_index
+        assert index_from_digits(digits_from_index(N, n)) == N
+
+    def test_digit_bounds_enforced_on_eval(self):
+        with pytest.raises(ValueError):
+            index_from_digits((0, 2))  # s_1 = 2 > 1
+
+    def test_placeholder_digit_zero(self):
+        """s_0 is always 0 (the paper retains it as a placeholder)."""
+        for n in range(1, 7):
+            for N in range(factorial(n)):
+                assert digits_from_index(N, n)[0] == 0
+
+    @pytest.mark.parametrize("bad", [-1, 24])
+    def test_out_of_range_index_rejected(self, bad):
+        with pytest.raises(ValueError):
+            digits_from_index(bad, 4)
+        with pytest.raises(ValueError):
+            digits_from_index_greedy(bad, 4)
+
+    def test_n_zero_rejected(self):
+        with pytest.raises(ValueError):
+            digits_from_index(0, 0)
+
+
+class TestIteration:
+    @pytest.mark.parametrize("n", range(1, 7))
+    def test_odometer_order_matches_index(self, n):
+        for N, digits in enumerate(iter_digit_vectors(n)):
+            assert digits == digits_from_index(N, n)
+        assert N == max_index(n)
+
+    def test_count(self):
+        assert sum(1 for _ in iter_digit_vectors(5)) == 120
+
+
+class TestFactorialDigits:
+    def test_str_is_msb_first(self):
+        fd = FactorialDigits.from_index(23, 4)
+        assert str(fd) == "3 2 1 0"
+
+    def test_int_roundtrip(self):
+        fd = FactorialDigits.from_index(17, 4)
+        assert int(fd) == 17
+
+    def test_expansion_format(self):
+        fd = FactorialDigits.from_index(5, 3)
+        assert fd.expansion() == "2·2! + 1·1! + 0·0!"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FactorialDigits((1, 0))  # s_0 must be 0
+
+    def test_n_property_and_iter(self):
+        fd = FactorialDigits((0, 1, 2))
+        assert fd.n == 3
+        assert list(fd) == [0, 1, 2]

@@ -1,0 +1,98 @@
+"""Permutation → index (ranking) circuit tests."""
+
+import itertools
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.converter import IndexToPermutationConverter
+from repro.core.inverse_converter import PermutationToIndexConverter
+from repro.core.lehmer import unrank_naive
+
+
+class TestFunctional:
+    @pytest.mark.parametrize("n", range(1, 7))
+    def test_ranks_lexicographically(self, n):
+        inv = PermutationToIndexConverter(n)
+        for i, p in enumerate(itertools.permutations(range(n))):
+            assert inv.convert(p) == i
+
+    def test_batch_matches_scalar(self, rng):
+        inv = PermutationToIndexConverter(6)
+        perms = np.array([np.random.default_rng(i).permutation(6) for i in range(50)])
+        batch = inv.convert_batch(perms)
+        assert [int(v) for v in batch] == [inv.convert(p) for p in perms]
+
+    def test_custom_pool(self):
+        pool = (3, 1, 0, 2)
+        inv = PermutationToIndexConverter(4, pool=pool)
+        for i in range(24):
+            assert inv.convert(unrank_naive(i, 4, pool)) == i
+
+    def test_foreign_elements_rejected(self):
+        inv = PermutationToIndexConverter(3)
+        with pytest.raises(ValueError):
+            inv.convert((0, 1, 5))
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ValueError):
+            PermutationToIndexConverter(3).convert((0, 1))
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            PermutationToIndexConverter(0)
+        with pytest.raises(ValueError):
+            PermutationToIndexConverter(3, pool=(0, 0, 1))
+
+    def test_structure_counts(self):
+        inv = PermutationToIndexConverter(6)
+        assert inv.comparator_count == 21  # n(n+1)/2
+        assert inv.latency == 6
+
+
+class TestNetlist:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 5])
+    def test_combinational_exhaustive(self, n):
+        inv = PermutationToIndexConverter(n)
+        perms = np.array(list(itertools.permutations(range(n))))
+        got = inv.simulate_netlist(perms)
+        assert got.tolist() == list(range(math.factorial(n)))
+
+    @pytest.mark.parametrize("n", [3, 4])
+    def test_pipelined_matches(self, n):
+        inv = PermutationToIndexConverter(n)
+        perms = np.array(list(itertools.permutations(range(n))))
+        got = inv.simulate_netlist(perms, pipelined=True)
+        assert got.tolist() == list(range(math.factorial(n)))
+
+    def test_custom_pool_netlist(self):
+        pool = (2, 0, 3, 1)
+        inv = PermutationToIndexConverter(4, pool=pool)
+        perms = np.array([unrank_naive(i, 4, pool) for i in range(24)])
+        assert inv.simulate_netlist(perms).tolist() == list(range(24))
+
+    def test_pipelined_has_registers(self):
+        inv = PermutationToIndexConverter(5)
+        assert inv.build_netlist(pipelined=True).num_registers > 0
+        assert inv.build_netlist(pipelined=False).num_registers == 0
+
+
+class TestRoundTrip:
+    """Forward ∘ inverse = identity — functionally and at gate level."""
+
+    @pytest.mark.parametrize("n", [2, 3, 4, 5])
+    def test_gate_level_composition(self, n):
+        fwd = IndexToPermutationConverter(n)
+        inv = PermutationToIndexConverter(n)
+        idx = np.arange(math.factorial(n))
+        perms = fwd.simulate_netlist(idx)
+        back = inv.simulate_netlist(perms)
+        assert np.array_equal(back, idx)
+
+    def test_composition_with_shared_pool(self):
+        pool = (1, 3, 0, 2)
+        fwd = IndexToPermutationConverter(4, input_permutation=pool)
+        inv = PermutationToIndexConverter(4, pool=pool)
+        for i in range(24):
+            assert inv.convert(fwd.convert(i)) == i

@@ -1,0 +1,161 @@
+"""Ranking/unranking: all four implementations must agree everywhere."""
+
+import itertools
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.factorial import factorial
+from repro.core.lehmer import (
+    lehmer_digits,
+    permutation_from_lehmer,
+    rank,
+    rank_batch,
+    rank_fenwick,
+    rank_naive,
+    unrank,
+    unrank_batch,
+    unrank_fenwick,
+    unrank_naive,
+)
+
+index_cases = st.integers(1, 8).flatmap(
+    lambda n: st.tuples(st.just(n), st.integers(0, math.factorial(n) - 1))
+)
+
+
+class TestAgreement:
+    @pytest.mark.parametrize("n", range(1, 7))
+    def test_all_unrankers_agree_exhaustively(self, n):
+        for i in range(factorial(n)):
+            naive = unrank_naive(i, n)
+            assert unrank_fenwick(i, n) == naive
+            assert unrank(i, n) == naive
+        batch = unrank_batch(range(factorial(n)), n)
+        assert [tuple(r) for r in batch] == [unrank_naive(i, n) for i in range(factorial(n))]
+
+    @given(index_cases)
+    def test_fenwick_equals_naive(self, case):
+        n, i = case
+        assert unrank_fenwick(i, n) == unrank_naive(i, n)
+
+    @given(index_cases)
+    def test_rank_inverts_unrank(self, case):
+        n, i = case
+        p = unrank_naive(i, n)
+        assert rank_naive(p) == i
+        assert rank_fenwick(p) == i
+        assert rank(p) == i
+
+    def test_large_n_dispatch(self):
+        # n = 40 goes through the Fenwick path
+        p = unrank(factorial(40) - 1, 40)
+        assert p == tuple(range(39, -1, -1))
+        assert rank(p) == factorial(40) - 1
+
+
+class TestLexOrder:
+    @pytest.mark.parametrize("n", range(1, 7))
+    def test_matches_itertools(self, n):
+        expected = list(itertools.permutations(range(n)))
+        got = [unrank_naive(i, n) for i in range(factorial(n))]
+        assert got == expected
+
+    def test_extremes(self):
+        assert unrank_naive(0, 5) == (0, 1, 2, 3, 4)
+        assert unrank_naive(119, 5) == (4, 3, 2, 1, 0)
+
+
+class TestPools:
+    def test_custom_pool_applies_digits(self):
+        pool = (3, 1, 0, 2)
+        assert unrank_naive(0, 4, pool) == pool
+        assert unrank_fenwick(0, 4, pool) == pool
+
+    @pytest.mark.parametrize("n", [3, 4, 5])
+    def test_pool_variants_agree(self, n):
+        pool = tuple(reversed(range(n)))
+        for i in range(factorial(n)):
+            assert unrank_fenwick(i, n, pool) == unrank_naive(i, n, pool)
+        batch = unrank_batch(range(factorial(n)), n, pool)
+        assert [tuple(r) for r in batch] == [unrank_naive(i, n, pool) for i in range(factorial(n))]
+
+    def test_rank_with_pool_roundtrip(self):
+        pool = (2, 0, 3, 1)
+        for i in range(24):
+            p = unrank_naive(i, 4, pool)
+            assert rank_naive(p, pool=pool) == i
+
+    def test_pool_length_mismatch(self):
+        with pytest.raises(ValueError):
+            unrank_naive(0, 3, pool=(0, 1))
+
+    def test_rank_foreign_elements_rejected(self):
+        with pytest.raises(ValueError):
+            rank_naive((9, 8, 7))
+
+
+class TestBatch:
+    def test_shapes_and_dtype(self):
+        out = unrank_batch([0, 5, 23], 4)
+        assert out.shape == (3, 4) and out.dtype == np.int64
+
+    def test_rank_batch_roundtrip(self, rng):
+        idx = rng.integers(0, factorial(9), size=500)
+        perms = unrank_batch(idx, 9)
+        assert np.array_equal(rank_batch(perms), idx)
+
+    def test_rank_batch_rejects_non_permutations(self):
+        with pytest.raises(ValueError):
+            rank_batch(np.array([[0, 0, 1]]))
+
+    def test_rank_batch_rejects_wide_n(self):
+        with pytest.raises(ValueError):
+            rank_batch(np.tile(np.arange(21), (2, 1)))
+
+    def test_rank_batch_needs_2d(self):
+        with pytest.raises(ValueError):
+            rank_batch(np.arange(4))
+
+    def test_unrank_batch_large_n_falls_back(self):
+        out = unrank_batch([0, 1], 22)
+        assert out.shape == (2, 22)
+        assert tuple(out[0]) == tuple(range(22))
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            unrank_batch([24], 4)
+
+
+class TestDigits:
+    @given(index_cases)
+    def test_lehmer_digits_roundtrip(self, case):
+        n, i = case
+        p = unrank_naive(i, n)
+        digits = lehmer_digits(p)
+        assert permutation_from_lehmer(digits) == p
+
+    def test_digit_bounds_validated(self):
+        with pytest.raises(ValueError):
+            permutation_from_lehmer((0, 2))  # s_1 > 1
+
+    def test_identity_has_zero_digits(self):
+        assert lehmer_digits((0, 1, 2, 3)) == (0, 0, 0, 0)
+
+    def test_reversal_has_maximal_digits(self):
+        assert lehmer_digits((3, 2, 1, 0)) == (0, 1, 2, 3)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("fn", [unrank_naive, unrank_fenwick, unrank])
+    def test_index_range_enforced(self, fn):
+        with pytest.raises(ValueError):
+            fn(-1, 4)
+        with pytest.raises(ValueError):
+            fn(24, 4)
+
+    def test_rank_fenwick_rejects_non_permutation(self):
+        with pytest.raises(ValueError):
+            rank_fenwick((0, 0, 1))

@@ -1,0 +1,124 @@
+"""Myrvold–Ruskey and Steinhaus–Johnson–Trotter order tests."""
+
+import itertools
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.orders import (
+    mr_rank,
+    mr_unrank,
+    mr_unrank_batch,
+    sjt_permutations,
+    sjt_transposition_sequence,
+)
+
+
+class TestMyrvoldRuskey:
+    @pytest.mark.parametrize("n", range(1, 8))
+    def test_bijection(self, n):
+        seen = {mr_unrank(i, n) for i in range(math.factorial(n))}
+        assert len(seen) == math.factorial(n)
+
+    @pytest.mark.parametrize("n", range(1, 8))
+    def test_rank_inverts_unrank(self, n):
+        for i in range(math.factorial(n)):
+            assert mr_rank(mr_unrank(i, n)) == i
+
+    @given(st.integers(2, 10).flatmap(
+        lambda n: st.permutations(list(range(n)))))
+    def test_unrank_inverts_rank(self, perm):
+        perm = tuple(perm)
+        assert mr_unrank(mr_rank(perm), len(perm)) == perm
+
+    def test_order_differs_from_lexicographic(self):
+        lex = list(itertools.permutations(range(4)))
+        mr = [mr_unrank(i, 4) for i in range(24)]
+        assert set(mr) == set(lex) and mr != lex
+
+    def test_index_zero_is_left_rotation(self):
+        """MR order's index 0 is NOT the identity: every step swaps slot
+        m-1 with slot 0, composing to a rotation — a defining difference
+        from the lexicographic converter."""
+        assert mr_unrank(0, 6) != tuple(range(6))
+        assert sorted(mr_unrank(0, 6)) == list(range(6))
+
+    def test_range_checked(self):
+        with pytest.raises(ValueError):
+            mr_unrank(24, 4)
+        with pytest.raises(ValueError):
+            mr_unrank(-1, 4)
+
+    def test_rank_validates(self):
+        with pytest.raises(ValueError):
+            mr_rank((0, 0, 1))
+
+    def test_large_n_linear_time_path(self):
+        p = mr_unrank(math.factorial(50) - 1, 50)
+        assert mr_rank(p) == math.factorial(50) - 1
+
+    @pytest.mark.parametrize("n", [3, 5, 7])
+    def test_batch_matches_scalar(self, n):
+        idx = list(range(math.factorial(n)))
+        batch = mr_unrank_batch(idx, n)
+        assert [tuple(r) for r in batch] == [mr_unrank(i, n) for i in idx]
+
+    def test_batch_validation(self):
+        with pytest.raises(ValueError):
+            mr_unrank_batch([24], 4)
+        with pytest.raises(ValueError):
+            mr_unrank_batch(np.zeros((2, 2), dtype=int), 4)
+
+    def test_mr_is_derandomised_fisher_yates(self):
+        """mr_unrank's swap schedule IS the Fig.-3 shuffle datapath with
+        digits in place of random draws — the link between the paper's
+        two circuits.  Feeding the shuffle's swap sequence (right-to-left
+        convention) the same digits reproduces the permutation."""
+        n, index = 5, 77
+        perm = list(range(n))
+        r = index
+        for m in range(n, 0, -1):
+            r, d = divmod(r, m)
+            perm[m - 1], perm[d] = perm[d], perm[m - 1]
+        assert tuple(perm) == mr_unrank(index, n)
+
+
+class TestSJT:
+    @pytest.mark.parametrize("n", range(1, 7))
+    def test_enumerates_all(self, n):
+        perms = list(sjt_permutations(n))
+        assert len(perms) == math.factorial(n)
+        assert len(set(perms)) == math.factorial(n)
+
+    @pytest.mark.parametrize("n", range(2, 7))
+    def test_adjacent_transposition_property(self, n):
+        prev = None
+        for perm in sjt_permutations(n):
+            if prev is not None:
+                diff = [i for i in range(n) if perm[i] != prev[i]]
+                assert len(diff) == 2 and diff[1] == diff[0] + 1
+                assert perm[diff[0]] == prev[diff[1]]
+            prev = perm
+
+    def test_starts_at_identity(self):
+        assert next(iter(sjt_permutations(5))) == (0, 1, 2, 3, 4)
+
+    def test_transposition_sequence_length(self):
+        assert len(sjt_transposition_sequence(4)) == 23
+
+    def test_transposition_sequence_replays(self):
+        """Applying the recorded swaps regenerates the SJT sequence."""
+        n = 5
+        seq = sjt_transposition_sequence(n)
+        perm = list(range(n))
+        regenerated = [tuple(perm)]
+        for pos in seq:
+            perm[pos], perm[pos + 1] = perm[pos + 1], perm[pos]
+            regenerated.append(tuple(perm))
+        assert regenerated == list(sjt_permutations(n))
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            list(sjt_permutations(0))

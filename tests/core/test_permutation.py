@@ -1,0 +1,172 @@
+"""Permutation value-type tests: algebra, structure, encodings."""
+
+import itertools
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.permutation import Permutation
+
+perms = st.integers(1, 8).flatmap(
+    lambda n: st.permutations(list(range(n))).map(Permutation)
+)
+
+
+class TestConstruction:
+    def test_paper_opening_example(self):
+        """'2013 is a permutation where 0 maps to 2, 1 maps to 0, …'"""
+        p = Permutation((2, 0, 1, 3))
+        assert p(0) == 2 and p(1) == 0 and p(2) == 1 and p(3) == 3
+
+    @pytest.mark.parametrize("bad", [(0, 0), (1, 2), (0, 2), (-1, 0)])
+    def test_invalid_rejected(self, bad):
+        with pytest.raises(ValueError):
+            Permutation(bad)
+
+    def test_identity_and_reversal(self):
+        assert list(Permutation.identity(4)) == [0, 1, 2, 3]
+        assert list(Permutation.reversal(4)) == [3, 2, 1, 0]
+
+    def test_immutable(self):
+        p = Permutation.identity(3)
+        with pytest.raises(AttributeError):
+            p.seq = (0, 1, 2)
+
+    def test_random_is_valid(self, rng):
+        for _ in range(20):
+            p = Permutation.random(10, rng)
+            assert sorted(p) == list(range(10))
+
+    def test_from_cycles(self):
+        p = Permutation.from_cycles(4, [(0, 2, 1)])
+        assert list(p) == [2, 0, 1, 3]
+
+    def test_from_cycles_overlap_rejected(self):
+        with pytest.raises(ValueError):
+            Permutation.from_cycles(4, [(0, 1), (1, 2)])
+
+    def test_equality_with_tuples(self):
+        assert Permutation((1, 0)) == (1, 0)
+        assert Permutation((1, 0)) == [1, 0]
+        assert Permutation((1, 0)) != (0, 1)
+
+    def test_hashable(self):
+        assert len({Permutation((0, 1)), Permutation((0, 1)), Permutation((1, 0))}) == 2
+
+
+class TestAlgebra:
+    @given(perms)
+    def test_inverse_composes_to_identity(self, p):
+        assert p * p.inverse() == Permutation.identity(p.n)
+        assert p.inverse() * p == Permutation.identity(p.n)
+
+    @given(perms)
+    def test_double_inverse(self, p):
+        assert p.inverse().inverse() == p
+
+    def test_composition_order(self):
+        """(p∘q)(i) = p(q(i)) — apply q first."""
+        p = Permutation((1, 2, 0))
+        q = Permutation((0, 2, 1))
+        assert (p * q)(1) == p(q(1))
+
+    @given(perms)
+    def test_power_laws(self, p):
+        assert p**0 == Permutation.identity(p.n)
+        assert p**1 == p
+        assert p**2 == p * p
+        assert p**-1 == p.inverse()
+
+    @given(perms)
+    def test_order_annihilates(self, p):
+        assert p**p.order == Permutation.identity(p.n)
+
+    @given(perms)
+    def test_apply_then_scatter_roundtrip(self, p):
+        items = [f"x{i}" for i in range(p.n)]
+        assert p.scatter(p.apply(items)) == items
+
+    def test_apply_semantics(self):
+        p = Permutation((2, 0, 1))
+        assert p.apply(["a", "b", "c"]) == ["c", "a", "b"]
+
+    def test_apply_length_mismatch(self):
+        with pytest.raises(ValueError):
+            Permutation.identity(3).apply([1, 2])
+
+    def test_compose_size_mismatch(self):
+        with pytest.raises(ValueError):
+            Permutation.identity(3) * Permutation.identity(4)
+
+
+class TestStructure:
+    def test_paper_fixed_point_examples(self):
+        """§III-C: 0123 has four fixed points, 0132 has... the paper's
+        examples: identity (4), one with one fixed point, a derangement."""
+        assert Permutation((0, 1, 2, 3)).fixed_points() == (0, 1, 2, 3)
+        assert Permutation((0, 2, 3, 1)).fixed_points() == (0,)
+        assert Permutation((1, 0, 3, 2)).is_derangement
+
+    @given(perms)
+    def test_derangement_iff_no_fixed_points(self, p):
+        assert p.is_derangement == (len(p.fixed_points()) == 0)
+
+    @given(perms)
+    def test_cycles_partition(self, p):
+        elements = sorted(x for c in p.cycles() for x in c)
+        assert elements == list(range(p.n))
+
+    @given(perms)
+    def test_cycle_type_is_partition_of_n(self, p):
+        assert sum(p.cycle_type()) == p.n
+
+    @given(perms)
+    def test_sign_multiplicative(self, p):
+        assert (p * p).sign == 1
+
+    def test_sign_of_transposition(self):
+        assert Permutation((1, 0, 2)).sign == -1
+
+    @given(perms)
+    def test_inversions_range(self, p):
+        assert 0 <= p.inversions() <= p.n * (p.n - 1) // 2
+
+    def test_inversions_extremes(self):
+        assert Permutation.identity(5).inversions() == 0
+        assert Permutation.reversal(5).inversions() == 10
+
+    def test_displacement(self):
+        assert Permutation.identity(6).displacement() == 0
+        assert Permutation((1, 0)).displacement() == 2
+
+
+class TestEncodings:
+    def test_packed_value_paper_example(self):
+        """Fig. 4 caption: 3 2 1 0 → 11 10 01 00 = 228."""
+        assert Permutation((3, 2, 1, 0)).packed_value() == 228
+
+    def test_packed_value_second_example(self):
+        """Fig. 4: 0 1 3 2 → 00 01 11 10 = 30."""
+        assert Permutation((0, 1, 3, 2)).packed_value() == 30
+
+    @given(perms)
+    def test_packed_roundtrip(self, p):
+        assert Permutation.from_packed(p.packed_value(), p.n) == p
+
+    def test_all_n4_packed_distinct(self):
+        vals = {Permutation(p).packed_value() for p in itertools.permutations(range(4))}
+        assert len(vals) == 24
+        assert all(0 <= v < 256 for v in vals)
+
+    @given(perms)
+    def test_index_lehmer_consistency(self, p):
+        from repro.core.lehmer import unrank
+
+        assert unrank(p.index, p.n) == tuple(p)
+
+    def test_str_and_repr(self):
+        p = Permutation((2, 0, 1))
+        assert str(p) == "2 0 1"
+        assert "Permutation" in repr(p)

@@ -1,0 +1,73 @@
+"""Indexed random permutation generator (Fig. 2 pipeline)."""
+
+import numpy as np
+import pytest
+
+from repro.core.factorial import factorial
+from repro.core.lehmer import rank_batch
+from repro.core.random_perm import RandomPermutationGenerator, required_index_bits
+from repro.rng.lfsr import FibonacciLFSR
+
+
+class TestIndexWidth:
+    def test_small_values(self):
+        assert required_index_bits(4) == 5  # 24 indices
+        assert required_index_bits(10) == 22
+
+    def test_n64_needs_hundreds_of_bits(self):
+        """§III-A's 'disadvantage … the large size of the index'."""
+        assert required_index_bits(64) == 296
+
+
+class TestValidation:
+    def test_too_narrow_lfsr_rejected(self):
+        # 2^4 - 1 = 15 states < 24 permutations
+        with pytest.raises(ValueError, match="never occur"):
+            RandomPermutationGenerator(4, m=4)
+
+    def test_boundary_m5_n4_allowed_but_biased(self):
+        """The paper's worked example: 31 states over 24 indices."""
+        gen = RandomPermutationGenerator(4, m=5)
+        report = gen.index_bias()
+        assert report.ratio == 2.0
+
+
+class TestSampling:
+    def test_permutations_valid(self):
+        gen = RandomPermutationGenerator(5, m=16)
+        out = gen.sample(300)
+        assert np.array_equal(
+            np.sort(out, axis=1), np.broadcast_to(np.arange(5), (300, 5))
+        )
+
+    def test_next_matches_sample_stream(self):
+        a = RandomPermutationGenerator(4, m=12)
+        b = RandomPermutationGenerator(4, m=12)
+        batch = a.sample(30)
+        seq = [b.next_permutation() for _ in range(30)]
+        assert [tuple(r) for r in batch] == seq
+
+    def test_full_period_visits_every_permutation(self):
+        """Over one whole LFSR period every index (hence permutation)
+        occurs — with the pigeonhole multiplicities of the bias report."""
+        gen = RandomPermutationGenerator(3, m=5)
+        period = (1 << 5) - 1
+        perms = gen.sample(period)
+        counts = np.bincount(rank_batch(perms), minlength=6)
+        assert counts.tolist() == list(gen.index_bias().counts)
+        assert counts.min() >= 1
+
+    def test_custom_lfsr(self):
+        gen = RandomPermutationGenerator(4, lfsr=FibonacciLFSR(10, seed=5))
+        assert gen.m == 10
+        assert sorted(gen.next_permutation()) == [0, 1, 2, 3]
+
+    def test_permutation_probability_sums_to_one(self):
+        gen = RandomPermutationGenerator(3, m=8)
+        total = sum(gen.permutation_probability(i) for i in range(6))
+        assert abs(total - 1.0) < 1e-12
+
+    def test_input_permutation_passthrough(self):
+        pool = (2, 0, 1)
+        gen = RandomPermutationGenerator(3, m=8, input_permutation=pool)
+        assert sorted(gen.next_permutation()) == [0, 1, 2]

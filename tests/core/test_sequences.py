@@ -1,0 +1,74 @@
+"""Full-sequence enumeration tests."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.factorial import factorial
+from repro.core.sequences import PermutationSequence, all_permutations
+
+
+class TestAllPermutations:
+    @pytest.mark.parametrize("n", range(1, 7))
+    def test_matches_itertools(self, n):
+        assert list(all_permutations(n)) == list(itertools.permutations(range(n)))
+
+    def test_custom_pool(self):
+        pool = (2, 0, 1)
+        got = list(all_permutations(3, pool))
+        assert got[0] == pool
+        assert len(set(got)) == 6
+
+
+class TestPermutationSequence:
+    def test_len(self):
+        assert len(PermutationSequence(5)) == 120
+
+    def test_getitem(self):
+        seq = PermutationSequence(4)
+        assert seq[0] == (0, 1, 2, 3)
+        assert seq[23] == (3, 2, 1, 0)
+        assert seq[-1] == (3, 2, 1, 0)
+
+    def test_getitem_out_of_range(self):
+        with pytest.raises(IndexError):
+            PermutationSequence(3)[6]
+
+    def test_slice(self):
+        seq = PermutationSequence(4)
+        rows = seq[2:5]
+        assert rows == [seq[2], seq[3], seq[4]]
+
+    def test_iteration_matches_indexing(self):
+        seq = PermutationSequence(4)
+        for i, p in enumerate(seq):
+            assert p == seq[i]
+
+    def test_batches_cover_everything_in_order(self):
+        seq = PermutationSequence(5)
+        chunks = list(seq.batches(batch_size=17))
+        stacked = np.vstack(chunks)
+        assert stacked.shape == (120, 5)
+        assert [tuple(r) for r in stacked] == list(itertools.permutations(range(5)))
+
+    def test_batches_bad_size(self):
+        with pytest.raises(ValueError):
+            next(PermutationSequence(3).batches(0))
+
+    def test_index_of_roundtrip(self):
+        seq = PermutationSequence(5)
+        for i in (0, 17, 60, 119):
+            assert seq.index_of(seq[i]) == i
+
+    def test_index_of_with_pool(self):
+        pool = (1, 3, 2, 0)
+        seq = PermutationSequence(4, pool=pool)
+        for i in (0, 5, 23):
+            assert seq.index_of(seq[i]) == i
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            PermutationSequence(0)
+        with pytest.raises(ValueError):
+            PermutationSequence(3, pool=(0, 0, 1))

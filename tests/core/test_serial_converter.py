@@ -1,0 +1,100 @@
+"""Digit-serial converter tests."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.converter import IndexToPermutationConverter
+from repro.core.serial_converter import SerialConverter
+
+
+class TestFunctional:
+    @pytest.mark.parametrize("n", [2, 3, 4, 5, 6])
+    def test_matches_parallel_converter(self, n):
+        ser = SerialConverter(n)
+        ref = IndexToPermutationConverter(n)
+        idx = list(range(min(math.factorial(n), 120)))
+        assert np.array_equal(ser.run(idx), ref.convert_batch(idx))
+
+    def test_stream_interface(self):
+        ser = SerialConverter(4)
+        got = list(ser.stream([0, 23]))
+        assert got == [(0, 1, 2, 3), (3, 2, 1, 0)]
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            SerialConverter(3).run([6])
+
+    def test_n1_rejected(self):
+        with pytest.raises(ValueError):
+            SerialConverter(1)
+
+    def test_invalid_pool(self):
+        with pytest.raises(ValueError):
+            SerialConverter(3, input_permutation=(0, 0, 1))
+
+
+class TestStructure:
+    def test_one_shared_comparator_bank(self):
+        ser = SerialConverter(8)
+        par = IndexToPermutationConverter(8)
+        assert ser.comparator_count == 7
+        assert par.comparator_count() == 28
+
+    def test_throughput_is_one_over_n(self):
+        assert SerialConverter(5).throughput == pytest.approx(0.2)
+        assert SerialConverter(5).cycles_per_permutation == 5
+
+    def test_register_cost_linear_not_quadratic(self):
+        """The headline saving: state registers are O(n log n), not the
+        parallel pipeline's O(n² log n)."""
+        regs = {n: SerialConverter(n).build_netlist().num_registers for n in (4, 8, 12)}
+        par = {n: IndexToPermutationConverter(n).build_netlist(pipelined=True).num_registers
+               for n in (4, 8, 12)}
+        assert regs[12] < par[12] / 3
+        # quadratic vs near-linear growth
+        assert regs[12] / regs[4] < 8
+        assert par[12] / par[4] > 15
+
+
+class TestNetlist:
+    @pytest.mark.parametrize("n", [2, 3, 4])
+    def test_exhaustive(self, n):
+        ser = SerialConverter(n)
+        ref = IndexToPermutationConverter(n)
+        idx = list(range(math.factorial(n)))
+        assert np.array_equal(ser.simulate_netlist(idx), ref.convert_batch(idx))
+
+    def test_n5_sample(self, rng):
+        ser = SerialConverter(5)
+        ref = IndexToPermutationConverter(5)
+        idx = [int(i) for i in rng.integers(0, 120, size=10)]
+        assert np.array_equal(ser.simulate_netlist(idx), ref.convert_batch(idx))
+
+    def test_custom_pool(self):
+        pool = (3, 1, 0, 2)
+        ser = SerialConverter(4, input_permutation=pool)
+        ref = IndexToPermutationConverter(4, input_permutation=pool)
+        assert np.array_equal(ser.simulate_netlist(range(24)), ref.convert_batch(range(24)))
+
+    def test_valid_cadence(self):
+        """valid rises exactly once per n clocks, starting at cycle n."""
+        from repro.hdl.simulator import SequentialSimulator
+
+        n = 4
+        nl = SerialConverter(n).build_netlist()
+        sim = SequentialSimulator(nl)
+        valids = []
+        for cycle in range(3 * n):
+            outs = sim.step({"index": 7})
+            valids.append(int(outs["valid"][0]))
+        assert valids[:n] == [0] * n
+        assert valids[n] == 1 and valids[2 * n] == 1
+        assert sum(valids) == 2
+
+    def test_back_to_back_rounds_are_independent(self):
+        ser = SerialConverter(4)
+        out = ser.simulate_netlist([23, 0, 11, 11])
+        ref = IndexToPermutationConverter(4)
+        assert np.array_equal(out, ref.convert_batch([23, 0, 11, 11]))

@@ -1,0 +1,71 @@
+"""Sorting-network view of the cascades (§IV closing remark)."""
+
+import itertools
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.sorting import SelectionSortNetwork, sort_via_ranking
+
+
+class TestSortViaRanking:
+    @given(st.lists(st.integers(0, 100), min_size=1, max_size=9))
+    def test_sorts_with_duplicates(self, values):
+        assert sort_via_ranking(values) == sorted(values)
+
+    def test_already_sorted(self):
+        assert sort_via_ranking([1, 2, 3]) == [1, 2, 3]
+
+    def test_reverse(self):
+        assert sort_via_ranking([5, 4, 3, 2, 1]) == [1, 2, 3, 4, 5]
+
+
+class TestSelectionSortNetworkFunctional:
+    @given(st.lists(st.integers(0, 15), min_size=1, max_size=8))
+    def test_sorts(self, values):
+        net = SelectionSortNetwork(len(values), 4)
+        assert net.sort(values) == sorted(values)
+
+    def test_value_range_enforced(self):
+        net = SelectionSortNetwork(2, 3)
+        with pytest.raises(ValueError):
+            net.sort([8, 0])
+
+    def test_length_enforced(self):
+        with pytest.raises(ValueError):
+            SelectionSortNetwork(3, 4).sort([1, 2])
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            SelectionSortNetwork(0, 4)
+        with pytest.raises(ValueError):
+            SelectionSortNetwork(4, 0)
+
+    def test_comparator_count_matches_converter_order(self):
+        assert SelectionSortNetwork(6, 4).comparator_count() == 15
+
+
+class TestSelectionSortNetworkStructural:
+    def test_exhaustive_small(self):
+        """Every 2-bit input triple sorts correctly at gate level."""
+        net = SelectionSortNetwork(3, 2)
+        for vals in itertools.product(range(4), repeat=3):
+            assert net.sort_netlist(list(vals)) == sorted(vals)
+
+    def test_with_duplicates(self):
+        net = SelectionSortNetwork(4, 3)
+        assert net.sort_netlist([5, 5, 1, 5]) == [1, 5, 5, 5]
+
+    def test_random_wider(self, rng):
+        net = SelectionSortNetwork(5, 5)
+        for _ in range(10):
+            vals = rng.integers(0, 32, size=5).tolist()
+            assert net.sort_netlist(vals) == sorted(vals)
+
+    def test_single_element(self):
+        assert SelectionSortNetwork(1, 4).sort_netlist([9]) == [9]
+
+    def test_pipelined_netlist_builds(self):
+        nl = SelectionSortNetwork(4, 3).build_netlist(pipelined=True)
+        nl.check()
+        assert nl.num_registers > 0

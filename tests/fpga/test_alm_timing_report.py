@@ -1,0 +1,118 @@
+"""ALM packing, timing model and resource report tests."""
+
+import pytest
+
+from repro.core.converter import IndexToPermutationConverter
+from repro.core.knuth import KnuthShuffleCircuit
+from repro.fpga.alm import pack_alms
+from repro.fpga.lut_map import LUT, map_to_luts
+from repro.fpga.report import ResourceReport, render_resource_table, synthesize
+from repro.fpga.timing import DelayModel, estimate_fmax_mhz, lut_levels
+from repro.hdl.gates import Op
+from repro.hdl.netlist import Bus, Netlist
+
+
+class TestALM:
+    def test_two_small_share_one_alm(self):
+        luts = [LUT(0, (1, 2)), LUT(3, (4, 5, 6))]
+        assert pack_alms(luts) == 1
+
+    def test_large_luts_take_own_alm(self):
+        luts = [LUT(0, tuple(range(1, 7))), LUT(9, tuple(range(10, 15)))]
+        assert pack_alms(luts) == 2
+
+    def test_mixed(self):
+        luts = [LUT(0, (1,)), LUT(2, (3, 4)), LUT(5, (6, 7, 8)), LUT(9, tuple(range(10, 16)))]
+        assert pack_alms(luts) == 3  # ceil(3/2) + 1
+
+    def test_empty(self):
+        assert pack_alms([]) == 0
+
+
+class TestTiming:
+    def _chain(self, length):
+        nl = Netlist()
+        a = nl.input("a", length + 1)
+        w = a[0]
+        for i in range(length):
+            w = nl.gate(Op.AND, w, a[i + 1])
+        nl.output("y", Bus([w]))
+        return nl
+
+    def test_levels_of_chain_with_k2(self):
+        nl = self._chain(4)
+        luts = map_to_luts(nl, k=2)
+        assert lut_levels(nl, luts) == 4
+
+    def test_levels_collapse_with_wide_luts(self):
+        nl = self._chain(4)
+        luts = map_to_luts(nl, k=6)
+        assert lut_levels(nl, luts) == 1
+
+    def test_fmax_decreases_with_depth(self):
+        model = DelayModel()
+        assert model.fmax_mhz(1) > model.fmax_mhz(5) > model.fmax_mhz(20)
+
+    def test_period_formula(self):
+        model = DelayModel(t_reg_ns=1.0, t_lut_ns=0.5, t_route_ns=0.5)
+        assert model.period_ns(3) == 4.0
+        assert model.fmax_mhz(3) == 250.0
+
+    def test_estimate_on_real_circuit(self):
+        nl = IndexToPermutationConverter(5).build_netlist()
+        luts = map_to_luts(nl)
+        f = estimate_fmax_mhz(nl, luts)
+        assert 1.0 < f < 1000.0
+
+    def test_empty_netlist_levels_zero(self):
+        nl = Netlist()
+        a = nl.input("a", 1)
+        nl.output("y", a)
+        assert lut_levels(nl, map_to_luts(nl)) == 0
+
+
+class TestReport:
+    def test_fields_consistent(self):
+        nl = IndexToPermutationConverter(6).build_netlist(pipelined=True)
+        rep = synthesize(nl, 6)
+        assert rep.n == 6
+        assert rep.total_luts == sum(rep.lut_hist.values())
+        assert rep.registers == nl.num_registers
+        assert rep.packed_alms <= rep.total_luts
+        assert rep.fmax_mhz > 0
+
+    def test_resources_grow_with_n(self):
+        """The Table-III trend: area strictly increasing in n."""
+        reps = [
+            synthesize(IndexToPermutationConverter(n).build_netlist(), n)
+            for n in (3, 5, 7, 9)
+        ]
+        luts = [r.total_luts for r in reps]
+        assert luts == sorted(luts) and len(set(luts)) == len(luts)
+
+    def test_pipelined_has_registers_and_higher_fmax(self):
+        """Pipelining trades registers for clock rate (§II-B)."""
+        n = 8
+        comb = synthesize(IndexToPermutationConverter(n).build_netlist(), n)
+        pipe = synthesize(IndexToPermutationConverter(n).build_netlist(pipelined=True), n)
+        assert comb.registers == 0 and pipe.registers > 0
+        assert pipe.fmax_mhz > comb.fmax_mhz
+
+    def test_shuffle_reports(self):
+        nl = KnuthShuffleCircuit(5, m=12).build_netlist()
+        rep = synthesize(nl, 5)
+        assert rep.registers == sum(KnuthShuffleCircuit(5, m=12).widths)
+
+    def test_render_table(self):
+        reps = [
+            synthesize(IndexToPermutationConverter(n).build_netlist(), n)
+            for n in (3, 4)
+        ]
+        text = render_resource_table(reps)
+        lines = text.splitlines()
+        assert len(lines) == 3
+        assert "Freq" in lines[0]
+
+    def test_luts_of_size(self):
+        rep = synthesize(IndexToPermutationConverter(4).build_netlist(), 4)
+        assert rep.luts_of_size(99) == 0

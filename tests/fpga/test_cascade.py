@@ -1,0 +1,61 @@
+"""LUT-cascade sizing tests (paper §II-B remark, ref. [16])."""
+
+import pytest
+
+from repro.fpga.cascade import CascadeCell, converter_cascade
+from repro.fpga.lut_map import map_to_luts
+from repro.core.converter import IndexToPermutationConverter
+
+
+class TestCell:
+    def test_memory_formula(self):
+        cell = CascadeCell(stage=0, index_bits_in=5, partial_bits_in=0,
+                           index_bits_out=3, partial_bits_out=2)
+        assert cell.address_bits == 5
+        assert cell.word_bits == 5
+        assert cell.memory_bits == 32 * 5
+
+
+class TestConverterCascade:
+    def test_n4_structure(self):
+        rep = converter_cascade(4)
+        assert rep.levels == 4
+        c0 = rep.cells[0]
+        # stage 0: 5-bit index in, no partial output yet
+        assert (c0.index_bits_in, c0.partial_bits_in) == (5, 0)
+        assert c0.partial_bits_out == 2
+        # last cell emits the full word and no index rail
+        last = rep.cells[-1]
+        assert last.index_bits_out == 0
+        assert last.partial_bits_out == 8
+
+    def test_rails_grow_monotonically(self):
+        rep = converter_cascade(6)
+        partials = [c.partial_bits_in for c in rep.cells]
+        assert partials == sorted(partials)
+
+    def test_index_rail_shrinks(self):
+        rep = converter_cascade(6)
+        idx = [c.index_bits_in for c in rep.cells if c.index_bits_in]
+        assert idx == sorted(idx, reverse=True)
+
+    def test_delay_linear(self):
+        assert converter_cascade(9).levels == 9
+
+    def test_memory_explodes_exponentially(self):
+        """The cascade trade-off: memory is super-polynomial in n, so the
+        discrete gate design must win for growing n."""
+        mems = [converter_cascade(n).total_memory_bits for n in (3, 5, 7, 9)]
+        ratios = [b / a for a, b in zip(mems, mems[1:])]
+        assert all(r > 8 for r in ratios)
+
+    def test_crossover_vs_discrete_logic(self):
+        """Small n: one-memory-per-stage is compact; by n ≈ 8 the gate
+        netlist (LUT-mapped) needs far fewer bits than the cascade ROMs."""
+        n_small, n_big = 3, 8
+        def lut_bits(n):
+            luts = map_to_luts(IndexToPermutationConverter(n).build_netlist(), k=6)
+            return sum((1 << l.size) for l in luts)  # LUT mask bits
+
+        assert converter_cascade(n_small).total_memory_bits < 10 * lut_bits(n_small)
+        assert converter_cascade(n_big).total_memory_bits > 10 * lut_bits(n_big)

@@ -1,0 +1,118 @@
+"""Technology mapper: structural validity of the LUT covering."""
+
+import pytest
+
+from repro.core.converter import IndexToPermutationConverter
+from repro.fpga.lut_map import lut_histogram, map_to_luts
+from repro.hdl.gates import Op
+from repro.hdl.netlist import Bus, Netlist
+
+
+def _valid_cover(nl, luts, k):
+    """Every LUT ≤ k inputs; every LUT input is a leaf or another root."""
+    roots = {l.root for l in luts}
+    leaves = {
+        w for w, g in enumerate(nl.gates)
+        if g.op in (Op.INPUT, Op.REG, Op.CONST0, Op.CONST1)
+    }
+    for lut in luts:
+        assert lut.size <= k
+        for w in lut.inputs:
+            assert w in roots or w in leaves, f"dangling LUT input {w}"
+    # every observable logic wire must be a root
+    observable = {w for bus in nl.outputs.values() for w in bus}
+    observable.update(r.d for r in nl.registers)
+    for w in observable:
+        if nl.gates[w].op not in (Op.INPUT, Op.REG, Op.CONST0, Op.CONST1):
+            assert w in roots
+
+
+@pytest.mark.parametrize("k", [3, 4, 6])
+@pytest.mark.parametrize("n", [3, 5, 7])
+def test_converter_cover_valid(n, k):
+    nl = IndexToPermutationConverter(n).build_netlist()
+    luts = map_to_luts(nl, k=k)
+    _valid_cover(nl, luts, k)
+
+
+def test_pipelined_cover_valid():
+    nl = IndexToPermutationConverter(5).build_netlist(pipelined=True)
+    luts = map_to_luts(nl, k=6)
+    _valid_cover(nl, luts, 6)
+
+
+def test_single_gate_maps_to_one_lut():
+    nl = Netlist()
+    a = nl.input("a", 2)
+    nl.output("y", Bus([nl.gate(Op.AND, a[0], a[1])]))
+    luts = map_to_luts(nl)
+    assert len(luts) == 1 and luts[0].size == 2
+
+
+def test_chain_absorbed_into_one_lut():
+    """A 3-gate chain over 4 inputs fits one 4-LUT."""
+    nl = Netlist()
+    a = nl.input("a", 4)
+    x = nl.gate(Op.AND, a[0], a[1])
+    y = nl.gate(Op.OR, x, a[2])
+    z = nl.gate(Op.XOR, y, a[3])
+    nl.output("y", Bus([z]))
+    luts = map_to_luts(nl, k=4)
+    assert len(luts) == 1 and luts[0].size == 4
+
+
+def test_k2_splits_chain():
+    nl = Netlist()
+    a = nl.input("a", 4)
+    x = nl.gate(Op.AND, a[0], a[1])
+    y = nl.gate(Op.OR, x, a[2])
+    z = nl.gate(Op.XOR, y, a[3])
+    nl.output("y", Bus([z]))
+    luts = map_to_luts(nl, k=2)
+    assert len(luts) == 3
+
+
+def test_multi_fanout_terminates_cone():
+    nl = Netlist()
+    a = nl.input("a", 3)
+    shared = nl.gate(Op.AND, a[0], a[1])
+    y1 = nl.gate(Op.OR, shared, a[2])
+    y2 = nl.gate(Op.XOR, shared, a[2])
+    nl.output("y1", Bus([y1]))
+    nl.output("y2", Bus([y2]))
+    luts = map_to_luts(nl, k=4)
+    assert {l.root for l in luts} == {shared, y1, y2}
+
+
+def test_constants_do_not_count_as_inputs():
+    nl = Netlist()
+    a = nl.input("a", 1)
+    # XOR with register output: register is a real leaf; const folded away
+    q = nl.register(a[0])
+    y = nl.gate(Op.XOR, a[0], q)
+    nl.output("y", Bus([y]))
+    luts = map_to_luts(nl)
+    assert all(l.size <= 2 for l in luts)
+
+
+def test_dead_logic_not_mapped():
+    nl = Netlist()
+    a = nl.input("a", 2)
+    nl.gate(Op.AND, a[0], a[1])  # dangling
+    nl.output("y", Bus([nl.gate(Op.OR, a[0], a[1])]))
+    luts = map_to_luts(nl)
+    assert len(luts) == 1
+
+
+def test_histogram_sums_to_total():
+    nl = IndexToPermutationConverter(6).build_netlist()
+    luts = map_to_luts(nl, k=6)
+    hist = lut_histogram(luts, k=6)
+    assert sum(hist.values()) == len(luts)
+    assert all(size in hist for size in range(1, 7))
+
+
+def test_k_below_two_rejected():
+    nl = Netlist()
+    with pytest.raises(ValueError):
+        map_to_luts(nl, k=1)

@@ -1,0 +1,96 @@
+"""Switching activity and toggle-order tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.converter import IndexToPermutationConverter
+from repro.core.orders import sjt_permutations
+from repro.core.sequences import all_permutations
+from repro.fpga.power import (
+    ActivityReport,
+    estimate_dynamic_power_mw,
+    measure_activity,
+    output_toggle_comparison,
+    word_toggles,
+)
+from repro.hdl.gates import Op
+from repro.hdl.netlist import Bus, Netlist
+
+
+class TestActivity:
+    def test_static_inputs_no_toggles(self):
+        """After the n−1-cycle pipeline fill settles, a constant input
+        produces zero further switching: extending the run adds nothing."""
+        nl = IndexToPermutationConverter(4).build_netlist(pipelined=True)
+        settled = measure_activity(nl, [{"index": 5}] * 6)  # fill (3) + slack
+        longer = measure_activity(nl, [{"index": 5}] * 20)
+        assert longer.total_toggles == settled.total_toggles
+
+    def test_changing_inputs_toggle(self):
+        nl = IndexToPermutationConverter(4).build_netlist()
+        rep = measure_activity(nl, [{"index": i} for i in range(20)])
+        assert rep.total_toggles > 0
+        assert 0.0 < rep.mean_activity < 1.0
+
+    def test_counter_lsb_is_hottest_index_bit(self):
+        """The low index bit toggles every cycle under a counter —
+        a sanity anchor for the activity measurement."""
+        nl = Netlist()
+        a = nl.input("a", 4)
+        nl.output("y", Bus([nl.gate(Op.NOT, a[0])]))
+        rep = measure_activity(nl, [{"a": i} for i in range(16)])
+        assert rep.peak_activity == 1.0
+
+    def test_empty_stream_rejected(self):
+        nl = IndexToPermutationConverter(3).build_netlist()
+        with pytest.raises(ValueError):
+            measure_activity(nl, [])
+
+    def test_power_scales_with_clock(self):
+        nl = IndexToPermutationConverter(4).build_netlist()
+        rep = measure_activity(nl, [{"index": i} for i in range(24)])
+        assert estimate_dynamic_power_mw(rep, 200.0) == pytest.approx(
+            2 * estimate_dynamic_power_mw(rep, 100.0)
+        )
+
+    def test_report_fields(self):
+        rep = ActivityReport(cycles=10, live_wires=5, total_toggles=20,
+                             per_wire_rate=np.array([0.1, 0.2, 0.3, 0.4, 1.0]))
+        assert rep.mean_activity == pytest.approx(0.4)
+        assert rep.peak_activity == 1.0
+
+
+class TestWordToggles:
+    def test_constant_sequence(self):
+        total, worst = word_toggles(iter([(0, 1, 2, 3)] * 5), 4)
+        assert (total, worst) == (0, 0)
+
+    def test_single_swap_costs_at_most_two_elements(self):
+        total, worst = word_toggles(iter([(0, 1, 2, 3), (1, 0, 2, 3)]), 4)
+        assert worst <= 4  # two 2-bit elements
+
+
+class TestToggleComparison:
+    @pytest.mark.parametrize("n", [4, 5, 6])
+    def test_sjt_wins_on_totals(self, n):
+        cmp = output_toggle_comparison(n)
+        assert cmp.sjt_order_toggles < cmp.counter_order_toggles
+        assert cmp.mean_reduction > 1.0
+
+    @pytest.mark.parametrize("n", [4, 5, 6])
+    def test_sjt_bounded_worst_step(self, n):
+        """The minimal-change guarantee: one adjacent pair per step."""
+        from repro.core.factorial import element_width
+
+        cmp = output_toggle_comparison(n)
+        assert cmp.sjt_worst_step <= 2 * element_width(n)
+
+    def test_counter_worst_step_is_full_word(self):
+        """Counter order periodically rewrites the entire word."""
+        from repro.core.factorial import word_width
+
+        cmp = output_toggle_comparison(4)
+        assert cmp.counter_worst_step == word_width(4)
+
+    def test_step_count(self):
+        assert output_toggle_comparison(4).steps == 23

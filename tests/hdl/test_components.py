@@ -1,0 +1,259 @@
+"""Word-level components checked against arithmetic references."""
+
+import itertools
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hdl import components as C
+from repro.hdl.netlist import Bus, Netlist
+from repro.hdl.simulator import CombinationalSimulator
+
+
+def run1(nl, **inputs):
+    """Evaluate a single-output netlist on one input point."""
+    sim = CombinationalSimulator(nl)
+    outs = sim.run(inputs)
+    (name,) = outs
+    return int(outs[name][0])
+
+
+def build(fn, widths, **kw):
+    """Make a netlist with declared inputs and one output from fn."""
+    nl = Netlist()
+    buses = {name: nl.input(name, w) for name, w in widths.items()}
+    out = fn(nl, buses, **kw)
+    nl.output("y", out if isinstance(out, Bus) else Bus([out]))
+    return nl
+
+
+class TestAdders:
+    @given(st.integers(0, 15), st.integers(0, 15))
+    def test_ripple_add(self, a, b):
+        nl = build(lambda nl, i: C.ripple_add(nl, i["a"], i["b"])[0], {"a": 4, "b": 4})
+        assert run1(nl, a=a, b=b) == (a + b) % 16
+
+    @given(st.integers(0, 15), st.integers(0, 15))
+    def test_carry_out(self, a, b):
+        nl = build(lambda nl, i: C.ripple_add(nl, i["a"], i["b"])[1], {"a": 4, "b": 4})
+        assert run1(nl, a=a, b=b) == ((a + b) >> 4)
+
+    def test_mixed_widths_zero_extended(self):
+        nl = build(lambda nl, i: C.ripple_add(nl, i["a"], i["b"])[0], {"a": 5, "b": 2})
+        assert run1(nl, a=20, b=3) == 23
+
+
+class TestSubtractors:
+    @given(st.integers(0, 15), st.integers(0, 15))
+    def test_difference_wraps(self, a, b):
+        nl = build(lambda nl, i: C.ripple_sub(nl, i["a"], i["b"])[0], {"a": 4, "b": 4})
+        assert run1(nl, a=a, b=b) == (a - b) % 16
+
+    @given(st.integers(0, 15), st.integers(0, 15))
+    def test_borrow_is_less_than(self, a, b):
+        nl = build(lambda nl, i: C.ripple_sub(nl, i["a"], i["b"])[1], {"a": 4, "b": 4})
+        assert run1(nl, a=a, b=b) == int(a < b)
+
+    @given(st.integers(0, 31), st.integers(0, 31))
+    def test_sub_const(self, a, c):
+        nl = build(lambda nl, i: C.sub_const(nl, i["a"], c)[0], {"a": 5})
+        assert run1(nl, a=a) == (a - c) % 32
+
+
+class TestComparators:
+    @pytest.mark.parametrize("c", [0, 1, 5, 15, 16, 31, 32])
+    def test_geq_const_exhaustive(self, c):
+        nl = build(lambda nl, i: C.geq_const(nl, i["a"], c), {"a": 5})
+        sim = CombinationalSimulator(nl)
+        vals = sim.run({"a": list(range(32))})["y"]
+        assert [int(v) for v in vals] == [int(a >= c) for a in range(32)]
+
+    def test_geq_zero_is_constant_true(self):
+        nl = Netlist()
+        a = nl.input("a", 4)
+        w = C.geq_const(nl, a, 0)
+        assert nl.gates[w].op.name == "CONST1"
+
+    def test_geq_oversized_constant_false(self):
+        nl = Netlist()
+        a = nl.input("a", 3)
+        w = C.geq_const(nl, a, 9)
+        assert nl.gates[w].op.name == "CONST0"
+
+    @pytest.mark.parametrize("c", [0, 3, 7, 8])
+    def test_less_const(self, c):
+        nl = build(lambda nl, i: C.less_const(nl, i["a"], c), {"a": 3})
+        sim = CombinationalSimulator(nl)
+        vals = sim.run({"a": list(range(8))})["y"]
+        assert [int(v) for v in vals] == [int(a < c) for a in range(8)]
+
+    @pytest.mark.parametrize("c", [0, 5, 7, 12])
+    def test_equals_const(self, c):
+        nl = build(lambda nl, i: C.equals_const(nl, i["a"], c), {"a": 4})
+        sim = CombinationalSimulator(nl)
+        vals = sim.run({"a": list(range(16))})["y"]
+        assert [int(v) for v in vals] == [int(a == c) for a in range(16)]
+
+
+class TestMuxes:
+    @given(st.integers(0, 1), st.integers(0, 7), st.integers(0, 7))
+    def test_mux2_bus(self, s, a, b):
+        nl = build(
+            lambda nl, i: C.mux2_bus(nl, i["s"][0], i["a"], i["b"]),
+            {"s": 1, "a": 3, "b": 3},
+        )
+        assert run1(nl, s=s, a=a, b=b) == (b if s else a)
+
+    @pytest.mark.parametrize("count", [1, 2, 3, 4, 5, 8])
+    def test_binary_mux_selects(self, count):
+        nl = Netlist()
+        sel_width = max(1, (count - 1).bit_length())
+        sel = nl.input("sel", sel_width)
+        options = [nl.const_bus(10 + i, 5) for i in range(count)]
+        nl.output("y", C.binary_mux(nl, sel, options))
+        sim = CombinationalSimulator(nl)
+        vals = sim.run({"sel": list(range(count))})["y"]
+        assert [int(v) for v in vals] == [10 + i for i in range(count)]
+
+    def test_binary_mux_empty_rejected(self):
+        nl = Netlist()
+        sel = nl.input("sel", 1)
+        with pytest.raises(ValueError):
+            C.binary_mux(nl, sel, [])
+
+    @pytest.mark.parametrize("count", [1, 2, 3, 5])
+    def test_onehot_mux(self, count):
+        nl = Netlist()
+        sel = nl.input("sel", count)
+        data = [nl.const_bus(7 * i % 16, 4) for i in range(count)]
+        nl.output("y", C.onehot_mux(nl, list(sel), data))
+        sim = CombinationalSimulator(nl)
+        vals = sim.run({"sel": [1 << i for i in range(count)]})["y"]
+        assert [int(v) for v in vals] == [7 * i % 16 for i in range(count)]
+
+    def test_onehot_mux_all_zero_select(self):
+        nl = Netlist()
+        sel = nl.input("sel", 3)
+        data = [nl.const_bus(5, 3)] * 3
+        nl.output("y", C.onehot_mux(nl, list(sel), data))
+        assert run1(nl, sel=0) == 0
+
+    def test_onehot_mux_length_mismatch(self):
+        nl = Netlist()
+        sel = nl.input("sel", 2)
+        with pytest.raises(ValueError):
+            C.onehot_mux(nl, list(sel), [nl.const_bus(0, 2)])
+
+
+class TestEncoders:
+    @pytest.mark.parametrize("width", [1, 2, 3, 4])
+    def test_thermometer_to_onehot(self, width):
+        nl = Netlist()
+        t = nl.input("t", width)
+        onehot = C.thermometer_to_onehot(nl, list(t))
+        nl.output("y", Bus(onehot))
+        sim = CombinationalSimulator(nl)
+        # thermometer for value v: low v bits set
+        codes = [(1 << v) - 1 for v in range(width + 1)]
+        vals = sim.run({"t": codes})["y"]
+        assert [int(x) for x in vals] == [1 << v for v in range(width + 1)]
+
+    @pytest.mark.parametrize("count", [2, 3, 4, 7])
+    def test_onehot_to_binary(self, count):
+        nl = Netlist()
+        oh = nl.input("oh", count)
+        nl.output("y", C.onehot_to_binary(nl, list(oh)))
+        sim = CombinationalSimulator(nl)
+        vals = sim.run({"oh": [1 << v for v in range(count)]})["y"]
+        assert [int(x) for x in vals] == list(range(count))
+
+    @pytest.mark.parametrize("count", [1, 2, 5, 8])
+    def test_decoder(self, count):
+        nl = Netlist()
+        width = max(1, (count - 1).bit_length())
+        sel = nl.input("sel", width)
+        nl.output("y", Bus(C.decoder(nl, sel, count)))
+        sim = CombinationalSimulator(nl)
+        vals = sim.run({"sel": list(range(count))})["y"]
+        assert [int(x) for x in vals] == [1 << v for v in range(count)]
+
+
+class TestCrossover:
+    @given(st.integers(0, 1), st.integers(0, 7), st.integers(0, 7))
+    def test_swap_semantics(self, ctrl, a, b):
+        nl = Netlist()
+        ib = {"c": nl.input("c", 1), "a": nl.input("a", 3), "b": nl.input("b", 3)}
+        x, y = C.crossover(nl, ib["c"][0], ib["a"], ib["b"])
+        nl.output("x", x)
+        nl.output("y", y)
+        sim = CombinationalSimulator(nl)
+        outs = sim.run({"c": ctrl, "a": a, "b": b})
+        if ctrl:
+            assert (int(outs["x"][0]), int(outs["y"][0])) == (b, a)
+        else:
+            assert (int(outs["x"][0]), int(outs["y"][0])) == (a, b)
+
+
+class TestMultiplier:
+    @pytest.mark.parametrize("k", [0, 1, 2, 3, 6, 24, 120, 255])
+    def test_shift_add_mult_const(self, k):
+        nl = Netlist()
+        x = nl.input("x", 5)
+        nl.output("y", C.shift_add_mult_const(nl, x, k))
+        sim = CombinationalSimulator(nl)
+        vals = sim.run({"x": list(range(32))})["y"]
+        assert [int(v) for v in vals] == [k * x for x in range(32)]
+
+    def test_negative_k_rejected(self):
+        nl = Netlist()
+        x = nl.input("x", 3)
+        with pytest.raises(ValueError):
+            C.shift_add_mult_const(nl, x, -1)
+
+    @given(st.integers(0, 31), st.integers(1, 40))
+    def test_scaling_block_end_to_end(self, x, k):
+        """The whole Fig.-2 datapath: (k·x) >> m."""
+        m = 5
+        nl = Netlist()
+        xb = nl.input("x", m)
+        prod = C.shift_add_mult_const(nl, xb, k)
+        nl.output("y", C.truncate_high(nl, prod, m))
+        assert run1(nl, x=x) == (k * x) >> m
+
+
+class TestMisc:
+    def test_zero_extend(self):
+        nl = Netlist()
+        a = nl.input("a", 2)
+        b = C.zero_extend(nl, a, 5)
+        assert b.width == 5
+
+    def test_zero_extend_shrink_rejected(self):
+        nl = Netlist()
+        a = nl.input("a", 4)
+        with pytest.raises(ValueError):
+            C.zero_extend(nl, a, 2)
+
+    def test_reduce_or_empty_is_false(self):
+        nl = Netlist()
+        assert nl.gates[C.reduce_or(nl, [])].op.name == "CONST0"
+
+    def test_reduce_and_empty_is_true(self):
+        nl = Netlist()
+        assert nl.gates[C.reduce_and(nl, [])].op.name == "CONST1"
+
+    @pytest.mark.parametrize("count", [1, 2, 3, 7])
+    def test_reduce_or_matches_any(self, count):
+        nl = Netlist()
+        a = nl.input("a", count)
+        nl.output("y", Bus([C.reduce_or(nl, list(a))]))
+        sim = CombinationalSimulator(nl)
+        vals = sim.run({"a": list(range(1 << count))})["y"]
+        assert [int(v) for v in vals] == [int(x != 0) for x in range(1 << count)]
+
+    def test_truncate_high_past_width(self):
+        nl = Netlist()
+        a = nl.input("a", 3)
+        out = C.truncate_high(nl, a, 5)
+        nl.output("y", out)
+        assert run1(nl, a=7) == 0

@@ -1,0 +1,133 @@
+"""Verilog export and VCD writer tests."""
+
+import re
+
+import pytest
+
+from repro.core.converter import IndexToPermutationConverter
+from repro.hdl.export import VCDWriter, to_verilog
+from repro.hdl.gates import Op
+from repro.hdl.netlist import Bus, Netlist
+
+
+class TestVerilog:
+    def _simple(self):
+        nl = Netlist("demo")
+        a = nl.input("a", 2)
+        b = nl.input("b", 2)
+        y = Bus(nl.gate(Op.XOR, x, w) for x, w in zip(a, b))
+        nl.output("y", y)
+        return nl
+
+    def test_module_skeleton(self):
+        v = to_verilog(self._simple())
+        assert v.startswith("module demo(")
+        assert v.rstrip().endswith("endmodule")
+        assert "input [1:0] in_a;" in v
+        assert "output [1:0] out_y;" in v
+
+    def test_combinational_has_no_clock(self):
+        v = to_verilog(self._simple())
+        assert "clk" not in v
+        assert "always" not in v
+
+    def test_gate_expressions(self):
+        v = to_verilog(self._simple())
+        assert v.count(" ^ ") == 2  # two XOR bit slices
+
+    def test_registers_get_clock_and_always_block(self):
+        nl = Netlist("reg_demo")
+        a = nl.input("a", 1)
+        q = nl.register(a[0], init=True)
+        nl.output("y", Bus([q]))
+        v = to_verilog(nl)
+        assert "input clk;" in v
+        assert "always @(posedge clk)" in v
+        assert "= 1'b1;" in v  # init value on the reg declaration
+
+    def test_mux_renders_ternary(self):
+        nl = Netlist("mux")
+        s = nl.input("s", 1)
+        a = nl.input("a", 1)
+        b = nl.input("b", 1)
+        nl.output("y", Bus([nl.gate(Op.MUX, s[0], a[0], b[0])]))
+        assert "?" in to_verilog(nl)
+
+    def test_converter_exports(self):
+        nl = IndexToPermutationConverter(4).build_netlist(pipelined=True)
+        v = to_verilog(nl, module_name="idx2perm4")
+        assert "module idx2perm4(clk" in v
+        # every output bus concatenation present
+        for name in ("out0", "out1", "out2", "out3", "word"):
+            assert f"out_{name} = {{" in v
+
+    def test_every_assigned_wire_is_declared(self):
+        v = to_verilog(IndexToPermutationConverter(3).build_netlist())
+        declared = set(re.findall(r"(?:wire|reg) (w\d+)", v))
+        assigned = set(re.findall(r"assign (w\d+)", v))
+        assert assigned <= declared
+
+    def test_custom_module_name(self):
+        v = to_verilog(self._simple(), module_name="my_mod")
+        assert "module my_mod(" in v
+
+
+class TestVCD:
+    def test_header_and_vars(self):
+        w = VCDWriter({"index": 5, "clk": 1})
+        w.sample({"index": 3, "clk": 0})
+        text = w.render()
+        assert "$timescale 1ns $end" in text
+        assert "$var wire 5" in text and "$var wire 1" in text
+        assert "$enddefinitions $end" in text
+
+    def test_only_changes_recorded(self):
+        w = VCDWriter({"x": 4})
+        w.sample({"x": 7})
+        w.sample({"x": 7})
+        w.sample({"x": 2})
+        text = w.render()
+        assert text.count("b111 ") == 1
+        assert text.count("b10 ") == 1
+
+    def test_scalar_signals_use_short_form(self):
+        w = VCDWriter({"bit": 1})
+        w.sample({"bit": 1})
+        assert re.search(r"^1\S$", w.render(), re.MULTILINE)
+
+    def test_unknown_signal_rejected(self):
+        w = VCDWriter({"x": 2})
+        with pytest.raises(ValueError):
+            w.sample({"y": 0})
+
+    def test_empty_signals_rejected(self):
+        with pytest.raises(ValueError):
+            VCDWriter({})
+
+    def test_cycles_counter(self):
+        w = VCDWriter({"x": 1})
+        for v in (0, 1, 0):
+            w.sample({"x": v})
+        assert w.cycles == 3
+
+    def test_write_to_file(self, tmp_path):
+        w = VCDWriter({"x": 2})
+        w.sample({"x": 3})
+        path = tmp_path / "trace.vcd"
+        w.write(str(path))
+        assert path.read_text().startswith("$timescale")
+
+    def test_trace_of_real_pipeline(self):
+        """Dump a cycle-accurate converter run — the GTKWave workflow."""
+        from repro.hdl.simulator import SequentialSimulator
+
+        conv = IndexToPermutationConverter(4)
+        nl = conv.build_netlist(pipelined=True)
+        sim = SequentialSimulator(nl)
+        w = VCDWriter({"index": 5, "word": 8})
+        for i in range(10):
+            outs = sim.step({"index": i})
+            w.sample({"index": i, "word": int(outs["word"][0])})
+        text = w.render()
+        assert w.cycles == 10
+        assert text.count("#") >= 4  # several time markers

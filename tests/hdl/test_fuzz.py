@@ -1,0 +1,155 @@
+"""Random-netlist fuzzing: the simulator against a pure-Python evaluator.
+
+Hypothesis generates random combinational DAGs; each is evaluated both by
+the vectorised simulator and by a direct recursive interpreter.  Any
+divergence in folding, CSE or batch evaluation shows up here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.hdl.gates import GATE_ARITY, Op
+from repro.hdl.netlist import Bus, Netlist
+from repro.hdl.simulator import CombinationalSimulator
+
+_BINARY_OPS = [Op.AND, Op.OR, Op.XOR, Op.NAND, Op.NOR, Op.XNOR, Op.ANDN, Op.ORN]
+
+
+@st.composite
+def random_circuit(draw):
+    """A random DAG over ≤ 8 input bits and ≤ 25 gates, plus test vectors."""
+    n_inputs = draw(st.integers(1, 8))
+    n_gates = draw(st.integers(1, 25))
+    ops = []
+    for g in range(n_gates):
+        kind = draw(st.sampled_from(["not", "bin", "mux", "const"]))
+        ops.append(kind)
+    # operand picks are indices into "everything created so far"
+    picks = draw(
+        st.lists(st.integers(0, 10_000), min_size=3 * n_gates, max_size=3 * n_gates)
+    )
+    vectors = draw(st.lists(st.integers(0, (1 << n_inputs) - 1), min_size=1, max_size=8))
+    return n_inputs, ops, picks, vectors
+
+
+def _build(n_inputs: int, ops, picks):
+    """Construct the netlist and a parallel expression tree."""
+    nl = Netlist("fuzz")
+    a = nl.input("a", n_inputs)
+    wires = list(a)
+    exprs: dict[int, object] = {w: ("in", i) for i, w in enumerate(a)}
+    p = iter(picks)
+
+    def pick() -> int:
+        return wires[next(p) % len(wires)]
+
+    for kind in ops:
+        if kind == "const":
+            w = nl.const(next(p) % 2)
+            exprs.setdefault(w, ("const", (next(p, 0) * 0) + (1 if nl.gates[w].op is Op.CONST1 else 0)))
+        elif kind == "not":
+            x = pick()
+            w = nl.gate(Op.NOT, x)
+            exprs.setdefault(w, ("not", x))
+        elif kind == "mux":
+            s, x, y = pick(), pick(), pick()
+            w = nl.gate(Op.MUX, s, x, y)
+            exprs.setdefault(w, ("mux", s, x, y))
+        else:
+            op = _BINARY_OPS[next(p) % len(_BINARY_OPS)]
+            x, y = pick(), pick()
+            w = nl.gate(op, x, y)
+            exprs.setdefault(w, (op, x, y))
+        wires.append(w)
+    nl.output("y", Bus(wires[-min(4, len(wires)):]))
+    return nl, exprs
+
+
+def _interpret(nl: Netlist, wire: int, a_value: int, memo: dict[int, int]) -> int:
+    """Direct recursive evaluation straight off the gate table."""
+    if wire in memo:
+        return memo[wire]
+    g = nl.gates[wire]
+    if g.op is Op.INPUT:
+        bit = int(g.name.split("[")[1].rstrip("]"))
+        v = (a_value >> bit) & 1
+    elif g.op is Op.CONST0:
+        v = 0
+    elif g.op is Op.CONST1:
+        v = 1
+    else:
+        args = [_interpret(nl, f, a_value, memo) for f in g.fanin]
+        if g.op is Op.BUF:
+            v = args[0]
+        elif g.op is Op.NOT:
+            v = 1 - args[0]
+        elif g.op is Op.AND:
+            v = args[0] & args[1]
+        elif g.op is Op.OR:
+            v = args[0] | args[1]
+        elif g.op is Op.XOR:
+            v = args[0] ^ args[1]
+        elif g.op is Op.NAND:
+            v = 1 - (args[0] & args[1])
+        elif g.op is Op.NOR:
+            v = 1 - (args[0] | args[1])
+        elif g.op is Op.XNOR:
+            v = 1 - (args[0] ^ args[1])
+        elif g.op is Op.ANDN:
+            v = args[0] & (1 - args[1])
+        elif g.op is Op.ORN:
+            v = args[0] | (1 - args[1])
+        elif g.op is Op.MUX:
+            v = args[2] if args[0] else args[1]
+        else:  # pragma: no cover
+            raise AssertionError(g.op)
+    memo[wire] = v
+    return v
+
+
+@given(random_circuit())
+@settings(max_examples=120)
+def test_simulator_matches_direct_interpretation(case):
+    n_inputs, ops, picks, vectors = case
+    nl, _ = _build(n_inputs, ops, picks)
+    nl.check()
+    sim = CombinationalSimulator(nl)
+    got = sim.run({"a": vectors})["y"]
+    out_bus = nl.outputs["y"]
+    for lane, a_value in enumerate(vectors):
+        memo: dict[int, int] = {}
+        want = 0
+        for b, w in enumerate(out_bus):
+            want |= _interpret(nl, w, a_value, memo) << b
+        assert int(got[lane]) == want
+
+
+@given(random_circuit())
+@settings(max_examples=60)
+def test_sweep_preserves_function(case):
+    from repro.hdl.optimize import sweep
+
+    n_inputs, ops, picks, vectors = case
+    nl, _ = _build(n_inputs, ops, picks)
+    swept, _ = sweep(nl)
+    a = CombinationalSimulator(nl).run({"a": vectors})["y"]
+    b = CombinationalSimulator(swept).run({"a": vectors})["y"]
+    assert [int(v) for v in a] == [int(v) for v in b]
+
+
+@given(random_circuit())
+@settings(max_examples=60)
+def test_lut_mapping_covers_every_random_circuit(case):
+    from repro.fpga.lut_map import map_to_luts
+    from repro.hdl.gates import Op as _Op
+
+    n_inputs, ops, picks, _ = case
+    nl, _ = _build(n_inputs, ops, picks)
+    luts = map_to_luts(nl, k=4)
+    roots = {l.root for l in luts}
+    for w in nl.outputs["y"]:
+        if nl.gates[w].op not in (_Op.INPUT, _Op.REG, _Op.CONST0, _Op.CONST1):
+            assert w in roots
+    assert all(l.size <= 4 for l in luts)

@@ -1,0 +1,62 @@
+"""Unit tests for the primitive gate library."""
+
+import numpy as np
+import pytest
+
+from repro.hdl.gates import GATE_ARITY, Op, evaluate_op
+
+F = np.array([False, False, True, True])
+S = np.array([False, True, False, True])
+
+
+def test_buf_copies():
+    out = evaluate_op(Op.BUF, (F,))
+    assert out.tolist() == F.tolist()
+    out[0] = True
+    assert not F[0], "BUF must not alias its input"
+
+
+def test_not():
+    assert evaluate_op(Op.NOT, (F,)).tolist() == [True, True, False, False]
+
+
+@pytest.mark.parametrize(
+    "op, expected",
+    [
+        (Op.AND, [False, False, False, True]),
+        (Op.OR, [False, True, True, True]),
+        (Op.XOR, [False, True, True, False]),
+        (Op.NAND, [True, True, True, False]),
+        (Op.NOR, [True, False, False, False]),
+        (Op.XNOR, [True, False, False, True]),
+        (Op.ANDN, [False, False, True, False]),
+        (Op.ORN, [True, False, True, True]),
+    ],
+)
+def test_two_input_truth_tables(op, expected):
+    assert evaluate_op(op, (F, S)).tolist() == expected
+
+
+def test_mux_semantics():
+    sel = np.array([False, True, False, True])
+    a = np.array([True, True, False, False])
+    b = np.array([False, False, True, True])
+    # MUX(sel, a, b) = b if sel else a
+    assert evaluate_op(Op.MUX, (sel, a, b)).tolist() == [True, False, False, True]
+
+
+def test_arity_table_complete():
+    for op in Op:
+        assert op in GATE_ARITY
+
+
+def test_leaf_ops_not_evaluable():
+    for op in (Op.INPUT, Op.REG, Op.CONST0, Op.CONST1):
+        with pytest.raises(ValueError):
+            evaluate_op(op, ())
+
+
+def test_evaluate_preserves_shape():
+    x = np.zeros((7,), dtype=bool)
+    y = np.ones((7,), dtype=bool)
+    assert evaluate_op(Op.AND, (x, y)).shape == (7,)

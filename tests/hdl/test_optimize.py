@@ -1,0 +1,93 @@
+"""Dead-logic sweep tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.converter import IndexToPermutationConverter
+from repro.hdl.gates import Op
+from repro.hdl.netlist import Bus, Netlist
+from repro.hdl.optimize import statistics_delta, sweep
+from repro.hdl.simulator import CombinationalSimulator, SequentialSimulator
+
+
+def test_removes_dangling_gates():
+    nl = Netlist()
+    a = nl.input("a", 2)
+    nl.gate(Op.AND, a[0], a[1])  # dead
+    nl.output("y", Bus([nl.gate(Op.OR, a[0], a[1])]))
+    swept, stats = sweep(nl)
+    assert stats.gates_removed == 1
+    assert swept.num_logic_gates == 1
+
+
+def test_preserves_unused_inputs_in_port_list():
+    nl = Netlist()
+    nl.input("unused", 3)
+    a = nl.input("a", 1)
+    nl.output("y", a)
+    swept, _ = sweep(nl)
+    assert "unused" in swept.inputs
+    assert swept.inputs["unused"].width == 3
+
+
+def test_removes_dead_registers_and_their_cones():
+    nl = Netlist()
+    a = nl.input("a", 1)
+    dead_d = nl.gate(Op.NOT, a[0])
+    nl.register(dead_d)  # Q never read
+    live = nl.gate(Op.BUF, a[0])
+    nl.output("y", Bus([a[0]]))
+    swept, stats = sweep(nl)
+    assert stats.registers_removed == 1
+    assert swept.num_logic_gates == 0
+
+
+def test_keeps_feedback_registers():
+    """A register feeding itself through logic (LFSR-style) must stay."""
+    from repro.rng.lfsr import build_lfsr_netlist
+
+    nl = build_lfsr_netlist(8)
+    swept, stats = sweep(nl)
+    assert swept.num_registers == 8
+    assert stats.registers_removed == 0
+
+
+def test_swept_converter_equivalent_combinational():
+    conv = IndexToPermutationConverter(4)
+    nl = conv.build_netlist()
+    swept, stats = sweep(nl)
+    assert stats.gates_removed > 0  # truncated ripple tails are dead
+    a = CombinationalSimulator(nl).run({"index": list(range(24))})
+    b = CombinationalSimulator(swept).run({"index": list(range(24))})
+    for key in a:
+        assert [int(v) for v in a[key]] == [int(v) for v in b[key]]
+
+
+def test_swept_pipeline_equivalent_sequentially():
+    nl = IndexToPermutationConverter(4).build_netlist(pipelined=True)
+    swept, _ = sweep(nl)
+    s1, s2 = SequentialSimulator(nl), SequentialSimulator(swept)
+    for i in list(range(24)) + [0, 0, 0]:
+        o1, o2 = s1.step({"index": i}), s2.step({"index": i})
+        assert {k: int(v[0]) for k, v in o1.items()} == {k: int(v[0]) for k, v in o2.items()}
+
+
+def test_idempotent():
+    nl = IndexToPermutationConverter(5).build_netlist()
+    once, _ = sweep(nl)
+    twice, stats = sweep(once)
+    assert stats.gates_removed == 0
+
+
+def test_statistics_delta():
+    nl = IndexToPermutationConverter(4).build_netlist()
+    swept, _ = sweep(nl)
+    delta = statistics_delta(nl, swept)
+    assert delta["logic_gates"] > 0
+    assert delta["input_bits"] == 0 and delta["output_bits"] == 0
+
+
+def test_live_gate_count_matches_sweep():
+    nl = IndexToPermutationConverter(6).build_netlist()
+    swept, _ = sweep(nl)
+    assert nl.num_live_gates == swept.num_logic_gates

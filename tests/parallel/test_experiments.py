@@ -1,0 +1,72 @@
+"""Parallel experiment runners: bit-identical to sequential, any workers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.derangements import derangement_experiment
+from repro.analysis.distribution import permutation_histogram
+from repro.apps.bdd import achilles_heel, best_variable_order
+from repro.apps.pclass import classify_all
+from repro.core.knuth import KnuthShuffleCircuit
+from repro.parallel.experiments import (
+    parallel_best_order,
+    parallel_classify,
+    parallel_derangements,
+    parallel_fig4_counts,
+)
+
+SAMPLES = 1 << 14
+
+
+class TestFig4:
+    def test_matches_sequential_exactly(self):
+        seq = permutation_histogram(KnuthShuffleCircuit(4).sample(SAMPLES))
+        par = parallel_fig4_counts(4, samples=SAMPLES, workers=3)
+        assert np.array_equal(seq, par)
+
+    @pytest.mark.parametrize("workers", [1, 2, 5])
+    def test_worker_invariance(self, workers):
+        base = parallel_fig4_counts(4, samples=SAMPLES, workers=1)
+        got = parallel_fig4_counts(4, samples=SAMPLES, workers=workers)
+        assert np.array_equal(base, got)
+
+    def test_total_count_preserved(self):
+        counts = parallel_fig4_counts(4, samples=1000, workers=4)
+        assert counts.sum() == 1000
+
+
+class TestDerangements:
+    def test_matches_sequential(self):
+        seq = derangement_experiment(4, samples=SAMPLES)
+        par = parallel_derangements(4, samples=SAMPLES, workers=4)
+        assert par.derangements == seq.derangements
+        assert par.samples == seq.samples
+
+    def test_uneven_split(self):
+        a = parallel_derangements(5, samples=1001, workers=3)
+        b = parallel_derangements(5, samples=1001, workers=7)
+        assert a.derangements == b.derangements
+
+
+class TestOrderSearch:
+    def test_matches_sequential_search(self):
+        tt, n = achilles_heel(3)
+        pb, pbs, pw, pws = parallel_best_order(tt, n, workers=4)
+        _, sbs, _, sws = best_variable_order(tt, n)
+        assert pbs == sbs and pws == sws
+
+    def test_worker_invariance_with_ties(self):
+        """Many orders tie on size; the lexicographic tie-break must make
+        the returned order independent of sharding."""
+        tt, n = achilles_heel(2)
+        results = {parallel_best_order(tt, n, workers=w) for w in (1, 2, 4, 8)}
+        assert len(results) == 1
+
+
+class TestClassify:
+    def test_matches_explicit_classification(self):
+        reps = parallel_classify(3, workers=4)
+        assert reps == set(classify_all(3))
+
+    def test_worker_invariance(self):
+        assert parallel_classify(2, workers=1) == parallel_classify(2, workers=3)

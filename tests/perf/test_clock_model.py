@@ -1,0 +1,55 @@
+"""Hardware timing model tests (Table II's SRC-6 column)."""
+
+import pytest
+
+from repro.perf.clock_model import SRC6_CLOCK_MHZ, HardwareEstimate, HardwareTimingModel
+
+
+class TestEstimate:
+    def test_src6_marginal_is_10ns(self):
+        """The paper: one permutation per 100 MHz clock → 10 ns."""
+        model = HardwareTimingModel(10, clock_mhz=SRC6_CLOCK_MHZ)
+        est = model.estimate(1_000_000)
+        assert est.marginal_ns_per_permutation == pytest.approx(10.0)
+
+    def test_marginal_independent_of_n(self):
+        """The defining property: hardware cost does not grow with n."""
+        times = [
+            HardwareTimingModel(n, clock_mhz=100.0).estimate(1000).marginal_ns_per_permutation
+            for n in (2, 5, 10)
+        ]
+        assert len(set(times)) == 1
+
+    def test_amortised_tends_to_marginal(self):
+        model = HardwareTimingModel(8, clock_mhz=100.0)
+        small = model.estimate(10).ns_per_permutation
+        large = model.estimate(100_000).ns_per_permutation
+        assert small > large
+        assert large == pytest.approx(10.0, rel=1e-3)
+
+    def test_total_includes_fill(self):
+        model = HardwareTimingModel(5, clock_mhz=100.0)
+        est = model.estimate(10)
+        assert est.total_ns == pytest.approx((model.latency_cycles + 10) * 10.0)
+
+    def test_latency(self):
+        model = HardwareTimingModel(6, clock_mhz=200.0)
+        assert model.latency_cycles == 5
+        assert model.latency_ns == pytest.approx(25.0)
+
+    def test_count_must_be_positive(self):
+        with pytest.raises(ValueError):
+            HardwareTimingModel(4).estimate(0)
+
+
+class TestFPGADerivedClock:
+    def test_clock_from_timing_model(self):
+        """clock_mhz=None pulls Fmax from the synthesized pipelined netlist."""
+        model = HardwareTimingModel(4, clock_mhz=None)
+        assert 1.0 < model.clock_mhz < 1000.0
+
+    def test_fpga_clock_decreases_with_n(self):
+        """Deeper stages → slower clock, the Table-III frequency trend."""
+        f3 = HardwareTimingModel(3, clock_mhz=None).clock_mhz
+        f8 = HardwareTimingModel(8, clock_mhz=None).clock_mhz
+        assert f3 > f8

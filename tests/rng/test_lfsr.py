@@ -1,0 +1,149 @@
+"""LFSR correctness: maximality, linearity, jump-ahead, netlist parity."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hdl.simulator import SequentialSimulator
+from repro.rng.lfsr import FibonacciLFSR, GaloisLFSR, build_lfsr_netlist
+
+
+@pytest.mark.parametrize("cls", [FibonacciLFSR, GaloisLFSR])
+@pytest.mark.parametrize("width", list(range(2, 15)))
+def test_maximal_period(cls, width):
+    """Every nonzero state appears exactly once per period 2^m − 1."""
+    lfsr = cls(width, seed=1)
+    seen = set()
+    for _ in range(lfsr.period):
+        s = lfsr.next_word()
+        assert s != 0
+        assert s not in seen
+        seen.add(s)
+    assert len(seen) == (1 << width) - 1
+    assert lfsr.state == 1  # back to the seed after one full period
+
+
+@pytest.mark.parametrize("cls", [FibonacciLFSR, GaloisLFSR])
+def test_zero_state_is_forbidden_seed(cls):
+    with pytest.raises(ValueError):
+        cls(8, seed=0)
+    with pytest.raises(ValueError):
+        cls(8, seed=256)
+
+
+def test_width_below_two_rejected():
+    with pytest.raises(ValueError):
+        FibonacciLFSR(1)
+
+
+def test_reset_returns_to_seed():
+    lfsr = FibonacciLFSR(12, seed=77)
+    for _ in range(10):
+        lfsr.next_word()
+    lfsr.reset()
+    assert lfsr.state == 77
+
+
+def test_words_batch_equals_sequential():
+    a = FibonacciLFSR(16, seed=5)
+    b = FibonacciLFSR(16, seed=5)
+    batch = a.words(50)
+    seq = [b.next_word() for _ in range(50)]
+    assert [int(x) for x in batch] == seq
+    assert a.state == b.state
+
+
+def test_iter_words_stream():
+    lfsr = FibonacciLFSR(8, seed=9)
+    it = lfsr.iter_words()
+    ref = FibonacciLFSR(8, seed=9)
+    assert [next(it) for _ in range(5)] == [ref.next_word() for _ in range(5)]
+
+
+def test_next_fraction_in_open_unit_interval():
+    lfsr = FibonacciLFSR(10, seed=1)
+    for _ in range(200):
+        x = lfsr.next_fraction()
+        assert 0.0 < x < 1.0
+
+
+class TestLinearity:
+    """The step map must be GF(2)-linear — jump-ahead relies on it."""
+
+    @given(st.integers(1, (1 << 12) - 1), st.integers(1, (1 << 12) - 1))
+    def test_step_is_additive(self, x, y):
+        lfsr = FibonacciLFSR(12)
+        assert lfsr._step(x ^ y) == lfsr._step(x) ^ lfsr._step(y)
+
+    @given(st.integers(1, (1 << 12) - 1), st.integers(1, (1 << 12) - 1))
+    def test_galois_step_is_additive(self, x, y):
+        lfsr = GaloisLFSR(12)
+        assert lfsr._step(x ^ y) == lfsr._step(x) ^ lfsr._step(y)
+
+
+class TestJump:
+    @pytest.mark.parametrize("cls", [FibonacciLFSR, GaloisLFSR])
+    @pytest.mark.parametrize("steps", [0, 1, 2, 17, 1000, 123456])
+    def test_jump_equals_stepping(self, cls, steps):
+        a = cls(20, seed=31337)
+        b = cls(20, seed=31337)
+        for _ in range(min(steps, 2000)):
+            a.next_word()
+        if steps > 2000:
+            a.jump(steps - 2000)
+        b.jump(steps)
+        assert a.state == b.state
+
+    def test_jump_full_period_is_identity(self):
+        lfsr = FibonacciLFSR(10, seed=99)
+        lfsr.jump(lfsr.period)
+        assert lfsr.state == 99
+
+    def test_negative_jump_rejected(self):
+        with pytest.raises(ValueError):
+            FibonacciLFSR(8).jump(-1)
+
+
+class TestSubstreams:
+    def test_substreams_are_disjoint_blocks(self):
+        base = FibonacciLFSR(24, seed=1)
+        streams = base.spawn_substreams(count=4, total_draws=1000)
+        # stream j starts at offset j * ceil(1000/4) = 250j
+        ref = FibonacciLFSR(24, seed=1)
+        draws = [ref.next_word() for _ in range(1000)]
+        for j, s in enumerate(streams):
+            got = [s.next_word() for _ in range(250)]
+            assert got == draws[250 * j : 250 * (j + 1)]
+
+    def test_invalid_count_rejected(self):
+        with pytest.raises(ValueError):
+            FibonacciLFSR(8).spawn_substreams(0, 10)
+
+
+class TestNetlist:
+    @pytest.mark.parametrize("width", [4, 7, 13])
+    def test_netlist_matches_software(self, width):
+        nl = build_lfsr_netlist(width, seed=5)
+        sim = SequentialSimulator(nl)
+        # cycle 0 emits the seed; cycle c ≥ 1 emits step^c(seed)
+        assert int(sim.step({})["state"][0]) == 5
+        ref = FibonacciLFSR(width, seed=5)
+        for _ in range(min(200, (1 << width) - 1)):
+            assert int(sim.step({})["state"][0]) == ref.next_word()
+
+    def test_netlist_register_count(self):
+        nl = build_lfsr_netlist(16)
+        assert nl.num_registers == 16
+
+    def test_netlist_bad_seed_rejected(self):
+        with pytest.raises(ValueError):
+            build_lfsr_netlist(8, seed=0)
+
+
+def test_fibonacci_and_galois_differ_but_both_maximal():
+    """Same tap table, different forms: different sequences, same period."""
+    f = FibonacciLFSR(9, seed=1)
+    g = GaloisLFSR(9, seed=1)
+    fw = [f.next_word() for _ in range(20)]
+    gw = [g.next_word() for _ in range(20)]
+    assert fw != gw

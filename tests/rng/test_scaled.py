@@ -1,0 +1,119 @@
+"""Scaled random-integer generator: exact bias, netlist parity."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hdl.simulator import SequentialSimulator
+from repro.rng.lfsr import FibonacciLFSR
+from repro.rng.scaled import (
+    ScaledRandomInteger,
+    bias_profile,
+    build_scaled_netlist,
+    scale_word,
+)
+
+
+class TestScaleWord:
+    @given(st.integers(0, 255), st.integers(1, 300))
+    def test_range(self, x, k):
+        i = scale_word(x, k, 8)
+        assert 0 <= i < k
+
+    def test_rejects_out_of_range_word(self):
+        with pytest.raises(ValueError):
+            scale_word(32, 4, 5)
+
+    def test_monotone_in_x(self):
+        vals = [scale_word(x, 24, 5) for x in range(32)]
+        assert vals == sorted(vals)
+
+
+class TestBiasProfile:
+    def test_paper_example_m5_k24(self):
+        """§III-A: 'seven of the random integers are generated from two
+        random numbers, while 17 are generated from one'."""
+        report = bias_profile(24, 5)
+        twos = sum(1 for c in report.counts if c == 2)
+        ones = sum(1 for c in report.counts if c == 1)
+        assert (twos, ones) == (7, 17)
+        assert report.ratio == 2.0
+
+    def test_counts_sum_to_period(self):
+        for k, m in [(24, 5), (24, 31), (7, 4), (1, 3), (100, 8)]:
+            r = bias_profile(k, m)
+            assert sum(r.counts) == (1 << m) - 1
+            assert r.period == (1 << m) - 1
+
+    def test_bias_shrinks_with_m(self):
+        """§III-A: 'choosing a larger m reduces the difference'."""
+        errs = [bias_profile(24, m).max_relative_error for m in (5, 8, 16, 31)]
+        assert errs == sorted(errs, reverse=True)
+        assert errs[-1] < 1e-6
+
+    def test_m31_close_to_uniform(self):
+        r = bias_profile(24, 31)
+        assert r.max_relative_error < 1e-7
+        assert r.ratio < 1.0 + 1e-6
+
+    def test_some_bin_can_be_empty_when_k_near_period(self):
+        # k = 2^m: the state 0 never occurs, so integer 0 gets 0 counts...
+        # actually k=2^m maps x -> x, so bin 0 is empty.
+        r = bias_profile(8, 3)
+        assert r.counts[0] == 0
+        assert r.ratio == float("inf")
+
+    def test_histogram_dtype(self):
+        h = bias_profile(6, 4).histogram()
+        assert h.dtype == np.int64 and h.sum() == 15
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            bias_profile(0, 5)
+        with pytest.raises(ValueError):
+            bias_profile(5, 0)
+
+
+class TestScaledRandomInteger:
+    def test_draws_in_range(self):
+        g = ScaledRandomInteger(10, m=8)
+        for _ in range(300):
+            assert 0 <= g.next_int() < 10
+
+    def test_ints_batch_matches_sequential(self):
+        a = ScaledRandomInteger(7, m=12, seed=3)
+        b = ScaledRandomInteger(7, m=12, seed=3)
+        batch = a.ints(100)
+        seq = [b.next_int() for _ in range(100)]
+        assert batch.tolist() == seq
+
+    def test_full_period_histogram_matches_bias_profile(self):
+        g = ScaledRandomInteger(5, m=7, seed=1)
+        draws = g.ints((1 << 7) - 1)
+        hist = np.bincount(draws, minlength=5)
+        assert hist.tolist() == list(g.bias().counts)
+
+    def test_custom_lfsr(self):
+        lfsr = FibonacciLFSR(9, seed=2)
+        g = ScaledRandomInteger(4, lfsr=lfsr)
+        assert g.m == 9
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            ScaledRandomInteger(0)
+
+
+class TestNetlist:
+    @pytest.mark.parametrize("m,k", [(5, 24), (6, 3), (8, 10)])
+    def test_gate_level_matches_software(self, m, k):
+        nl = build_scaled_netlist(m, k, seed=1)
+        sim = SequentialSimulator(nl)
+        sim.step({})  # discard the seed-state output (software advances first)
+        ref = ScaledRandomInteger(k, m=m, seed=1)
+        got = [int(sim.step({})["i"][0]) for _ in range(50)]
+        want = [ref.next_int() for _ in range(50)]
+        assert got == want
+
+    def test_output_width(self):
+        nl = build_scaled_netlist(5, 24)
+        assert nl.outputs["i"].width == 5  # ceil(log2 24)

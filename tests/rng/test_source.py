@@ -1,0 +1,67 @@
+"""Index source tests."""
+
+import numpy as np
+import pytest
+
+from repro.rng.source import CounterSource, LFSRIndexSource, ListSource
+
+
+class TestCounterSource:
+    def test_sequential_with_wrap(self):
+        src = CounterSource(5)
+        assert src.take(12).tolist() == [0, 1, 2, 3, 4, 0, 1, 2, 3, 4, 0, 1]
+
+    def test_start_offset(self):
+        src = CounterSource(4, start=2)
+        assert src.take(4).tolist() == [2, 3, 0, 1]
+
+    def test_state_persists_across_takes(self):
+        src = CounterSource(100)
+        src.take(10)
+        assert src.take(1).tolist() == [10]
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            CounterSource(0)
+        with pytest.raises(ValueError):
+            CounterSource(5, start=5)
+
+    def test_huge_limit_uses_object_dtype(self):
+        src = CounterSource(1 << 80)
+        out = src.take(3)
+        assert out.dtype == object
+
+
+class TestListSource:
+    def test_replays_and_cycles(self):
+        src = ListSource([4, 1, 3])
+        assert src.take(7).tolist() == [4, 1, 3, 4, 1, 3, 4]
+
+    def test_limit_inferred(self):
+        assert ListSource([4, 1, 3]).limit == 5
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            ListSource([4], limit=4)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ListSource([])
+
+
+class TestLFSRIndexSource:
+    def test_range(self):
+        src = LFSRIndexSource(24, m=8)
+        out = src.take(500)
+        assert out.min() >= 0 and out.max() < 24
+
+    def test_deterministic_for_seed(self):
+        a = LFSRIndexSource(10, m=12, seed=7).take(50)
+        b = LFSRIndexSource(10, m=12, seed=7).take(50)
+        assert np.array_equal(a, b)
+
+    def test_iter_matches_take(self):
+        a = LFSRIndexSource(6, m=9, seed=2)
+        b = LFSRIndexSource(6, m=9, seed=2)
+        it = iter(a)
+        assert [next(it) for _ in range(20)] == b.take(20).tolist()

@@ -1,0 +1,49 @@
+"""Tap-table sanity checks."""
+
+import pytest
+
+from repro.rng.taps import MAXIMAL_TAPS, feedback_mask, taps_for_width
+
+
+def test_table_covers_2_to_64():
+    assert set(MAXIMAL_TAPS) == set(range(2, 65))
+
+
+def test_width_is_always_a_tap():
+    for width, taps in MAXIMAL_TAPS.items():
+        assert width in taps, f"width {width} missing its own tap"
+
+
+def test_taps_within_range_and_distinct():
+    for width, taps in MAXIMAL_TAPS.items():
+        assert all(1 <= t <= width for t in taps)
+        assert len(set(taps)) == len(taps)
+
+
+def test_even_tap_count():
+    """A primitive polynomial over GF(2) has an even number of feedback
+    taps in the XAPP052 convention (odd number of nonzero terms incl. 1)."""
+    for width, taps in MAXIMAL_TAPS.items():
+        assert len(taps) % 2 == 0, (width, taps)
+
+
+def test_feedback_mask_bits():
+    assert feedback_mask(5) == (1 << 4) | (1 << 2)  # taps (5, 3)
+
+
+def test_feedback_mask_custom_taps():
+    assert feedback_mask(4, (4, 1)) == 0b1001
+
+
+def test_feedback_mask_rejects_out_of_range():
+    with pytest.raises(ValueError):
+        feedback_mask(4, (5,))
+    with pytest.raises(ValueError):
+        feedback_mask(4, (0,))
+
+
+def test_unknown_width_rejected():
+    with pytest.raises(ValueError):
+        taps_for_width(65)
+    with pytest.raises(ValueError):
+        taps_for_width(1)

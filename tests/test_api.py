@@ -1,0 +1,38 @@
+"""Public API surface tests."""
+
+import repro
+
+
+def test_version():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_all_exports_resolve():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+def test_quickstart_from_docstring():
+    """The README/top-level docstring example must work verbatim."""
+    from repro import IndexToPermutationConverter, KnuthShuffleCircuit
+
+    conv = IndexToPermutationConverter(4)
+    assert conv.convert(23) == (3, 2, 1, 0)
+    assert conv.convert_batch(range(24)).shape == (24, 4)
+
+    shuffle = KnuthShuffleCircuit(8)
+    assert shuffle.sample(100).shape == (100, 8)
+
+
+def test_subpackages_importable():
+    import repro.analysis
+    import repro.apps
+    import repro.core
+    import repro.fpga
+    import repro.hdl
+    import repro.perf
+    import repro.rng
+
+    for pkg in (repro.analysis, repro.apps, repro.core, repro.fpga,
+                repro.hdl, repro.perf, repro.rng):
+        assert pkg.__doc__

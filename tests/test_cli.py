@@ -1,0 +1,65 @@
+"""CLI subcommand tests (driven through main(argv))."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_unrank(capsys):
+    assert main(["unrank", "23", "4"]) == 0
+    assert capsys.readouterr().out.strip() == "3 2 1 0"
+
+
+def test_rank(capsys):
+    assert main(["rank", "3", "2", "1", "0"]) == 0
+    assert capsys.readouterr().out.strip() == "23"
+
+
+def test_rank_unrank_inverse(capsys):
+    main(["unrank", "17", "4"])
+    perm = capsys.readouterr().out.split()
+    main(["rank", *perm])
+    assert capsys.readouterr().out.strip() == "17"
+
+
+def test_table1(capsys):
+    assert main(["table1", "3"]) == 0
+    out = capsys.readouterr().out.splitlines()
+    assert len(out) == 7  # header + 3! rows
+    assert out[-1].endswith("2 1 0")
+
+
+def test_table1_default_n4(capsys):
+    main(["table1"])
+    assert len(capsys.readouterr().out.splitlines()) == 25
+
+
+def test_shuffle(capsys):
+    assert main(["shuffle", "5", "7"]) == 0
+    rows = capsys.readouterr().out.splitlines()
+    assert len(rows) == 7
+    for row in rows:
+        assert sorted(int(x) for x in row.split()) == list(range(5))
+
+
+def test_resources(capsys):
+    assert main(["resources", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "Freq" in out and len(out.splitlines()) == 2
+
+
+def test_fig4_small(capsys):
+    assert main(["fig4", "2048"]) == 0
+    out = capsys.readouterr().out
+    assert "chi2 p=" in out
+    assert len(out.splitlines()) >= 24
+
+
+def test_unknown_command_exits():
+    with pytest.raises(SystemExit):
+        main(["nope"])
+
+
+def test_no_command_exits():
+    with pytest.raises(SystemExit):
+        main([])
