@@ -1,0 +1,80 @@
+"""Robustness extension: fault-campaign throughput and checked-mode overhead.
+
+Two questions an operator asks before enabling the robustness layer:
+
+1. how fast do campaigns run (faults simulated per second), i.e. what
+   does a nightly exhaustive stuck-at sweep cost?
+2. what does online checking cost per conversion — bijectivity alone,
+   and with the rank∘unrank oracle — relative to the bare converter?
+"""
+
+import time
+
+from conftest import write_report
+
+from repro.core.converter import IndexToPermutationConverter
+from repro.robustness.campaign import CampaignSpec, fault_list, run_campaign
+from repro.robustness.checkers import CheckedConverter
+
+N_CAMPAIGN = 5
+N_CHECKED = 8
+BATCH = 2048
+
+
+def test_stuck_campaign_throughput(benchmark, results_dir):
+    spec = CampaignSpec(circuit="converter", n=N_CAMPAIGN, model="stuck")
+    total = len(fault_list(spec))
+
+    def run():
+        return run_campaign(spec)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.total == total
+    assert result.benign + result.detected + result.silent == total
+    elapsed = benchmark.stats["mean"]
+    throughput = total / elapsed
+    write_report(
+        results_dir,
+        "fault_campaign",
+        f"Fault-injection campaign throughput (converter n={N_CAMPAIGN}, "
+        f"exhaustive stuck-at)\n"
+        f"faults: {total}  time: {elapsed:.2f}s  "
+        f"throughput: {throughput:.0f} faults/s\n\n" + result.render(),
+    )
+
+
+def test_checked_mode_overhead(benchmark, results_dir):
+    conv = IndexToPermutationConverter(N_CHECKED)
+    checked = CheckedConverter(conv)
+    dual = CheckedConverter(conv, dual_rail=True)
+    indices = list(range(BATCH))
+
+    def timed(fn):
+        t0 = time.perf_counter()
+        for _ in range(5):
+            fn(indices)
+        return (time.perf_counter() - t0) / 5
+
+    bare = timed(conv.convert_batch)
+    plain = timed(checked.convert_batch)
+    railed = timed(dual.convert_batch)
+
+    def run():
+        return checked.convert_batch(indices)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+    overhead = plain / bare
+    # checking is pure-python O(n·B) next to the vectorised datapath; keep
+    # an alarm threshold so a regression (e.g. per-row netlist sim sneaking
+    # in) fails loudly rather than silently eating throughput.
+    assert overhead < 60.0
+    write_report(
+        results_dir,
+        "checked_overhead",
+        f"Checked-mode overhead (n={N_CHECKED}, batch={BATCH})\n"
+        f"bare converter      : {1e6 * bare / BATCH:8.2f} us/perm\n"
+        f"checked (oracle)    : {1e6 * plain / BATCH:8.2f} us/perm  "
+        f"({plain / bare:.1f}x)\n"
+        f"checked + dual rail : {1e6 * railed / BATCH:8.2f} us/perm  "
+        f"({railed / bare:.1f}x)\n",
+    )

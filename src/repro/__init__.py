@@ -35,11 +35,27 @@ from repro.core import (
     rank,
     unrank,
 )
+from repro.errors import (
+    FaultDetectedError,
+    InvalidIndexError,
+    InvalidPermutationError,
+    ReproError,
+    SilentCorruptionError,
+    WorkerFailedError,
+)
 from repro.rng import FibonacciLFSR, GaloisLFSR, ScaledRandomInteger
+from repro.robustness import CheckedConverter
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "CheckedConverter",
+    "FaultDetectedError",
+    "InvalidIndexError",
+    "InvalidPermutationError",
+    "ReproError",
+    "SilentCorruptionError",
+    "WorkerFailedError",
     "FactorialDigits",
     "IndexToPermutationConverter",
     "KnuthShuffleCircuit",

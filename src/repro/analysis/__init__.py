@@ -8,7 +8,9 @@
   4-element permutations keyed by the packed 8-bit word;
 * :mod:`repro.analysis.complexity` — the §II-D / §III-C complexity claims
   (O(n²) comparators/crossovers, O(n) delay) checked against real
-  netlists, with least-squares exponents.
+  netlists, with least-squares exponents;
+* :mod:`repro.analysis.faultcoverage` — confidence intervals and sample
+  sizing for the sampled fault-injection campaigns.
 """
 
 from repro.analysis.derangements import (
@@ -51,6 +53,7 @@ from repro.analysis.complexity import (
     shuffle_complexity,
     fit_power_law,
 )
+from repro.analysis.faultcoverage import required_samples, wilson_interval
 
 __all__ = [
     "subfactorial",
@@ -81,4 +84,6 @@ __all__ = [
     "transposition_walk_tv",
     "shuffle_vs_walk",
     "cutoff_estimate",
+    "required_samples",
+    "wilson_interval",
 ]

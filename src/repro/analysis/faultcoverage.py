@@ -1,0 +1,74 @@
+"""Statistics for sampled fault-injection campaigns.
+
+An exhaustive stuck-at campaign measures coverage exactly; a *sampled*
+campaign (SEU cycles, bridging pairs, or ``--samples K``) only
+estimates it.  The estimate deserves a confidence interval — and the
+normal approximation misbehaves exactly where fault coverage lives, at
+proportions near 1.  The Wilson score interval stays inside ``[0, 1]``
+and keeps near-nominal coverage probability even for small samples, so
+that is what the campaign reports quote.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["wilson_interval", "required_samples"]
+
+
+def wilson_interval(
+    successes: int, trials: int, confidence: float = 0.95
+) -> tuple[float, float]:
+    """Wilson score interval for a binomial proportion.
+
+    Returns ``(lo, hi)`` bounds on the true proportion given
+    ``successes`` out of ``trials``.  ``trials == 0`` returns the
+    vacuous interval ``(0, 1)``.
+    """
+    if not (0 <= successes <= trials):
+        raise ValueError("need 0 <= successes <= trials")
+    if not (0.0 < confidence < 1.0):
+        raise ValueError("confidence must be in (0, 1)")
+    if trials == 0:
+        return (0.0, 1.0)
+    # two-sided normal quantile via the error function (no scipy needed)
+    z = math.sqrt(2.0) * _erfinv(confidence)
+    p = successes / trials
+    denom = 1.0 + z * z / trials
+    centre = (p + z * z / (2 * trials)) / denom
+    half = (z / denom) * math.sqrt(p * (1 - p) / trials + z * z / (4 * trials * trials))
+    return (max(0.0, centre - half), min(1.0, centre + half))
+
+
+def _erfinv(y: float) -> float:
+    """Inverse error function by Newton refinement of a rational seed.
+
+    Accurate to ~1e-12 over (−1, 1) — far tighter than any campaign
+    needs — without importing scipy into this leaf module.
+    """
+    if not (-1.0 < y < 1.0):
+        raise ValueError("erfinv domain is (-1, 1)")
+    # Winitzki's approximation as the seed
+    a = 0.147
+    ln_term = math.log(1.0 - y * y)
+    t1 = 2.0 / (math.pi * a) + ln_term / 2.0
+    x = math.copysign(math.sqrt(math.sqrt(t1 * t1 - ln_term / a) - t1), y)
+    # two Newton steps: f(x) = erf(x) − y, f'(x) = 2/√π · exp(−x²)
+    for _ in range(2):
+        err = math.erf(x) - y
+        x -= err * math.sqrt(math.pi) / 2.0 * math.exp(x * x)
+    return x
+
+
+def required_samples(
+    margin: float, confidence: float = 0.95, proportion: float = 0.5
+) -> int:
+    """Sample size for a ± ``margin`` normal-approximation interval.
+
+    ``proportion=0.5`` is the conservative worst case; pass the expected
+    coverage for a tighter budget when prior campaigns exist.
+    """
+    if not (0.0 < margin < 1.0):
+        raise ValueError("margin must be in (0, 1)")
+    z = math.sqrt(2.0) * _erfinv(confidence)
+    return math.ceil(z * z * proportion * (1.0 - proportion) / (margin * margin))

@@ -8,6 +8,12 @@ Subcommands mirror the paper's artefacts:
 * ``shuffle n [count]``— sample random permutations from the Knuth circuit
 * ``resources n``      — Table-III-style resource row for the converter
 * ``fig4 [samples]``   — run the Fig.-4 histogram experiment
+* ``faults n``         — fault-injection campaign + coverage report
+
+Invalid input (an index outside ``0..n!−1``, a non-permutation element
+list) never produces a traceback: typed :class:`~repro.errors.ReproError`
+failures print a one-line diagnostic on stderr and exit with status 2,
+the conventional usage-error code.
 """
 
 from __future__ import annotations
@@ -19,11 +25,14 @@ from repro.core.converter import IndexToPermutationConverter
 from repro.core.factorial import FactorialDigits, factorial
 from repro.core.knuth import KnuthShuffleCircuit
 from repro.core.lehmer import rank as rank_perm
+from repro.errors import ReproError
 
 __all__ = ["main"]
 
 
 def _cmd_unrank(args: argparse.Namespace) -> int:
+    if args.n < 1:
+        raise ReproError("n must be at least 1")
     conv = IndexToPermutationConverter(args.n)
     perm = conv.convert(args.index)
     print(" ".join(str(x) for x in perm))
@@ -75,6 +84,26 @@ def _cmd_fig4(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_faults(args: argparse.Namespace) -> int:
+    from repro.robustness.campaign import CampaignSpec, run_campaign
+
+    spec = CampaignSpec(
+        circuit=args.circuit,
+        n=args.n,
+        model=args.model,
+        samples=args.samples,
+        seed=args.seed,
+    )
+    result = run_campaign(
+        spec,
+        workers=args.workers,
+        degrade=args.degrade,
+        progress=lambda msg: print(f"[campaign] {msg}", file=sys.stderr),
+    )
+    print(result.render())
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-perm",
@@ -108,8 +137,42 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("samples", type=int, nargs="?", default=1 << 18)
     p.set_defaults(fn=_cmd_fig4)
 
+    p = sub.add_parser(
+        "faults", help="fault-injection campaign with coverage report"
+    )
+    p.add_argument("n", type=int)
+    p.add_argument(
+        "--model", choices=["stuck", "seu", "bridge"], default="stuck",
+        help="fault model (default: stuck-at)",
+    )
+    p.add_argument(
+        "--circuit", choices=["converter", "shuffle"], default="converter",
+        help="which of the paper's circuits to attack (default: converter)",
+    )
+    p.add_argument(
+        "--samples", type=int, default=None,
+        help="sample this many fault sites instead of the exhaustive set",
+    )
+    p.add_argument("--seed", type=int, default=0, help="sampling seed")
+    p.add_argument(
+        "--workers", type=int, default=1,
+        help="process workers for the sharded campaign (default: 1)",
+    )
+    p.add_argument(
+        "--degrade", action="store_true",
+        help="keep partial statistics if shards fail permanently",
+    )
+    p.set_defaults(fn=_cmd_faults)
+
     args = parser.parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except ReproError as exc:
+        print(f"repro-perm: error: {exc}", file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:
+        print("repro-perm: interrupted", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":

@@ -31,6 +31,7 @@ import numpy as np
 
 from repro.core.factorial import element_width, factorial, index_width, word_width
 from repro.core.lehmer import unrank_batch
+from repro.errors import InvalidIndexError, InvalidPermutationError
 from repro.hdl.components import (
     geq_const,
     mux2_bus,
@@ -80,7 +81,7 @@ class IndexToPermutationConverter:
         else:
             pool = tuple(int(x) for x in input_permutation)
             if sorted(pool) != list(range(n)):
-                raise ValueError("input permutation must permute 0..n-1")
+                raise InvalidPermutationError("input permutation must permute 0..n-1")
             self.input_permutation = pool
         self.index_limit = factorial(n)
         self.index_width = index_width(n)
@@ -146,9 +147,18 @@ class IndexToPermutationConverter:
     # functional model (stage-accurate software reference)
 
     def convert(self, index: int) -> tuple[int, ...]:
-        """Unrank one index through the stage-accurate datapath."""
+        """Unrank one index through the stage-accurate datapath.
+
+        Raises :class:`~repro.errors.InvalidIndexError` (a
+        :class:`ValueError` subclass) for non-integers and indices
+        outside ``0..n!−1``.
+        """
+        if isinstance(index, bool) or not isinstance(index, (int, np.integer)):
+            raise InvalidIndexError(f"index {index!r} is not an integer")
         if not (0 <= index < self.index_limit):
-            raise ValueError(f"index {index} outside 0..{self.index_limit - 1}")
+            raise InvalidIndexError(
+                f"index {index} outside 0..{self.index_limit - 1}"
+            )
         pool = list(self.input_permutation)
         remaining = index
         out = []

@@ -26,6 +26,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.core.factorial import factorial, digits_from_index, max_index
+from repro.errors import InvalidIndexError, InvalidPermutationError
 
 __all__ = [
     "unrank",
@@ -49,7 +50,7 @@ def _validated_pool(n: int, pool: Sequence[int] | None) -> list[int]:
         return list(range(n))
     p = [int(x) for x in pool]
     if len(p) != n:
-        raise ValueError(f"pool has {len(p)} elements, expected {n}")
+        raise InvalidPermutationError(f"pool has {len(p)} elements, expected {n}")
     return p
 
 
@@ -61,7 +62,7 @@ def unrank_naive(index: int, n: int, pool: Sequence[int] | None = None) -> tuple
     of the pool at each step.
     """
     if not (0 <= index < factorial(n)):
-        raise ValueError(f"index {index} outside 0..{max_index(n)}")
+        raise InvalidIndexError(f"index {index} outside 0..{max_index(n)}")
     remaining = _validated_pool(n, pool)
     digits = digits_from_index(index, n)
     out = []
@@ -80,7 +81,9 @@ def rank_naive(perm: Sequence[int], pool: Sequence[int] | None = None) -> int:
         try:
             d = remaining.index(v)
         except ValueError:
-            raise ValueError(f"{perm!r} is not drawn from the pool") from None
+            raise InvalidPermutationError(
+                f"{perm!r} is not drawn from the pool"
+            ) from None
         index += d * factorial(n - 1 - i)
         remaining.pop(d)
     return index
@@ -130,7 +133,7 @@ class _Fenwick:
 def unrank_fenwick(index: int, n: int, pool: Sequence[int] | None = None) -> tuple[int, ...]:
     """O(n log n) unranking via a Fenwick tree over the live pool."""
     if not (0 <= index < factorial(n)):
-        raise ValueError(f"index {index} outside 0..{max_index(n)}")
+        raise InvalidIndexError(f"index {index} outside 0..{max_index(n)}")
     base = _validated_pool(n, pool)
     digits = digits_from_index(index, n)
     tree = _Fenwick(n)
@@ -147,7 +150,7 @@ def rank_fenwick(perm: Sequence[int]) -> int:
     p = [int(x) for x in perm]
     n = len(p)
     if sorted(p) != list(range(n)):
-        raise ValueError(f"{perm!r} is not a permutation of 0..{n - 1}")
+        raise InvalidPermutationError(f"{perm!r} is not a permutation of 0..{n - 1}")
     tree = _Fenwick(n)
     index = 0
     for i, v in enumerate(p):
@@ -170,7 +173,7 @@ def unrank_batch(
     limit = factorial(n)
     for i in idx_list:
         if not (0 <= i < limit):
-            raise ValueError(f"index {i} outside 0..{limit - 1}")
+            raise InvalidIndexError(f"index {i} outside 0..{limit - 1}")
     if n > 20:
         return np.array([unrank_fenwick(i, n, pool) for i in idx_list], dtype=np.int64)
 
@@ -206,7 +209,7 @@ def rank_batch(perms: np.ndarray) -> np.ndarray:
         raise ValueError("rank_batch supports n ≤ 20 (int64 indices); use rank_fenwick")
     expected = np.arange(n, dtype=np.int64)
     if not np.array_equal(np.sort(p, axis=1), np.broadcast_to(expected, (b, n))):
-        raise ValueError("rows are not permutations of 0..n-1")
+        raise InvalidPermutationError("rows are not permutations of 0..n-1")
     index = np.zeros(b, dtype=np.int64)
     for i in range(n):
         smaller_used = (p[:, :i] < p[:, i : i + 1]).sum(axis=1)

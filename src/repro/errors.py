@@ -1,0 +1,101 @@
+"""Structured error taxonomy for the whole package.
+
+Every failure the runtime can *diagnose* gets its own exception type, all
+rooted at :class:`ReproError`, so callers (and the CLI) can distinguish
+
+* **caller mistakes** — :class:`InvalidIndexError`,
+  :class:`InvalidPermutationError` — which also subclass
+  :class:`ValueError` so pre-existing ``except ValueError`` call sites
+  keep working;
+* **detected hardware faults** — :class:`FaultDetectedError` (an output
+  failed an online check, e.g. it is not a bijection or the dual rails
+  disagree) and its sharper sibling :class:`SilentCorruptionError` (the
+  output *was* a valid permutation — it would have sailed past a
+  bijectivity check — but the rank∘unrank oracle proves it is the wrong
+  one: the dangerous silent-corruption class);
+* **infrastructure failures** — :class:`WorkerFailedError` (a parallel
+  shard raised or its process died; carries the shard id) and
+  :class:`ShardTimeoutError` (the shard exceeded its deadline).
+
+The taxonomy is what makes graceful degradation possible: the hardened
+runners in :mod:`repro.parallel.sharding` retry ``WorkerFailedError``
+but never mask a ``FaultDetectedError``, which must reach the operator.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "InvalidIndexError",
+    "InvalidPermutationError",
+    "CampaignConfigError",
+    "FaultDetectedError",
+    "SilentCorruptionError",
+    "WorkerFailedError",
+    "ShardTimeoutError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every diagnosed failure in the package."""
+
+
+class InvalidIndexError(ReproError, ValueError):
+    """A permutation index outside ``0 .. n! − 1`` (or not an integer)."""
+
+
+class InvalidPermutationError(ReproError, ValueError):
+    """A sequence that is not a permutation of the expected pool."""
+
+
+class CampaignConfigError(ReproError, ValueError):
+    """An invalid fault-campaign specification (bad n, model, samples…)."""
+
+
+class FaultDetectedError(ReproError):
+    """An online checker caught a corrupted output before it escaped.
+
+    Raised when a result fails bijectivity, when dual-rail evaluations
+    disagree, or on any other check that fires *during* operation.  The
+    offending index and output are attached when known.
+    """
+
+    def __init__(self, message: str, index: int | None = None, output=None):
+        super().__init__(message)
+        self.index = index
+        self.output = output
+
+
+class SilentCorruptionError(FaultDetectedError):
+    """A *valid but wrong* permutation — caught only by the rank oracle.
+
+    The output is a bijection, so a structural self-check passes; only
+    cross-checking ``rank(output) == index`` against the independent
+    Lehmer-code implementation exposes it.  This is the class a
+    hardware designer worries about most, hence its own type.
+    """
+
+
+class WorkerFailedError(ReproError):
+    """A parallel worker raised, or its process died mid-shard.
+
+    ``shard_id`` identifies the failing shard; ``attempts`` counts how
+    many times it was tried before giving up; ``cause`` carries the
+    final underlying error (also set as ``__cause__`` where raised).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        shard_id: int | None = None,
+        attempts: int = 1,
+        cause: BaseException | None = None,
+    ):
+        super().__init__(message)
+        self.shard_id = shard_id
+        self.attempts = attempts
+        self.cause = cause
+
+
+class ShardTimeoutError(WorkerFailedError):
+    """A shard exceeded its per-shard deadline in a hardened runner."""

@@ -16,6 +16,24 @@ single sweep over the gate list simulates an arbitrary number of independent
 input vectors (SIMD over Monte-Carlo lanes).  Word values at the boundary
 are plain Python integers of unlimited width, because the index bus exceeds
 64 bits for n ≥ 21 (``log2(21!) ≈ 65.5``).
+
+Fault injection
+---------------
+Both engines accept an optional *overlay* — a non-invasive fault model
+applied during the sweep, leaving the netlist untouched.  An overlay is
+any object with three members (see :class:`repro.robustness.faults.
+FaultOverlay` for the concrete implementation):
+
+* ``wires`` — a container of wire indices whose value must be patched;
+* ``patch(wire, value, values)`` — returns the faulty lane for ``wire``
+  given its healthy ``value`` and the table of already-computed lanes
+  (how bridging faults read their aggressor wire);
+* ``seu(cycle)`` — register Q wires whose *state* flips at the start of
+  the given clock cycle (single-event upsets; sequential engine only).
+
+Because wires are evaluated in topological order, patching a wire as it
+is computed propagates the fault to every downstream gate exactly as a
+physical defect would.
 """
 
 from __future__ import annotations
@@ -74,6 +92,7 @@ class CombinationalSimulator:
         self,
         inputs: Mapping[str, int | Sequence[int]],
         reg_state: Mapping[int, np.ndarray] | None = None,
+        overlay=None,
     ) -> dict[str, np.ndarray]:
         """Evaluate outputs for a batch of input words.
 
@@ -85,6 +104,10 @@ class CombinationalSimulator:
         reg_state:
             Optional boolean lane per register Q wire; registers read their
             ``init`` value when omitted.
+        overlay:
+            Optional fault overlay (see module docstring); faulty wires
+            are patched as the sweep reaches them, so downstream logic
+            sees the defective value.
 
         Returns
         -------
@@ -119,26 +142,30 @@ class CombinationalSimulator:
                     lane = np.broadcast_to(lane, (batch,))
                 values[wire] = np.ascontiguousarray(lane)
 
+        faulty = overlay.wires if overlay is not None else ()
         init_state = {r.q: r.init for r in nl.registers}
         for w, g in enumerate(nl.gates):
-            if values[w] is not None:
-                continue
-            if g.op is Op.CONST0:
-                values[w] = np.zeros(batch, dtype=bool)
-            elif g.op is Op.CONST1:
-                values[w] = np.ones(batch, dtype=bool)
-            elif g.op is Op.REG:
-                if reg_state is not None and w in reg_state:
-                    lane = np.asarray(reg_state[w], dtype=bool)
-                    values[w] = (
-                        np.broadcast_to(lane, (batch,)) if lane.shape[0] == 1 else lane
-                    )
+            if values[w] is None:
+                if g.op is Op.CONST0:
+                    values[w] = np.zeros(batch, dtype=bool)
+                elif g.op is Op.CONST1:
+                    values[w] = np.ones(batch, dtype=bool)
+                elif g.op is Op.REG:
+                    if reg_state is not None and w in reg_state:
+                        lane = np.asarray(reg_state[w], dtype=bool)
+                        values[w] = (
+                            np.broadcast_to(lane, (batch,))
+                            if lane.shape[0] == 1
+                            else lane
+                        )
+                    else:
+                        values[w] = np.full(batch, init_state[w], dtype=bool)
+                elif g.op is Op.INPUT:
+                    raise ValueError(f"input wire {w} ({g.name}) left undriven")
                 else:
-                    values[w] = np.full(batch, init_state[w], dtype=bool)
-            elif g.op is Op.INPUT:
-                raise ValueError(f"input wire {w} ({g.name}) left undriven")
-            else:
-                values[w] = evaluate_op(g.op, tuple(values[f] for f in g.fanin))
+                    values[w] = evaluate_op(g.op, tuple(values[f] for f in g.fanin))
+            if w in faulty:
+                values[w] = overlay.patch(w, values[w], values)
 
         self._wire_values = values  # exposed for SequentialSimulator / debug
         return {
@@ -155,10 +182,11 @@ class SequentialSimulator:
     circuit simultaneously.
     """
 
-    def __init__(self, netlist: Netlist, batch: int = 1):
+    def __init__(self, netlist: Netlist, batch: int = 1, overlay=None):
         self.comb = CombinationalSimulator(netlist)
         self.netlist = netlist
         self.batch = batch
+        self.overlay = overlay
         self.cycle = 0
         self.state: dict[int, np.ndarray] = {}
         self.reset()
@@ -171,8 +199,17 @@ class SequentialSimulator:
         }
 
     def step(self, inputs: Mapping[str, int | Sequence[int]]) -> dict[str, np.ndarray]:
-        """Advance one clock: evaluate, emit outputs, latch register Ds."""
-        outputs = self.comb.run(inputs, reg_state=self.state)
+        """Advance one clock: evaluate, emit outputs, latch register Ds.
+
+        With an overlay attached, any SEU scheduled for this cycle flips
+        the stored register state *before* evaluation; the corrupted
+        value then propagates (and is re-latched downstream) exactly
+        once — a transient upset, not a stuck bit.
+        """
+        if self.overlay is not None:
+            for q in self.overlay.seu(self.cycle):
+                self.state[q] = np.logical_not(self.state[q])
+        outputs = self.comb.run(inputs, reg_state=self.state, overlay=self.overlay)
         wire_values = self.comb._wire_values
         next_state = {}
         for r in self.netlist.registers:

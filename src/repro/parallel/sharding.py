@@ -1,19 +1,46 @@
-"""Deterministic work decomposition and a small map-reduce runner.
+"""Deterministic work decomposition and fault-tolerant map-reduce runners.
 
 Everything here is *deterministic by construction*: a job's result must
 not depend on the worker count or on scheduling order.  That is achieved
 by (a) contiguous index shards with a fixed boundary rule and (b) reducing
 partial results in shard order, not completion order.
+
+Two runners are provided:
+
+* :func:`parallel_map_reduce` — the minimal runner: any worker failure
+  aborts the job, surfaced as a :class:`~repro.errors.WorkerFailedError`
+  carrying the failing shard id.
+* :func:`hardened_map_reduce` — the production runner: per-shard
+  timeouts, bounded retry with exponential backoff + jitter, recovery
+  from worker-process crashes (the *shard* is resubmitted to a fresh
+  pool, never the whole job), and an optional graceful-degradation mode
+  that returns a :class:`PartialResult` — the reduction over the shards
+  that succeeded plus a manifest of the ones that did not — instead of
+  aborting a long campaign for one bad shard.
 """
 
 from __future__ import annotations
 
 import os
+import random
+import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import Callable, Sequence, TypeVar
+from typing import Callable, Generic, Sequence, TypeVar
 
-__all__ = ["ShardSpec", "index_shards", "parallel_map_reduce", "default_workers"]
+from repro.errors import ShardTimeoutError, WorkerFailedError
+
+__all__ = [
+    "ShardSpec",
+    "index_shards",
+    "parallel_map_reduce",
+    "hardened_map_reduce",
+    "ShardFailure",
+    "PartialResult",
+    "default_workers",
+]
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -40,7 +67,10 @@ def index_shards(total: int, shards: int) -> list[ShardSpec]:
 
     The first ``total mod shards`` shards get one extra element, so the
     decomposition is independent of anything but ``(total, shards)``.
-    Empty shards are omitted (``total < shards``).
+    Empty shards are omitted — in particular ``total == 0`` yields ``[]``,
+    the empty shard list, which the map-reduce runners reject (there is
+    no identity element to return; callers with legitimately empty
+    domains must short-circuit before sharding).
     """
     if total < 0:
         raise ValueError("total must be non-negative")
@@ -76,16 +106,213 @@ def parallel_map_reduce(
     round-trips — which is also how the tests prove worker-count
     invariance.  ``work`` and ``reduce_fn`` must be picklable (module
     level) for the process path.
+
+    An empty shard list raises :class:`ValueError`: a fold needs at least
+    one partial result, and :func:`index_shards` returns ``[]`` exactly
+    when ``total == 0``.  A worker exception aborts the job and is
+    re-raised as :class:`~repro.errors.WorkerFailedError` with the
+    failing ``shard_id`` attached (the original exception is chained as
+    ``__cause__``).  For retries and partial results use
+    :func:`hardened_map_reduce`.
     """
     if not shards:
-        raise ValueError("no shards to process")
+        raise ValueError("no shards to process (total == 0?)")
     workers = workers if workers is not None else default_workers()
+    results = []
     if workers <= 1 or len(shards) == 1:
-        results = [work(s) for s in shards]
+        for s in shards:
+            try:
+                results.append(work(s))
+            except Exception as exc:
+                raise WorkerFailedError(
+                    f"shard {s.shard_id} failed: {exc}", shard_id=s.shard_id, cause=exc
+                ) from exc
     else:
         with ProcessPoolExecutor(max_workers=min(workers, len(shards))) as pool:
-            results = list(pool.map(work, shards))
+            futures = [(s, pool.submit(work, s)) for s in shards]
+            for s, fut in futures:
+                try:
+                    results.append(fut.result())
+                except Exception as exc:
+                    raise WorkerFailedError(
+                        f"shard {s.shard_id} failed: {exc}",
+                        shard_id=s.shard_id,
+                        cause=exc,
+                    ) from exc
     acc = results[0]
     for r in results[1:]:
         acc = reduce_fn(acc, r)
+    return acc
+
+
+# --------------------------------------------------------------------- #
+# hardened execution
+
+
+@dataclass(frozen=True)
+class ShardFailure:
+    """Manifest entry for a shard that exhausted its retry budget."""
+
+    shard_id: int
+    attempts: int
+    error: str
+    timed_out: bool = False
+
+
+@dataclass(frozen=True)
+class PartialResult(Generic[R]):
+    """Outcome of a degraded run: what succeeded, and what did not.
+
+    ``value`` is the shard-ordered reduction over the successful shards
+    (``None`` when every shard failed).  ``failed`` is the manifest; an
+    empty manifest means the result is complete.
+    """
+
+    value: R | None
+    failed: tuple[ShardFailure, ...]
+    completed: int
+    total: int
+
+    @property
+    def complete(self) -> bool:
+        return not self.failed
+
+    @property
+    def coverage(self) -> float:
+        return self.completed / self.total if self.total else 1.0
+
+
+def hardened_map_reduce(
+    work: Callable[[ShardSpec], R],
+    shards: Sequence[ShardSpec],
+    reduce_fn: Callable[[R, R], R],
+    workers: int | None = None,
+    timeout: float | None = None,
+    retries: int = 2,
+    backoff: float = 0.05,
+    jitter: float = 0.05,
+    degrade: bool = False,
+    seed: int = 0,
+):
+    """Fault-tolerant map-reduce: retry, recover, optionally degrade.
+
+    Each shard gets up to ``1 + retries`` attempts.  Between attempts the
+    runner sleeps ``backoff · 2^(attempt−1)`` seconds plus uniform jitter
+    in ``[0, jitter)`` (seeded — runs are reproducible).  A worker
+    exception, a crashed worker process (``BrokenProcessPool``) or a
+    per-shard ``timeout`` all count as failed attempts; after a crash or
+    timeout the pool is rebuilt and only the affected shards are
+    resubmitted — completed shards are never recomputed.
+
+    With ``degrade=False`` (default) an exhausted shard aborts the job
+    with :class:`~repro.errors.WorkerFailedError` (or
+    :class:`~repro.errors.ShardTimeoutError`), and the reduced value is
+    returned bare on success.  With ``degrade=True`` the runner always
+    returns a :class:`PartialResult`: the reduction over whatever
+    succeeded plus the failure manifest, so a campaign keeps its
+    completed work even when some shards are beyond saving.
+
+    Caveat: a timed-out worker process cannot be killed through
+    ``concurrent.futures``; it is abandoned with the old pool and may
+    run to completion in the background.  Its result is discarded.
+    """
+    if not shards:
+        raise ValueError("no shards to process (total == 0?)")
+    workers = workers if workers is not None else default_workers()
+    inline = workers <= 1
+    rng = random.Random(seed)
+
+    results: dict[int, R] = {}
+    failures: list[ShardFailure] = []
+    attempts: dict[int, int] = {s.shard_id: 0 for s in shards}
+    last_error: dict[int, tuple[Exception, bool]] = {}
+    pending: list[ShardSpec] = list(shards)
+    pool: ProcessPoolExecutor | None = None
+
+    def fail(s: ShardSpec) -> None:
+        exc, timed_out = last_error[s.shard_id]
+        if not degrade:
+            if pool is not None:
+                pool.shutdown(wait=False, cancel_futures=True)
+            cls = ShardTimeoutError if timed_out else WorkerFailedError
+            raise cls(
+                f"shard {s.shard_id} failed after {attempts[s.shard_id]} "
+                f"attempt(s): {exc}",
+                shard_id=s.shard_id,
+                attempts=attempts[s.shard_id],
+                cause=exc,
+            ) from exc
+        failures.append(
+            ShardFailure(
+                shard_id=s.shard_id,
+                attempts=attempts[s.shard_id],
+                error=f"{type(exc).__name__}: {exc}",
+                timed_out=timed_out,
+            )
+        )
+
+    try:
+        while pending:
+            wave, pending = pending, []
+            retry_delay = 0.0
+            pool_broken = False
+            if inline:
+                outcomes = []
+                for s in wave:
+                    try:
+                        outcomes.append((s, work(s), None, False))
+                    except Exception as exc:
+                        outcomes.append((s, None, exc, False))
+            else:
+                if pool is None:
+                    pool = ProcessPoolExecutor(
+                        max_workers=min(workers, len(shards))
+                    )
+                futures = [(s, pool.submit(work, s)) for s in wave]
+                outcomes = []
+                for s, fut in futures:
+                    try:
+                        outcomes.append((s, fut.result(timeout=timeout), None, False))
+                    except FutureTimeoutError as exc:
+                        fut.cancel()
+                        pool_broken = True  # abandon the stuck worker
+                        outcomes.append((s, None, exc, True))
+                    except BrokenProcessPool as exc:
+                        pool_broken = True
+                        outcomes.append((s, None, exc, False))
+                    except Exception as exc:
+                        outcomes.append((s, None, exc, False))
+            for s, value, exc, timed_out in outcomes:
+                attempts[s.shard_id] += 1
+                if exc is None:
+                    results[s.shard_id] = value
+                    continue
+                last_error[s.shard_id] = (exc, timed_out)
+                if attempts[s.shard_id] <= retries:
+                    delay = backoff * (2 ** (attempts[s.shard_id] - 1))
+                    retry_delay = max(retry_delay, delay + rng.uniform(0.0, jitter))
+                    pending.append(s)
+                else:
+                    fail(s)
+            if pool_broken and pool is not None:
+                pool.shutdown(wait=False, cancel_futures=True)
+                pool = None
+            if pending and retry_delay > 0.0:
+                time.sleep(retry_delay)
+    finally:
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    acc: R | None = None
+    for s in shards:
+        if s.shard_id not in results:
+            continue
+        acc = results[s.shard_id] if acc is None else reduce_fn(acc, results[s.shard_id])
+    if degrade:
+        return PartialResult(
+            value=acc,
+            failed=tuple(failures),
+            completed=len(results),
+            total=len(shards),
+        )
     return acc

@@ -1,0 +1,54 @@
+"""Robustness layer: fault injection, online checking, hardened execution.
+
+The paper's circuits target FPGAs, where stuck-at defects and
+radiation-induced single-event upsets are first-class concerns.  This
+subpackage asks — and answers — "what happens when a gate or register
+bit is wrong?":
+
+* :mod:`repro.robustness.faults` — stuck-at / SEU / bridging fault
+  models injected into the simulators through a non-invasive overlay;
+* :mod:`repro.robustness.campaign` — campaign runner that sweeps fault
+  sites over the converter and shuffle netlists and reports
+  detected / silent / benign coverage statistics;
+* :mod:`repro.robustness.checkers` — :class:`CheckedConverter`, the
+  self-checking runtime wrapper (bijectivity, dual-rail, rank oracle).
+
+The error taxonomy lives in :mod:`repro.errors`; the fault-tolerant
+shard runner in :mod:`repro.parallel.sharding`.
+"""
+
+from repro.robustness.campaign import (
+    CampaignResult,
+    CampaignSpec,
+    fault_list,
+    run_campaign,
+)
+from repro.robustness.checkers import CheckedConverter, CheckStats, is_permutation_of
+from repro.robustness.faults import (
+    BridgingFault,
+    Fault,
+    FaultOverlay,
+    SEUFault,
+    StuckAtFault,
+    bridging_fault_sites,
+    seu_fault_sites,
+    stuck_fault_sites,
+)
+
+__all__ = [
+    "BridgingFault",
+    "CampaignResult",
+    "CampaignSpec",
+    "CheckStats",
+    "CheckedConverter",
+    "Fault",
+    "FaultOverlay",
+    "SEUFault",
+    "StuckAtFault",
+    "bridging_fault_sites",
+    "fault_list",
+    "is_permutation_of",
+    "run_campaign",
+    "seu_fault_sites",
+    "stuck_fault_sites",
+]

@@ -1,0 +1,334 @@
+"""Fault-injection campaigns over the paper's circuits.
+
+A campaign enumerates (or samples) fault sites in a gate-level netlist,
+simulates the circuit once per fault through a non-invasive
+:class:`~repro.robustness.faults.FaultOverlay`, and classifies each
+fault by comparing against the golden (fault-free) run:
+
+* **benign** — every output matches the golden run: the fault was never
+  excited, or its effect never propagated to an output;
+* **detected** — some output is *not a valid permutation*: a cheap O(n)
+  bijectivity self-check catches it online;
+* **silent** — outputs differ from golden yet every one is still a
+  valid permutation.  This is the dangerous class: structural checking
+  passes, and only the rank∘unrank oracle (converter) or statistical
+  monitoring (shuffle) can expose it.
+
+The campaign is itself sharded over the fault list via
+:func:`~repro.parallel.sharding.hardened_map_reduce`, so a slow or
+crashed worker costs a resubmitted shard, not the campaign.  Fault
+lists are rebuilt deterministically inside each worker from the
+campaign spec — nothing heavyweight crosses the pickle boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.analysis.faultcoverage import wilson_interval
+from repro.core.converter import IndexToPermutationConverter
+from repro.errors import CampaignConfigError
+from repro.core.factorial import factorial
+from repro.core.knuth import KnuthShuffleCircuit
+from repro.hdl.netlist import Netlist
+from repro.hdl.simulator import CombinationalSimulator, SequentialSimulator
+from repro.parallel.sharding import ShardSpec, hardened_map_reduce, index_shards
+from repro.robustness.faults import (
+    Fault,
+    FaultOverlay,
+    bridging_fault_sites,
+    seu_fault_sites,
+    stuck_fault_sites,
+)
+
+__all__ = ["CampaignSpec", "CampaignResult", "fault_list", "run_campaign"]
+
+MODELS = ("stuck", "seu", "bridge")
+CIRCUITS = ("converter", "shuffle")
+
+#: Class labels, in report order.
+_CLASSES = ("benign", "detected", "silent")
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """Everything needed to reproduce a campaign bit for bit."""
+
+    circuit: str = "converter"  #: "converter" or "shuffle"
+    n: int = 6  #: permutation size
+    model: str = "stuck"  #: "stuck", "seu" or "bridge"
+    samples: int | None = None  #: sample this many sites (None = exhaustive)
+    seed: int = 0  #: drives site sampling and test-vector choice
+    test_count: int = 64  #: converter test indices (capped at n!)
+    stream_length: int = 16  #: shuffle output rows compared per fault
+
+    def __post_init__(self):
+        if self.circuit not in CIRCUITS:
+            raise CampaignConfigError(f"circuit must be one of {CIRCUITS}")
+        if self.model not in MODELS:
+            raise CampaignConfigError(f"model must be one of {MODELS}")
+        if self.n < 2:
+            raise CampaignConfigError("campaigns need n >= 2")
+        if self.samples is not None and self.samples < 1:
+            raise CampaignConfigError("samples must be >= 1 (or omitted)")
+
+
+@dataclass
+class CampaignResult:
+    """Coverage statistics of one campaign."""
+
+    spec: CampaignSpec
+    total: int
+    benign: int
+    detected: int
+    silent: int
+    test_vectors: int
+    exhaustive: bool
+    examples: dict[str, list[str]] = field(default_factory=dict)
+    failed_shards: int = 0
+
+    @property
+    def corrupting(self) -> int:
+        """Faults whose effect reached an output."""
+        return self.detected + self.silent
+
+    @property
+    def bijection_coverage(self) -> float:
+        """Fraction of corrupting faults a bijectivity self-check catches."""
+        return self.detected / self.corrupting if self.corrupting else 1.0
+
+    def render(self) -> str:
+        s = self.spec
+        head = f"Fault-injection campaign: {s.circuit} n={s.n}, model={s.model}"
+        mode = "exhaustive" if self.exhaustive else f"sampled (seed={s.seed})"
+        lines = [
+            head,
+            "=" * len(head),
+            f"fault sites: {self.total} ({mode}); "
+            f"test vectors per fault: {self.test_vectors}",
+        ]
+        for name, count in (
+            ("benign (output unchanged)", self.benign),
+            ("detected (invalid permutation)", self.detected),
+            ("silent (valid but WRONG output)", self.silent),
+        ):
+            pct = 100.0 * count / self.total if self.total else 0.0
+            lines.append(f"  {name:<34} {count:>7}  {pct:5.1f}%")
+        lines.append(
+            f"corrupting faults: {self.corrupting}; "
+            f"bijection-check coverage: {100.0 * self.bijection_coverage:.1f}%"
+        )
+        lines.append(
+            "rank oracle coverage: 100.0% of corrupting faults "
+            "(any output change breaks rank(unrank(N)) == N)"
+            if s.circuit == "converter"
+            else "shuffle outputs have no per-sample oracle: silent faults "
+            "need statistical monitoring (see analysis.uniformity)"
+        )
+        if not self.exhaustive and self.corrupting:
+            lo, hi = wilson_interval(self.detected, self.corrupting)
+            lines.append(
+                f"95% Wilson CI on bijection coverage: [{100 * lo:.1f}%, {100 * hi:.1f}%]"
+            )
+        if self.failed_shards:
+            lines.append(
+                f"WARNING: {self.failed_shards} shard(s) failed permanently; "
+                "counts cover completed shards only"
+            )
+        for klass in _CLASSES:
+            for desc in self.examples.get(klass, [])[:3]:
+                lines.append(f"  e.g. {klass}: {desc}")
+        return "\n".join(lines)
+
+
+# --------------------------------------------------------------------- #
+# deterministic circuit / fault-list construction (worker-side too)
+
+
+def _build_netlist(spec: CampaignSpec) -> Netlist:
+    if spec.circuit == "converter":
+        conv = IndexToPermutationConverter(spec.n)
+        # SEUs need registers to hit: use the pipelined datapath.
+        return conv.build_netlist(pipelined=(spec.model == "seu"))
+    return KnuthShuffleCircuit(spec.n).build_netlist(pipelined=False)
+
+
+def _test_indices(spec: CampaignSpec) -> list[int]:
+    """Converter test vectors: exhaustive for small n!, else seeded sample.
+
+    The corner indices 0 and n!−1 are always included — they exercise
+    the all-zeros and all-maximal comparator patterns.
+    """
+    limit = factorial(spec.n)
+    if limit <= spec.test_count:
+        return list(range(limit))
+    rng = np.random.default_rng(spec.seed)
+    picks = rng.integers(0, limit, size=spec.test_count - 2, dtype=np.int64)
+    return [0, limit - 1] + [int(x) for x in picks]
+
+
+def _seu_cycles(spec: CampaignSpec, nl: Netlist) -> tuple[int, ...]:
+    """Upset cycles: early, mid-stream and late — the pipeline (or LFSR
+    warm-up) behaves differently at each."""
+    if spec.circuit == "converter":
+        horizon = len(_test_indices(spec)) + max(0, spec.n - 1)
+    else:
+        horizon = spec.stream_length
+    return tuple(sorted({1, horizon // 2, max(1, horizon - 2)}))
+
+
+def fault_list(spec: CampaignSpec) -> list[Fault]:
+    """The campaign's fault universe, deterministic in ``spec`` alone."""
+    nl = _build_netlist(spec)
+    if spec.model == "stuck":
+        sites: list[Fault] = list(stuck_fault_sites(nl))
+    elif spec.model == "seu":
+        sites = list(seu_fault_sites(nl, _seu_cycles(spec, nl)))
+    else:
+        budget = spec.samples if spec.samples is not None else 256
+        sites = list(bridging_fault_sites(nl, budget, seed=spec.seed))
+    if spec.samples is not None and len(sites) > spec.samples:
+        rng = np.random.default_rng(spec.seed)
+        keep = rng.choice(len(sites), size=spec.samples, replace=False)
+        sites = [sites[int(i)] for i in sorted(keep)]
+    return sites
+
+
+class _Evaluator:
+    """Runs the circuit under a fault overlay and returns ``(B, n)`` rows."""
+
+    def __init__(self, spec: CampaignSpec):
+        self.spec = spec
+        self.netlist = _build_netlist(spec)
+        if spec.circuit == "converter":
+            self.indices = _test_indices(spec)
+            self.fill = (spec.n - 1) if spec.model == "seu" else 0
+        else:
+            self.indices = []
+            self.fill = 1  # cycle 0 emits seed-state garbage (see knuth.py)
+
+    def run(self, overlay: FaultOverlay | None) -> np.ndarray:
+        spec, nl = self.spec, self.netlist
+        if spec.circuit == "converter" and spec.model != "seu":
+            sim = CombinationalSimulator(nl)
+            outs = sim.run({"index": self.indices}, overlay=overlay)
+            rows = np.empty((len(self.indices), spec.n), dtype=np.int64)
+            for t in range(spec.n):
+                rows[:, t] = [int(v) for v in outs[f"out{t}"]]
+            return rows
+        # sequential paths: pipelined converter or the shuffle cascade
+        seq = SequentialSimulator(nl, batch=1, overlay=overlay)
+        if spec.circuit == "converter":
+            stream = self.indices + [0] * self.fill
+        else:
+            stream = [None] * (spec.stream_length + self.fill)
+        rows = []
+        for cycle, value in enumerate(stream):
+            outs = seq.step({} if value is None else {"index": value})
+            if cycle >= self.fill:
+                rows.append([int(outs[f"out{t}"][0]) for t in range(spec.n)])
+        return np.asarray(rows, dtype=np.int64)
+
+
+def _classify(golden: np.ndarray, faulty: np.ndarray, n: int) -> str:
+    if np.array_equal(golden, faulty):
+        return "benign"
+    expected = np.arange(n, dtype=np.int64)
+    valid = np.array_equal(
+        np.sort(faulty, axis=1), np.broadcast_to(expected, faulty.shape)
+    )
+    return "silent" if valid else "detected"
+
+
+# --------------------------------------------------------------------- #
+# the sharded runner
+
+
+class _CampaignWork:
+    """Picklable per-shard worker: rebuilds everything from the spec."""
+
+    def __init__(self, spec: CampaignSpec):
+        self.spec = spec
+
+    def __call__(self, shard: ShardSpec) -> dict:
+        faults = fault_list(self.spec)
+        ev = _Evaluator(self.spec)
+        golden = ev.run(None)
+        counts = {k: 0 for k in _CLASSES}
+        examples: dict[str, list[str]] = {k: [] for k in _CLASSES}
+        for i in shard:
+            fault = faults[i]
+            overlay = FaultOverlay([fault], ev.netlist)
+            klass = _classify(golden, ev.run(overlay), self.spec.n)
+            counts[klass] += 1
+            if len(examples[klass]) < 3:
+                examples[klass].append(fault.describe(ev.netlist))
+        return {"counts": counts, "examples": examples}
+
+
+def _merge(a: dict, b: dict) -> dict:
+    counts = {k: a["counts"][k] + b["counts"][k] for k in _CLASSES}
+    examples = {
+        k: (a["examples"][k] + b["examples"][k])[:3] for k in _CLASSES
+    }
+    return {"counts": counts, "examples": examples}
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    workers: int = 1,
+    degrade: bool = False,
+    timeout: float | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> CampaignResult:
+    """Execute a campaign, sharded and hardened.
+
+    ``degrade=True`` keeps partial statistics when shards fail
+    permanently (the report then carries a warning); otherwise a failed
+    shard aborts with :class:`~repro.errors.WorkerFailedError`.
+    """
+    faults = fault_list(spec)
+    if not faults:
+        raise ValueError(f"no {spec.model} fault sites in the {spec.circuit} netlist")
+    ev = _Evaluator(spec)
+    test_vectors = len(ev.indices) if spec.circuit == "converter" else spec.stream_length
+    if progress:
+        progress(f"{len(faults)} fault sites, {test_vectors} test vectors per fault")
+    shards = index_shards(len(faults), max(1, workers) * 4)
+    partial = hardened_map_reduce(
+        _CampaignWork(spec),
+        shards,
+        _merge,
+        workers=workers,
+        timeout=timeout,
+        degrade=True,
+    )
+    if not degrade and not partial.complete:
+        # hardened_map_reduce already retried; surface the first failure.
+        f = partial.failed[0]
+        from repro.errors import WorkerFailedError
+
+        raise WorkerFailedError(
+            f"campaign shard {f.shard_id} failed permanently: {f.error}",
+            shard_id=f.shard_id,
+            attempts=f.attempts,
+        )
+    merged = partial.value or {
+        "counts": {k: 0 for k in _CLASSES},
+        "examples": {k: [] for k in _CLASSES},
+    }
+    counted = sum(merged["counts"].values())
+    return CampaignResult(
+        spec=spec,
+        total=counted,
+        benign=merged["counts"]["benign"],
+        detected=merged["counts"]["detected"],
+        silent=merged["counts"]["silent"],
+        test_vectors=test_vectors,
+        exhaustive=spec.samples is None and spec.model != "bridge",
+        examples=merged["examples"],
+        failed_shards=len(partial.failed),
+    )

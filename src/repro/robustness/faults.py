@@ -1,0 +1,206 @@
+"""Hardware fault models and the non-invasive injection overlay.
+
+Three classic fault models, matching what an FPGA reliability study
+exercises:
+
+* :class:`StuckAtFault` — a gate output permanently at 0 or 1 (the
+  manufacturing-defect model; also how a configuration-memory upset in
+  an SRAM FPGA typically manifests);
+* :class:`SEUFault` — a transient single-event upset: one register bit
+  flips at the start of one chosen clock cycle, then the circuit runs on
+  (the radiation model);
+* :class:`BridgingFault` — two wires shorted together; the later wire in
+  topological order (the *victim*) takes the wired-AND or wired-OR of
+  the two signals (the dominant-bridging model).
+
+Faults are injected through a :class:`FaultOverlay`, which the
+simulators in :mod:`repro.hdl.simulator` consult during their sweep.
+The netlist itself is never mutated — the same netlist object serves the
+golden run and every faulty run of a campaign, and structural hashing /
+resource accounting are unaffected.
+
+Site enumeration lives here too: :func:`stuck_fault_sites` (every live
+logic-gate output, both polarities), :func:`seu_fault_sites` (every
+register × chosen cycles) and :func:`bridging_fault_sites` (sampled
+live-wire pairs — the exhaustive set is quadratic in wire count).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence, Union
+
+import numpy as np
+
+from repro.hdl.gates import Op
+from repro.hdl.netlist import Netlist
+
+__all__ = [
+    "StuckAtFault",
+    "SEUFault",
+    "BridgingFault",
+    "Fault",
+    "FaultOverlay",
+    "stuck_fault_sites",
+    "seu_fault_sites",
+    "bridging_fault_sites",
+]
+
+#: Leaf ops that are not logic-gate outputs (not stuck-at candidates).
+_LEAF_OPS = (Op.INPUT, Op.REG, Op.CONST0, Op.CONST1)
+
+
+@dataclass(frozen=True)
+class StuckAtFault:
+    """Wire ``wire`` permanently reads ``value`` regardless of its driver."""
+
+    wire: int
+    value: bool
+
+    def describe(self, nl: Netlist) -> str:
+        name = nl.gates[self.wire].name or f"{nl.gates[self.wire].op.value}@{self.wire}"
+        return f"stuck-at-{int(self.value)} on {name}"
+
+
+@dataclass(frozen=True)
+class SEUFault:
+    """Register Q wire ``register`` flips at the start of ``cycle``."""
+
+    register: int
+    cycle: int
+
+    def describe(self, nl: Netlist) -> str:
+        name = nl.gates[self.register].name or f"reg@{self.register}"
+        return f"SEU in {name} at cycle {self.cycle}"
+
+
+@dataclass(frozen=True)
+class BridgingFault:
+    """Victim wire shorted to an earlier aggressor wire.
+
+    ``mode`` is ``"and"`` (dominant-AND: the short pulls the victim low
+    whenever the aggressor is low) or ``"or"`` (dominant-OR).  The
+    aggressor must precede the victim topologically so its healthy value
+    exists when the victim is patched.
+    """
+
+    aggressor: int
+    victim: int
+    mode: str = "and"
+
+    def describe(self, nl: Netlist) -> str:
+        return f"bridge-{self.mode} {self.aggressor}->{self.victim}"
+
+
+Fault = Union[StuckAtFault, SEUFault, BridgingFault]
+
+
+class FaultOverlay:
+    """One or more faults packaged for the simulator sweep.
+
+    Implements the overlay protocol documented in
+    :mod:`repro.hdl.simulator`: ``wires`` / ``patch`` for combinational
+    patching and ``seu`` for cycle-scheduled register upsets.
+    """
+
+    def __init__(self, faults: Iterable[Fault], netlist: Netlist | None = None):
+        self.faults = tuple(faults)
+        self._stuck: dict[int, bool] = {}
+        self._bridges: dict[int, tuple[int, str]] = {}
+        self._seu: dict[int, list[int]] = {}
+        for f in self.faults:
+            if isinstance(f, StuckAtFault):
+                self._stuck[f.wire] = f.value
+            elif isinstance(f, BridgingFault):
+                if f.aggressor >= f.victim:
+                    raise ValueError(
+                        f"bridge aggressor {f.aggressor} must precede victim {f.victim}"
+                    )
+                if f.mode not in ("and", "or"):
+                    raise ValueError(f"unknown bridge mode {f.mode!r}")
+                self._bridges[f.victim] = (f.aggressor, f.mode)
+            elif isinstance(f, SEUFault):
+                self._seu.setdefault(f.cycle, []).append(f.register)
+            else:
+                raise TypeError(f"unknown fault {f!r}")
+        if netlist is not None:
+            n_wires = len(netlist.gates)
+            regs = {r.q for r in netlist.registers}
+            for w in (*self._stuck, *self._bridges):
+                if not (0 <= w < n_wires):
+                    raise ValueError(f"fault wire {w} outside netlist")
+            for qs in self._seu.values():
+                for q in qs:
+                    if q not in regs:
+                        raise ValueError(f"SEU target {q} is not a register Q wire")
+        self.wires = frozenset(self._stuck) | frozenset(self._bridges)
+
+    def patch(self, wire: int, value: np.ndarray, values) -> np.ndarray:
+        """Return the faulty lane for ``wire`` (healthy lane: ``value``)."""
+        if wire in self._stuck:
+            fill = np.ones if self._stuck[wire] else np.zeros
+            return fill(value.shape, dtype=bool)
+        aggressor, mode = self._bridges[wire]
+        other = values[aggressor]
+        return (value & other) if mode == "and" else (value | other)
+
+    def seu(self, cycle: int) -> Sequence[int]:
+        """Register Q wires whose state flips at the start of ``cycle``."""
+        return self._seu.get(cycle, ())
+
+    def describe(self, nl: Netlist) -> str:
+        return "; ".join(f.describe(nl) for f in self.faults)
+
+
+# --------------------------------------------------------------------- #
+# site enumeration
+
+
+def _live_logic_wires(nl: Netlist) -> list[int]:
+    live = nl.live_wires()
+    return [w for w in sorted(live) if nl.gates[w].op not in _LEAF_OPS]
+
+
+def stuck_fault_sites(nl: Netlist) -> list[StuckAtFault]:
+    """Both stuck-at polarities on every *live* logic-gate output.
+
+    Dead gates (outside the observable cone) cannot affect any output,
+    so injecting there only inflates the benign count; they are pruned
+    up front and reported as such by the campaign runner.
+    """
+    sites = []
+    for w in _live_logic_wires(nl):
+        sites.append(StuckAtFault(wire=w, value=False))
+        sites.append(StuckAtFault(wire=w, value=True))
+    return sites
+
+
+def seu_fault_sites(nl: Netlist, cycles: Sequence[int]) -> list[SEUFault]:
+    """One SEU per (register, cycle) pair, registers in creation order."""
+    return [SEUFault(register=r.q, cycle=c) for r in nl.registers for c in cycles]
+
+
+def bridging_fault_sites(
+    nl: Netlist, count: int, seed: int = 0, modes: Sequence[str] = ("and", "or")
+) -> list[BridgingFault]:
+    """Sample ``count`` distinct bridges between live logic wires.
+
+    The exhaustive pair set is O(W²); a seeded sample keeps campaigns
+    tractable while remaining reproducible.  Each sampled pair yields
+    one fault per requested mode.
+    """
+    wires = _live_logic_wires(nl)
+    if len(wires) < 2:
+        return []
+    rng = np.random.default_rng(seed)
+    pairs: set[tuple[int, int]] = set()
+    limit = len(wires) * (len(wires) - 1) // 2
+    while len(pairs) < min(count, limit):
+        a, b = rng.choice(len(wires), size=2, replace=False)
+        lo, hi = sorted((wires[int(a)], wires[int(b)]))
+        pairs.add((lo, hi))
+    return [
+        BridgingFault(aggressor=lo, victim=hi, mode=m)
+        for lo, hi in sorted(pairs)
+        for m in modes
+    ]

@@ -1,0 +1,52 @@
+"""Wilson interval + sample sizing for fault-coverage estimates."""
+
+import pytest
+
+from repro.analysis.faultcoverage import required_samples, wilson_interval
+
+
+class TestWilsonInterval:
+    def test_contains_point_estimate(self):
+        lo, hi = wilson_interval(67, 100)
+        assert lo < 0.67 < hi
+        assert 0.0 <= lo and hi <= 1.0
+
+    def test_degenerate_trials(self):
+        assert wilson_interval(0, 0) == (0.0, 1.0)
+
+    def test_extremes_stay_in_unit_interval(self):
+        lo, hi = wilson_interval(0, 50)
+        assert lo == pytest.approx(0.0, abs=1e-12)
+        assert 0.0 < hi < 0.2
+        lo, hi = wilson_interval(50, 50)
+        assert 0.8 < lo < 1.0
+        assert hi == pytest.approx(1.0, abs=1e-12)
+
+    def test_narrows_with_more_trials(self):
+        lo1, hi1 = wilson_interval(30, 100)
+        lo2, hi2 = wilson_interval(300, 1000)
+        assert hi2 - lo2 < hi1 - lo1
+
+    def test_confidence_widens_interval(self):
+        w95 = wilson_interval(40, 100, confidence=0.95)
+        w99 = wilson_interval(40, 100, confidence=0.99)
+        assert w99[1] - w99[0] > w95[1] - w95[0]
+
+    def test_matches_textbook_z(self):
+        # at 95% the implied z should be close to 1.959964
+        lo, hi = wilson_interval(500, 1000)
+        # invert the Wilson formula's half-width at p=0.5
+        half = (hi - lo) / 2
+        assert half == pytest.approx(0.0309, abs=2e-3)
+
+
+class TestRequiredSamples:
+    def test_worst_case_proportion(self):
+        n = required_samples(0.05)
+        assert 350 <= n <= 420  # classic ~385 at 95%/±5%
+
+    def test_smaller_margin_needs_more(self):
+        assert required_samples(0.01) > required_samples(0.05)
+
+    def test_known_proportion_needs_fewer(self):
+        assert required_samples(0.05, proportion=0.9) < required_samples(0.05)

@@ -1,0 +1,83 @@
+"""Satellite property suite: rank∘unrank == identity, exhaustively and sampled.
+
+This invariant is the robustness layer's oracle (see
+repro.robustness.checkers), so it gets its own dedicated suite:
+exhaustive over every index for n ≤ 7, seeded samples for n = 10 and
+n = 20 (the int64 frontier) and n = 52 (a card deck — indices far beyond
+64 bits, exercising the object-dtype / Fenwick paths).
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.converter import IndexToPermutationConverter
+from repro.core.factorial import factorial
+from repro.core.lehmer import (
+    rank,
+    rank_batch,
+    rank_fenwick,
+    rank_naive,
+    unrank,
+    unrank_batch,
+    unrank_fenwick,
+    unrank_naive,
+)
+
+
+@pytest.mark.parametrize("n", range(1, 8))
+def test_exhaustive_roundtrip_small_n(n):
+    for i in range(factorial(n)):
+        assert rank(unrank(i, n)) == i
+
+
+@pytest.mark.parametrize("n", [10, 20, 52])
+def test_sampled_roundtrip_large_n(n):
+    rng = random.Random(1234 + n)
+    limit = factorial(n)
+    for _ in range(200):
+        i = rng.randrange(limit)
+        perm = unrank(i, n)
+        assert rank(perm) == i
+        # the two unrankers agree everywhere, not just through rank
+        assert unrank_naive(i, n) == unrank_fenwick(i, n)
+
+
+@pytest.mark.parametrize("n", [5, 7])
+def test_exhaustive_batch_roundtrip(n):
+    idx = np.arange(factorial(n), dtype=np.int64)
+    perms = unrank_batch(idx, n)
+    assert np.array_equal(rank_batch(perms), idx)
+
+
+def test_sampled_batch_roundtrip_n20():
+    rng = np.random.default_rng(99)
+    idx = rng.integers(0, factorial(20), size=128, dtype=np.int64)
+    assert np.array_equal(rank_batch(unrank_batch(idx, 20)), idx)
+
+
+def test_converter_roundtrip_matches_rank():
+    """The stage-accurate datapath obeys the same oracle the checker uses."""
+    conv = IndexToPermutationConverter(6)
+    for i in range(factorial(6)):
+        assert rank_naive(list(conv.convert(i))) == i
+
+
+def test_roundtrip_with_custom_pool():
+    pool = (3, 1, 4, 0, 2)
+    for i in range(factorial(5)):
+        perm = unrank_naive(i, 5, pool)
+        assert rank_naive(perm, pool) == i
+        assert unrank_fenwick(i, 5, pool) == perm
+
+
+@pytest.mark.parametrize("n", [10, 52])
+def test_rank_frontends_agree(n):
+    rng = random.Random(7)
+    for _ in range(50):
+        i = rng.randrange(factorial(n))
+        perm = unrank(i, n)
+        assert rank_fenwick(list(perm)) == i
+        if n <= 12:
+            assert rank_naive(list(perm)) == i

@@ -1,0 +1,82 @@
+"""Campaign runner: classification, determinism, sharded execution."""
+
+import numpy as np
+import pytest
+
+from repro.robustness.campaign import (
+    CampaignSpec,
+    fault_list,
+    run_campaign,
+)
+from repro.robustness.faults import SEUFault, StuckAtFault
+
+
+class TestSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CampaignSpec(circuit="cpu")
+        with pytest.raises(ValueError):
+            CampaignSpec(model="metastability")
+        with pytest.raises(ValueError):
+            CampaignSpec(n=1)
+
+    def test_fault_list_deterministic(self):
+        spec = CampaignSpec(circuit="converter", n=4, model="bridge", samples=20)
+        assert fault_list(spec) == fault_list(spec)
+
+    def test_sampling_caps_the_universe(self):
+        full = fault_list(CampaignSpec(n=4, model="stuck"))
+        sampled = fault_list(CampaignSpec(n=4, model="stuck", samples=10))
+        assert len(sampled) == 10
+        assert set(sampled) <= set(full)
+
+
+class TestConverterCampaign:
+    def test_exhaustive_stuck_accounting(self):
+        res = run_campaign(CampaignSpec(circuit="converter", n=4, model="stuck"))
+        assert res.exhaustive
+        assert res.total == len(fault_list(res.spec))
+        assert res.benign + res.detected + res.silent == res.total
+        assert res.corrupting > 0
+        # every corrupting fault is caught by the rank oracle; the
+        # bijectivity check alone gets a strict subset
+        assert 0.0 < res.bijection_coverage <= 1.0
+
+    def test_seu_campaign_targets_registers(self):
+        spec = CampaignSpec(circuit="converter", n=4, model="seu")
+        faults = fault_list(spec)
+        assert faults and all(isinstance(f, SEUFault) for f in faults)
+        res = run_campaign(spec)
+        assert res.total == len(faults)
+
+    def test_worker_count_invariance(self):
+        spec = CampaignSpec(circuit="converter", n=4, model="stuck", samples=30)
+        a = run_campaign(spec, workers=1)
+        b = run_campaign(spec, workers=2)
+        assert (a.benign, a.detected, a.silent) == (b.benign, b.detected, b.silent)
+
+    def test_render_mentions_key_numbers(self):
+        res = run_campaign(CampaignSpec(n=4, model="stuck", samples=16))
+        text = res.render()
+        assert "bijection-check coverage" in text
+        assert "Wilson CI" in text  # sampled campaigns quote the interval
+        assert "rank oracle" in text
+
+
+class TestShuffleCampaign:
+    def test_stuck_campaign_runs(self):
+        res = run_campaign(
+            CampaignSpec(circuit="shuffle", n=4, model="stuck", samples=20)
+        )
+        assert res.total == 20
+        assert res.benign + res.detected + res.silent == 20
+        assert "statistical monitoring" in res.render()
+
+    def test_seu_in_lfsr_is_always_silent_or_benign(self):
+        """An upset LFSR bit reshuffles the randomness: outputs stay valid
+        permutations, so per-sample checking can never catch it."""
+        res = run_campaign(
+            CampaignSpec(circuit="shuffle", n=4, model="seu", samples=30)
+        )
+        assert res.detected == 0
+        assert res.total == 30

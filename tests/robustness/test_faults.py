@@ -1,0 +1,159 @@
+"""Fault-model and overlay semantics on hand-built micro-netlists."""
+
+import numpy as np
+import pytest
+
+from repro.hdl.gates import Op
+from repro.hdl.netlist import Netlist
+from repro.hdl.simulator import CombinationalSimulator, SequentialSimulator
+from repro.robustness.faults import (
+    BridgingFault,
+    FaultOverlay,
+    SEUFault,
+    StuckAtFault,
+    bridging_fault_sites,
+    seu_fault_sites,
+    stuck_fault_sites,
+)
+
+
+def _and_netlist():
+    """out = a AND b, with the AND wire returned for fault targeting."""
+    nl = Netlist("tiny")
+    a = nl.input("a")
+    b = nl.input("b")
+    w = nl.gate(Op.AND, a[0], b[0])
+    nl.output("out", w)
+    return nl, w
+
+
+class TestStuckAt:
+    @pytest.mark.parametrize("value", [False, True])
+    def test_forces_wire(self, value):
+        nl, w = _and_netlist()
+        sim = CombinationalSimulator(nl)
+        overlay = FaultOverlay([StuckAtFault(w, value)], nl)
+        out = sim.run({"a": [0, 0, 1, 1], "b": [0, 1, 0, 1]}, overlay=overlay)
+        assert list(out["out"]) == [int(value)] * 4
+
+    def test_no_overlay_is_healthy(self):
+        nl, _ = _and_netlist()
+        out = CombinationalSimulator(nl).run({"a": [0, 0, 1, 1], "b": [0, 1, 0, 1]})
+        assert list(out["out"]) == [0, 0, 0, 1]
+
+    def test_fault_propagates_downstream(self):
+        """A patched wire must poison every consumer, not just the output."""
+        nl = Netlist()
+        a = nl.input("a")
+        b = nl.input("b")
+        w1 = nl.gate(Op.AND, a[0], b[0])
+        w2 = nl.gate(Op.OR, w1, a[0])
+        nl.output("out", w2)
+        overlay = FaultOverlay([StuckAtFault(w1, True)], nl)
+        out = CombinationalSimulator(nl).run({"a": 0, "b": 0}, overlay=overlay)
+        assert int(out["out"][0]) == 1  # OR sees the stuck 1
+
+    def test_input_wire_can_be_stuck(self):
+        nl, _ = _and_netlist()
+        a_wire = nl.inputs["a"][0]
+        overlay = FaultOverlay([StuckAtFault(a_wire, True)], nl)
+        out = CombinationalSimulator(nl).run({"a": 0, "b": 1}, overlay=overlay)
+        assert int(out["out"][0]) == 1
+
+
+class TestBridging:
+    def test_wired_and_and_or(self):
+        nl = Netlist()
+        a = nl.input("a")
+        b = nl.input("b")
+        w1 = nl.gate(Op.XOR, a[0], b[0])
+        w2 = nl.gate(Op.OR, a[0], b[0])
+        nl.output("x", w1)
+        nl.output("y", w2)
+        sim = CombinationalSimulator(nl)
+        vec = {"a": [0, 0, 1, 1], "b": [0, 1, 0, 1]}
+        for mode, expect in (("and", [0, 1 & 1, 1 & 1, 1 & 0]), ("or", [0, 1, 1, 1])):
+            overlay = FaultOverlay([BridgingFault(w1, w2, mode)], nl)
+            out = sim.run(vec, overlay=overlay)
+            assert list(out["x"]) == [0, 1, 1, 0]  # aggressor unharmed
+            assert list(out["y"]) == expect
+
+    def test_orders_must_be_topological(self):
+        nl, w = _and_netlist()
+        with pytest.raises(ValueError):
+            FaultOverlay([BridgingFault(aggressor=w, victim=0)], nl)
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            FaultOverlay([BridgingFault(0, 1, mode="xor")])
+
+
+class TestSEU:
+    def _pipeline(self):
+        """Two-stage shift register on one input bit."""
+        nl = Netlist()
+        a = nl.input("a")
+        q1 = nl.register(a[0], name="r1")
+        q2 = nl.register(q1, name="r2")
+        nl.output("out", q2)
+        return nl, q1, q2
+
+    def test_flip_is_transient(self):
+        nl, q1, _ = self._pipeline()
+        golden = SequentialSimulator(nl, batch=1)
+        clean = [int(golden.step({"a": 0})["out"][0]) for _ in range(6)]
+        assert clean == [0] * 6
+
+        overlay = FaultOverlay([SEUFault(register=q1, cycle=2)], nl)
+        seq = SequentialSimulator(nl, batch=1, overlay=overlay)
+        seen = [int(seq.step({"a": 0})["out"][0]) for _ in range(6)]
+        # the flipped bit appears exactly once, one stage (cycle) later
+        assert seen == [0, 0, 0, 1, 0, 0]
+
+    def test_seu_target_must_be_register(self):
+        nl, q1, _ = self._pipeline()
+        with pytest.raises(ValueError):
+            FaultOverlay([SEUFault(register=nl.inputs["a"][0], cycle=0)], nl)
+
+
+class TestSiteEnumeration:
+    def test_stuck_sites_cover_live_logic_twice(self):
+        from repro.core.converter import IndexToPermutationConverter
+
+        nl = IndexToPermutationConverter(4).build_netlist()
+        sites = stuck_fault_sites(nl)
+        live_logic = {
+            w
+            for w in nl.live_wires()
+            if nl.gates[w].op
+            not in (Op.INPUT, Op.REG, Op.CONST0, Op.CONST1)
+        }
+        assert len(sites) == 2 * len(live_logic)
+        assert {s.wire for s in sites} == live_logic
+
+    def test_seu_sites(self):
+        nl, *_ = TestSEU()._pipeline()
+        sites = seu_fault_sites(nl, cycles=(1, 5))
+        assert len(sites) == 2 * 2  # two registers x two cycles
+
+    def test_bridging_sites_distinct_and_seeded(self):
+        from repro.core.converter import IndexToPermutationConverter
+
+        nl = IndexToPermutationConverter(4).build_netlist()
+        a = bridging_fault_sites(nl, 10, seed=7)
+        b = bridging_fault_sites(nl, 10, seed=7)
+        assert a == b  # reproducible
+        pairs = {(f.aggressor, f.victim) for f in a}
+        assert len(pairs) == 10
+        for f in a:
+            assert f.aggressor < f.victim
+
+    def test_overlay_rejects_unknown_wire(self):
+        nl, _ = _and_netlist()
+        with pytest.raises(ValueError):
+            FaultOverlay([StuckAtFault(wire=10_000, value=True)], nl)
+
+    def test_overlay_describe(self):
+        nl, w = _and_netlist()
+        overlay = FaultOverlay([StuckAtFault(w, True)], nl)
+        assert "stuck-at-1" in overlay.describe(nl)

@@ -63,3 +63,72 @@ def test_unknown_command_exits():
 def test_no_command_exits():
     with pytest.raises(SystemExit):
         main([])
+
+
+class TestInputValidation:
+    """Bad input: one-line stderr diagnostic, exit code 2, no traceback."""
+
+    @pytest.mark.parametrize("index", ["-1", "24", "9999"])
+    def test_unrank_out_of_range(self, capsys, index):
+        assert main(["unrank", index, "4"]) == 2
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert captured.err.startswith("repro-perm: error:")
+        assert len(captured.err.strip().splitlines()) == 1
+
+    def test_unrank_bad_n(self, capsys):
+        assert main(["unrank", "0", "0"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    @pytest.mark.parametrize(
+        "elements",
+        [["0", "0", "1"], ["1", "2", "3"], ["5"], ["0", "2"]],
+    )
+    def test_rank_non_permutation(self, capsys, elements):
+        assert main(["rank", *elements]) == 2
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert len(captured.err.strip().splitlines()) == 1
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["faults", "1"],
+            ["faults", "4", "--samples", "0"],
+            ["faults", "4", "--samples", "-5"],
+        ],
+    )
+    def test_faults_bad_spec(self, capsys, argv):
+        assert main(argv) == 2
+        captured = capsys.readouterr()
+        assert captured.err.startswith("repro-perm: error:")
+        assert len(captured.err.strip().splitlines()) == 1
+
+    def test_valid_inputs_still_exit_zero(self, capsys):
+        assert main(["unrank", "23", "4"]) == 0
+        assert main(["rank", "3", "2", "1", "0"]) == 0
+
+
+class TestFaultsCommand:
+    def test_stuck_campaign_smoke(self, capsys):
+        assert main(["faults", "4", "--model", "stuck"]) == 0
+        out = capsys.readouterr().out
+        assert "Fault-injection campaign: converter n=4, model=stuck" in out
+        assert "bijection-check coverage" in out
+        assert "silent (valid but WRONG output)" in out
+
+    def test_sampled_seu_on_shuffle(self, capsys):
+        assert (
+            main(
+                ["faults", "4", "--model", "seu", "--circuit", "shuffle",
+                 "--samples", "12"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "model=seu" in out
+        assert "statistical monitoring" in out
+
+    def test_campaign_with_workers(self, capsys):
+        assert main(["faults", "4", "--samples", "16", "--workers", "2"]) == 0
+        assert "coverage" in capsys.readouterr().out
