@@ -61,7 +61,18 @@ def test_ablation_pipeline_fmax(benchmark, results_dir):
              f"{'n':>3}  {'comb MHz':>9}  {'pipe MHz':>9}  {'pipe regs':>9}  {'gain':>6}"]
     for n, comb_f, pipe_f, regs in rows:
         lines.append(f"{n:>3}  {comb_f:>9.1f}  {pipe_f:>9.1f}  {regs:>9}  {pipe_f / comb_f:>6.2f}x")
-    write_report(results_dir, "ablation_pipeline", "\n".join(lines))
+    write_report(
+        results_dir,
+        "ablation_pipeline",
+        "\n".join(lines),
+        benchmark=benchmark,
+        data={
+            "rows": [
+                {"n": n, "comb_mhz": comb_f, "pipe_mhz": pipe_f, "pipe_registers": regs}
+                for n, comb_f, pipe_f, regs in rows
+            ]
+        },
+    )
 
 
 def test_ablation_lfsr_width_vs_bias(benchmark, results_dir):
@@ -73,7 +84,19 @@ def test_ablation_lfsr_width_vs_bias(benchmark, results_dir):
              f"{'m':>3}  {'max rel err':>12}  {'ratio':>10}"]
     for m, r in zip(ms, reports):
         lines.append(f"{m:>3}  {r.max_relative_error:>12.3e}  {r.ratio:>10.6f}")
-    write_report(results_dir, "ablation_lfsr_width", "\n".join(lines))
+    write_report(
+        results_dir,
+        "ablation_lfsr_width",
+        "\n".join(lines),
+        benchmark=benchmark,
+        data={
+            "k": 24,
+            "rows": [
+                {"m": m, "max_relative_error": r.max_relative_error, "ratio": r.ratio}
+                for m, r in zip(ms, reports)
+            ],
+        },
+    )
 
 
 def test_ablation_lut_k_vs_area(benchmark, results_dir):
@@ -89,7 +112,13 @@ def test_ablation_lut_k_vs_area(benchmark, results_dir):
              f"{'k':>3}  {'LUTs':>6}"]
     for k in (3, 4, 5, 6, 7):
         lines.append(f"{k:>3}  {counts[k]:>6}")
-    write_report(results_dir, "ablation_lut_k", "\n".join(lines))
+    write_report(
+        results_dir,
+        "ablation_lut_k",
+        "\n".join(lines),
+        benchmark=benchmark,
+        data={"n": 8, "lut_counts": {str(k): counts[k] for k in (3, 4, 5, 6, 7)}},
+    )
 
 
 def test_ablation_polynomial_reuse(benchmark, results_dir):
@@ -116,4 +145,17 @@ def test_ablation_polynomial_reuse(benchmark, results_dir):
         f"TV = {shared_rep.tv_distance:.5f}\n"
         f"distinct polynomials : chi2 p = {distinct_rep.p_value:.2e}, "
         f"TV = {distinct_rep.tv_distance:.5f}",
+        benchmark=benchmark,
+        data={
+            "n": 4,
+            "samples": samples,
+            "shared": {
+                "p_value": float(shared_rep.p_value),
+                "tv_distance": float(shared_rep.tv_distance),
+            },
+            "distinct": {
+                "p_value": float(distinct_rep.p_value),
+                "tv_distance": float(distinct_rep.tv_distance),
+            },
+        },
     )

@@ -57,7 +57,30 @@ def test_complexity_exponents(benchmark, results_dir):
         f"gate-area exponent   = {a_gates:.2f}",
         f"stage-delay exponent = {a_stage:.2f}  (paper: 1)",
     ]
-    write_report(results_dir, "complexity", "\n".join(lines))
+    write_report(
+        results_dir,
+        "complexity",
+        "\n".join(lines),
+        benchmark=benchmark,
+        data={
+            "ns": NS,
+            "exponents": {
+                "comparators": a_cmp,
+                "crossovers": a_cross,
+                "gate_area": a_gates,
+                "stage_delay": a_stage,
+            },
+            "fit_r2": {"comparators": r_cmp, "gate_area": r_gates},
+            "converter": [
+                {"n": c.n, "units": c.unit_count, "gates": c.logic_gates, "depth": c.depth}
+                for c in conv
+            ],
+            "shuffle": [
+                {"n": s.n, "units": s.unit_count, "gates": s.logic_gates}
+                for s in shuf
+            ],
+        },
+    )
 
 
 def test_netlist_build_scaling(benchmark):

@@ -39,7 +39,25 @@ def test_derangement_rows(benchmark, results_dir):
         # at 2^20 samples the fraction estimate is good to ~0.2 %
         assert abs(r.observed_fraction - r.expected_fraction) < 0.005
         assert abs(r.e_estimate - math.e) / math.e < 0.02
-    write_report(results_dir, "derangements", "\n".join(lines))
+    write_report(
+        results_dir,
+        "derangements",
+        "\n".join(lines),
+        benchmark=benchmark,
+        data={
+            "samples": SAMPLES,
+            "rows": [
+                {
+                    "n": r.n,
+                    "derangements": int(r.derangements),
+                    "e_estimate": r.e_estimate,
+                    "expected_fraction": r.expected_fraction,
+                    "e_error": r.e_error,
+                }
+                for r in results
+            ],
+        },
+    )
 
 
 def test_parallel_decomposition_exact(benchmark, results_dir):
@@ -57,6 +75,14 @@ def test_parallel_decomposition_exact(benchmark, results_dir):
         "derangements_parallel",
         f"sequential={seq.derangements} parallel(8 workers)={par.derangements} "
         f"identical={par.derangements == seq.derangements}",
+        benchmark=benchmark,
+        data={
+            "n": 4,
+            "samples": samples,
+            "sequential": int(seq.derangements),
+            "parallel": int(par.derangements),
+            "identical": par.derangements == seq.derangements,
+        },
     )
 
 

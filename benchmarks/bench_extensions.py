@@ -44,6 +44,14 @@ def test_ranking_circuit_resources(benchmark, results_dir):
         "Extension: permutation->index (ranking) circuit resources\n"
         "(same cascade shape as Fig. 1 run backwards)\n\n"
         + render_resource_table(rows),
+        benchmark=benchmark,
+        data={
+            "rows": [
+                {"n": n, "luts": r.total_luts, "registers": r.registers,
+                 "fmax_mhz": r.fmax_mhz}
+                for n, r in zip(ns, rows)
+            ]
+        },
     )
 
 
@@ -84,7 +92,19 @@ def test_lut_cascade_crossover(benchmark, results_dir):
     ]
     for n, cas_bits, lut_bits, addr in rows:
         lines.append(f"{n:>3}  {cas_bits:>16}  {lut_bits:>13}  {addr:>13}")
-    write_report(results_dir, "ext_lut_cascade", "\n".join(lines))
+    write_report(
+        results_dir,
+        "ext_lut_cascade",
+        "\n".join(lines),
+        benchmark=benchmark,
+        data={
+            "rows": [
+                {"n": n, "cascade_rom_bits": cas_bits, "lut_mask_bits": lut_bits,
+                 "max_cell_address_bits": addr}
+                for n, cas_bits, lut_bits, addr in rows
+            ]
+        },
+    )
 
 
 def test_sweep_effectiveness(benchmark, results_dir):
@@ -103,7 +123,19 @@ def test_sweep_effectiveness(benchmark, results_dir):
     for n, s in rows:
         assert s.gates_removed >= 0
         lines.append(f"{n:>3}  {s.gates_before:>12}  {s.gates_after:>11}  {s.gates_removed:>8}")
-    write_report(results_dir, "ext_sweep", "\n".join(lines))
+    write_report(
+        results_dir,
+        "ext_sweep",
+        "\n".join(lines),
+        benchmark=benchmark,
+        data={
+            "rows": [
+                {"n": n, "gates_before": s.gates_before, "gates_after": s.gates_after,
+                 "removed": s.gates_removed}
+                for n, s in rows
+            ]
+        },
+    )
 
 
 def test_serial_vs_parallel_area_time(benchmark, results_dir):
@@ -143,7 +175,26 @@ def test_serial_vs_parallel_area_time(benchmark, results_dir):
             f"{n:>3}  {ser.total_luts:>8}  {ser.registers:>8}  "
             f"{par.total_luts:>8}  {par.registers:>8}  {at_ser:>9}  {at_par:>9}"
         )
-    write_report(results_dir, "ext_serial_converter", "\n".join(lines))
+    write_report(
+        results_dir,
+        "ext_serial_converter",
+        "\n".join(lines),
+        benchmark=benchmark,
+        data={
+            "rows": [
+                {
+                    "n": n,
+                    "serial_luts": ser.total_luts,
+                    "serial_registers": ser.registers,
+                    "parallel_luts": par.total_luts,
+                    "parallel_registers": par.registers,
+                    "at_serial": ser.total_luts * n,
+                    "at_parallel": par.total_luts,
+                }
+                for n, ser, par in rows
+            ]
+        },
+    )
 
 
 def test_formal_verification(benchmark, results_dir):
@@ -165,6 +216,8 @@ def test_formal_verification(benchmark, results_dir):
         "ext_formal",
         "Extension: BDD-based formal equivalence (converter vs swept form)\n\n"
         + "\n".join(f"n = {n}: PROVED equivalent" for n, _ in results),
+        benchmark=benchmark,
+        data={"proved": [{"n": n, "equivalent": bool(ok)} for n, ok in results]},
     )
 
 
@@ -191,6 +244,15 @@ def test_benes_routing(benchmark, results_dir):
             f"{BenesNetwork(n).stage_count} stages"
             for n in (4, 8, 16, 64, 256)
         ),
+        benchmark=benchmark,
+        data={
+            "routed_permutations": len(perms),
+            "networks": [
+                {"n": n, "switches": BenesNetwork(n).switch_count,
+                 "stages": BenesNetwork(n).stage_count}
+                for n in (4, 8, 16, 64, 256)
+            ],
+        },
     )
 
 

@@ -28,10 +28,13 @@ def test_stuck_campaign_throughput(benchmark, results_dir):
     def run():
         return run_campaign(spec)
 
+    t0 = time.perf_counter()
     result = benchmark.pedantic(run, rounds=1, iterations=1)
+    wall = time.perf_counter() - t0
     assert result.total == total
     assert result.benign + result.detected + result.silent == total
-    elapsed = benchmark.stats["mean"]
+    # benchmark.stats is None under --benchmark-disable (smoke mode)
+    elapsed = benchmark.stats["mean"] if benchmark.stats else wall
     throughput = total / elapsed
     write_report(
         results_dir,
@@ -40,6 +43,17 @@ def test_stuck_campaign_throughput(benchmark, results_dir):
         f"exhaustive stuck-at)\n"
         f"faults: {total}  time: {elapsed:.2f}s  "
         f"throughput: {throughput:.0f} faults/s\n\n" + result.render(),
+        benchmark=benchmark,
+        data={
+            "n": N_CAMPAIGN,
+            "model": "stuck",
+            "faults": total,
+            "elapsed_s": elapsed,
+            "faults_per_second": throughput,
+            "benign": result.benign,
+            "detected": result.detected,
+            "silent": result.silent,
+        },
     )
 
 
@@ -77,4 +91,14 @@ def test_checked_mode_overhead(benchmark, results_dir):
         f"({plain / bare:.1f}x)\n"
         f"checked + dual rail : {1e6 * railed / BATCH:8.2f} us/perm  "
         f"({railed / bare:.1f}x)\n",
+        benchmark=benchmark,
+        data={
+            "n": N_CHECKED,
+            "batch": BATCH,
+            "bare_us_per_perm": 1e6 * bare / BATCH,
+            "checked_us_per_perm": 1e6 * plain / BATCH,
+            "dual_rail_us_per_perm": 1e6 * railed / BATCH,
+            "checked_overhead_x": plain / bare,
+            "dual_rail_overhead_x": railed / bare,
+        },
     )

@@ -44,7 +44,30 @@ def test_fig1_stage_inventory(benchmark, results_dir):
         f"structural comparators n(n-1)/2 = {conv.comparator_count()}; "
         f"paper accounting n(n+1)/2 = {conv.paper_comparator_count()}",
     ]
-    write_report(results_dir, "fig1_structure", "\n".join(lines))
+    write_report(
+        results_dir,
+        "fig1_structure",
+        "\n".join(lines),
+        benchmark=benchmark,
+        data={
+            "n": 4,
+            "index_bits": conv.index_width,
+            "element_bits": conv.element_width,
+            "word_bits": conv.word_width,
+            "structural_comparators": conv.comparator_count(),
+            "paper_comparators": conv.paper_comparator_count(),
+            "stages": [
+                {
+                    "position": s.position,
+                    "pool_size": s.pool_size,
+                    "weight": s.weight,
+                    "comparators": s.comparators,
+                    "thresholds": list(s.thresholds),
+                }
+                for s in stages
+            ],
+        },
+    )
 
 
 def test_fig1_circuit_simulation_throughput(benchmark):

@@ -41,7 +41,26 @@ def test_fig2_bias_profile(benchmark, results_dir):
             f"{m:>3}  {r.period:>12}  {r.min_count:>5}  {r.max_count:>5}  "
             f"{r.ratio:>8.5f}  {r.max_relative_error:>12.3e}"
         )
-    write_report(results_dir, "fig2_bias", "\n".join(lines))
+    write_report(
+        results_dir,
+        "fig2_bias",
+        "\n".join(lines),
+        benchmark=benchmark,
+        data={
+            "k": K,
+            "rows": [
+                {
+                    "m": m,
+                    "period": by_m[m].period,
+                    "min_count": by_m[m].min_count,
+                    "max_count": by_m[m].max_count,
+                    "ratio": by_m[m].ratio,
+                    "max_relative_error": by_m[m].max_relative_error,
+                }
+                for m in MS
+            ],
+        },
+    )
 
 
 def test_fig2_gate_level_block(benchmark):

@@ -36,7 +36,20 @@ def test_fig3_stage_inventory(benchmark, results_dir):
         f"total crossovers n(n-1)/2 = {circ.crossover_count()}",
         f"netlist: {nl.summary()}",
     ]
-    write_report(results_dir, "fig3_structure", "\n".join(lines))
+    write_report(
+        results_dir,
+        "fig3_structure",
+        "\n".join(lines),
+        benchmark=benchmark,
+        data={
+            "n": 4,
+            "num_stages": circ.num_stages,
+            "stage_choices": list(circ.stage_choices()),
+            "lfsr_widths": list(circ.widths),
+            "crossovers": circ.crossover_count(),
+            "registers": nl.num_registers,
+        },
+    )
 
 
 def test_fig3_clocked_run(benchmark):

@@ -33,7 +33,22 @@ def test_fig4_regeneration(benchmark, results_dir):
         f"measured min = {result.min_bar}, max = {result.max_bar}, "
         f"chi2 p = {result.p_value:.4f}, TV = {result.tv_distance:.5f}\n"
     )
-    write_report(results_dir, "fig4_distribution", header + result.render())
+    write_report(
+        results_dir,
+        "fig4_distribution",
+        header + result.render(),
+        benchmark=benchmark,
+        data={
+            "samples": SAMPLES,
+            "n": 4,
+            "expected_per_bar": expected,
+            "min_bar": int(result.min_bar),
+            "max_bar": int(result.max_bar),
+            "chi2_p_value": float(result.p_value),
+            "tv_distance": float(result.tv_distance),
+            "counts_by_index": [int(c) for c in result.counts_by_index],
+        },
+    )
 
 
 def test_fig4_sampling_throughput(benchmark):

@@ -34,6 +34,18 @@ def test_derangement_strong_scaling(benchmark, results_dir):
         f"(host exposes {os.cpu_count()} CPU(s); result bit-identical at "
         "every worker count)\n\n"
         + render_scaling_table(points),
+        benchmark=benchmark,
+        data={
+            "experiment": "derangements",
+            "n": 8,
+            "samples": SAMPLES,
+            "points": [
+                {"workers": p.workers, "seconds": p.seconds,
+                 "speedup": p.speedup_vs(points[0])}
+                for p in points
+            ],
+            "bit_identical": len({p.result_digest for p in points}) == 1,
+        },
     )
 
 
@@ -52,4 +64,16 @@ def test_fig4_strong_scaling(benchmark, results_dir):
         f"Strong scaling: Fig.-4 histogram, n = 4, {SAMPLES} samples\n"
         f"(host exposes {os.cpu_count()} CPU(s))\n\n"
         + render_scaling_table(points),
+        benchmark=benchmark,
+        data={
+            "experiment": "fig4_counts",
+            "n": 4,
+            "samples": SAMPLES,
+            "points": [
+                {"workers": p.workers, "seconds": p.seconds,
+                 "speedup": p.speedup_vs(points[0])}
+                for p in points
+            ],
+            "bit_identical": len({p.result_digest for p in points}) == 1,
+        },
     )

@@ -43,7 +43,26 @@ def test_toggle_order_ablation(benchmark, results_dir):
             f"{r.n:>3}  {r.steps:>6}  {r.counter_order_toggles:>13}  "
             f"{r.sjt_order_toggles:>9}  {r.counter_worst_step:>13}  {r.sjt_worst_step:>9}"
         )
-    write_report(results_dir, "ext_toggles", "\n".join(lines))
+    write_report(
+        results_dir,
+        "ext_toggles",
+        "\n".join(lines),
+        benchmark=benchmark,
+        data={
+            "rows": [
+                {
+                    "n": r.n,
+                    "steps": r.steps,
+                    "counter_total": r.counter_order_toggles,
+                    "sjt_total": r.sjt_order_toggles,
+                    "counter_worst_step": r.counter_worst_step,
+                    "sjt_worst_step": r.sjt_worst_step,
+                    "mean_reduction": r.mean_reduction,
+                }
+                for r in rows
+            ]
+        },
+    )
 
 
 def test_vector_based_power(benchmark, results_dir):
@@ -65,7 +84,19 @@ def test_vector_based_power(benchmark, results_dir):
              f"{'n':>3}  {'mean activity':>13}  {'dynamic mW':>10}"]
     for n, act, p in rows:
         lines.append(f"{n:>3}  {act:>13.3f}  {p:>10.4f}")
-    write_report(results_dir, "ext_power", "\n".join(lines))
+    write_report(
+        results_dir,
+        "ext_power",
+        "\n".join(lines),
+        benchmark=benchmark,
+        data={
+            "clock_mhz": 100.0,
+            "rows": [
+                {"n": n, "mean_activity": act, "dynamic_mw": p}
+                for n, act, p in rows
+            ],
+        },
+    )
 
 
 def test_mixing_curve(benchmark, results_dir):
@@ -94,4 +125,21 @@ def test_mixing_curve(benchmark, results_dir):
         f"TV = {contrast['cascade_tv']:.4f} (noise floor ~{contrast['noise_floor']:.4f})",
         f"random walk with the same {n - 1} swaps: TV = {contrast['walk_tv']:.4f}",
     ]
-    write_report(results_dir, "ext_mixing", "\n".join(lines))
+    write_report(
+        results_dir,
+        "ext_mixing",
+        "\n".join(lines),
+        benchmark=benchmark,
+        data={
+            "n": n,
+            "samples": 30_000,
+            "cutoff_estimate": cutoff_estimate(n),
+            "curve": [
+                {"swaps": int(s), "tv": float(tv)}
+                for s, tv in zip(curve.steps, curve.tv)
+            ],
+            "cascade_tv": float(contrast["cascade_tv"]),
+            "walk_tv": float(contrast["walk_tv"]),
+            "noise_floor": float(contrast["noise_floor"]),
+        },
+    )

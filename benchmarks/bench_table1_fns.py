@@ -34,7 +34,19 @@ def test_table1_regeneration(benchmark, results_dir):
     lines = [f"{'N':>3}  {'digits':>8}  {'expansion':>28}  permutation"]
     for index, digits, expansion, perm in rows:
         lines.append(f"{index:>3}  {digits:>8}  {expansion:>28}  {perm}")
-    write_report(results_dir, "table1_fns", "\n".join(lines))
+    write_report(
+        results_dir,
+        "table1_fns",
+        "\n".join(lines),
+        benchmark=benchmark,
+        data={
+            "n": 4,
+            "rows": [
+                {"index": index, "digits": digits, "permutation": perm}
+                for index, digits, _, perm in rows
+            ],
+        },
+    )
 
 
 def test_digit_extraction_throughput(benchmark):

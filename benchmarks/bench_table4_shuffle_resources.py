@@ -48,8 +48,26 @@ def test_table4_regeneration(benchmark, results_dir):
         "scaled-LFSR random integer generator per stage (paper: 31-bit).\n"
         f"area exponent alpha = {alpha:.2f} (R^2 = {r2:.3f})\n"
     )
-    write_report(results_dir, "table4_shuffle_resources",
-                 header + render_resource_table(rows))
+    write_report(
+        results_dir,
+        "table4_shuffle_resources",
+        header + render_resource_table(rows),
+        benchmark=benchmark,
+        data={
+            "ns": NS,
+            "area_exponent": alpha,
+            "area_fit_r2": r2,
+            "rows": [
+                {
+                    "n": n,
+                    "luts": r.total_luts,
+                    "registers": r.registers,
+                    "fmax_mhz": r.fmax_mhz,
+                }
+                for n, r in zip(NS, rows)
+            ],
+        },
+    )
 
 
 def test_shuffle_synthesis_speed_n8(benchmark):

@@ -5,6 +5,13 @@ it times the underlying computation with pytest-benchmark, asserts the
 qualitative claims (who wins, growth orders, uniformity), and writes the
 regenerated artefact to ``results/<name>.txt`` so the numbers survive the
 run (pytest captures stdout).
+
+Every report additionally emits a machine-readable twin,
+``results/<name>.json``, through the :mod:`repro.obs.bench` telemetry
+harness — schema ``repro-bench/1``, carrying an environment fingerprint,
+the benchmark's structured ``data`` payload, and iteration statistics
+when a pytest-benchmark fixture is handed in.  ``python -m
+repro.obs.bench validate results/*.json`` checks them in CI.
 """
 
 from __future__ import annotations
@@ -12,6 +19,8 @@ from __future__ import annotations
 import pathlib
 
 import pytest
+
+from repro.obs import bench as obs_bench
 
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
 
@@ -22,6 +31,22 @@ def results_dir() -> pathlib.Path:
     return RESULTS_DIR
 
 
-def write_report(results_dir: pathlib.Path, name: str, text: str) -> None:
+def write_report(
+    results_dir: pathlib.Path,
+    name: str,
+    text: str,
+    *,
+    data: dict | None = None,
+    timing: dict | None = None,
+    benchmark=None,
+) -> None:
     path = results_dir / f"{name}.txt"
     path.write_text(text + "\n")
+    obs_bench.emit_report(
+        results_dir,
+        name,
+        data=data,
+        timing=timing,
+        benchmark=benchmark,
+        text_report=f"results/{name}.txt",
+    )

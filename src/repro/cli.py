@@ -9,6 +9,16 @@ Subcommands mirror the paper's artefacts:
 * ``resources n``      — Table-III-style resource row for the converter
 * ``fig4 [samples]``   — run the Fig.-4 histogram experiment
 * ``faults n``         — fault-injection campaign + coverage report
+* ``trace <cmd> …``    — run any subcommand under a tracing span and
+  print the span tree to stderr (``--vcd PATH`` additionally records a
+  gate-level waveform for ``unrank``)
+
+Global flags (before the subcommand):
+
+* ``--metrics`` — enable the telemetry registry and dump the collected
+  metrics in Prometheus exposition format to stderr on exit;
+* ``--quiet``   — suppress structured progress events (the final report
+  on stdout is unaffected).
 
 Invalid input (an index outside ``0..n!−1``, a non-permutation element
 list) never produces a traceback: typed :class:`~repro.errors.ReproError`
@@ -26,8 +36,14 @@ from repro.core.factorial import FactorialDigits, factorial
 from repro.core.knuth import KnuthShuffleCircuit
 from repro.core.lehmer import rank as rank_perm
 from repro.errors import ReproError
+from repro.obs import metrics as _metrics
+from repro.obs.events import NullSink, SpanEventSink, StderrSink, TeeSink
 
 __all__ = ["main"]
+
+_CLI_COMMANDS = _metrics.REGISTRY.counter(
+    "repro_cli_commands_total", "CLI subcommand invocations", ("command",)
+)
 
 
 def _cmd_unrank(args: argparse.Namespace) -> int:
@@ -87,6 +103,14 @@ def _cmd_fig4(args: argparse.Namespace) -> int:
 def _cmd_faults(args: argparse.Namespace) -> int:
     from repro.robustness.campaign import CampaignSpec, run_campaign
 
+    tracer = getattr(args, "_tracer", None)
+    sinks = []
+    if not args.quiet:
+        sinks.append(StderrSink(prefix="campaign"))
+    if tracer is not None:
+        sinks.append(SpanEventSink(tracer))
+    events = TeeSink(*sinks) if sinks else NullSink()
+
     spec = CampaignSpec(
         circuit=args.circuit,
         n=args.n,
@@ -98,16 +122,61 @@ def _cmd_faults(args: argparse.Namespace) -> int:
         spec,
         workers=args.workers,
         degrade=args.degrade,
-        progress=lambda msg: print(f"[campaign] {msg}", file=sys.stderr),
+        events=events,
+        tracer=tracer,
     )
     print(result.render())
     return 0
 
 
-def main(argv: list[str] | None = None) -> int:
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs.tracing import Tracer
+
+    rest = list(args.rest)
+    if rest and rest[0] == "--":
+        rest = rest[1:]
+    if not rest:
+        raise ReproError("trace needs a subcommand, e.g. `trace faults 4`")
+    if rest[0] == "trace":
+        raise ReproError("trace cannot be nested")
+
+    inner = _build_parser().parse_args(rest)
+    inner.quiet = args.quiet or inner.quiet
+    tracer = Tracer()
+    inner._tracer = tracer
+
+    if args.vcd is not None:
+        if inner.command != "unrank":
+            raise ReproError("--vcd is only supported for `trace unrank N n`")
+        from repro.obs.probes import trace_converter
+
+        if inner.n < 1:
+            raise ReproError("n must be at least 1")
+        with tracer.span("unrank", index=inner.index, n=inner.n, vcd=args.vcd):
+            perms, _probe = trace_converter(
+                inner.n, [inner.index], vcd_path=args.vcd, tracer=tracer
+            )
+        print(" ".join(str(x) for x in perms[0]))
+        rc = 0
+    else:
+        with tracer.span(inner.command, argv=" ".join(rest)):
+            rc = inner.fn(inner)
+    print(tracer.render(), file=sys.stderr)
+    return rc
+
+
+def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-perm",
         description="Hardware index-to-permutation converter reproduction",
+    )
+    parser.add_argument(
+        "--metrics", action="store_true",
+        help="enable telemetry and dump exposition-format metrics to stderr",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true",
+        help="suppress structured progress events (reports are unaffected)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -164,15 +233,38 @@ def main(argv: list[str] | None = None) -> int:
     )
     p.set_defaults(fn=_cmd_faults)
 
+    p = sub.add_parser(
+        "trace", help="run a subcommand under a tracing span tree"
+    )
+    p.add_argument(
+        "--vcd", metavar="PATH", default=None,
+        help="for `trace unrank`: also record a gate-level VCD waveform",
+    )
+    p.add_argument("rest", nargs=argparse.REMAINDER, metavar="cmd ...")
+    p.set_defaults(fn=_cmd_trace)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = _build_parser()
     args = parser.parse_args(argv)
+    if args.metrics:
+        _metrics.REGISTRY.enable()
     try:
-        return args.fn(args)
+        _CLI_COMMANDS.inc(command=args.command)
+        rc = args.fn(args)
     except ReproError as exc:
         print(f"repro-perm: error: {exc}", file=sys.stderr)
         return 2
     except KeyboardInterrupt:
         print("repro-perm: interrupted", file=sys.stderr)
         return 130
+    finally:
+        if args.metrics:
+            sys.stderr.write(_metrics.REGISTRY.render_exposition())
+            _metrics.REGISTRY.disable()
+    return rc
 
 
 if __name__ == "__main__":

@@ -42,9 +42,16 @@ from repro.hdl.components import (
 )
 from repro.hdl.netlist import Bus, Netlist
 from repro.hdl.simulator import CombinationalSimulator, SequentialSimulator
+from repro.obs import metrics as _metrics
 from repro.rng.source import IndexSource
 
 __all__ = ["StageSpec", "IndexToPermutationConverter"]
+
+#: Functional-model conversions served, by permutation size.  Guarded by
+#: the registry's enabled flag; a no-op unless telemetry is switched on.
+_CONVERT_TOTAL = _metrics.REGISTRY.counter(
+    "repro_convert_total", "index->permutation conversions served", ("n",)
+)
 
 
 @dataclass(frozen=True)
@@ -159,6 +166,8 @@ class IndexToPermutationConverter:
             raise InvalidIndexError(
                 f"index {index} outside 0..{self.index_limit - 1}"
             )
+        if _metrics.REGISTRY.enabled:
+            _CONVERT_TOTAL.inc(n=self.n)
         pool = list(self.input_permutation)
         remaining = index
         out = []
@@ -193,7 +202,10 @@ class IndexToPermutationConverter:
     # structural model (gate-level netlist)
 
     def build_netlist(
-        self, pipelined: bool = False, permutation_input_port: bool = False
+        self,
+        pipelined: bool = False,
+        permutation_input_port: bool = False,
+        with_stage_probes: bool = False,
     ) -> Netlist:
         """Construct the Fig.-1 circuit as a gate-level netlist.
 
@@ -206,9 +218,16 @@ class IndexToPermutationConverter:
             hard-wiring :attr:`input_permutation` as constants.  The fixed
             form is what the paper synthesises; the port form is the LUT
             cascade generalisation.
+        with_stage_probes:
+            Additionally expose each stage's factorial digit as a debug
+            output bus ``dbg_digit{t}`` (a binary encoding of the
+            thermometer column), giving waveform-level visibility into
+            the stage-by-stage digit extraction.  Off by default: the
+            encoder gates would otherwise perturb resource counts.
 
         Outputs: ``out0..out{n-1}`` (element buses) and ``word`` — the
-        packed MSB-first word of :meth:`Permutation.packed_value`.
+        packed MSB-first word of :meth:`Permutation.packed_value` — plus
+        the ``dbg_digit*`` buses when ``with_stage_probes`` is set.
         """
         n = self.n
         ew = self.element_width
@@ -222,6 +241,7 @@ class IndexToPermutationConverter:
             pool = [nl.const_bus(self.input_permutation[j], ew) for j in range(n)]
 
         assigned: list[Bus] = []
+        debug_buses: list[tuple[str, Bus]] = []
         running = index
         for spec in self.stages:
             m = spec.pool_size
@@ -232,6 +252,13 @@ class IndexToPermutationConverter:
             # 1. comparator bank → thermometer code of the digit
             therm = [geq_const(nl, running, j * w) for j in range(1, m)]
             onehot = thermometer_to_onehot(nl, therm)
+            if with_stage_probes:
+                # binary-encode the digit for the waveform probe taps
+                dw = max(1, (m - 1).bit_length())
+                digit = onehot_mux(
+                    nl, onehot, [nl.const_bus(j, dw) for j in range(m)]
+                )
+                debug_buses.append((f"dbg_digit{spec.position}", digit))
             # 2. element select
             assigned.append(onehot_mux(nl, onehot, pool))
             # 3. subtract s·w from the running index
@@ -263,6 +290,8 @@ class IndexToPermutationConverter:
         for bus in reversed(assigned):
             word_bits.extend(zero_extend(nl, bus, ew))
         nl.output("word", Bus(word_bits))
+        for name, bus in debug_buses:
+            nl.output(name, bus)
         return nl
 
     # ------------------------------------------------------------------ #

@@ -34,6 +34,15 @@ FaultOverlay` for the concrete implementation):
 Because wires are evaluated in topological order, patching a wire as it
 is computed propagates the fault to every downstream gate exactly as a
 physical defect would.
+
+Probing
+-------
+Both engines also accept an optional *probe* — an observability tap (see
+:class:`repro.obs.probes.SimProbe`) whose ``record_sweep(values, batch)``
+method is called once per combinational sweep with the full wire-value
+table.  Probes record watched-bus samples, per-wire transitions and
+gate-evaluation counts, and export VCD waveforms; a simulator without a
+probe pays exactly one ``is None`` test per sweep.
 """
 
 from __future__ import annotations
@@ -84,9 +93,10 @@ def ints_from_bits(bits: Sequence[np.ndarray]) -> np.ndarray:
 class CombinationalSimulator:
     """Evaluate a netlist's combinational fabric on a batch of inputs."""
 
-    def __init__(self, netlist: Netlist):
+    def __init__(self, netlist: Netlist, probe=None):
         netlist.check()
         self.netlist = netlist
+        self.probe = probe
 
     def run(
         self,
@@ -168,6 +178,8 @@ class CombinationalSimulator:
                 values[w] = overlay.patch(w, values[w], values)
 
         self._wire_values = values  # exposed for SequentialSimulator / debug
+        if self.probe is not None:
+            self.probe.record_sweep(values, batch)
         return {
             name: ints_from_bits([values[w] for w in bus])
             for name, bus in nl.outputs.items()
@@ -182,11 +194,12 @@ class SequentialSimulator:
     circuit simultaneously.
     """
 
-    def __init__(self, netlist: Netlist, batch: int = 1, overlay=None):
-        self.comb = CombinationalSimulator(netlist)
+    def __init__(self, netlist: Netlist, batch: int = 1, overlay=None, probe=None):
+        self.comb = CombinationalSimulator(netlist, probe=probe)
         self.netlist = netlist
         self.batch = batch
         self.overlay = overlay
+        self.probe = probe
         self.cycle = 0
         self.state: dict[int, np.ndarray] = {}
         self.reset()

@@ -1,0 +1,41 @@
+"""Observability: metrics, tracing spans, structured events, sim probes.
+
+The paper's claims are quantitative — comparator counts, one permutation
+per clock, bias shrinking with LFSR width — so the reproduction carries a
+real telemetry layer instead of ad-hoc ``perf_counter`` calls:
+
+* :mod:`repro.obs.metrics` — counters, gauges and fixed-bucket histograms
+  with labels, a Prometheus-style text exposition and a JSON snapshot.
+  The global :data:`~repro.obs.metrics.REGISTRY` is **disabled by
+  default**; disabled instrumentation is a guarded no-op.
+* :mod:`repro.obs.tracing` — nested spans with wall/CPU time and typed
+  events.  Spans export to plain dicts, so worker processes can ship
+  their sub-trees across the pickle boundary and the parent grafts them
+  back into one trace (see ``hardened_map_reduce``).
+* :mod:`repro.obs.events` — structured progress events (the replacement
+  for print-lambda callbacks) with stderr / collecting / tee sinks.
+* :mod:`repro.obs.probes` — opt-in signal-level probes for the netlist
+  simulators: per-wire transition counts, gate-evaluation totals,
+  per-stage factorial-digit values, and VCD export for waveform viewers.
+* :mod:`repro.obs.bench` — the benchmark telemetry harness: versioned,
+  schema-validated JSON reports (``results/*.json``) with an environment
+  fingerprint and iteration statistics.
+
+``probes`` and ``bench`` are imported lazily: ``probes`` pulls in the
+converter (which itself uses ``obs.metrics``), and keeping it out of the
+package import breaks the cycle.
+"""
+
+from __future__ import annotations
+
+from repro.obs import events, metrics, tracing
+
+__all__ = ["metrics", "tracing", "events", "probes", "bench"]
+
+
+def __getattr__(name: str):
+    if name in ("probes", "bench"):
+        import importlib
+
+        return importlib.import_module(f"repro.obs.{name}")
+    raise AttributeError(f"module 'repro.obs' has no attribute {name!r}")

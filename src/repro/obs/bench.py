@@ -1,0 +1,363 @@
+"""Benchmark telemetry harness: versioned, machine-readable results.
+
+Every ``benchmarks/bench_*.py`` module routes its artefacts through
+:func:`emit_report`, which writes ``results/<name>.json`` next to the
+human-readable ``results/<name>.txt``.  The JSON is the *perf
+trajectory*: schema-versioned, stamped with an environment fingerprint,
+and carrying the benchmark's structured data plus iteration statistics
+(pytest-benchmark stats when available, or :func:`measure` samples with
+histogram summaries).
+
+Schema (``repro-bench/1``)
+--------------------------
+Top-level object::
+
+    {
+      "schema": "repro-bench/1",          # required, exact
+      "name": "table2_speedup",           # required, [a-z0-9_]+
+      "environment": {                    # required
+        "python": "3.11.9",               # required
+        "platform": "Linux-...",          # required
+        "cpu_count": 8,                   # required, int
+        "numpy": "2.4.6",                 # required
+        ...                               # extra keys allowed
+      },
+      "data": { ... },                    # required, benchmark-specific
+      "timing": {                         # optional
+        "unit": "s" | "ns",
+        "min": 1.2e-05, "max": ..., "mean": ..., "median": ...,
+        "stddev": ..., "rounds": 5,
+        "histogram": {                    # optional
+          "edges": [e0, e1, ...],         # ascending
+          "counts": [c0, ..., c_k]        # len == len(edges) + 1 (+Inf)
+        }
+      },
+      "text_report": "results/<name>.txt" # optional pointer
+    }
+
+:func:`validate_report` enforces exactly this; ``python -m
+repro.obs.bench validate results/*.json`` is the CI entry point.  The
+schema is intentionally dependency-free (no jsonschema import) so it
+runs anywhere the package runs.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import pathlib
+import platform
+import re
+import sys
+import time
+from typing import Callable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "SCHEMA",
+    "BenchReportError",
+    "environment_fingerprint",
+    "iteration_stats",
+    "measure",
+    "timing_from_benchmark",
+    "emit_report",
+    "validate_report",
+    "load_and_validate",
+    "measure_disabled_metrics_overhead",
+    "main",
+]
+
+SCHEMA = "repro-bench/1"
+
+_NAME_RE = re.compile(r"^[a-z0-9_]+$")
+
+
+class BenchReportError(ValueError):
+    """A benchmark JSON report violates the ``repro-bench/1`` schema."""
+
+    def __init__(self, problems: list[str]):
+        super().__init__("; ".join(problems))
+        self.problems = problems
+
+
+# --------------------------------------------------------------------- #
+# environment + timing capture
+
+
+def environment_fingerprint() -> dict:
+    """Where the numbers came from: interpreter, machine, key libraries."""
+    from repro import __version__
+
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count() or 1,
+        "numpy": np.__version__,
+        "repro": __version__,
+    }
+
+
+def iteration_stats(samples: Sequence[float], unit: str = "s", bins: int = 8) -> dict:
+    """Summary statistics + a log-spaced histogram of timing samples."""
+    xs = sorted(float(s) for s in samples)
+    if not xs:
+        raise ValueError("no samples")
+    n = len(xs)
+    mean = sum(xs) / n
+    var = sum((x - mean) ** 2 for x in xs) / n if n > 1 else 0.0
+    stats = {
+        "unit": unit,
+        "rounds": n,
+        "min": xs[0],
+        "max": xs[-1],
+        "mean": mean,
+        "median": xs[n // 2] if n % 2 else (xs[n // 2 - 1] + xs[n // 2]) / 2,
+        "stddev": math.sqrt(var),
+    }
+    lo, hi = xs[0], xs[-1]
+    if lo > 0 and hi > lo:
+        edges = [
+            lo * (hi / lo) ** (i / bins) for i in range(1, bins)
+        ]  # bins-1 interior edges -> bins buckets + overflow
+        counts = [0] * (len(edges) + 1)
+        for x in xs:
+            i = 0
+            while i < len(edges) and x > edges[i]:
+                i += 1
+            counts[i] += 1
+        stats["histogram"] = {"edges": edges, "counts": counts}
+    return stats
+
+
+def measure(fn: Callable[[], object], rounds: int = 5) -> dict:
+    """Time ``fn`` ``rounds`` times; returns :func:`iteration_stats`."""
+    samples = []
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - t0)
+    return iteration_stats(samples)
+
+
+def timing_from_benchmark(benchmark) -> dict | None:
+    """Iteration stats out of a pytest-benchmark fixture, defensively.
+
+    Returns ``None`` when the fixture was not exercised (or the plugin's
+    internals moved) — JSON reports then simply omit ``timing``.
+    """
+    stats = getattr(getattr(benchmark, "stats", None), "stats", None)
+    if stats is None:
+        return None
+    out: dict = {"unit": "s"}
+    for key in ("min", "max", "mean", "median", "stddev"):
+        value = getattr(stats, key, None)
+        if isinstance(value, (int, float)) and math.isfinite(value):
+            out[key] = float(value)
+    rounds = getattr(stats, "rounds", None)
+    if isinstance(rounds, int):
+        out["rounds"] = rounds
+    return out if len(out) > 1 else None
+
+
+# --------------------------------------------------------------------- #
+# report emission
+
+
+def emit_report(
+    results_dir: str | pathlib.Path,
+    name: str,
+    *,
+    data: dict | None = None,
+    timing: dict | None = None,
+    benchmark=None,
+    text_report: str | None = None,
+) -> pathlib.Path:
+    """Write ``results/<name>.json`` (schema-validated before writing)."""
+    if timing is None and benchmark is not None:
+        timing = timing_from_benchmark(benchmark)
+    payload: dict = {
+        "schema": SCHEMA,
+        "name": name,
+        "environment": environment_fingerprint(),
+        "data": data if data is not None else {},
+    }
+    if timing is not None:
+        payload["timing"] = timing
+    if text_report is not None:
+        payload["text_report"] = text_report
+    validate_report(payload)
+    path = pathlib.Path(results_dir) / f"{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+# --------------------------------------------------------------------- #
+# validation
+
+
+def _check(problems: list[str], cond: bool, msg: str) -> bool:
+    if not cond:
+        problems.append(msg)
+    return cond
+
+
+def validate_report(payload: object) -> None:
+    """Raise :class:`BenchReportError` unless ``payload`` fits the schema."""
+    problems: list[str] = []
+    if not _check(problems, isinstance(payload, dict), "report must be a JSON object"):
+        raise BenchReportError(problems)
+
+    _check(problems, payload.get("schema") == SCHEMA,
+           f"schema must be {SCHEMA!r}, got {payload.get('schema')!r}")
+    name = payload.get("name")
+    _check(problems, isinstance(name, str) and bool(_NAME_RE.match(name or "")),
+           f"name must match [a-z0-9_]+, got {name!r}")
+
+    env = payload.get("environment")
+    if _check(problems, isinstance(env, dict), "environment must be an object"):
+        for key in ("python", "platform", "numpy"):
+            _check(problems, isinstance(env.get(key), str),
+                   f"environment.{key} must be a string")
+        _check(problems, isinstance(env.get("cpu_count"), int),
+               "environment.cpu_count must be an integer")
+
+    _check(problems, isinstance(payload.get("data"), dict), "data must be an object")
+
+    timing = payload.get("timing")
+    if timing is not None and _check(
+        problems, isinstance(timing, dict), "timing must be an object"
+    ):
+        for key in ("min", "max", "mean", "median", "stddev"):
+            if key in timing:
+                _check(problems, isinstance(timing[key], (int, float)),
+                       f"timing.{key} must be numeric")
+        hist = timing.get("histogram")
+        if hist is not None and _check(
+            problems, isinstance(hist, dict), "timing.histogram must be an object"
+        ):
+            edges = hist.get("edges")
+            counts = hist.get("counts")
+            ok_e = _check(problems, isinstance(edges, list) and edges == sorted(edges),
+                          "histogram.edges must be an ascending array")
+            ok_c = _check(problems, isinstance(counts, list)
+                          and all(isinstance(c, int) and c >= 0 for c in counts),
+                          "histogram.counts must be non-negative integers")
+            if ok_e and ok_c:
+                _check(problems, len(counts) == len(edges) + 1,
+                       "histogram.counts must have len(edges)+1 entries")
+
+    if "text_report" in payload:
+        _check(problems, isinstance(payload["text_report"], str),
+               "text_report must be a string")
+
+    if problems:
+        raise BenchReportError(problems)
+
+
+def load_and_validate(path: str | pathlib.Path) -> dict:
+    payload = json.loads(pathlib.Path(path).read_text())
+    validate_report(payload)
+    return payload
+
+
+# --------------------------------------------------------------------- #
+# disabled-metrics overhead measurement (ISSUE 2 acceptance)
+
+
+def measure_disabled_metrics_overhead(
+    hot_fn: Callable[[], object],
+    *,
+    instrumented_sites_per_op: float = 1.0,
+    hot_calls: int = 2_000,
+    guard_calls: int = 200_000,
+    repeats: int = 5,
+) -> dict:
+    """Measure what disabled instrumentation costs on a hot path.
+
+    ``hot_fn`` is one hot-path operation (e.g. a single scalar unrank);
+    ``instrumented_sites_per_op`` is how many disabled metric updates the
+    *shipped* instrumentation performs per such operation (loop-level
+    instrumentation gives values like ``1/iterations``).  The guard loop
+    mirrors the shipped call-site idiom — ``if REGISTRY.enabled:
+    metric.inc(...)`` — so the number reported is the cost a disabled
+    site actually pays: one attribute load plus an untaken branch.  The
+    result reports that guarded no-op cost, the hot-path cost, and their
+    ratio — all per-op, in nanoseconds — using best-of-``repeats``
+    minima to suppress scheduler noise.
+    """
+    from repro.obs import metrics
+
+    reg = metrics.MetricsRegistry(enabled=False)
+    counter = reg.counter("repro_overhead_probe_total", "disabled-cost probe")
+
+    def best(fn: Callable[[], None], calls: int) -> float:
+        best_ns = float("inf")
+        for _ in range(repeats):
+            t0 = time.perf_counter_ns()
+            fn()
+            best_ns = min(best_ns, (time.perf_counter_ns() - t0) / calls)
+        return best_ns
+
+    def guard_loop() -> None:
+        for _ in range(guard_calls):
+            if reg.enabled:
+                counter.inc()
+
+    def baseline_loop() -> None:
+        for _ in range(guard_calls):
+            pass
+
+    def hot_loop() -> None:
+        for _ in range(hot_calls):
+            hot_fn()
+
+    guard_ns = max(0.0, best(guard_loop, guard_calls) - best(baseline_loop, guard_calls))
+    hot_ns = best(hot_loop, hot_calls)
+    overhead_pct = (
+        100.0 * guard_ns * instrumented_sites_per_op / hot_ns if hot_ns > 0 else 0.0
+    )
+    return {
+        "disabled_inc_ns": guard_ns,
+        "hot_path_ns_per_op": hot_ns,
+        "instrumented_sites_per_op": instrumented_sites_per_op,
+        "overhead_pct": overhead_pct,
+    }
+
+
+# --------------------------------------------------------------------- #
+# CLI (CI entry point): python -m repro.obs.bench validate results/*.json
+
+
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.bench",
+        description="Benchmark telemetry utilities",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    v = sub.add_parser("validate", help="validate bench JSON reports")
+    v.add_argument("paths", nargs="+", help="report files to validate")
+    args = parser.parse_args(argv)
+
+    rc = 0
+    for path in args.paths:
+        try:
+            payload = load_and_validate(path)
+        except FileNotFoundError:
+            print(f"MISSING {path}", file=sys.stderr)
+            rc = 1
+        except (BenchReportError, json.JSONDecodeError) as exc:
+            print(f"INVALID {path}: {exc}", file=sys.stderr)
+            rc = 1
+        else:
+            print(f"ok {path} ({payload['name']})")
+    return rc
+
+
+if __name__ == "__main__":
+    sys.exit(main())

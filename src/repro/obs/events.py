@@ -1,0 +1,117 @@
+"""Structured progress events: the replacement for print-lambda callbacks.
+
+Long-running jobs (fault campaigns, sharded experiments) report progress
+as typed events — a ``kind`` plus keyword fields — instead of
+pre-rendered strings.  Sinks decide what happens to them:
+
+* :class:`StderrSink` renders human-readable lines (what the CLI shows
+  unless ``--quiet``);
+* :class:`CollectingSink` keeps :class:`Event` objects for tests and
+  programmatic consumers;
+* :class:`SpanEventSink` forwards events onto the current tracing span,
+  so a traced run records the same progress in its span tree;
+* :class:`TeeSink` fans out to several sinks;
+* :class:`NullSink` drops everything (the ``--quiet`` path — the final
+  report is unaffected because reports never travel through the sink).
+
+Producers take ``events: EventSink | None`` and treat ``None`` as
+:class:`NullSink`, so uninstrumented callers pay nothing.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import IO, Mapping
+
+__all__ = [
+    "Event",
+    "EventSink",
+    "NullSink",
+    "StderrSink",
+    "CollectingSink",
+    "SpanEventSink",
+    "TeeSink",
+]
+
+
+def _render_fields(fields: Mapping[str, object]) -> str:
+    return " ".join(f"{k}={v}" for k, v in fields.items())
+
+
+@dataclass(frozen=True)
+class Event:
+    """One structured progress event."""
+
+    kind: str
+    fields: Mapping[str, object] = field(default_factory=dict)
+    monotonic_s: float = field(default_factory=time.monotonic)
+
+    def render(self) -> str:
+        fields = _render_fields(self.fields)
+        return f"{self.kind}: {fields}" if fields else self.kind
+
+
+class EventSink:
+    """Base sink: drops events.  Subclasses override :meth:`emit`."""
+
+    def emit(self, kind: str, **fields: object) -> None:
+        pass
+
+
+class NullSink(EventSink):
+    """Explicitly-named drop-everything sink (the ``--quiet`` path)."""
+
+
+class StderrSink(EventSink):
+    """Renders ``[prefix] kind: k=v …`` lines to a text stream.
+
+    The stream is resolved at emit time by default so pytest's capture
+    (and any stderr redirection) sees the output.
+    """
+
+    def __init__(self, prefix: str = "", stream: IO[str] | None = None):
+        self.prefix = prefix
+        self._stream = stream
+
+    def emit(self, kind: str, **fields: object) -> None:
+        stream = self._stream if self._stream is not None else sys.stderr
+        tag = f"[{self.prefix}] " if self.prefix else ""
+        print(f"{tag}{Event(kind, fields).render()}", file=stream)
+
+
+class CollectingSink(EventSink):
+    """Keeps every event; ``sink.events`` is the log, in emit order."""
+
+    def __init__(self) -> None:
+        self.events: list[Event] = []
+
+    def emit(self, kind: str, **fields: object) -> None:
+        self.events.append(Event(kind, fields))
+
+    def kinds(self) -> list[str]:
+        return [e.kind for e in self.events]
+
+
+class SpanEventSink(EventSink):
+    """Forwards events to the tracer's current span (if any is open)."""
+
+    def __init__(self, tracer) -> None:
+        self.tracer = tracer
+
+    def emit(self, kind: str, **fields: object) -> None:
+        span = self.tracer.current
+        if span is not None:
+            span.event(kind, **fields)
+
+
+class TeeSink(EventSink):
+    """Fans each event out to every child sink."""
+
+    def __init__(self, *sinks: EventSink):
+        self.sinks = tuple(sinks)
+
+    def emit(self, kind: str, **fields: object) -> None:
+        for sink in self.sinks:
+            sink.emit(kind, **fields)

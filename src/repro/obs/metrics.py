@@ -1,0 +1,405 @@
+"""Metrics registry: labelled counters, gauges and fixed-bucket histograms.
+
+Design goals, in priority order:
+
+1. **Near-zero overhead when disabled.**  The global :data:`REGISTRY`
+   starts disabled; every mutating call (``inc``/``set``/``observe``)
+   short-circuits on one attribute load and a branch, and ``labels(...)``
+   returns a shared no-op handle without allocating a series.  Call sites
+   on genuinely hot loops should additionally instrument at batch
+   granularity (one ``inc(n)`` per loop, not per element) — the
+   benchmark harness measures and records the residual cost
+   (:func:`repro.obs.bench.measure_disabled_metrics_overhead`).
+2. **Bounded cardinality.**  Each metric tracks at most ``max_series``
+   distinct label sets; overflow collapses into a reserved
+   ``__overflow__`` series instead of growing without bound — a
+   misbehaving label (say, a raw index) degrades resolution, never
+   memory.
+3. **Standard exposition.**  :meth:`MetricsRegistry.render_exposition`
+   emits the Prometheus text format (``# HELP``/``# TYPE``, cumulative
+   ``_bucket{le=...}`` histogram series); :meth:`MetricsRegistry.snapshot`
+   returns the same data as plain JSON-able dicts.
+
+Metric registration is idempotent: ``registry.counter(name, ...)``
+returns the existing metric when the name is already registered (and
+raises if the kind or label names differ), so module-level handles work
+across repeated CLI invocations in one process.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from bisect import bisect_left
+from typing import Sequence
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "DEFAULT_BUCKETS",
+    "OVERFLOW_LABEL",
+]
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Label value that absorbs series beyond a metric's cardinality budget.
+OVERFLOW_LABEL = "__overflow__"
+
+#: Prometheus' default duration buckets (seconds).
+DEFAULT_BUCKETS = (
+    0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+class _NoopHandle:
+    """Returned by ``labels()`` on a disabled registry: absorbs updates."""
+
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NOOP = _NoopHandle()
+
+
+class _CounterHandle:
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a gauge")
+        self.value += amount
+
+
+class _GaugeHandle:
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class _HistogramHandle:
+    __slots__ = ("edges", "counts", "sum", "count")
+
+    def __init__(self, edges: tuple[float, ...]) -> None:
+        self.edges = edges
+        self.counts = [0] * (len(edges) + 1)  # last slot = +Inf
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        v = float(value)
+        self.counts[bisect_left(self.edges, v)] += 1
+        self.sum += v
+        self.count += 1
+
+    def cumulative(self) -> list[int]:
+        out, acc = [], 0
+        for c in self.counts:
+            acc += c
+            out.append(acc)
+        return out
+
+
+class Metric:
+    """Base class: series management and cardinality control."""
+
+    kind = "untyped"
+    _handle_cls: type = _CounterHandle
+
+    def __init__(
+        self,
+        registry: "MetricsRegistry",
+        name: str,
+        help: str,
+        labelnames: Sequence[str] = (),
+    ):
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name {name!r}")
+        for ln in labelnames:
+            if not _LABEL_RE.match(ln):
+                raise ValueError(f"invalid label name {ln!r}")
+        self._registry = registry
+        self.name = name
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self._series: dict[tuple[str, ...], object] = {}
+
+    # ------------------------------------------------------------------ #
+
+    def _new_handle(self):
+        return self._handle_cls()
+
+    def labels(self, **labels: object):
+        """The handle for one label set (no-op handle when disabled)."""
+        if not self._registry.enabled:
+            return _NOOP
+        if set(labels) != set(self.labelnames):
+            raise ValueError(
+                f"{self.name} expects labels {self.labelnames}, "
+                f"got {tuple(sorted(labels))}"
+            )
+        key = tuple(str(labels[ln]) for ln in self.labelnames)
+        handle = self._series.get(key)
+        if handle is None:
+            with self._registry._lock:
+                handle = self._series.get(key)
+                if handle is None:
+                    if len(self._series) >= self._registry.max_series:
+                        key = (OVERFLOW_LABEL,) * len(self.labelnames)
+                        handle = self._series.get(key)
+                        if handle is None:
+                            handle = self._new_handle()
+                            self._series[key] = handle
+                    else:
+                        handle = self._new_handle()
+                        self._series[key] = handle
+        return handle
+
+    def _default_handle(self):
+        """The unlabelled series (metrics declared without label names)."""
+        if self.labelnames:
+            raise ValueError(f"{self.name} requires labels {self.labelnames}")
+        handle = self._series.get(())
+        if handle is None:
+            with self._registry._lock:
+                handle = self._series.setdefault((), self._new_handle())
+        return handle
+
+    @property
+    def series_count(self) -> int:
+        return len(self._series)
+
+    def reset(self) -> None:
+        self._series.clear()
+
+
+class Counter(Metric):
+    kind = "counter"
+    _handle_cls = _CounterHandle
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        if not self._registry.enabled:
+            return
+        if labels or self.labelnames:
+            self.labels(**labels).inc(amount)
+        else:
+            self._default_handle().inc(amount)
+
+
+class Gauge(Metric):
+    kind = "gauge"
+    _handle_cls = _GaugeHandle
+
+    def set(self, value: float, **labels: object) -> None:
+        if not self._registry.enabled:
+            return
+        if labels or self.labelnames:
+            self.labels(**labels).set(value)
+        else:
+            self._default_handle().set(value)
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        if not self._registry.enabled:
+            return
+        if labels or self.labelnames:
+            self.labels(**labels).inc(amount)
+        else:
+            self._default_handle().inc(amount)
+
+    def dec(self, amount: float = 1.0, **labels: object) -> None:
+        self.inc(-amount, **labels)
+
+
+class Histogram(Metric):
+    kind = "histogram"
+
+    def __init__(self, registry, name, help, labelnames=(), buckets=DEFAULT_BUCKETS):
+        super().__init__(registry, name, help, labelnames)
+        edges = tuple(sorted(float(b) for b in buckets))
+        if not edges:
+            raise ValueError("histogram needs at least one bucket edge")
+        if len(set(edges)) != len(edges):
+            raise ValueError("duplicate bucket edges")
+        self.buckets = edges
+
+    def _new_handle(self):
+        return _HistogramHandle(self.buckets)
+
+    def observe(self, value: float, **labels: object) -> None:
+        if not self._registry.enabled:
+            return
+        if labels or self.labelnames:
+            self.labels(**labels).observe(value)
+        else:
+            self._default_handle().observe(value)
+
+
+def _escape_label_value(v: str) -> str:
+    return v.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+
+
+def _fmt_labels(labelnames: tuple[str, ...], key: tuple[str, ...], extra: str = "") -> str:
+    parts = [
+        f'{ln}="{_escape_label_value(lv)}"' for ln, lv in zip(labelnames, key)
+    ]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _fmt_value(v: float) -> str:
+    return repr(int(v)) if float(v).is_integer() else repr(float(v))
+
+
+class MetricsRegistry:
+    """A namespace of metrics with a global enable switch.
+
+    The registry starts **disabled**; :meth:`enable` turns recording on.
+    Registration works either way (handles are cheap), so modules can
+    declare their metrics at import time.
+    """
+
+    def __init__(self, enabled: bool = False, max_series: int = 256):
+        #: Plain attribute, not a property: guard sites read it on hot
+        #: paths (`if REGISTRY.enabled:`), and a descriptor call would
+        #: triple the cost of the disabled branch.
+        self.enabled = enabled
+        self.max_series = max_series
+        self._metrics: dict[str, Metric] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    # switch
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    # ------------------------------------------------------------------ #
+    # registration (idempotent)
+
+    def _register(self, cls: type, name: str, help: str, labelnames, **kw):
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if type(existing) is not cls or existing.labelnames != tuple(labelnames):
+                    raise ValueError(
+                        f"metric {name!r} already registered as "
+                        f"{existing.kind} with labels {existing.labelnames}"
+                    )
+                return existing
+            metric = cls(self, name, help, labelnames, **kw)
+            self._metrics[name] = metric
+            return metric
+
+    def counter(self, name: str, help: str = "", labelnames: Sequence[str] = ()) -> Counter:
+        return self._register(Counter, name, help, labelnames)
+
+    def gauge(self, name: str, help: str = "", labelnames: Sequence[str] = ()) -> Gauge:
+        return self._register(Gauge, name, help, labelnames)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        return self._register(Histogram, name, help, labelnames, buckets=buckets)
+
+    def reset(self) -> None:
+        """Zero every series; registrations survive."""
+        with self._lock:
+            for m in self._metrics.values():
+                m.reset()
+
+    # ------------------------------------------------------------------ #
+    # export
+
+    def render_exposition(self) -> str:
+        """Prometheus text exposition format (version 0.0.4)."""
+        out: list[str] = []
+        for name in sorted(self._metrics):
+            m = self._metrics[name]
+            if not m._series:
+                continue
+            if m.help:
+                out.append(f"# HELP {name} {m.help}")
+            out.append(f"# TYPE {name} {m.kind}")
+            for key in sorted(m._series):
+                h = m._series[key]
+                if isinstance(h, _HistogramHandle):
+                    cum = h.cumulative()
+                    for edge, c in zip(m.buckets, cum):
+                        lbl = _fmt_labels(m.labelnames, key, f'le="{edge}"')
+                        out.append(f"{name}_bucket{lbl} {c}")
+                    lbl = _fmt_labels(m.labelnames, key, 'le="+Inf"')
+                    out.append(f"{name}_bucket{lbl} {h.count}")
+                    plain = _fmt_labels(m.labelnames, key)
+                    out.append(f"{name}_sum{plain} {_fmt_value(h.sum)}")
+                    out.append(f"{name}_count{plain} {h.count}")
+                else:
+                    lbl = _fmt_labels(m.labelnames, key)
+                    out.append(f"{name}{lbl} {_fmt_value(h.value)}")
+        return "\n".join(out) + ("\n" if out else "")
+
+    def snapshot(self) -> dict:
+        """JSON-able dump of every live series."""
+        metrics = []
+        for name in sorted(self._metrics):
+            m = self._metrics[name]
+            series = []
+            for key in sorted(m._series):
+                h = m._series[key]
+                labels = dict(zip(m.labelnames, key))
+                if isinstance(h, _HistogramHandle):
+                    series.append(
+                        {
+                            "labels": labels,
+                            "buckets": list(h.edges),
+                            "counts": list(h.counts),
+                            "sum": h.sum,
+                            "count": h.count,
+                        }
+                    )
+                else:
+                    series.append({"labels": labels, "value": h.value})
+            if series:
+                metrics.append(
+                    {"name": name, "kind": m.kind, "help": m.help, "series": series}
+                )
+        return {"metrics": metrics}
+
+
+#: The process-wide default registry (disabled until someone opts in,
+#: e.g. via the CLI's ``--metrics`` flag).
+REGISTRY = MetricsRegistry()

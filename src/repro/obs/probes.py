@@ -1,0 +1,227 @@
+"""Opt-in signal-level probes for the netlist simulators.
+
+A :class:`SimProbe` attaches to a
+:class:`~repro.hdl.simulator.CombinationalSimulator` or
+:class:`~repro.hdl.simulator.SequentialSimulator` and records, per sweep:
+
+* **word-level samples** of every watched bus (primary inputs, primary
+  outputs — which include the converter's per-stage factorial-digit
+  debug buses when the netlist is built with ``with_stage_probes=True``);
+* **per-wire transition counts** across consecutive samples (toggle
+  activity, the same quantity the power model integrates);
+* **gate-evaluation totals** (logic evaluations × batch lanes), the
+  simulator-side cost metric.
+
+Sequential runs produce one sample per clock; combinational batch runs
+produce one sample per lane (lane order is the "time" axis).  The sample
+stream exports to a standard VCD via the existing
+:class:`~repro.hdl.export.VCDWriter`, so traced runs open directly in
+GTKWave or any other waveform viewer.
+
+Probing is strictly opt-in: a simulator constructed without a probe has
+exactly one ``is None`` check per sweep added to its hot path.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.hdl.export import VCDWriter
+from repro.hdl.gates import Op
+from repro.hdl.netlist import Bus, Netlist
+
+__all__ = ["SimProbe", "trace_converter"]
+
+_LEAF_OPS = (Op.INPUT, Op.REG, Op.CONST0, Op.CONST1)
+
+
+def _lane(arr: np.ndarray, i: int) -> int:
+    """Lane ``i`` of a possibly-broadcast (length-1) value vector."""
+    return int(arr[0] if arr.shape[0] == 1 else arr[i])
+
+
+class SimProbe:
+    """Records watched-signal samples, transitions and evaluation counts.
+
+    Parameters
+    ----------
+    netlist:
+        The circuit being simulated (fixes widths and the wire universe).
+    signals:
+        Optional name → :class:`~repro.hdl.netlist.Bus` mapping to watch.
+        Defaults to every primary input and output bus.
+    track_wire_transitions:
+        Also count per-wire toggles across **all** wires (lane-vectorised
+        XOR per sweep).  Costs one NumPy op per wire per sweep; disable
+        for long runs that only need the sample stream.
+    """
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        signals: Mapping[str, Bus] | None = None,
+        track_wire_transitions: bool = True,
+    ):
+        self.netlist = netlist
+        if signals is None:
+            signals = {**netlist.inputs, **netlist.outputs}
+        self.signals: dict[str, Bus] = dict(signals)
+        if not self.signals:
+            raise ValueError("nothing to watch: netlist has no named buses")
+        self.track_wire_transitions = track_wire_transitions
+
+        self.samples: list[dict[str, int]] = []
+        self.sweeps = 0
+        self.gate_evals = 0
+        self.wire_transitions = np.zeros(len(netlist.gates), dtype=np.int64)
+        self._prev_bits: list[np.ndarray | None] | None = None
+        self._logic_gates = sum(
+            1 for g in netlist.gates if g.op not in _LEAF_OPS
+        )
+
+    # ------------------------------------------------------------------ #
+    # recording (called by the simulators)
+
+    def record_sweep(self, values: Sequence[np.ndarray], batch: int) -> None:
+        """Ingest one combinational sweep (``values[w]`` per wire)."""
+        self.sweeps += 1
+        self.gate_evals += self._logic_gates * batch
+
+        for i in range(batch):
+            sample: dict[str, int] = {}
+            for name, bus in self.signals.items():
+                word = 0
+                for b, w in enumerate(bus):
+                    word |= _lane(values[w], i) << b
+                sample[name] = word
+            self.samples.append(sample)
+
+        if self.track_wire_transitions:
+            prev = self._prev_bits
+            cur: list[np.ndarray | None] = [None] * len(values)
+            for w, arr in enumerate(values):
+                if arr is None:
+                    continue
+                lanes = np.broadcast_to(arr, (batch,)) if arr.shape[0] == 1 else arr
+                if batch > 1:
+                    self.wire_transitions[w] += int(
+                        np.count_nonzero(lanes[1:] ^ lanes[:-1])
+                    )
+                if prev is not None and prev[w] is not None:
+                    self.wire_transitions[w] += int(bool(prev[w] ^ lanes[0]))
+                cur[w] = lanes[-1]
+            self._prev_bits = cur
+
+    # ------------------------------------------------------------------ #
+    # derived views
+
+    @property
+    def cycles(self) -> int:
+        """Samples recorded (clocks for sequential runs, lanes otherwise)."""
+        return len(self.samples)
+
+    def signal_history(self, name: str) -> list[int]:
+        """The watched signal's value at every recorded sample."""
+        if name not in self.signals:
+            raise KeyError(f"signal {name!r} is not watched")
+        return [s[name] for s in self.samples]
+
+    def stage_digits(self) -> dict[int, list[int]]:
+        """Per-stage factorial-digit streams (``dbg_digit{t}`` signals).
+
+        Present when the netlist was built with ``with_stage_probes=True``
+        (see :meth:`IndexToPermutationConverter.build_netlist`).
+        """
+        out: dict[int, list[int]] = {}
+        for name in self.signals:
+            if name.startswith("dbg_digit"):
+                out[int(name[len("dbg_digit"):])] = self.signal_history(name)
+        return dict(sorted(out.items()))
+
+    def toggle_total(self) -> int:
+        """Total recorded wire transitions across the whole run."""
+        return int(self.wire_transitions.sum())
+
+    def summary(self) -> dict:
+        """JSON-able roll-up (what the bench harness embeds)."""
+        return {
+            "sweeps": self.sweeps,
+            "samples": self.cycles,
+            "gate_evals": self.gate_evals,
+            "logic_gates": self._logic_gates,
+            "wire_toggles": self.toggle_total(),
+            "watched_signals": sorted(self.signals),
+        }
+
+    # ------------------------------------------------------------------ #
+    # VCD export
+
+    def to_vcd(self, timescale: str = "1ns") -> str:
+        """The sample stream as VCD text (loadable in GTKWave)."""
+        if not self.samples:
+            raise ValueError("no samples recorded")
+        writer = VCDWriter(
+            {name: bus.width for name, bus in self.signals.items()},
+            timescale=timescale,
+        )
+        for sample in self.samples:
+            writer.sample(sample)
+        return writer.render()
+
+    def write_vcd(self, path: str, timescale: str = "1ns") -> None:
+        with open(path, "w") as fh:
+            fh.write(self.to_vcd(timescale))
+
+
+def trace_converter(
+    n: int,
+    indices: Sequence[int],
+    vcd_path: str | None = None,
+    pipelined: bool = True,
+    tracer=None,
+):
+    """Run indices through the gate-level converter with probes attached.
+
+    Returns ``(permutations, probe)`` where ``permutations`` is the
+    ``(B, n)`` integer array the circuit produced and ``probe`` holds the
+    sample stream (including per-stage factorial digits) ready for VCD
+    export.  With ``vcd_path`` the trace is written out directly.
+    """
+    from repro.core.converter import IndexToPermutationConverter
+    from repro.hdl.simulator import CombinationalSimulator, SequentialSimulator
+
+    conv = IndexToPermutationConverter(n)
+    nl = conv.build_netlist(pipelined=pipelined, with_stage_probes=True)
+    probe = SimProbe(nl)
+    idx = [int(i) for i in indices]
+
+    span_ctx = tracer.span("simulate", n=n, pipelined=pipelined) if tracer else None
+    if span_ctx is not None:
+        span_ctx.__enter__()
+    try:
+        if pipelined:
+            seq = SequentialSimulator(nl, batch=1, probe=probe)
+            fill = conv.pipeline_register_stages
+            rows = []
+            for cycle, value in enumerate(idx + [0] * fill):
+                outs = seq.step({"index": value})
+                if cycle >= fill:
+                    rows.append([int(outs[f"out{t}"][0]) for t in range(n)])
+            perms = np.asarray(rows, dtype=np.int64)
+        else:
+            sim = CombinationalSimulator(nl, probe=probe)
+            outs = sim.run({"index": idx})
+            perms = np.empty((len(idx), n), dtype=np.int64)
+            for t in range(n):
+                perms[:, t] = [int(v) for v in outs[f"out{t}"]]
+    finally:
+        if span_ctx is not None:
+            span_ctx.__exit__(None, None, None)
+
+    if vcd_path is not None:
+        probe.write_vcd(vcd_path)
+        if tracer is not None and tracer.current is not None:
+            tracer.current.event("vcd_written", path=vcd_path, cycles=probe.cycles)
+    return perms, probe

@@ -1,0 +1,228 @@
+"""Tracing spans: nested wall/CPU timing with typed events.
+
+A :class:`Span` measures one region of work — wall time on the monotonic
+clock (``perf_counter``), CPU time (``process_time``) — and carries
+typed events (name + timestamp offset + fields) plus child spans.  A
+:class:`Tracer` maintains the active span stack and renders the finished
+tree.
+
+Cross-process propagation
+-------------------------
+Spans export to plain dicts (:meth:`Span.export`) and rebuild from them
+(:meth:`Span.from_export`).  That is how
+:func:`repro.parallel.sharding.hardened_map_reduce` merges traces: each
+worker process runs its shard inside a fresh span, ships the exported
+sub-tree back with the result, and the parent grafts it under the
+current span (:meth:`Tracer.adopt`) — so every shard attempt, including
+retries, timeouts and crash-resubmits, appears as a child of the
+caller's trace.
+
+All of this is opt-in: code paths take ``tracer=None`` and skip
+instrumentation entirely when no tracer is supplied.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = ["Span", "Tracer"]
+
+
+class Span:
+    """One timed region: attributes, events, children.
+
+    The span starts timing at construction and stops at :meth:`end`
+    (context-managed use via :meth:`Tracer.span` does both).
+    """
+
+    __slots__ = (
+        "name",
+        "attrs",
+        "events",
+        "children",
+        "status",
+        "error",
+        "wall_s",
+        "cpu_s",
+        "_t0",
+        "_c0",
+    )
+
+    def __init__(self, name: str, attrs: dict | None = None):
+        self.name = name
+        self.attrs = dict(attrs or {})
+        self.events: list[dict] = []
+        self.children: list[Span] = []
+        self.status = "open"
+        self.error: str | None = None
+        self.wall_s: float | None = None
+        self.cpu_s: float | None = None
+        self._t0 = time.perf_counter()
+        self._c0 = time.process_time()
+
+    # ------------------------------------------------------------------ #
+
+    def event(self, name: str, **fields: object) -> None:
+        """Record a typed event at the current offset into the span."""
+        self.events.append(
+            {
+                "name": name,
+                "offset_s": round(time.perf_counter() - self._t0, 6),
+                "fields": fields,
+            }
+        )
+
+    def end(self, status: str = "ok", error: str | None = None) -> "Span":
+        if self.status == "open":
+            self.wall_s = time.perf_counter() - self._t0
+            self.cpu_s = time.process_time() - self._c0
+            self.status = status
+            self.error = error
+        return self
+
+    # ------------------------------------------------------------------ #
+    # serialisation (pickle/JSON-safe plain dicts)
+
+    def export(self) -> dict:
+        return {
+            "name": self.name,
+            "attrs": self.attrs,
+            "status": self.status,
+            "error": self.error,
+            "wall_s": self.wall_s,
+            "cpu_s": self.cpu_s,
+            "events": self.events,
+            "children": [c.export() for c in self.children],
+        }
+
+    @classmethod
+    def from_export(cls, data: dict) -> "Span":
+        span = cls(data["name"], data.get("attrs"))
+        span.status = data.get("status", "ok")
+        span.error = data.get("error")
+        span.wall_s = data.get("wall_s")
+        span.cpu_s = data.get("cpu_s")
+        span.events = list(data.get("events", ()))
+        span.children = [cls.from_export(c) for c in data.get("children", ())]
+        return span
+
+    # ------------------------------------------------------------------ #
+    # introspection
+
+    def walk(self) -> Iterator["Span"]:
+        yield self
+        for c in self.children:
+            yield from c.walk()
+
+    def find_all(self, name: str) -> list["Span"]:
+        return [s for s in self.walk() if s.name == name]
+
+    # ------------------------------------------------------------------ #
+    # rendering
+
+    def _header(self) -> str:
+        parts = [self.name]
+        if self.wall_s is not None:
+            parts.append(f"wall={self.wall_s * 1e3:.2f}ms")
+        if self.cpu_s is not None:
+            parts.append(f"cpu={self.cpu_s * 1e3:.2f}ms")
+        if self.status not in ("ok", "open"):
+            parts.append(f"status={self.status}")
+        if self.error:
+            parts.append(f"error={self.error!r}")
+        parts += [f"{k}={v}" for k, v in self.attrs.items()]
+        return " ".join(parts)
+
+    def render(self) -> str:
+        """The span tree as indented ASCII (one span or event per line)."""
+        lines: list[str] = []
+
+        def emit(span: Span, prefix: str, is_last: bool, is_root: bool) -> None:
+            if is_root:
+                lines.append(span._header())
+                child_prefix = ""
+            else:
+                branch = "└─ " if is_last else "├─ "
+                lines.append(prefix + branch + span._header())
+                child_prefix = prefix + ("   " if is_last else "│  ")
+            rows: list[tuple[str, object]] = [("event", e) for e in span.events]
+            rows += [("span", c) for c in span.children]
+            for i, (kind, item) in enumerate(rows):
+                last = i == len(rows) - 1
+                if kind == "event":
+                    e = item
+                    fields = " ".join(f"{k}={v}" for k, v in e["fields"].items())
+                    mark = "└· " if last else "├· "
+                    lines.append(
+                        child_prefix
+                        + mark
+                        + f"{e['name']} @{e['offset_s'] * 1e3:.1f}ms"
+                        + (f" {fields}" if fields else "")
+                    )
+                else:
+                    emit(item, child_prefix, last, False)
+
+        emit(self, "", True, True)
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"<Span {self.name!r} status={self.status} children={len(self.children)}>"
+
+
+class Tracer:
+    """Maintains the active span stack; owns the finished trace."""
+
+    def __init__(self) -> None:
+        self.roots: list[Span] = []
+        self._stack: list[Span] = []
+
+    @property
+    def current(self) -> Span | None:
+        return self._stack[-1] if self._stack else None
+
+    @property
+    def root(self) -> Span | None:
+        return self.roots[0] if self.roots else None
+
+    @contextmanager
+    def span(self, name: str, **attrs: object):
+        """Open a child span of the current span (or a new root)."""
+        s = Span(name, attrs)
+        parent = self.current
+        if parent is not None:
+            parent.children.append(s)
+        else:
+            self.roots.append(s)
+        self._stack.append(s)
+        try:
+            yield s
+        except BaseException as exc:
+            s.end("error", error=f"{type(exc).__name__}: {exc}")
+            raise
+        else:
+            s.end("ok")
+        finally:
+            self._stack.pop()
+
+    def adopt(self, span: Span | dict) -> Span:
+        """Graft a finished span (or its export) into the current trace."""
+        if isinstance(span, dict):
+            span = Span.from_export(span)
+        parent = self.current
+        if parent is not None:
+            parent.children.append(span)
+        else:
+            self.roots.append(span)
+        return span
+
+    def render(self) -> str:
+        return "\n".join(r.render() for r in self.roots)
+
+
+def worker_span(name: str, **attrs: object) -> Span:
+    """A fresh span for worker-process use; tags the worker PID."""
+    attrs.setdefault("pid", os.getpid())
+    return Span(name, attrs)

@@ -17,6 +17,19 @@ Two runners are provided:
   that returns a :class:`PartialResult` — the reduction over the shards
   that succeeded plus a manifest of the ones that did not — instead of
   aborting a long campaign for one bad shard.
+
+All deadline and backoff arithmetic uses the **monotonic clock**
+(``time.monotonic``): a wall-clock adjustment (NTP step, DST, manual
+``date``) mid-run can neither starve the timeout budget nor stretch a
+backoff sleep.  The clock and sleep functions are module-level seams
+(``_monotonic``/``_sleep``) so tests can drive them deterministically.
+
+Observability: the hardened runner optionally takes a
+:class:`~repro.obs.tracing.Tracer` — every shard attempt becomes a child
+span of the caller's trace, with worker-side spans shipped back across
+the pickle boundary — and an :class:`~repro.obs.events.EventSink` that
+receives structured retry/timeout/crash events.  Attempt outcomes are
+also counted in the global metrics registry when it is enabled.
 """
 
 from __future__ import annotations
@@ -31,6 +44,8 @@ from dataclasses import dataclass
 from typing import Callable, Generic, Sequence, TypeVar
 
 from repro.errors import ShardTimeoutError, WorkerFailedError
+from repro.obs import metrics as _metrics
+from repro.obs.tracing import Span
 
 __all__ = [
     "ShardSpec",
@@ -41,6 +56,35 @@ __all__ = [
     "PartialResult",
     "default_workers",
 ]
+
+# Injectable clock/sleep seams: ALL deadline + backoff arithmetic in this
+# module goes through these, never through time.time().
+_monotonic = time.monotonic
+_sleep = time.sleep
+
+
+def _sleep_until(deadline: float) -> None:
+    """Sleep until the monotonic clock reaches ``deadline``.
+
+    Loops on the remaining monotonic delta, so interrupted or short
+    sleeps (and any wall-clock adjustment) cannot cut the wait short or
+    stretch it.
+    """
+    while True:
+        remaining = deadline - _monotonic()
+        if remaining <= 0:
+            return
+        _sleep(remaining)
+
+
+_SHARD_ATTEMPTS = _metrics.REGISTRY.counter(
+    "repro_shard_attempts_total",
+    "hardened map-reduce shard attempts by outcome",
+    ("outcome",),
+)
+_SHARD_SECONDS = _metrics.REGISTRY.histogram(
+    "repro_shard_seconds", "successful shard attempt duration (seconds)"
+)
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -182,6 +226,35 @@ class PartialResult(Generic[R]):
         return self.completed / self.total if self.total else 1.0
 
 
+@dataclass(frozen=True)
+class _TracedValue:
+    """A worker result bundled with the worker-side span export."""
+
+    value: object
+    span: dict
+
+
+class _TracedWork:
+    """Picklable wrapper: runs the shard inside a worker-side span.
+
+    The span (wall/CPU time, worker PID, shard bounds) travels back with
+    the result as a plain dict and is grafted into the parent trace —
+    that is the cross-process span propagation.
+    """
+
+    def __init__(self, work: Callable[[ShardSpec], object]):
+        self.work = work
+
+    def __call__(self, shard: ShardSpec) -> _TracedValue:
+        span = Span(
+            f"shard{shard.shard_id}",
+            {"start": shard.start, "stop": shard.stop, "pid": os.getpid()},
+        )
+        value = self.work(shard)  # exceptions propagate; parent records them
+        span.end("ok")
+        return _TracedValue(value, span.export())
+
+
 def hardened_map_reduce(
     work: Callable[[ShardSpec], R],
     shards: Sequence[ShardSpec],
@@ -193,6 +266,8 @@ def hardened_map_reduce(
     jitter: float = 0.05,
     degrade: bool = False,
     seed: int = 0,
+    tracer=None,
+    events=None,
 ):
     """Fault-tolerant map-reduce: retry, recover, optionally degrade.
 
@@ -215,12 +290,23 @@ def hardened_map_reduce(
     Caveat: a timed-out worker process cannot be killed through
     ``concurrent.futures``; it is abandoned with the old pool and may
     run to completion in the background.  Its result is discarded.
+
+    Observability (all optional):
+
+    * ``tracer`` — every shard attempt appears as a child span of the
+      caller's current span: successful pool attempts carry the
+      worker-side span (true worker wall/CPU time and PID), failed or
+      timed-out attempts a parent-side span tagged with the outcome.
+    * ``events`` — an :class:`~repro.obs.events.EventSink` receiving
+      ``shard_retry``/``shard_timeout``/``pool_crash``/
+      ``shard_exhausted`` events as they happen.
     """
     if not shards:
         raise ValueError("no shards to process (total == 0?)")
     workers = workers if workers is not None else default_workers()
     inline = workers <= 1
     rng = random.Random(seed)
+    metrics_on = _metrics.REGISTRY.enabled
 
     results: dict[int, R] = {}
     failures: list[ShardFailure] = []
@@ -251,54 +337,131 @@ def hardened_map_reduce(
             )
         )
 
+    pool_work = _TracedWork(work) if tracer is not None else work
+
+    def note_attempt(shard: ShardSpec, outcome: str, span: Span | None,
+                     wall_s: float | None = None) -> None:
+        """Metrics + trace bookkeeping for one finished attempt."""
+        if metrics_on:
+            _SHARD_ATTEMPTS.inc(outcome=outcome)
+            if outcome == "ok" and wall_s is not None:
+                _SHARD_SECONDS.observe(wall_s)
+        if tracer is not None and span is not None:
+            span.attrs["attempt"] = attempts[shard.shard_id]
+            if outcome != "ok":
+                span.attrs["outcome"] = outcome
+            tracer.adopt(span)
+
     try:
         while pending:
             wave, pending = pending, []
             retry_delay = 0.0
             pool_broken = False
+            # outcome rows: (shard, value, exc, timed_out, worker_span)
             if inline:
                 outcomes = []
                 for s in wave:
+                    span = (
+                        Span(f"shard{s.shard_id}", {"start": s.start, "stop": s.stop})
+                        if tracer is not None
+                        else None
+                    )
                     try:
-                        outcomes.append((s, work(s), None, False))
+                        value = work(s)
                     except Exception as exc:
-                        outcomes.append((s, None, exc, False))
+                        if span is not None:
+                            span.end("error", error=f"{type(exc).__name__}: {exc}")
+                        outcomes.append((s, None, exc, False, span))
+                    else:
+                        if span is not None:
+                            span.end("ok")
+                        outcomes.append((s, value, None, False, span))
             else:
                 if pool is None:
                     pool = ProcessPoolExecutor(
                         max_workers=min(workers, len(shards))
                     )
-                futures = [(s, pool.submit(work, s)) for s in wave]
+                futures = [(s, pool.submit(pool_work, s)) for s in wave]
+                # Per-shard timeout measured from submission on the
+                # monotonic clock: shards waited on later in the wave do
+                # not have their budget restarted by earlier waits.
+                wave_t0 = _monotonic()
                 outcomes = []
                 for s, fut in futures:
+                    budget = (
+                        None
+                        if timeout is None
+                        else max(0.0, wave_t0 + timeout - _monotonic())
+                    )
                     try:
-                        outcomes.append((s, fut.result(timeout=timeout), None, False))
+                        value = fut.result(timeout=budget)
                     except FutureTimeoutError as exc:
                         fut.cancel()
                         pool_broken = True  # abandon the stuck worker
-                        outcomes.append((s, None, exc, True))
+                        outcomes.append((s, None, exc, True, None))
                     except BrokenProcessPool as exc:
                         pool_broken = True
-                        outcomes.append((s, None, exc, False))
+                        outcomes.append((s, None, exc, False, None))
                     except Exception as exc:
-                        outcomes.append((s, None, exc, False))
-            for s, value, exc, timed_out in outcomes:
+                        outcomes.append((s, None, exc, False, None))
+                    else:
+                        span = None
+                        if isinstance(value, _TracedValue):
+                            span = Span.from_export(value.span)
+                            value = value.value
+                        outcomes.append((s, value, None, False, span))
+            for s, value, exc, timed_out, span in outcomes:
                 attempts[s.shard_id] += 1
                 if exc is None:
                     results[s.shard_id] = value
+                    note_attempt(
+                        s, "ok", span,
+                        wall_s=span.wall_s if span is not None else None,
+                    )
                     continue
+                outcome = (
+                    "timeout"
+                    if timed_out
+                    else "crash" if isinstance(exc, BrokenProcessPool) else "error"
+                )
+                if span is None and tracer is not None:
+                    span = Span(f"shard{s.shard_id}", {"start": s.start, "stop": s.stop})
+                    span.end("error", error=f"{type(exc).__name__}: {exc}")
+                    span.wall_s = None  # parent-side stub: no worker timing
+                    span.cpu_s = None
+                note_attempt(s, outcome, span)
+                if events is not None and outcome in ("timeout", "crash"):
+                    events.emit(
+                        f"shard_{outcome}" if outcome == "timeout" else "pool_crash",
+                        shard=s.shard_id,
+                        attempt=attempts[s.shard_id],
+                    )
                 last_error[s.shard_id] = (exc, timed_out)
                 if attempts[s.shard_id] <= retries:
                     delay = backoff * (2 ** (attempts[s.shard_id] - 1))
                     retry_delay = max(retry_delay, delay + rng.uniform(0.0, jitter))
                     pending.append(s)
+                    if events is not None:
+                        events.emit(
+                            "shard_retry",
+                            shard=s.shard_id,
+                            attempt=attempts[s.shard_id],
+                            error=type(exc).__name__,
+                        )
                 else:
+                    if events is not None:
+                        events.emit(
+                            "shard_exhausted",
+                            shard=s.shard_id,
+                            attempts=attempts[s.shard_id],
+                            error=type(exc).__name__,
+                        )
                     fail(s)
             if pool_broken and pool is not None:
                 pool.shutdown(wait=False, cancel_futures=True)
                 pool = None
             if pending and retry_delay > 0.0:
-                time.sleep(retry_delay)
+                _sleep_until(_monotonic() + retry_delay)
     finally:
         if pool is not None:
             pool.shutdown(wait=False, cancel_futures=True)

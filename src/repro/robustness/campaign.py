@@ -24,7 +24,7 @@ campaign spec — nothing heavyweight crosses the pickle boundary.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from typing import Sequence
 
 import numpy as np
 
@@ -35,6 +35,8 @@ from repro.core.factorial import factorial
 from repro.core.knuth import KnuthShuffleCircuit
 from repro.hdl.netlist import Netlist
 from repro.hdl.simulator import CombinationalSimulator, SequentialSimulator
+from repro.obs import metrics as _metrics
+from repro.obs.events import EventSink
 from repro.parallel.sharding import ShardSpec, hardened_map_reduce, index_shards
 from repro.robustness.faults import (
     Fault,
@@ -51,6 +53,17 @@ CIRCUITS = ("converter", "shuffle")
 
 #: Class labels, in report order.
 _CLASSES = ("benign", "detected", "silent")
+
+_FAULTS_TOTAL = _metrics.REGISTRY.counter(
+    "repro_campaign_faults_total",
+    "fault sites evaluated, by classification",
+    ("klass",),
+)
+_CAMPAIGN_COVERAGE = _metrics.REGISTRY.gauge(
+    "repro_campaign_bijection_coverage",
+    "bijection-check coverage of the last campaign",
+    ("circuit", "model"),
+)
 
 
 @dataclass(frozen=True)
@@ -282,22 +295,38 @@ def run_campaign(
     workers: int = 1,
     degrade: bool = False,
     timeout: float | None = None,
-    progress: Callable[[str], None] | None = None,
+    events: EventSink | None = None,
+    tracer=None,
 ) -> CampaignResult:
     """Execute a campaign, sharded and hardened.
 
     ``degrade=True`` keeps partial statistics when shards fail
     permanently (the report then carries a warning); otherwise a failed
     shard aborts with :class:`~repro.errors.WorkerFailedError`.
+
+    Progress is reported through the structured event API: ``events``
+    receives ``plan`` / ``shard_*`` / ``done`` events (render them with a
+    :class:`~repro.obs.events.StderrSink`, collect them in tests with a
+    :class:`~repro.obs.events.CollectingSink`, or pass ``None`` for
+    silence).  ``tracer`` threads the caller's trace through the sharded
+    runner, so every shard attempt becomes a child span.
     """
     faults = fault_list(spec)
     if not faults:
         raise ValueError(f"no {spec.model} fault sites in the {spec.circuit} netlist")
     ev = _Evaluator(spec)
     test_vectors = len(ev.indices) if spec.circuit == "converter" else spec.stream_length
-    if progress:
-        progress(f"{len(faults)} fault sites, {test_vectors} test vectors per fault")
     shards = index_shards(len(faults), max(1, workers) * 4)
+    if events is not None:
+        events.emit(
+            "plan",
+            circuit=spec.circuit,
+            model=spec.model,
+            fault_sites=len(faults),
+            test_vectors=test_vectors,
+            shards=len(shards),
+            workers=workers,
+        )
     partial = hardened_map_reduce(
         _CampaignWork(spec),
         shards,
@@ -305,6 +334,8 @@ def run_campaign(
         workers=workers,
         timeout=timeout,
         degrade=True,
+        events=events,
+        tracer=tracer,
     )
     if not degrade and not partial.complete:
         # hardened_map_reduce already retried; surface the first failure.
@@ -321,6 +352,28 @@ def run_campaign(
         "examples": {k: [] for k in _CLASSES},
     }
     counted = sum(merged["counts"].values())
+    result_coverage = (
+        merged["counts"]["detected"]
+        / (merged["counts"]["detected"] + merged["counts"]["silent"])
+        if merged["counts"]["detected"] + merged["counts"]["silent"]
+        else 1.0
+    )
+    if _metrics.REGISTRY.enabled:
+        for klass in _CLASSES:
+            if merged["counts"][klass]:
+                _FAULTS_TOTAL.inc(merged["counts"][klass], klass=klass)
+        _CAMPAIGN_COVERAGE.set(
+            result_coverage, circuit=spec.circuit, model=spec.model
+        )
+    if events is not None:
+        events.emit(
+            "done",
+            evaluated=counted,
+            benign=merged["counts"]["benign"],
+            detected=merged["counts"]["detected"],
+            silent=merged["counts"]["silent"],
+            failed_shards=len(partial.failed),
+        )
     return CampaignResult(
         spec=spec,
         total=counted,

@@ -1,0 +1,155 @@
+"""Benchmark telemetry: schema validation, stats, report emission."""
+
+import json
+
+import pytest
+
+from repro.obs.bench import (
+    SCHEMA,
+    BenchReportError,
+    emit_report,
+    environment_fingerprint,
+    iteration_stats,
+    load_and_validate,
+    main,
+    measure,
+    measure_disabled_metrics_overhead,
+    validate_report,
+)
+
+
+def good_payload(**overrides) -> dict:
+    payload = {
+        "schema": SCHEMA,
+        "name": "unit_probe",
+        "environment": environment_fingerprint(),
+        "data": {"rows": [1, 2, 3]},
+    }
+    payload.update(overrides)
+    return payload
+
+
+class TestValidator:
+    def test_good_payload_passes(self):
+        validate_report(good_payload())
+
+    def test_timing_with_histogram_passes(self):
+        timing = iteration_stats([0.001, 0.002, 0.004, 0.008], unit="s")
+        validate_report(good_payload(timing=timing))
+
+    @pytest.mark.parametrize(
+        "mutation, fragment",
+        [
+            ({"schema": "repro-bench/0"}, "schema"),
+            ({"name": "Bad-Name"}, "name"),
+            ({"environment": "laptop"}, "environment"),
+            ({"environment": {"python": "3.11"}}, "cpu_count"),
+            ({"data": [1, 2]}, "data"),
+            ({"timing": {"mean": "fast"}}, "timing.mean"),
+            ({"text_report": 7}, "text_report"),
+        ],
+    )
+    def test_bad_payloads_rejected(self, mutation, fragment):
+        with pytest.raises(BenchReportError) as err:
+            validate_report(good_payload(**mutation))
+        assert fragment in str(err.value)
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(BenchReportError):
+            validate_report([1, 2, 3])
+
+    def test_histogram_count_length_enforced(self):
+        timing = {"histogram": {"edges": [1.0, 2.0], "counts": [1, 2]}}
+        with pytest.raises(BenchReportError) as err:
+            validate_report(good_payload(timing=timing))
+        assert "len(edges)+1" in str(err.value)
+
+    def test_histogram_edges_must_ascend(self):
+        timing = {"histogram": {"edges": [2.0, 1.0], "counts": [0, 0, 0]}}
+        with pytest.raises(BenchReportError) as err:
+            validate_report(good_payload(timing=timing))
+        assert "ascending" in str(err.value)
+
+    def test_all_problems_reported_at_once(self):
+        with pytest.raises(BenchReportError) as err:
+            validate_report({"schema": "nope", "name": "UGLY"})
+        assert len(err.value.problems) >= 3  # schema, name, environment, data
+
+
+class TestIterationStats:
+    def test_invariants(self):
+        stats = iteration_stats([3.0, 1.0, 2.0, 2.0])
+        assert stats["min"] == 1.0 and stats["max"] == 3.0
+        assert stats["mean"] == pytest.approx(2.0)
+        assert stats["median"] == pytest.approx(2.0)
+        assert stats["rounds"] == 4
+        hist = stats["histogram"]
+        assert sum(hist["counts"]) == 4
+        assert hist["edges"] == sorted(hist["edges"])
+        assert len(hist["counts"]) == len(hist["edges"]) + 1
+
+    def test_single_sample_has_no_histogram(self):
+        stats = iteration_stats([1.0])
+        assert stats["stddev"] == 0.0
+        assert "histogram" not in stats
+
+    def test_empty_samples_rejected(self):
+        with pytest.raises(ValueError):
+            iteration_stats([])
+
+    def test_measure_produces_valid_timing(self):
+        timing = measure(lambda: sum(range(100)), rounds=3)
+        assert timing["rounds"] == 3
+        validate_report(good_payload(timing=timing))
+
+
+class TestEmitReport:
+    def test_writes_schema_valid_json(self, tmp_path):
+        path = emit_report(tmp_path, "unit_probe", data={"k": 1},
+                           text_report="results/unit_probe.txt")
+        assert path == tmp_path / "unit_probe.json"
+        payload = load_and_validate(path)
+        assert payload["data"] == {"k": 1}
+        assert payload["text_report"] == "results/unit_probe.txt"
+        assert payload["environment"]["cpu_count"] >= 1
+
+    def test_bad_name_refused_before_writing(self, tmp_path):
+        with pytest.raises(BenchReportError):
+            emit_report(tmp_path, "Bad Name", data={})
+        assert list(tmp_path.iterdir()) == []
+
+    def test_missing_benchmark_fixture_omits_timing(self, tmp_path):
+        class Hollow:
+            stats = None
+
+        path = emit_report(tmp_path, "unit_probe", benchmark=Hollow())
+        assert "timing" not in json.loads(path.read_text())
+
+
+class TestOverheadProbe:
+    def test_reports_all_fields(self):
+        out = measure_disabled_metrics_overhead(
+            lambda: None, hot_calls=100, guard_calls=1000, repeats=1
+        )
+        assert set(out) == {
+            "disabled_inc_ns", "hot_path_ns_per_op",
+            "instrumented_sites_per_op", "overhead_pct",
+        }
+        assert out["disabled_inc_ns"] >= 0.0
+        assert out["overhead_pct"] >= 0.0
+
+
+class TestValidateCli:
+    def test_ok_and_invalid_paths(self, tmp_path, capsys):
+        good = emit_report(tmp_path, "unit_probe", data={})
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"schema": "wrong"}))
+        assert main(["validate", str(good)]) == 0
+        assert "ok" in capsys.readouterr().out
+        assert main(["validate", str(good), str(bad)]) == 1
+        captured = capsys.readouterr()
+        assert "INVALID" in captured.err
+
+    def test_missing_file_fails(self, tmp_path, capsys):
+        assert main(["validate", str(tmp_path / "nope.json")]) == 1
+        assert "MISSING" in capsys.readouterr().err

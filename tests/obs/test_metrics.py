@@ -1,0 +1,179 @@
+"""Metrics registry: cardinality bounds, bucket semantics, disabled no-op."""
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    OVERFLOW_LABEL,
+    MetricsRegistry,
+)
+from repro.obs.metrics import _NOOP  # noqa: PLC2701 — the disabled-path contract
+
+
+@pytest.fixture
+def reg():
+    return MetricsRegistry(enabled=True)
+
+
+class TestDisabledNoOp:
+    def test_disabled_registry_records_nothing(self):
+        reg = MetricsRegistry(enabled=False)
+        c = reg.counter("c_total", "help", ("k",))
+        g = reg.gauge("g", "help")
+        h = reg.histogram("h_seconds", "help")
+        c.inc(k="v")
+        g.set(3.0)
+        h.observe(0.2)
+        assert c.series_count == 0
+        assert g.series_count == 0
+        assert h.series_count == 0
+        assert reg.render_exposition() == ""
+        assert reg.snapshot() == {"metrics": []}
+
+    def test_disabled_labels_returns_shared_noop_handle(self):
+        reg = MetricsRegistry(enabled=False)
+        c = reg.counter("c_total", "help", ("k",))
+        handle = c.labels(k="anything")
+        assert handle is _NOOP
+        # and the handle absorbs every update type
+        handle.inc()
+        handle.dec()
+        handle.set(1.0)
+        handle.observe(1.0)
+
+    def test_enable_disable_round_trip(self):
+        reg = MetricsRegistry()
+        c = reg.counter("c_total", "help")
+        c.inc()
+        assert c.series_count == 0
+        reg.enable()
+        c.inc(2.0)
+        reg.disable()
+        c.inc(100.0)  # dropped
+        reg.enable()
+        assert "c_total 2" in reg.render_exposition()
+
+
+class TestLabelCardinality:
+    def test_overflow_folds_into_reserved_series(self, reg):
+        reg.max_series = 4
+        c = reg.counter("c_total", "help", ("k",))
+        for i in range(10):
+            c.inc(k=f"v{i}")
+        # 4 real series; everything after folds into __overflow__
+        assert c.series_count == 5
+        overflow = c.labels(k="v9999")
+        assert overflow is c._series[(OVERFLOW_LABEL,)]
+        assert overflow.value == 6.0  # v4..v9 all landed here
+
+    def test_label_name_mismatch_raises(self, reg):
+        c = reg.counter("c_total", "help", ("k",))
+        with pytest.raises(ValueError):
+            c.labels(wrong="v")
+        with pytest.raises(ValueError):
+            c.inc()  # labelled metric used without labels
+
+    def test_registration_idempotent_and_kind_checked(self, reg):
+        c1 = reg.counter("c_total", "help", ("k",))
+        c2 = reg.counter("c_total", "help", ("k",))
+        assert c1 is c2
+        with pytest.raises(ValueError):
+            reg.gauge("c_total", "help", ("k",))
+        with pytest.raises(ValueError):
+            reg.counter("c_total", "help", ("other",))
+
+    def test_invalid_names_rejected(self, reg):
+        with pytest.raises(ValueError):
+            reg.counter("1bad", "help")
+        with pytest.raises(ValueError):
+            reg.counter("ok_total", "help", ("bad-label",))
+
+
+class TestCounterGauge:
+    def test_counter_rejects_negative(self, reg):
+        c = reg.counter("c_total", "help")
+        with pytest.raises(ValueError):
+            c.inc(-1.0)
+
+    def test_gauge_moves_both_ways(self, reg):
+        g = reg.gauge("g", "help", ("k",))
+        g.set(10.0, k="a")
+        g.inc(5.0, k="a")
+        g.dec(2.0, k="a")
+        assert g.labels(k="a").value == 13.0
+
+
+class TestHistogramBuckets:
+    def test_bucket_edges_are_le_inclusive(self, reg):
+        h = reg.histogram("h", "help", buckets=(1.0, 2.0, 5.0))
+        for v in (0.5, 1.0, 1.5, 2.0, 5.0, 99.0):
+            h.observe(v)
+        handle = h._default_handle()
+        # le-semantics: a value equal to an edge lands in that bucket
+        assert handle.counts == [2, 2, 1, 1]  # ≤1, ≤2, ≤5, +Inf
+        assert handle.cumulative() == [2, 4, 5, 6]
+        assert handle.count == 6
+        assert handle.sum == pytest.approx(109.0)
+
+    def test_unsorted_buckets_are_sorted(self, reg):
+        h = reg.histogram("h", "help", buckets=(5.0, 1.0, 2.0))
+        assert h.buckets == (1.0, 2.0, 5.0)
+
+    def test_duplicate_edges_rejected(self, reg):
+        with pytest.raises(ValueError):
+            reg.histogram("h", "help", buckets=(1.0, 1.0))
+
+    def test_default_buckets_are_prometheus(self, reg):
+        h = reg.histogram("h", "help")
+        assert h.buckets == DEFAULT_BUCKETS
+
+
+class TestExposition:
+    def test_counter_exposition_format(self, reg):
+        c = reg.counter("requests_total", "requests served", ("code",))
+        c.inc(code=200)
+        c.inc(code=200)
+        c.inc(code=500)
+        text = reg.render_exposition()
+        assert "# HELP requests_total requests served" in text
+        assert "# TYPE requests_total counter" in text
+        assert 'requests_total{code="200"} 2' in text
+        assert 'requests_total{code="500"} 1' in text
+        assert text.endswith("\n")
+
+    def test_histogram_exposition_is_cumulative_with_inf(self, reg):
+        h = reg.histogram("lat_seconds", "latency", buckets=(0.1, 1.0))
+        for v in (0.05, 0.5, 3.0):
+            h.observe(v)
+        text = reg.render_exposition()
+        assert 'lat_seconds_bucket{le="0.1"} 1' in text
+        assert 'lat_seconds_bucket{le="1.0"} 2' in text
+        assert 'lat_seconds_bucket{le="+Inf"} 3' in text
+        assert "lat_seconds_sum 3.55" in text
+        assert "lat_seconds_count 3" in text
+
+    def test_label_values_escaped(self, reg):
+        c = reg.counter("c_total", "help", ("k",))
+        c.inc(k='sa"id\nthing\\here')
+        text = reg.render_exposition()
+        assert r'c_total{k="sa\"id\nthing\\here"} 1' in text
+
+    def test_snapshot_round_trips_through_json(self, reg):
+        import json
+
+        c = reg.counter("c_total", "help", ("k",))
+        c.inc(k="a")
+        h = reg.histogram("h", "help", buckets=(1.0,))
+        h.observe(0.5)
+        snap = json.loads(json.dumps(reg.snapshot()))
+        by_name = {m["name"]: m for m in snap["metrics"]}
+        assert by_name["c_total"]["series"][0] == {"labels": {"k": "a"}, "value": 1.0}
+        assert by_name["h"]["series"][0]["counts"] == [1, 0]
+
+    def test_reset_clears_series_keeps_registrations(self, reg):
+        c = reg.counter("c_total", "help")
+        c.inc()
+        reg.reset()
+        assert reg.render_exposition() == ""
+        c.inc()  # handle still usable post-reset
+        assert "c_total 1" in reg.render_exposition()

@@ -1,0 +1,151 @@
+"""Simulator probes: sample streams, stage digits, VCD golden file."""
+
+import pathlib
+
+import numpy as np
+import pytest
+
+from repro.core.converter import IndexToPermutationConverter
+from repro.hdl.simulator import CombinationalSimulator, SequentialSimulator
+from repro.obs.probes import SimProbe, trace_converter
+
+GOLDEN = pathlib.Path(__file__).parent / "golden" / "converter_n3_pipelined.vcd"
+
+
+class TestSimProbe:
+    def test_combinational_batch_records_one_sample_per_lane(self):
+        conv = IndexToPermutationConverter(3)
+        nl = conv.build_netlist(with_stage_probes=True)
+        probe = SimProbe(nl)
+        sim = CombinationalSimulator(nl, probe=probe)
+        sim.run({"index": list(range(6))})
+
+        assert probe.sweeps == 1
+        assert probe.cycles == 6
+        assert probe.signal_history("index") == [0, 1, 2, 3, 4, 5]
+        # factorial digits of 0..5 at n = 3: index = d0·2! + d1·1!
+        assert probe.stage_digits() == {
+            0: [0, 0, 1, 1, 2, 2],
+            1: [0, 1, 0, 1, 0, 1],
+        }
+
+    def test_gate_evals_scale_with_batch(self):
+        nl = IndexToPermutationConverter(3).build_netlist()
+        probe = SimProbe(nl)
+        CombinationalSimulator(nl, probe=probe).run({"index": list(range(6))})
+        assert probe._logic_gates > 0
+        assert probe.gate_evals == probe._logic_gates * 6
+
+    def test_transition_tracking_is_optional(self):
+        nl = IndexToPermutationConverter(3).build_netlist()
+        on = SimProbe(nl)
+        off = SimProbe(nl, track_wire_transitions=False)
+        CombinationalSimulator(nl, probe=on).run({"index": list(range(6))})
+        CombinationalSimulator(nl, probe=off).run({"index": list(range(6))})
+        assert on.toggle_total() > 0
+        assert off.toggle_total() == 0
+        # the sample stream is identical either way
+        assert on.samples == off.samples
+
+    def test_sequential_records_one_sample_per_clock(self):
+        nl = IndexToPermutationConverter(3).build_netlist(pipelined=True)
+        probe = SimProbe(nl)
+        seq = SequentialSimulator(nl, batch=1, probe=probe)
+        for i in range(5):
+            seq.step({"index": i})
+        assert probe.cycles == 5
+        assert probe.signal_history("index") == [0, 1, 2, 3, 4]
+
+    def test_unwatched_signal_raises(self):
+        nl = IndexToPermutationConverter(3).build_netlist()
+        probe = SimProbe(nl)
+        with pytest.raises(KeyError):
+            probe.signal_history("nope")
+
+    def test_empty_watch_list_rejected(self):
+        nl = IndexToPermutationConverter(3).build_netlist()
+        with pytest.raises(ValueError):
+            SimProbe(nl, signals={})
+
+    def test_vcd_requires_samples(self):
+        nl = IndexToPermutationConverter(3).build_netlist()
+        with pytest.raises(ValueError):
+            SimProbe(nl).to_vcd()
+
+    def test_probeless_simulator_keeps_probe_none(self):
+        nl = IndexToPermutationConverter(3).build_netlist()
+        assert CombinationalSimulator(nl).probe is None
+        assert SequentialSimulator(nl).probe is None
+
+    def test_summary_is_json_able(self):
+        import json
+
+        nl = IndexToPermutationConverter(3).build_netlist()
+        probe = SimProbe(nl)
+        CombinationalSimulator(nl, probe=probe).run({"index": [0, 1]})
+        summary = json.loads(json.dumps(probe.summary()))
+        assert summary["samples"] == 2
+        assert "gate_evals" in summary and "wire_toggles" in summary
+
+
+class TestStageProbeNetlist:
+    def test_stage_probes_do_not_perturb_default_netlist(self):
+        conv = IndexToPermutationConverter(5)
+        plain = conv.build_netlist()
+        probed = conv.build_netlist(with_stage_probes=True)
+        assert len(probed.gates) > len(plain.gates)  # encoders added
+        # default build unchanged: resource counts must not move
+        assert len(plain.gates) == len(conv.build_netlist().gates)
+        assert [n for n in probed.outputs if n.startswith("dbg_digit")] == [
+            "dbg_digit0", "dbg_digit1", "dbg_digit2", "dbg_digit3",
+        ]
+
+
+class TestTraceConverter:
+    def test_traced_run_matches_functional_model(self):
+        perms, probe = trace_converter(3, list(range(6)), pipelined=True)
+        conv = IndexToPermutationConverter(3)
+        assert np.array_equal(perms, conv.convert_batch(range(6)))
+        assert probe.cycles == 6 + conv.pipeline_register_stages
+
+    def test_combinational_trace_matches_too(self):
+        perms, _ = trace_converter(3, [0, 3, 5], pipelined=False)
+        assert np.array_equal(
+            perms, IndexToPermutationConverter(3).convert_batch([0, 3, 5])
+        )
+
+    def test_vcd_golden_file_n3(self, tmp_path):
+        """The n = 3 pipelined trace must render byte-identical VCD."""
+        out = tmp_path / "n3.vcd"
+        trace_converter(3, list(range(6)), vcd_path=str(out), pipelined=True)
+        assert out.read_text() == GOLDEN.read_text()
+
+    def test_vcd_is_structurally_valid(self, tmp_path):
+        """Sanity-parse the dump: header, var declarations, time marks."""
+        out = tmp_path / "n3.vcd"
+        _, probe = trace_converter(
+            3, list(range(6)), vcd_path=str(out), pipelined=True
+        )
+        text = out.read_text()
+        lines = text.splitlines()
+        assert lines[0].startswith("$timescale")
+        assert "$enddefinitions $end" in lines
+        var_lines = [l for l in lines if l.startswith("$var wire ")]
+        assert len(var_lines) == len(probe.signals)
+        declared = {l.split()[4] for l in var_lines}
+        assert declared == set(probe.signals)
+        time_marks = [l for l in lines if l.startswith("#")]
+        assert time_marks[0] == "#0"
+        assert len(time_marks) == probe.cycles + 1  # final #t closes the dump
+
+    def test_tracer_integration_emits_vcd_event(self, tmp_path):
+        from repro.obs.tracing import Tracer
+
+        tracer = Tracer()
+        out = tmp_path / "n3.vcd"
+        with tracer.span("unrank"):
+            trace_converter(3, [0], vcd_path=str(out), tracer=tracer)
+        assert [c.name for c in tracer.root.children] == ["simulate"]
+        (event,) = tracer.root.events
+        assert event["name"] == "vcd_written"
+        assert event["fields"]["path"] == str(out)

@@ -1,0 +1,164 @@
+"""Tracing: span nesting, export round-trip, cross-process propagation."""
+
+import pytest
+
+from repro.obs.events import CollectingSink, SpanEventSink, TeeSink
+from repro.obs.tracing import Span, Tracer
+from repro.parallel.sharding import ShardSpec, hardened_map_reduce, index_shards
+
+
+class TestSpanNesting:
+    def test_nested_spans_form_a_tree(self):
+        tracer = Tracer()
+        with tracer.span("outer", job="j1") as outer:
+            with tracer.span("inner-a"):
+                pass
+            with tracer.span("inner-b"):
+                with tracer.span("leaf"):
+                    pass
+        assert tracer.root is outer
+        assert [c.name for c in outer.children] == ["inner-a", "inner-b"]
+        assert [c.name for c in outer.children[1].children] == ["leaf"]
+        assert outer.status == "ok"
+        assert outer.wall_s is not None and outer.wall_s >= 0
+        assert outer.cpu_s is not None
+
+    def test_current_tracks_the_stack(self):
+        tracer = Tracer()
+        assert tracer.current is None
+        with tracer.span("a"):
+            assert tracer.current.name == "a"
+            with tracer.span("b"):
+                assert tracer.current.name == "b"
+            assert tracer.current.name == "a"
+        assert tracer.current is None
+
+    def test_exception_marks_span_error_and_propagates(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("doomed"):
+                raise RuntimeError("boom")
+        assert tracer.root.status == "error"
+        assert "boom" in tracer.root.error
+
+    def test_events_carry_fields_and_offsets(self):
+        tracer = Tracer()
+        with tracer.span("s") as s:
+            s.event("checkpoint", items=3)
+        (e,) = s.events
+        assert e["name"] == "checkpoint"
+        assert e["fields"] == {"items": 3}
+        assert e["offset_s"] >= 0
+
+    def test_render_shows_tree_and_events(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            with tracer.span("child"):
+                pass
+            tracer.current.event("note", k="v")
+        text = tracer.render()
+        assert "root" in text and "child" in text
+        assert "├─" in text or "└─" in text
+        assert "note" in text and "k=v" in text
+
+
+class TestExportRoundTrip:
+    def test_export_import_preserves_structure(self):
+        tracer = Tracer()
+        with tracer.span("root", n=4) as root:
+            root.event("mark", x=1)
+            with tracer.span("child"):
+                pass
+        rebuilt = Span.from_export(root.export())
+        assert rebuilt.name == "root"
+        assert rebuilt.attrs == {"n": 4}
+        assert rebuilt.events == root.events
+        assert [c.name for c in rebuilt.children] == ["child"]
+        assert rebuilt.wall_s == root.wall_s
+        assert rebuilt.status == "ok"
+
+    def test_adopt_accepts_exports_and_spans(self):
+        tracer = Tracer()
+        with tracer.span("parent") as parent:
+            tracer.adopt(Span("live").end())
+            tracer.adopt(Span("shipped").end().export())
+        assert [c.name for c in parent.children] == ["live", "shipped"]
+
+    def test_find_all_walks_the_tree(self):
+        root = Span("r")
+        root.children = [Span("shard0").end(), Span("shard1").end()]
+        root.children[0].children = [Span("shard0").end()]
+        assert len(root.find_all("shard0")) == 2
+        assert len(list(root.walk())) == 4
+
+
+def _square_sum(shard: ShardSpec) -> int:
+    return sum(i * i for i in shard)
+
+
+def _add(a: int, b: int) -> int:
+    return a + b
+
+
+class TestHardenedMapReducePropagation:
+    def test_every_shard_becomes_a_child_span_across_processes(self):
+        tracer = Tracer()
+        shards = index_shards(40, 4)
+        with tracer.span("job") as job:
+            got = hardened_map_reduce(
+                _square_sum, shards, _add, workers=2, tracer=tracer,
+                backoff=0.0, jitter=0.0,
+            )
+        assert got == sum(i * i for i in range(40))
+        names = sorted(c.name for c in job.children)
+        assert names == ["shard0", "shard1", "shard2", "shard3"]
+        for child in job.children:
+            # worker-side spans: real timing and the worker's PID
+            assert child.status == "ok"
+            assert child.wall_s is not None
+            assert "pid" in child.attrs
+            assert child.attrs["attempt"] == 1
+
+    def test_inline_runner_also_traces(self):
+        tracer = Tracer()
+        with tracer.span("job") as job:
+            hardened_map_reduce(
+                _square_sum, index_shards(10, 2), _add, workers=1, tracer=tracer,
+            )
+        assert sorted(c.name for c in job.children) == ["shard0", "shard1"]
+
+    def test_retries_appear_as_separate_attempt_spans(self, tmp_path):
+        import os
+
+        class _FlakyOnce:
+            def __init__(self, marker):
+                self.marker = marker
+
+            def __call__(self, shard):
+                if shard.shard_id == 1 and not os.path.exists(self.marker):
+                    open(self.marker, "w").close()
+                    raise RuntimeError("transient")
+                return _square_sum(shard)
+
+        tracer = Tracer()
+        sink = CollectingSink()
+        with tracer.span("job") as job:
+            hardened_map_reduce(
+                _FlakyOnce(str(tmp_path / "m")), index_shards(20, 2), _add,
+                workers=1, backoff=0.0, jitter=0.0,
+                tracer=tracer, events=sink,
+            )
+        shard1_attempts = job.find_all("shard1")
+        assert len(shard1_attempts) == 2  # failed attempt + successful retry
+        statuses = sorted(s.status for s in shard1_attempts)
+        assert statuses == ["error", "ok"]
+        assert "shard_retry" in sink.kinds()
+
+    def test_span_event_sink_lands_on_current_span(self):
+        tracer = Tracer()
+        collect = CollectingSink()
+        tee = TeeSink(SpanEventSink(tracer), collect)
+        with tracer.span("job") as job:
+            tee.emit("progress", pct=50)
+        assert job.events[0]["name"] == "progress"
+        assert collect.events[0].fields == {"pct": 50}

@@ -81,6 +81,26 @@ class _SlowShard:
 EXPECTED_50 = sum(i * i for i in range(50))
 
 
+class FakeClock:
+    """Deterministic stand-in for the module's monotonic/sleep seams."""
+
+    def __init__(self, start: float = 1000.0):
+        self.now = start
+        self.sleeps: list[float] = []
+
+    def monotonic(self) -> float:
+        return self.now
+
+    def sleep(self, seconds: float) -> None:
+        self.sleeps.append(seconds)
+        self.now += seconds
+
+    def install(self, monkeypatch) -> "FakeClock":
+        monkeypatch.setattr("repro.parallel.sharding._monotonic", self.monotonic)
+        monkeypatch.setattr("repro.parallel.sharding._sleep", self.sleep)
+        return self
+
+
 class TestRetry:
     def test_transient_failure_is_retried_inline(self, tmp_path):
         shards = index_shards(50, 4)
@@ -107,17 +127,64 @@ class TestRetry:
         assert err.value.attempts == 3  # 1 initial + 2 retries
 
     def test_backoff_grows_exponentially(self, monkeypatch):
-        sleeps = []
-        monkeypatch.setattr(
-            "repro.parallel.sharding.time.sleep", lambda s: sleeps.append(s)
-        )
+        clock = FakeClock().install(monkeypatch)
         shards = index_shards(50, 4)
         with pytest.raises(WorkerFailedError):
             hardened_map_reduce(
                 _AlwaysFails(), shards, _add,
                 workers=1, retries=3, backoff=0.1, jitter=0.0,
             )
-        assert sleeps == pytest.approx([0.1, 0.2, 0.4])
+        assert clock.sleeps == pytest.approx([0.1, 0.2, 0.4])
+
+
+class TestMonotonicClock:
+    """Deadline/backoff arithmetic must never consult the wall clock."""
+
+    def test_backoff_immune_to_wall_clock_adjustment(self, monkeypatch):
+        clock = FakeClock().install(monkeypatch)
+
+        def wall_clock_is_off_limits():
+            raise AssertionError("hardened_map_reduce consulted time.time()")
+
+        monkeypatch.setattr(time, "time", wall_clock_is_off_limits)
+        shards = index_shards(50, 4)
+        with pytest.raises(WorkerFailedError):
+            hardened_map_reduce(
+                _AlwaysFails(), shards, _add,
+                workers=1, retries=2, backoff=0.1, jitter=0.0,
+            )
+        # schedule driven purely by the (fake) monotonic clock
+        assert clock.sleeps == pytest.approx([0.1, 0.2])
+
+    def test_sleep_until_survives_short_sleeps(self, monkeypatch):
+        """An interrupted sleep (returns early) must loop, not give up."""
+        from repro.parallel import sharding
+
+        clock = FakeClock()
+
+        def short_sleep(seconds):
+            clock.sleeps.append(seconds)
+            clock.now += seconds / 2  # OS woke us early every time
+
+        monkeypatch.setattr(sharding, "_monotonic", clock.monotonic)
+        monkeypatch.setattr(sharding, "_sleep", short_sleep)
+        sharding._sleep_until(clock.now + 1.0)
+        assert clock.now >= 1000.0 + 1.0 - 1e-9
+        assert len(clock.sleeps) > 1  # it actually had to re-arm
+
+    def test_jitter_is_seeded_and_reproducible(self, monkeypatch):
+        def schedule(seed):
+            clock = FakeClock().install(monkeypatch)
+            with pytest.raises(WorkerFailedError):
+                hardened_map_reduce(
+                    _AlwaysFails(), index_shards(50, 4), _add,
+                    workers=1, retries=2, backoff=0.1, jitter=0.05, seed=seed,
+                )
+            return clock.sleeps
+
+        first, again, other = schedule(7), schedule(7), schedule(8)
+        assert first == again
+        assert first != other
 
 
 class TestCrashRecovery:

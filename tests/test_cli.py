@@ -109,6 +109,87 @@ class TestInputValidation:
         assert main(["rank", "3", "2", "1", "0"]) == 0
 
 
+class TestMetricsFlag:
+    def test_metrics_dumps_exposition_to_stderr(self, capsys):
+        assert main(["--metrics", "unrank", "5", "42"]) == 0
+        captured = capsys.readouterr()
+        assert len(captured.out.strip().split()) == 42  # the permutation
+        assert "# TYPE repro_cli_commands_total counter" in captured.err
+        assert 'repro_cli_commands_total{command="unrank"}' in captured.err
+        assert 'repro_convert_total{n="42"}' in captured.err
+
+    def test_without_flag_nothing_is_recorded(self, capsys):
+        assert main(["unrank", "23", "4"]) == 0
+        assert capsys.readouterr().err == ""
+
+    def test_registry_disabled_again_after_exit(self, capsys):
+        from repro.obs.metrics import REGISTRY
+
+        main(["--metrics", "unrank", "0", "3"])
+        capsys.readouterr()
+        assert not REGISTRY.enabled
+
+    def test_metrics_dump_survives_usage_errors(self, capsys):
+        assert main(["--metrics", "unrank", "999", "4"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro-perm: error:")
+        assert "repro_cli_commands_total" in err
+
+
+class TestQuietFlag:
+    def test_faults_reports_progress_events_by_default(self, capsys):
+        assert main(["faults", "3", "--samples", "8"]) == 0
+        captured = capsys.readouterr()
+        assert "[campaign] plan:" in captured.err
+        assert "[campaign] done:" in captured.err
+        assert "coverage" in captured.out  # report untouched
+
+    def test_quiet_silences_events_not_the_report(self, capsys):
+        assert main(["--quiet", "faults", "3", "--samples", "8"]) == 0
+        captured = capsys.readouterr()
+        assert captured.err == ""
+        assert "coverage" in captured.out
+
+
+class TestTraceCommand:
+    def test_trace_faults_has_one_child_span_per_shard(self, capsys):
+        assert main(
+            ["--quiet", "trace", "faults", "4", "--model", "stuck",
+             "--samples", "16"]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "coverage" in captured.out
+        tree = captured.err
+        assert "faults" in tree
+        for shard in range(4):  # workers=1 -> 4 shards
+            assert f"shard{shard}" in tree
+        assert "plan" in tree and "done" in tree  # events landed on spans
+
+    def test_trace_vcd_unrank_writes_waveform(self, capsys, tmp_path):
+        vcd = tmp_path / "wave.vcd"
+        assert main(["trace", "--vcd", str(vcd), "unrank", "3", "3"]) == 0
+        captured = capsys.readouterr()
+        assert captured.out.strip() == "1 2 0"
+        assert "vcd_written" in captured.err
+        text = vcd.read_text()
+        assert text.startswith("$timescale")
+        assert "dbg_digit0" in text
+
+    def test_trace_without_subcommand_is_usage_error(self, capsys):
+        assert main(["trace"]) == 2
+        assert "trace needs a subcommand" in capsys.readouterr().err
+
+    def test_trace_cannot_nest(self, capsys):
+        assert main(["trace", "trace", "unrank", "0", "3"]) == 2
+        assert "nested" in capsys.readouterr().err
+
+    def test_vcd_restricted_to_unrank(self, capsys, tmp_path):
+        vcd = tmp_path / "wave.vcd"
+        assert main(["trace", "--vcd", str(vcd), "rank", "0", "1"]) == 2
+        assert "--vcd" in capsys.readouterr().err
+        assert not vcd.exists()
+
+
 class TestFaultsCommand:
     def test_stuck_campaign_smoke(self, capsys):
         assert main(["faults", "4", "--model", "stuck"]) == 0
