@@ -8,6 +8,9 @@
 4. LUT size k vs mapped area (technology-mapping knob behind Table III).
 5. Per-stage LFSR polynomial reuse: the identical-polynomial shuffle is
    visibly less uniform than the distinct-polynomial default.
+6. Pass pipeline: none / sweep-only / full optimisation through the
+   unified flow — the gate, LUT and level deltas behind Tables III/IV,
+   with the no-regression guarantee asserted.
 """
 
 import numpy as np
@@ -17,6 +20,8 @@ from repro.analysis.uniformity import uniformity_report
 from repro.core.converter import IndexToPermutationConverter
 from repro.core.knuth import KnuthShuffleCircuit
 from repro.core.lehmer import unrank_batch, unrank_fenwick, unrank_naive
+from repro.flow import FlowTarget, build_circuit
+from repro.flow import synthesize as flow_synthesize
 from repro.fpga import synthesize
 from repro.fpga.lut_map import map_to_luts
 from repro.rng.scaled import bias_profile
@@ -118,6 +123,87 @@ def test_ablation_lut_k_vs_area(benchmark, results_dir):
         "\n".join(lines),
         benchmark=benchmark,
         data={"n": 8, "lut_counts": {str(k): counts[k] for k in (3, 4, 5, 6, 7)}},
+    )
+
+
+#: The pipeline variants the pass ablation compares.
+_PASS_VARIANTS = {
+    "none": FlowTarget(passes=()),
+    "sweep-only": FlowTarget(passes=("sweep",)),
+    "full": FlowTarget(),
+}
+
+#: Table III/IV circuits the ablation measures (both papers' tables use
+#: the pipelined datapaths).
+_PASS_CIRCUITS = [("converter", 6), ("converter", 8), ("shuffle", 6), ("shuffle", 8)]
+
+
+def test_ablation_pass_pipeline(benchmark, results_dir):
+    """Pass-pipeline ablation: what each level of optimisation buys.
+
+    Also the acceptance gate for the pipeline itself: on the Table
+    III/IV circuits the full pipeline must never *increase* gate count,
+    LUT count or LUT levels over the unoptimised flow.
+    """
+
+    def measure():
+        rows = []
+        for circuit, n in _PASS_CIRCUITS:
+            nl = build_circuit(circuit, n, pipelined=True)
+            per_variant = {}
+            for variant, target in _PASS_VARIANTS.items():
+                res = flow_synthesize(nl, target, n=n)
+                per_variant[variant] = {
+                    "gates": res.netlist.num_logic_gates,
+                    "registers": res.netlist.num_registers,
+                    "luts": res.total_luts,
+                    "levels": res.lut_levels,
+                    "fmax_mhz": res.fmax_mhz,
+                }
+            rows.append({"circuit": circuit, "n": n, "variants": per_variant})
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    for row in rows:
+        none, swp, full = (
+            row["variants"]["none"],
+            row["variants"]["sweep-only"],
+            row["variants"]["full"],
+        )
+        # the no-regression guarantee (ISSUE acceptance criterion)
+        for key in ("gates", "luts", "levels"):
+            assert full[key] <= none[key], (row["circuit"], row["n"], key)
+            assert swp[key] <= none[key], (row["circuit"], row["n"], key)
+        # sweep reclaims dead logic on every generator-built circuit
+        assert swp["gates"] < none["gates"]
+        # the full pipeline is at least as strong as sweep alone
+        assert full["gates"] <= swp["gates"]
+
+    lines = [
+        "Ablation: pass pipeline (none / sweep-only / full) through the",
+        "unified synthesis flow, Table III/IV circuits (pipelined).",
+        "",
+        f"{'circuit':>9}  {'n':>2}  {'variant':>10}  {'gates':>6}  "
+        f"{'LUTs':>6}  {'levels':>6}  {'regs':>6}  {'Fmax':>7}",
+    ]
+    for row in rows:
+        for variant, v in row["variants"].items():
+            lines.append(
+                f"{row['circuit']:>9}  {row['n']:>2}  {variant:>10}  "
+                f"{v['gates']:>6}  {v['luts']:>6}  {v['levels']:>6}  "
+                f"{v['registers']:>6}  {v['fmax_mhz']:>7.1f}"
+            )
+    write_report(
+        results_dir,
+        "ablation_passes",
+        "\n".join(lines),
+        benchmark=benchmark,
+        data={
+            "variants": {k: list(t.passes) if t.passes is not None else "default"
+                         for k, t in _PASS_VARIANTS.items()},
+            "rows": rows,
+        },
     )
 
 

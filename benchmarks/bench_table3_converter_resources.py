@@ -2,17 +2,18 @@
 
 The paper synthesises the converter for a range of n on a Stratix IV and
 reports Fmax, a LUT histogram by input count, packed-ALM estimates and
-registers.  We regenerate the same columns from the gate-level netlist
-through the k-LUT mapper and ALM/timing models, and assert the structural
-trends: area grows ~quadratically, registers track the pipeline cut sizes,
-frequency falls as stages deepen.
+registers.  We regenerate the same columns through the unified synthesis
+flow (:func:`repro.flow.synthesize`: the full optimisation pass pipeline,
+then the k-LUT mapper and ALM/timing models) and assert the structural
+trends: area grows ~quadratically, registers track the pipeline cut
+sizes, frequency falls as stages deepen.
 """
 
 from conftest import write_report
 
 from repro.analysis.complexity import fit_power_law
-from repro.core.converter import IndexToPermutationConverter
-from repro.fpga import render_resource_table, synthesize
+from repro.flow import build_circuit, synthesize
+from repro.fpga import render_resource_table
 
 NS = [2, 3, 4, 5, 6, 7, 8, 9, 10, 12, 14]
 
@@ -20,8 +21,8 @@ NS = [2, 3, 4, 5, 6, 7, 8, 9, 10, 12, 14]
 def _synthesize_all():
     rows = []
     for n in NS:
-        nl = IndexToPermutationConverter(n).build_netlist(pipelined=True)
-        rows.append(synthesize(nl, n))
+        nl = build_circuit("converter", n, pipelined=True)
+        rows.append(synthesize(nl, n=n).report)
     return rows
 
 
@@ -44,8 +45,9 @@ def test_table3_regeneration(benchmark, results_dir):
     assert fmax[-1] < fmax[1]
 
     header = (
-        "Table III reproduction — converter resources (k=6 LUT map, ALM\n"
-        "packing and delay model in lieu of Quartus/Stratix IV).\n"
+        "Table III reproduction — converter resources through the unified\n"
+        "flow (full pass pipeline, k=6 LUT map, ALM packing and delay model\n"
+        "in lieu of Quartus/Stratix IV).\n"
         f"area exponent alpha = {alpha:.2f} (R^2 = {r2:.3f})\n"
     )
     write_report(
@@ -71,9 +73,9 @@ def test_table3_regeneration(benchmark, results_dir):
 
 
 def test_synthesis_speed_n8(benchmark):
-    """Time one full build+map+pack+time pipeline at n = 8."""
+    """Time one full build + pass-pipeline + map + pack + time flow at n = 8."""
     def job():
-        nl = IndexToPermutationConverter(8).build_netlist(pipelined=True)
-        return synthesize(nl, 8)
+        nl = build_circuit("converter", 8, pipelined=True)
+        return synthesize(nl, n=8)
 
     benchmark(job)

@@ -9,9 +9,9 @@ Table IV's register column from Table III's.
 from conftest import write_report
 
 from repro.analysis.complexity import fit_power_law
-from repro.core.converter import IndexToPermutationConverter
 from repro.core.knuth import KnuthShuffleCircuit
-from repro.fpga import render_resource_table, synthesize
+from repro.flow import build_circuit, synthesize
+from repro.fpga import render_resource_table
 
 NS = [2, 3, 4, 5, 6, 7, 8, 10, 12]
 
@@ -19,8 +19,8 @@ NS = [2, 3, 4, 5, 6, 7, 8, 10, 12]
 def _synthesize_all():
     rows = []
     for n in NS:
-        nl = KnuthShuffleCircuit(n).build_netlist(pipelined=True)
-        rows.append(synthesize(nl, n))
+        nl = build_circuit("shuffle", n, pipelined=True)
+        rows.append(synthesize(nl, n=n).report)
     return rows
 
 
@@ -38,14 +38,15 @@ def test_table4_regeneration(benchmark, results_dir):
 
     # Table IV vs Table III: at equal n the shuffle carries far more
     # registers (its RNGs) than the pipelined converter
-    conv8 = synthesize(IndexToPermutationConverter(8).build_netlist(pipelined=True), 8)
+    conv8 = synthesize(build_circuit("converter", 8, pipelined=True), n=8).report
     shuf8 = rows[NS.index(8)]
     assert shuf8.registers > conv8.registers
 
     alpha, r2 = fit_power_law(NS[2:], luts[2:])
     header = (
-        "Table IV reproduction — Knuth-shuffle circuit resources, one\n"
-        "scaled-LFSR random integer generator per stage (paper: 31-bit).\n"
+        "Table IV reproduction — Knuth-shuffle circuit resources through\n"
+        "the unified flow (full pass pipeline), one scaled-LFSR random\n"
+        "integer generator per stage (paper: 31-bit).\n"
         f"area exponent alpha = {alpha:.2f} (R^2 = {r2:.3f})\n"
     )
     write_report(
@@ -72,7 +73,7 @@ def test_table4_regeneration(benchmark, results_dir):
 
 def test_shuffle_synthesis_speed_n8(benchmark):
     def job():
-        nl = KnuthShuffleCircuit(8).build_netlist(pipelined=True)
-        return synthesize(nl, 8)
+        nl = build_circuit("shuffle", 8, pipelined=True)
+        return synthesize(nl, n=8)
 
     benchmark(job)

@@ -2,18 +2,19 @@
 """A tour of the gate-level substrate: from index bits to FPGA tables.
 
 Builds the Fig.-1 converter and the Fig.-3 shuffle as real netlists,
-verifies them against the arithmetic reference, pipelines them, maps them
-onto 6-input LUTs and prints Table-III/IV-style resource rows — the whole
-hardware story of the paper at software speed.
+verifies them against the arithmetic reference, pipelines them, runs
+them through the unified synthesis flow (optimisation pass pipeline,
+6-input LUT map, timing) and prints Table-III/IV-style resource rows —
+the whole hardware story of the paper at software speed.
 
 Run:  python examples/gate_level_tour.py
 """
 
-import numpy as np
-
 from repro.core.converter import IndexToPermutationConverter
 from repro.core.knuth import KnuthShuffleCircuit
-from repro.fpga import render_resource_table, synthesize
+from repro.flow import build_circuit, synthesize
+from repro.fpga import render_resource_table
+from repro.hdl.passes import PassManager
 from repro.hdl.verify import assert_equivalent
 
 
@@ -36,21 +37,28 @@ def main() -> None:
         print(f"   clock {clk + conv.pipeline_register_stages}: index {clk} -> "
               f"{' '.join(map(str, row))}")
 
-    print("\n3. Table-III-style resources, index-to-permutation converter")
+    print("\n3. The optimisation pass pipeline, equivalence-gated per pass")
+    pipe_nl = conv.build_netlist(pipelined=True)
+    result = PassManager(checked=True).run(pipe_nl)
+    print(result.render())
+    print(f"   reclaimed {result.gates_removed} gates and "
+          f"{result.registers_removed} registers, every pass proven\n")
+
+    print("4. Table-III-style resources, index-to-permutation converter")
     rows = [
-        synthesize(IndexToPermutationConverter(n).build_netlist(pipelined=True), n)
+        synthesize(build_circuit("converter", n, pipelined=True), n=n).report
         for n in (2, 4, 6, 8, 10)
     ]
     print(render_resource_table(rows))
 
-    print("\n4. Table-IV-style resources, Knuth shuffle (per-stage LFSR RNGs)")
+    print("\n5. Table-IV-style resources, Knuth shuffle (per-stage LFSR RNGs)")
     rows = [
-        synthesize(KnuthShuffleCircuit(n).build_netlist(pipelined=True), n)
+        synthesize(build_circuit("shuffle", n, pipelined=True), n=n).report
         for n in (2, 4, 6, 8)
     ]
     print(render_resource_table(rows))
 
-    print("\n5. The same shuffle netlist actually *running*: 5 clocked draws")
+    print("\n6. The same shuffle netlist actually *running*: 5 clocked draws")
     sim_out = KnuthShuffleCircuit(4, m=12).simulate_netlist(5)
     for row in sim_out:
         print("   ", " ".join(map(str, row)))

@@ -7,6 +7,10 @@ Subcommands mirror the paper's artefacts:
 * ``table1 [n]``       — print the full factorial-number-system table
 * ``shuffle n [count]``— sample random permutations from the Knuth circuit
 * ``resources n``      — Table-III-style resource row for the converter
+* ``synth n``          — the unified synthesis flow: pass-pipeline
+  optimisation (``--passes p1,p2`` / ``--no-opt``; ``--checked``
+  equivalence-gates every pass), k-LUT mapping and timing, with a
+  per-pass delta table and the resource row
 * ``fig4 [samples]``   — run the Fig.-4 histogram experiment
 * ``faults n``         — fault-injection campaign + coverage report
 * ``trace <cmd> …``    — run any subcommand under a tracing span and
@@ -79,11 +83,35 @@ def _cmd_shuffle(args: argparse.Namespace) -> int:
 
 
 def _cmd_resources(args: argparse.Namespace) -> int:
-    from repro.fpga import render_resource_table, synthesize
+    from repro.flow import FlowTarget, build_circuit, synthesize
+    from repro.fpga import render_resource_table
 
-    conv = IndexToPermutationConverter(args.n)
-    nl = conv.build_netlist(pipelined=True)
-    print(render_resource_table([synthesize(nl, args.n)]))
+    nl = build_circuit("converter", args.n, pipelined=True)
+    result = synthesize(nl, FlowTarget(), n=args.n, tracer=getattr(args, "_tracer", None))
+    print(render_resource_table([result.report]))
+    return 0
+
+
+def _cmd_synth(args: argparse.Namespace) -> int:
+    from repro.flow import FlowTarget, build_circuit, render_flow_report, synthesize
+
+    if args.no_opt and args.passes is not None:
+        raise ReproError("--no-opt and --passes are mutually exclusive")
+    if args.no_opt:
+        passes: tuple[str, ...] | None = ()
+    elif args.passes is not None:
+        passes = tuple(p for p in args.passes.split(",") if p)
+    else:
+        passes = None
+    if args.n < 1:
+        raise ReproError("n must be at least 1")
+    nl = build_circuit(args.circuit, args.n, pipelined=args.pipelined)
+    target = FlowTarget(k=args.k, passes=passes, checked=args.checked)
+    try:
+        result = synthesize(nl, target, n=args.n, tracer=getattr(args, "_tracer", None))
+    except ValueError as exc:  # unknown pass name from the registry
+        raise ReproError(str(exc)) from exc
+    print(render_flow_report(result))
     return 0
 
 
@@ -117,6 +145,7 @@ def _cmd_faults(args: argparse.Namespace) -> int:
         model=args.model,
         samples=args.samples,
         seed=args.seed,
+        optimized=args.optimized,
     )
     result = run_campaign(
         spec,
@@ -202,6 +231,37 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("n", type=int)
     p.set_defaults(fn=_cmd_resources)
 
+    p = sub.add_parser(
+        "synth",
+        help="pass-pipeline optimisation + LUT map + timing, one flow",
+    )
+    p.add_argument("n", type=int)
+    p.add_argument(
+        "--circuit", choices=["converter", "shuffle"], default="converter",
+        help="which of the paper's circuits to synthesise (default: converter)",
+    )
+    p.add_argument(
+        "--pipelined", action="store_true",
+        help="insert the §II-B pipeline registers before synthesis",
+    )
+    p.add_argument(
+        "--passes", default=None, metavar="P1,P2,…",
+        help="comma-separated pass pipeline (default: the full pipeline; "
+        "see repro.hdl.passes.PASSES for names)",
+    )
+    p.add_argument(
+        "--no-opt", action="store_true",
+        help="skip optimisation: map the netlist exactly as constructed",
+    )
+    p.add_argument(
+        "--checked", action="store_true",
+        help="equivalence-gate every pass (BDD proof or batched simulation)",
+    )
+    p.add_argument(
+        "--k", type=int, default=6, help="LUT input size (default: 6)"
+    )
+    p.set_defaults(fn=_cmd_synth)
+
     p = sub.add_parser("fig4", help="run the Fig.-4 histogram experiment")
     p.add_argument("samples", type=int, nargs="?", default=1 << 18)
     p.set_defaults(fn=_cmd_fig4)
@@ -223,6 +283,11 @@ def _build_parser() -> argparse.ArgumentParser:
         help="sample this many fault sites instead of the exhaustive set",
     )
     p.add_argument("--seed", type=int, default=0, help="sampling seed")
+    p.add_argument(
+        "--optimized", action="store_true",
+        help="inject faults into the pass-pipeline-optimised netlist "
+        "(the circuit the synthesis flow actually reports)",
+    )
     p.add_argument(
         "--workers", type=int, default=1,
         help="process workers for the sharded campaign (default: 1)",

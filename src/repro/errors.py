@@ -29,6 +29,7 @@ __all__ = [
     "InvalidIndexError",
     "InvalidPermutationError",
     "CampaignConfigError",
+    "PassVerificationError",
     "FaultDetectedError",
     "SilentCorruptionError",
     "WorkerFailedError",
@@ -50,6 +51,22 @@ class InvalidPermutationError(ReproError, ValueError):
 
 class CampaignConfigError(ReproError, ValueError):
     """An invalid fault-campaign specification (bad n, model, samples…)."""
+
+
+class PassVerificationError(ReproError):
+    """A netlist optimisation pass broke functional equivalence.
+
+    Raised by :class:`repro.hdl.passes.PassManager` in checked mode when
+    the post-pass netlist disagrees with the pre-pass netlist — by BDD
+    proof for small input spaces, by batched random simulation above
+    that.  ``pass_name`` identifies the offending pass and ``method``
+    which checker caught it.
+    """
+
+    def __init__(self, message: str, pass_name: str | None = None, method: str | None = None):
+        super().__init__(message)
+        self.pass_name = pass_name
+        self.method = method
 
 
 class FaultDetectedError(ReproError):

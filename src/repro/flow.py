@@ -1,0 +1,166 @@
+"""The unified synthesis flow: one entry point from netlist to report.
+
+Before this module existed every consumer — ``fpga/report.py``, the
+robustness campaigns, the CLI and the Table III/IV benchmarks — hand
+-assembled its own netlist → optimisation → LUT-map → timing chain,
+which made the paper's resource numbers depend on *which* caller
+produced them.  :func:`synthesize` is now the single flow:
+
+1. run a :class:`~repro.hdl.passes.PassManager` pipeline over the input
+   netlist (configurable per :class:`FlowTarget`; checked mode gates
+   every pass with an equivalence proof/test);
+2. cover the optimised netlist with k-input LUTs, pack ALMs, count LUT
+   levels and estimate Fmax;
+3. return everything as one :class:`FlowResult` — optimised netlist,
+   LUT map, per-pass deltas and the Table-III/IV-style
+   :class:`~repro.fpga.report.ResourceReport`.
+
+:func:`build_circuit` is the companion front door for the paper's two
+circuits by name, shared by the CLI ``synth`` subcommand and the fault
+-injection campaigns, so "the converter at n = 8, pipelined" means the
+same netlist everywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.fpga.alm import pack_alms
+from repro.fpga.lut_map import LUT, lut_histogram, map_to_luts
+from repro.fpga.report import ResourceReport, render_resource_table
+from repro.fpga.timing import DelayModel, estimate_fmax_mhz, lut_levels
+from repro.hdl.netlist import Netlist
+from repro.hdl.passes import DEFAULT_PIPELINE, PassManager, PipelineResult
+
+__all__ = [
+    "FlowTarget",
+    "FlowResult",
+    "synthesize",
+    "build_circuit",
+    "render_flow_report",
+]
+
+
+@dataclass(frozen=True)
+class FlowTarget:
+    """Everything configurable about a synthesis run.
+
+    ``passes`` names the optimisation pipeline (registry names from
+    :data:`repro.hdl.passes.PASSES`); ``None`` selects the full default
+    pipeline and an empty tuple disables optimisation entirely (the
+    pre-pass-pipeline behaviour).  ``checked`` gates every pass with an
+    equivalence check.
+    """
+
+    k: int = 6  #: LUT input size
+    passes: tuple[str, ...] | None = None
+    checked: bool = False
+    delay_model: DelayModel = field(default_factory=DelayModel)
+
+    @classmethod
+    def no_opt(cls, k: int = 6) -> "FlowTarget":
+        """A target that maps the netlist exactly as constructed."""
+        return cls(k=k, passes=())
+
+
+@dataclass(frozen=True)
+class FlowResult:
+    """The complete outcome of one :func:`synthesize` run."""
+
+    netlist: Netlist  #: the optimised netlist the numbers describe
+    luts: tuple[LUT, ...]
+    lut_levels: int
+    fmax_mhz: float
+    report: ResourceReport
+    passes: PipelineResult | None  #: None when optimisation was disabled
+    target: FlowTarget
+
+    @property
+    def total_luts(self) -> int:
+        return len(self.luts)
+
+    @property
+    def gates_removed(self) -> int:
+        return self.passes.gates_removed if self.passes is not None else 0
+
+
+def synthesize(
+    netlist: Netlist,
+    target: FlowTarget | None = None,
+    *,
+    n: int | None = None,
+    tracer: object | None = None,
+) -> FlowResult:
+    """Run the full optimisation + mapping + timing flow on a netlist.
+
+    ``n`` labels the resulting :class:`ResourceReport` row (the paper's
+    permutation size column); it defaults to 0 for circuits without a
+    natural n.  ``tracer`` threads an :class:`repro.obs.tracing.Tracer`
+    through the pass pipeline, one child span per pass.
+    """
+    target = target if target is not None else FlowTarget()
+    pipeline: PipelineResult | None = None
+    optimised = netlist
+    if target.passes is None or len(target.passes) > 0:
+        manager = PassManager(
+            target.passes if target.passes is not None else None,
+            checked=target.checked,
+            tracer=tracer,
+        )
+        pipeline = manager.run(netlist)
+        optimised = pipeline.netlist
+
+    luts = map_to_luts(optimised, k=target.k)
+    levels = lut_levels(optimised, luts)
+    fmax = estimate_fmax_mhz(optimised, luts, target.delay_model)
+    report = ResourceReport(
+        name=optimised.name,
+        n=n if n is not None else 0,
+        fmax_mhz=fmax,
+        lut_hist=lut_histogram(luts, k=target.k),
+        total_luts=len(luts),
+        packed_alms=pack_alms(luts),
+        registers=optimised.num_registers,
+        lut_levels=levels,
+    )
+    return FlowResult(
+        netlist=optimised,
+        luts=tuple(luts),
+        lut_levels=levels,
+        fmax_mhz=fmax,
+        report=report,
+        passes=pipeline,
+        target=target,
+    )
+
+
+#: Circuits addressable by name in :func:`build_circuit`.
+CIRCUITS = ("converter", "shuffle")
+
+
+def build_circuit(circuit: str, n: int, *, pipelined: bool = False) -> Netlist:
+    """Construct one of the paper's circuits by name.
+
+    The shared front door for the CLI, the fault campaigns and the
+    benchmarks — every consumer building "the shuffle at n = 6" gets a
+    structurally identical netlist.
+    """
+    if circuit == "converter":
+        from repro.core.converter import IndexToPermutationConverter
+
+        return IndexToPermutationConverter(n).build_netlist(pipelined=pipelined)
+    if circuit == "shuffle":
+        from repro.core.knuth import KnuthShuffleCircuit
+
+        return KnuthShuffleCircuit(n).build_netlist(pipelined=pipelined)
+    raise ValueError(f"unknown circuit {circuit!r}; expected one of {CIRCUITS}")
+
+
+def render_flow_report(result: FlowResult) -> str:
+    """Pass-delta table (when passes ran) plus the resource table."""
+    parts = []
+    if result.passes is not None:
+        parts.append(result.passes.render())
+        parts.append("")
+    parts.append(render_resource_table([result.report], k=result.target.k))
+    return "\n".join(parts)

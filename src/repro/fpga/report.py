@@ -1,4 +1,13 @@
-"""Resource reports in the shape of the paper's Tables III and IV."""
+"""Resource reports in the shape of the paper's Tables III and IV.
+
+:func:`synthesize` here is the *raw* map-pack-time primitive: it reports
+the netlist exactly as handed in, with no optimisation.  Consumers that
+want the paper-honest numbers — optimised through the pass pipeline,
+reproducibly, with equivalence gating available — should go through the
+:func:`repro.flow.synthesize` facade, which runs the
+:class:`repro.hdl.passes.PassManager` first and returns this module's
+:class:`ResourceReport` as part of its ``FlowResult``.
+"""
 
 from __future__ import annotations
 

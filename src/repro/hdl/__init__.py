@@ -26,6 +26,14 @@ from repro.hdl.verify import (
 )
 from repro.hdl.export import to_verilog, VCDWriter
 from repro.hdl.optimize import sweep, SweepStats
+from repro.hdl.passes import (
+    Pass,
+    PassManager,
+    PassReport,
+    PipelineResult,
+    PASSES,
+    default_pipeline,
+)
 from repro.hdl.serialize import (
     netlist_to_dict,
     netlist_from_dict,
@@ -56,6 +64,12 @@ __all__ = [
     "VCDWriter",
     "sweep",
     "SweepStats",
+    "Pass",
+    "PassManager",
+    "PassReport",
+    "PipelineResult",
+    "PASSES",
+    "default_pipeline",
     "netlist_to_dict",
     "netlist_from_dict",
     "save_netlist",

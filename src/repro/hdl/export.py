@@ -121,13 +121,13 @@ class VCDWriter:
     is standard VCD loadable in GTKWave.  Time unit: one step per clock.
     """
 
-    def __init__(self, signals: Mapping[str, int], timescale: str = "1ns"):
+    def __init__(self, signals: Mapping[str, int], timescale: str = "1ns") -> None:
         """``signals`` maps signal name → bit width."""
         if not signals:
             raise ValueError("at least one signal required")
         self.signals = dict(signals)
         self.timescale = timescale
-        self._ids = {}
+        self._ids: dict[str, str] = {}
         for i, name in enumerate(self.signals):
             self._ids[name] = self._short_id(i)
         self._changes: list[tuple[int, str, int]] = []

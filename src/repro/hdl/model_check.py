@@ -23,7 +23,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.apps.bdd import BDD
 
 
-def _bdd_class():
+def _bdd_class() -> "type[BDD]":
     # Imported lazily: repro.apps pulls in the whole application layer,
     # which itself imports repro.hdl — a cycle at module-import time.
     from repro.apps.bdd import BDD

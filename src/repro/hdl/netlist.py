@@ -58,7 +58,7 @@ class Bus:
 
     __slots__ = ("wires",)
 
-    def __init__(self, wires: Iterable[Wire]):
+    def __init__(self, wires: Iterable[Wire]) -> None:
         self.wires: tuple[Wire, ...] = tuple(wires)
 
     @property
@@ -71,7 +71,7 @@ class Bus:
     def __iter__(self) -> Iterator[Wire]:
         return iter(self.wires)
 
-    def __getitem__(self, idx):
+    def __getitem__(self, idx: int | slice) -> "Wire | Bus":
         if isinstance(idx, slice):
             return Bus(self.wires[idx])
         return self.wires[idx]
@@ -80,7 +80,7 @@ class Bus:
         """Concatenate: ``self`` supplies the low bits."""
         return Bus(self.wires + tuple(other))
 
-    def __eq__(self, other) -> bool:
+    def __eq__(self, other: object) -> bool:
         return isinstance(other, Bus) and self.wires == other.wires
 
     def __hash__(self) -> int:
@@ -103,8 +103,10 @@ class Netlist:
         Named primary input and output buses.
     """
 
-    def __init__(self, name: str = "top"):
+    def __init__(self, name: str = "top", *, fold: bool = True, cse: bool = True) -> None:
         self.name = name
+        self.fold = fold  #: apply constant folding / peepholes in :meth:`gate`
+        self.cse = cse  #: apply structural hashing (CSE) in :meth:`gate`
         self.gates: list[Gate] = []
         self.registers: list[Register] = []
         self.inputs: dict[str, Bus] = {}
@@ -173,12 +175,18 @@ class Netlist:
 
         Folding keeps the netlist honest: a comparator against constant 0,
         say, collapses to a constant instead of inflating LUT counts.
+        Either optimisation can be disabled per netlist (``fold=False`` /
+        ``cse=False`` at construction) — that is how the standalone
+        :mod:`repro.hdl.passes` isolate one transformation at a time.
         """
         if len(fanin) != GATE_ARITY[op]:
             raise ValueError(f"{op} expects {GATE_ARITY[op]} fanins, got {len(fanin)}")
-        folded = self._fold(op, fanin)
-        if folded is not None:
-            return folded
+        if self.fold:
+            folded = self._fold(op, fanin)
+            if folded is not None:
+                return folded
+        if not self.cse:
+            return self._new_wire(op, fanin, name)
         key = self._cse_key(op, fanin)
         hit = self._cse.get(key)
         if hit is not None:

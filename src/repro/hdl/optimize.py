@@ -1,22 +1,20 @@
-"""Netlist optimisation passes.
+"""Legacy netlist-optimisation entry points (now thin pass wrappers).
 
-Construction-time folding and CSE (in :mod:`repro.hdl.netlist`) already
-keep circuits lean; these passes clean up what construction cannot see:
-
-* :func:`sweep` — dead-logic elimination: rebuilds the netlist keeping
-  only the transitive fanin of outputs and register D pins.  Generator
-  code frequently creates wires that later muxes fold away; sweeping
-  them keeps resource counts honest.
-* :func:`statistics_delta` — before/after comparison helper used by the
-  benchmarks' mapping ablation.
+The optimisation machinery lives in :mod:`repro.hdl.passes`: dead-logic
+elimination was migrated into :class:`~repro.hdl.passes.SweepPass`, and
+construction-time folding/CSE gained standalone pass forms
+(``fold``/``dedupe``) alongside the new rewriting passes.  This module
+keeps the original one-shot API — :func:`sweep` and
+:class:`SweepStats` — for callers that only want dead-logic removal;
+new code should run a :class:`~repro.hdl.passes.PassManager` (or the
+:func:`repro.flow.synthesize` facade) instead.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.hdl.gates import Op
-from repro.hdl.netlist import Bus, Netlist
+from repro.hdl.netlist import Netlist
 
 __all__ = ["sweep", "SweepStats", "statistics_delta"]
 
@@ -42,71 +40,14 @@ class SweepStats:
 def sweep(nl: Netlist) -> tuple[Netlist, SweepStats]:
     """Return a new netlist containing only live logic.
 
-    Liveness: the transitive fanin cone of the primary outputs, closed
-    over register Q→D dependencies (a live register keeps its D cone
-    live).  Inputs are preserved even when unused so the port list — and
-    therefore any exported Verilog module interface — is unchanged.
+    Delegates to :class:`repro.hdl.passes.SweepPass`; see its docstring
+    for the liveness rules.  Kept as a convenience wrapper because many
+    call sites want exactly one transformation and its before/after
+    stats.
     """
-    nl.check()
-    # Liveness fixpoint: start from primary outputs; a register is live
-    # only when its Q is reachable, and a live register makes its D cone
-    # live (which may in turn wake further registers).
-    live: set[int] = set()
-    stack = [w for bus in nl.outputs.values() for w in bus]
-    keep_regs: list = []
-    pending = list(nl.registers)
-    while True:
-        while stack:
-            w = stack.pop()
-            if w in live:
-                continue
-            live.add(w)
-            stack.extend(nl.gates[w].fanin)
-        woke = [r for r in pending if r.q in live]
-        if not woke:
-            break
-        pending = [r for r in pending if r.q not in live]
-        keep_regs.extend(woke)
-        stack.extend(r.d for r in woke)
-    keep_regs.sort(key=lambda r: r.q)
+    from repro.hdl.passes import SweepPass
 
-    out = Netlist(name=nl.name)
-    mapping: dict[int, int] = {}
-
-    for name, bus in nl.inputs.items():
-        new_bus = out.input(name, bus.width)
-        for old, new in zip(bus, new_bus):
-            mapping[old] = new
-
-    reg_by_q = {r.q: r for r in keep_regs}
-    # First pass: create REG placeholders for live registers (their Q
-    # wires may be referenced before their D cones are rebuilt).
-    for r in keep_regs:
-        q = out._new_wire(Op.REG, (), name=nl.gates[r.q].name)
-        mapping[r.q] = q
-
-    for w, g in enumerate(nl.gates):
-        if w not in live or w in mapping:
-            continue
-        if g.op is Op.CONST0:
-            mapping[w] = out.const(0)
-        elif g.op is Op.CONST1:
-            mapping[w] = out.const(1)
-        elif g.op is Op.INPUT:
-            raise AssertionError("inputs already mapped")
-        elif g.op is Op.REG:
-            continue  # dead register Q that somehow stayed live-checked
-        else:
-            mapping[w] = out.gate(g.op, *(mapping[f] for f in g.fanin), name=g.name)
-
-    from repro.hdl.netlist import Register
-
-    for r in keep_regs:
-        out.registers.append(Register(q=mapping[r.q], d=mapping[r.d], init=r.init))
-
-    for name, bus in nl.outputs.items():
-        out.output(name, Bus(mapping[w] for w in bus))
-
+    out = SweepPass().run(nl)
     stats = SweepStats(
         gates_before=nl.num_logic_gates,
         gates_after=out.num_logic_gates,

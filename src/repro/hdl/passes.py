@@ -1,0 +1,624 @@
+"""Compiler-style netlist optimisation passes and the PassManager.
+
+Historically the reproduction's netlist optimisation was scattered:
+constant folding and structural hashing (CSE) were baked into
+:class:`~repro.hdl.netlist.Netlist` construction, dead-logic elimination
+lived alone in :mod:`repro.hdl.optimize`, and every consumer assembled
+its own netlist → LUT-map → timing flow.  This module restructures that
+into an explicit pipeline in the style of a compiler pass manager:
+
+* a :class:`Pass` is a named netlist → netlist transformation that must
+  preserve the circuit's observable behaviour (port-for-port,
+  cycle-for-cycle);
+* a :class:`PassManager` runs an ordered pipeline, records a
+  :class:`PassReport` of structural deltas per pass, emits an
+  observability span plus metrics per pass, and — in **checked mode** —
+  gates every pass with an equivalence check: a complete BDD proof
+  (:func:`repro.hdl.model_check.prove_equivalent`) when the circuit is
+  combinational and small enough, dense batched random simulation
+  (:func:`repro.hdl.verify.random_equivalence_check`) otherwise.
+
+The stock passes:
+
+``fold``
+    Re-applies construction-time constant folding / peephole
+    simplification to an arbitrary netlist (deserialised or rewritten
+    netlists bypass the construction-time folding this was migrated
+    from).
+``dedupe``
+    Fanout-duplicate merge: global structural hashing that merges gates
+    computing the identical function of identical operands — the
+    standalone form of construction-time CSE, needed after rewrites
+    that create duplicates construction never saw.
+``demorgan``
+    NOT/De Morgan normalisation: fuses inverters into complemented ops
+    (``NOT(AND) → NAND`` …), collapses inverted-operand pairs
+    (``AND(¬a, ¬b) → NOR(a, b)``), and absorbs operand inversions into
+    XOR/XNOR polarity.  Every rewrite is locally non-increasing in gate
+    count.
+``regprop``
+    Constant propagation through registers: a register whose D pin is
+    tied to a constant equal to its init value (directly, through a
+    self-loop, or through a chain of already-constant registers) holds
+    that value on every cycle, so its Q is replaced by the constant and
+    the register deleted.
+``sweep``
+    Dead-logic elimination (migrated from ``optimize.sweep``): rebuilds
+    the netlist keeping only the transitive fanin of outputs and live
+    register D pins.
+
+Use :func:`default_pipeline` for the full ordered list, or address
+passes by name through :data:`PASSES` (the CLI's ``synth --passes`` and
+:mod:`repro.flow` both do).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterable, Mapping, Protocol, Sequence
+
+from repro.errors import PassVerificationError
+from repro.hdl.gates import Op
+from repro.hdl.netlist import Bus, Gate, Netlist, Register, Wire
+from repro.obs import metrics as _metrics
+
+__all__ = [
+    "Pass",
+    "PassReport",
+    "PipelineResult",
+    "PassManager",
+    "ConstantFoldPass",
+    "DedupePass",
+    "DeMorganPass",
+    "RegisterConstPropPass",
+    "SweepPass",
+    "PASSES",
+    "default_pipeline",
+    "resolve_passes",
+    "rebuild",
+    "check_equivalent",
+]
+
+_LEAF_OPS = frozenset({Op.INPUT, Op.REG, Op.CONST0, Op.CONST1})
+
+_PASS_RUNS = _metrics.REGISTRY.counter(
+    "repro_pass_runs_total", "optimisation pass executions", ("pass_name",)
+)
+_PASS_GATES_REMOVED = _metrics.REGISTRY.counter(
+    "repro_pass_gates_removed_total",
+    "logic gates removed by optimisation passes",
+    ("pass_name",),
+)
+_PASS_WALL = _metrics.REGISTRY.histogram(
+    "repro_pass_wall_seconds", "per-pass wall time", ("pass_name",)
+)
+_PASS_CHECKS = _metrics.REGISTRY.counter(
+    "repro_pass_equivalence_checks_total",
+    "checked-mode equivalence checks, by method",
+    ("pass_name", "method"),
+)
+
+
+class Pass(Protocol):
+    """A named, behaviour-preserving netlist transformation."""
+
+    name: str
+
+    def run(self, nl: Netlist) -> Netlist:
+        """Return a transformed netlist; must not mutate ``nl``."""
+        ...
+
+
+# --------------------------------------------------------------------- #
+# the shared rebuild engine
+
+#: Optional rewrite hook: ``hook(out, mapped_fanin, gate)`` may return a
+#: replacement wire in ``out`` (or None for default reconstruction).
+RewriteHook = Callable[[Netlist, tuple[Wire, ...], Gate], "Wire | None"]
+
+
+def rebuild(
+    nl: Netlist,
+    *,
+    fold: bool = True,
+    cse: bool = True,
+    rewrite: RewriteHook | None = None,
+    reg_const: Mapping[Wire, bool] | None = None,
+) -> Netlist:
+    """Reconstruct ``nl`` gate by gate through a fresh builder.
+
+    The single engine behind every rewriting pass: ports and registers
+    are recreated, then each logic gate is re-emitted through
+    :meth:`Netlist.gate` with the requested folding/CSE settings, with
+    ``rewrite`` given first refusal on every gate.  ``reg_const`` maps
+    register Q wires to constants: those registers are deleted and their
+    Q replaced by the constant (see :class:`RegisterConstPropPass`).
+    """
+    nl.check()
+    out = Netlist(nl.name, fold=fold, cse=cse)
+    mapping: dict[Wire, Wire] = {}
+    reg_const = dict(reg_const or {})
+
+    for name, bus in nl.inputs.items():
+        new_bus = out.input(name, bus.width)
+        for old, new in zip(bus, new_bus):
+            mapping[old] = new
+
+    # REG placeholders first: Q wires are leaves that downstream logic
+    # may reference before the D cones are rebuilt.
+    kept_regs: list[Register] = []
+    for r in nl.registers:
+        if r.q in reg_const:
+            mapping[r.q] = out.const(reg_const[r.q])
+        else:
+            mapping[r.q] = out._new_wire(Op.REG, (), name=nl.gates[r.q].name)
+            kept_regs.append(r)
+
+    for w, g in enumerate(nl.gates):
+        if w in mapping:
+            continue
+        if g.op is Op.CONST0:
+            mapping[w] = out.const(0)
+        elif g.op is Op.CONST1:
+            mapping[w] = out.const(1)
+        elif g.op is Op.INPUT:
+            raise AssertionError("inputs already mapped")
+        elif g.op is Op.REG:
+            # a REG gate without a register entry: keep as a floating leaf
+            mapping[w] = out._new_wire(Op.REG, (), name=g.name)
+        else:
+            fanin = tuple(mapping[f] for f in g.fanin)
+            new: Wire | None = None
+            if rewrite is not None:
+                new = rewrite(out, fanin, g)
+            if new is None:
+                new = out.gate(g.op, *fanin, name=g.name)
+            mapping[w] = new
+
+    for r in kept_regs:
+        out.registers.append(Register(q=mapping[r.q], d=mapping[r.d], init=r.init))
+    for name, bus in nl.outputs.items():
+        out.output(name, Bus(mapping[w] for w in bus))
+    return out
+
+
+# --------------------------------------------------------------------- #
+# stock passes
+
+
+class ConstantFoldPass:
+    """Re-apply construction-time folding to an arbitrary netlist."""
+
+    name = "fold"
+
+    def run(self, nl: Netlist) -> Netlist:
+        return rebuild(nl, fold=True, cse=False)
+
+
+class DedupePass:
+    """Fanout-duplicate merge: global structural hashing (standalone CSE)."""
+
+    name = "dedupe"
+
+    def run(self, nl: Netlist) -> Netlist:
+        return rebuild(nl, fold=False, cse=True)
+
+
+#: op → complemented op, for inverter fusion.
+_COMPLEMENT = {
+    Op.AND: Op.NAND,
+    Op.NAND: Op.AND,
+    Op.OR: Op.NOR,
+    Op.NOR: Op.OR,
+    Op.XOR: Op.XNOR,
+    Op.XNOR: Op.XOR,
+}
+
+#: op → the op computing the same function of complemented operands
+#: (De Morgan duals; XOR/XNOR handled by polarity counting instead).
+_DEMORGAN_DUAL = {
+    Op.AND: Op.NOR,
+    Op.OR: Op.NAND,
+    Op.NAND: Op.OR,
+    Op.NOR: Op.AND,
+}
+
+
+class DeMorganPass:
+    """NOT/De Morgan normalisation.
+
+    Three families of strictly non-increasing rewrites (the replaced
+    inverters go dead and are reclaimed by ``sweep``):
+
+    * inverter fusion — ``NOT(AND(a, b)) → NAND(a, b)`` and the five
+      siblings from :data:`_COMPLEMENT`;
+    * De Morgan collapse — ``AND(¬a, ¬b) → NOR(a, b)`` and the three
+      siblings from :data:`_DEMORGAN_DUAL`;
+    * XOR polarity absorption — each inverted XOR/XNOR operand flips the
+      op between XOR and XNOR and the inverter is dropped.
+    """
+
+    name = "demorgan"
+
+    @staticmethod
+    def _rewrite(out: Netlist, fanin: tuple[Wire, ...], g: Gate) -> Wire | None:
+        def is_not(w: Wire) -> bool:
+            return out.gates[w].op is Op.NOT
+
+        if g.op is Op.NOT:
+            inner = out.gates[fanin[0]]
+            if inner.op in _COMPLEMENT:
+                return out.gate(_COMPLEMENT[inner.op], *inner.fanin, name=g.name)
+            return None
+        if g.op in _DEMORGAN_DUAL:
+            a, b = fanin
+            if is_not(a) and is_not(b):
+                return out.gate(
+                    _DEMORGAN_DUAL[g.op],
+                    out.gates[a].fanin[0],
+                    out.gates[b].fanin[0],
+                    name=g.name,
+                )
+            return None
+        if g.op in (Op.XOR, Op.XNOR):
+            a, b = fanin
+            flips = 0
+            if is_not(a):
+                a, flips = out.gates[a].fanin[0], flips + 1
+            if is_not(b):
+                b, flips = out.gates[b].fanin[0], flips + 1
+            if flips == 0:
+                return None
+            op = g.op if flips == 2 else _COMPLEMENT[g.op]
+            return out.gate(op, a, b, name=g.name)
+        return None
+
+    def run(self, nl: Netlist) -> Netlist:
+        return rebuild(nl, fold=True, cse=True, rewrite=self._rewrite)
+
+
+class RegisterConstPropPass:
+    """Delete registers that provably hold a constant on every cycle.
+
+    A register outputs ``init`` on cycle 0 and its D value thereafter;
+    its Q is the constant ``init`` iff D is tied to that same value —
+    directly to a constant wire, to its own Q (a hold loop), or to the Q
+    of another register already proven constant.  The set is closed to a
+    fixpoint so chains and mutually-holding groups all collapse, then
+    the surviving logic is rebuilt with folding on, which propagates the
+    constants combinationally.
+    """
+
+    name = "regprop"
+
+    @staticmethod
+    def _constant_registers(nl: Netlist) -> dict[Wire, bool]:
+        def const_of(w: Wire) -> bool | None:
+            op = nl.gates[w].op
+            if op is Op.CONST0:
+                return False
+            if op is Op.CONST1:
+                return True
+            return None
+
+        known: dict[Wire, bool] = {}
+        changed = True
+        while changed:
+            changed = False
+            for r in nl.registers:
+                if r.q in known:
+                    continue
+                if r.d == r.q:
+                    d_val: bool | None = bool(r.init)
+                else:
+                    d_val = const_of(r.d)
+                    if d_val is None:
+                        d_val = known.get(r.d)
+                if d_val is not None and d_val == bool(r.init):
+                    known[r.q] = bool(r.init)
+                    changed = True
+        return known
+
+    def run(self, nl: Netlist) -> Netlist:
+        return rebuild(nl, fold=True, cse=True, reg_const=self._constant_registers(nl))
+
+
+class SweepPass:
+    """Dead-logic elimination (migrated from ``repro.hdl.optimize``).
+
+    Liveness is the transitive fanin cone of the primary outputs, closed
+    over register Q→D dependencies (a live register keeps its D cone
+    live, which may wake further registers).  Unused primary inputs are
+    preserved so the port list — and any exported Verilog module
+    interface — is unchanged.
+    """
+
+    name = "sweep"
+
+    def run(self, nl: Netlist) -> Netlist:
+        nl.check()
+        live: set[Wire] = set()
+        stack = [w for bus in nl.outputs.values() for w in bus]
+        keep_regs: list[Register] = []
+        pending = list(nl.registers)
+        while True:
+            while stack:
+                w = stack.pop()
+                if w in live:
+                    continue
+                live.add(w)
+                stack.extend(nl.gates[w].fanin)
+            woke = [r for r in pending if r.q in live]
+            if not woke:
+                break
+            pending = [r for r in pending if r.q not in live]
+            keep_regs.extend(woke)
+            stack.extend(r.d for r in woke)
+        keep_regs.sort(key=lambda r: r.q)
+
+        out = Netlist(name=nl.name)
+        mapping: dict[Wire, Wire] = {}
+        for name, bus in nl.inputs.items():
+            new_bus = out.input(name, bus.width)
+            for old, new in zip(bus, new_bus):
+                mapping[old] = new
+        for r in keep_regs:
+            mapping[r.q] = out._new_wire(Op.REG, (), name=nl.gates[r.q].name)
+        for w, g in enumerate(nl.gates):
+            if w not in live or w in mapping:
+                continue
+            if g.op is Op.CONST0:
+                mapping[w] = out.const(0)
+            elif g.op is Op.CONST1:
+                mapping[w] = out.const(1)
+            elif g.op is Op.INPUT:
+                raise AssertionError("inputs already mapped")
+            elif g.op is Op.REG:
+                continue  # dead register Q that somehow stayed live-checked
+            else:
+                mapping[w] = out.gate(g.op, *(mapping[f] for f in g.fanin), name=g.name)
+        for r in keep_regs:
+            out.registers.append(Register(q=mapping[r.q], d=mapping[r.d], init=r.init))
+        for name, bus in nl.outputs.items():
+            out.output(name, Bus(mapping[w] for w in bus))
+        return out
+
+
+#: Name → constructor for every stock pass.
+PASSES: dict[str, Callable[[], Pass]] = {
+    "fold": ConstantFoldPass,
+    "dedupe": DedupePass,
+    "demorgan": DeMorganPass,
+    "regprop": RegisterConstPropPass,
+    "sweep": SweepPass,
+}
+
+#: The full pipeline, in its canonical order: register constants first
+#: (they expose folding opportunities), inverter normalisation, a
+#: folding + dedupe cleanup, and dead-logic reclamation last.
+DEFAULT_PIPELINE = ("regprop", "demorgan", "fold", "dedupe", "sweep")
+
+
+def default_pipeline() -> list[Pass]:
+    """Fresh instances of the full ordered pipeline."""
+    return [PASSES[name]() for name in DEFAULT_PIPELINE]
+
+
+def resolve_passes(spec: Iterable["Pass | str"]) -> list[Pass]:
+    """Materialise a mixed list of pass names and instances."""
+    out: list[Pass] = []
+    for item in spec:
+        if isinstance(item, str):
+            try:
+                out.append(PASSES[item]())
+            except KeyError:
+                raise ValueError(
+                    f"unknown pass {item!r}; available: {', '.join(sorted(PASSES))}"
+                ) from None
+        else:
+            out.append(item)
+    return out
+
+
+# --------------------------------------------------------------------- #
+# equivalence gating
+
+
+def check_equivalent(
+    before: Netlist,
+    after: Netlist,
+    *,
+    bdd_bit_limit: int = 14,
+    samples: int = 256,
+    cycles: int = 16,
+) -> tuple[str, int]:
+    """Prove or densely test that two netlists agree.
+
+    Combinational pairs within ``bdd_bit_limit`` input bits get a
+    complete ROBDD equivalence proof; everything else (wide or
+    sequential) gets batched random simulation from reset.  Returns
+    ``(method, points)`` where ``method`` is ``"bdd"`` or
+    ``"simulation"``; raises :class:`AssertionError` on disagreement.
+    """
+    input_bits = sum(bus.width for bus in before.inputs.values())
+    combinational = not before.registers and not after.registers
+    if combinational and input_bits <= bdd_bit_limit:
+        from repro.hdl.model_check import find_distinguishing_input, prove_equivalent
+
+        if not prove_equivalent(before, after):
+            witness = find_distinguishing_input(before, after)
+            raise AssertionError(f"BDD proof failed; counterexample {witness}")
+        return "bdd", 1 << input_bits
+
+    from repro.hdl.verify import random_equivalence_check
+
+    points = random_equivalence_check(before, after, samples=samples, cycles=cycles)
+    return "simulation", points
+
+
+# --------------------------------------------------------------------- #
+# the manager
+
+
+@dataclass(frozen=True)
+class PassReport:
+    """Structural deltas (and check evidence) from one pass execution."""
+
+    pass_name: str
+    gates_before: int
+    gates_after: int
+    registers_before: int
+    registers_after: int
+    depth_before: int
+    depth_after: int
+    wall_s: float
+    check_method: str | None = None  #: "bdd" / "simulation" when checked
+    check_points: int = 0  #: vectors proven (bdd) or simulated
+
+    @property
+    def gates_removed(self) -> int:
+        return self.gates_before - self.gates_after
+
+    @property
+    def registers_removed(self) -> int:
+        return self.registers_before - self.registers_after
+
+
+@dataclass(frozen=True)
+class PipelineResult:
+    """Everything one :meth:`PassManager.run` produced."""
+
+    netlist: Netlist
+    reports: tuple[PassReport, ...]
+
+    @property
+    def gates_removed(self) -> int:
+        return sum(r.gates_removed for r in self.reports)
+
+    @property
+    def registers_removed(self) -> int:
+        return sum(r.registers_removed for r in self.reports)
+
+    @property
+    def checked(self) -> bool:
+        return all(r.check_method is not None for r in self.reports)
+
+    def render(self) -> str:
+        """Per-pass delta table (the ``synth`` subcommand prints this)."""
+        header = f"{'pass':>10}  {'gates':>12}  {'regs':>11}  {'depth':>9}  {'check':>12}"
+        lines = [header]
+        for r in self.reports:
+            check = (
+                f"{r.check_method}:{r.check_points}" if r.check_method else "-"
+            )
+            lines.append(
+                f"{r.pass_name:>10}  "
+                f"{r.gates_before:>5}->{r.gates_after:<5}  "
+                f"{r.registers_before:>5}->{r.registers_after:<4}  "
+                f"{r.depth_before:>3}->{r.depth_after:<3}  "
+                f"{check:>12}"
+            )
+        return "\n".join(lines)
+
+
+class PassManager:
+    """Runs an ordered pass pipeline with telemetry and optional gating.
+
+    Parameters
+    ----------
+    passes:
+        Pass instances or registry names; defaults to the full pipeline.
+    checked:
+        Gate every pass with an equivalence check (BDD proof for small
+        combinational netlists, batched random simulation otherwise).
+        A failing pass raises :class:`~repro.errors.PassVerificationError`
+        naming the pass — the transformed netlist never escapes.
+    bdd_bit_limit / check_samples / check_cycles:
+        Checker knobs, forwarded to :func:`check_equivalent`.
+    tracer:
+        Optional :class:`repro.obs.tracing.Tracer`; each pass runs in a
+        child span carrying its structural deltas.
+    """
+
+    def __init__(
+        self,
+        passes: "Sequence[Pass | str] | None" = None,
+        *,
+        checked: bool = False,
+        bdd_bit_limit: int = 14,
+        check_samples: int = 256,
+        check_cycles: int = 16,
+        tracer: object | None = None,
+    ) -> None:
+        self.passes = (
+            default_pipeline() if passes is None else resolve_passes(passes)
+        )
+        self.checked = checked
+        self.bdd_bit_limit = bdd_bit_limit
+        self.check_samples = check_samples
+        self.check_cycles = check_cycles
+        self.tracer = tracer
+
+    def _run_one(
+        self, p: Pass, current: Netlist, span: object | None
+    ) -> tuple[Netlist, PassReport]:
+        t0 = time.perf_counter()
+        after = p.run(current)
+        after.check()
+        method: str | None = None
+        points = 0
+        if self.checked:
+            try:
+                method, points = check_equivalent(
+                    current,
+                    after,
+                    bdd_bit_limit=self.bdd_bit_limit,
+                    samples=self.check_samples,
+                    cycles=self.check_cycles,
+                )
+            except AssertionError as exc:
+                raise PassVerificationError(
+                    f"pass {p.name!r} broke equivalence: {exc}",
+                    pass_name=p.name,
+                    method="bdd/simulation",
+                ) from exc
+        report = PassReport(
+            pass_name=p.name,
+            gates_before=current.num_logic_gates,
+            gates_after=after.num_logic_gates,
+            registers_before=current.num_registers,
+            registers_after=after.num_registers,
+            depth_before=current.depth,
+            depth_after=after.depth,
+            wall_s=time.perf_counter() - t0,
+            check_method=method,
+            check_points=points,
+        )
+        if span is not None:
+            span.attrs.update(  # type: ignore[attr-defined]
+                gates=f"{report.gates_before}->{report.gates_after}",
+                registers=f"{report.registers_before}->{report.registers_after}",
+                depth=f"{report.depth_before}->{report.depth_after}",
+                **({"check": f"{method}:{points}"} if method else {}),
+            )
+        if _metrics.REGISTRY.enabled:
+            _PASS_RUNS.inc(pass_name=p.name)
+            if report.gates_removed > 0:
+                _PASS_GATES_REMOVED.inc(report.gates_removed, pass_name=p.name)
+            _PASS_WALL.observe(report.wall_s, pass_name=p.name)
+            if method is not None:
+                _PASS_CHECKS.inc(pass_name=p.name, method=method)
+        return after, report
+
+    def run(self, nl: Netlist) -> PipelineResult:
+        current = nl
+        reports: list[PassReport] = []
+        for p in self.passes:
+            if self.tracer is not None:
+                with self.tracer.span(f"pass:{p.name}") as span:  # type: ignore[attr-defined]
+                    current, report = self._run_one(p, current, span)
+            else:
+                current, report = self._run_one(p, current, None)
+            reports.append(report)
+        return PipelineResult(netlist=current, reports=tuple(reports))

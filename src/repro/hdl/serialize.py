@@ -28,7 +28,10 @@ def netlist_to_dict(nl: Netlist) -> dict[str, Any]:
         "version": FORMAT_VERSION,
         "name": nl.name,
         "gates": [
-            {"op": g.op.value, "fanin": list(g.fanin), **({"name": g.name} if g.name else {})}
+            # `is not None`, not truthiness: the empty string is a legal
+            # (if odd) gate name and must survive the round trip
+            {"op": g.op.value, "fanin": list(g.fanin),
+             **({"name": g.name} if g.name is not None else {})}
             for g in nl.gates
         ],
         "registers": [
@@ -53,12 +56,18 @@ def netlist_from_dict(doc: dict[str, Any]) -> Netlist:
     for entry in doc["gates"]:
         op = Op(entry["op"])
         nl._new_wire(op, tuple(entry["fanin"]), entry.get("name"))
-    # restore shared-constant bookkeeping so further edits stay folded
+    # restore shared-constant and structural-hashing bookkeeping so a
+    # reloaded netlist folds and dedupes further edits exactly like the
+    # original builder would
     for w, g in enumerate(nl.gates):
-        if g.op is Op.CONST0 and nl._const0 is None:
-            nl._const0 = w
-        elif g.op is Op.CONST1 and nl._const1 is None:
-            nl._const1 = w
+        if g.op is Op.CONST0:
+            if nl._const0 is None:
+                nl._const0 = w
+        elif g.op is Op.CONST1:
+            if nl._const1 is None:
+                nl._const1 = w
+        elif g.op not in (Op.INPUT, Op.REG):
+            nl._cse.setdefault(Netlist._cse_key(g.op, g.fanin), w)
     for entry in doc["registers"]:
         nl.registers.append(Register(q=entry["q"], d=entry["d"], init=bool(entry["init"])))
     for name, wires in doc["inputs"].items():

@@ -47,7 +47,7 @@ probe pays exactly one ``is None`` test per sweep.
 
 from __future__ import annotations
 
-from typing import Mapping, Sequence
+from typing import Any, Mapping, Sequence
 
 import numpy as np
 
@@ -93,16 +93,17 @@ def ints_from_bits(bits: Sequence[np.ndarray]) -> np.ndarray:
 class CombinationalSimulator:
     """Evaluate a netlist's combinational fabric on a batch of inputs."""
 
-    def __init__(self, netlist: Netlist, probe=None):
+    def __init__(self, netlist: Netlist, probe: Any = None) -> None:
         netlist.check()
         self.netlist = netlist
         self.probe = probe
+        self._wire_values: list[np.ndarray | None] = []
 
     def run(
         self,
         inputs: Mapping[str, int | Sequence[int]],
         reg_state: Mapping[int, np.ndarray] | None = None,
-        overlay=None,
+        overlay: Any = None,
     ) -> dict[str, np.ndarray]:
         """Evaluate outputs for a batch of input words.
 
@@ -194,7 +195,9 @@ class SequentialSimulator:
     circuit simultaneously.
     """
 
-    def __init__(self, netlist: Netlist, batch: int = 1, overlay=None, probe=None):
+    def __init__(
+        self, netlist: Netlist, batch: int = 1, overlay: Any = None, probe: Any = None
+    ) -> None:
         self.comb = CombinationalSimulator(netlist, probe=probe)
         self.netlist = netlist
         self.batch = batch
@@ -224,7 +227,7 @@ class SequentialSimulator:
                 self.state[q] = np.logical_not(self.state[q])
         outputs = self.comb.run(inputs, reg_state=self.state, overlay=self.overlay)
         wire_values = self.comb._wire_values
-        next_state = {}
+        next_state: dict[int, np.ndarray] = {}
         for r in self.netlist.registers:
             lane = wire_values[r.d]
             if lane.shape[0] != self.batch:

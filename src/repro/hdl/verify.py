@@ -17,7 +17,13 @@ import numpy as np
 from repro.hdl.netlist import Netlist
 from repro.hdl.simulator import CombinationalSimulator
 
-__all__ = ["exhaustive_check", "random_check", "assert_equivalent", "sequential_check"]
+__all__ = [
+    "exhaustive_check",
+    "random_check",
+    "assert_equivalent",
+    "sequential_check",
+    "random_equivalence_check",
+]
 
 #: Reference model: maps a dict of input words to a dict of output words.
 Reference = Callable[[Mapping[str, int]], Mapping[str, int]]
@@ -103,6 +109,85 @@ def assert_equivalent(
     if _input_space(netlist) <= 16 and not domains:
         return exhaustive_check(netlist, reference)
     return random_check(netlist, reference, samples=samples, rng=rng, domains=domains)
+
+
+def _random_words(rng: np.random.Generator, width: int, count: int) -> list[int]:
+    """``count`` uniform integers of ``width`` bits (arbitrary width)."""
+    nbytes = (width + 7) // 8 or 1
+    mask = (1 << width) - 1
+    return [int.from_bytes(rng.bytes(nbytes), "little") & mask for _ in range(count)]
+
+
+def random_equivalence_check(
+    a: Netlist,
+    b: Netlist,
+    samples: int = 256,
+    cycles: int = 16,
+    rng: np.random.Generator | None = None,
+) -> int:
+    """Netlist-vs-netlist miter by dense random simulation.
+
+    The workhorse behind checked-mode pass pipelines when the input
+    space outgrows BDD proof (:func:`repro.hdl.model_check.
+    prove_equivalent`).  Both netlists must expose identical port
+    signatures.  Combinational pairs are compared on one batch of
+    ``samples`` random vectors; sequential pairs are stepped from reset
+    for ``cycles`` clocks with ``samples`` independent random lanes and
+    compared on *every* cycle — so register-retiming bugs that only
+    surface after the pipeline fills are caught too.
+
+    Returns the number of compared (vector, cycle) points; raises
+    :class:`AssertionError` on the first disagreement.
+    """
+    sig_a = [(n, bus.width) for n, bus in a.inputs.items()]
+    sig_b = [(n, bus.width) for n, bus in b.inputs.items()]
+    if sig_a != sig_b:
+        raise ValueError(f"input signatures differ: {sig_a} vs {sig_b}")
+    if set(a.outputs) != set(b.outputs):
+        raise ValueError("output names differ")
+    rng = rng if rng is not None else np.random.default_rng(0)
+
+    if not a.registers and not b.registers:
+        batches = {
+            name: _random_words(rng, bus.width, samples)
+            for name, bus in a.inputs.items()
+        }
+        sim_a = CombinationalSimulator(a)
+        sim_b = CombinationalSimulator(b)
+        got_a, got_b = sim_a.run(batches), sim_b.run(batches)
+        for name in a.outputs:
+            va = [int(v) for v in got_a[name]]
+            vb = [int(v) for v in got_b[name]]
+            if va != vb:
+                i = next(i for i, (x, y) in enumerate(zip(va, vb)) if x != y)
+                point = {k: batches[k][i] for k in batches}
+                raise AssertionError(
+                    f"netlists {a.name!r} and {b.name!r} disagree at {point}: "
+                    f"output {name!r} = {va[i]} vs {vb[i]}"
+                )
+        return samples
+
+    from repro.hdl.simulator import SequentialSimulator
+
+    seq_a = SequentialSimulator(a, batch=samples)
+    seq_b = SequentialSimulator(b, batch=samples)
+    compared = 0
+    for cycle in range(cycles):
+        step_inputs = {
+            name: _random_words(rng, bus.width, samples)
+            for name, bus in a.inputs.items()
+        }
+        got_a, got_b = seq_a.step(step_inputs), seq_b.step(step_inputs)
+        for name in a.outputs:
+            va = [int(v) for v in got_a[name]]
+            vb = [int(v) for v in got_b[name]]
+            if va != vb:
+                raise AssertionError(
+                    f"netlists {a.name!r} and {b.name!r} disagree at cycle "
+                    f"{cycle}: output {name!r} = {va[:4]}... vs {vb[:4]}..."
+                )
+        compared += samples
+    return compared
 
 
 def sequential_check(

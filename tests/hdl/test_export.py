@@ -1,6 +1,7 @@
 """Verilog export and VCD writer tests."""
 
 import re
+from pathlib import Path
 
 import pytest
 
@@ -70,6 +71,22 @@ class TestVerilog:
     def test_custom_module_name(self):
         v = to_verilog(self._simple(), module_name="my_mod")
         assert "module my_mod(" in v
+
+    def test_golden_converter_n3_pipelined(self):
+        """Exact-match golden file: any drift in the emitted Verilog —
+        wire numbering, port order, always-block shape — is a visible,
+        reviewed diff rather than a silent change.  Regenerate with:
+
+            PYTHONPATH=src python - <<'EOF'
+            from repro.core.converter import IndexToPermutationConverter
+            from repro.hdl.export import to_verilog
+            nl = IndexToPermutationConverter(3).build_netlist(pipelined=True)
+            open("tests/hdl/golden/converter_n3_pipelined.v", "w").write(to_verilog(nl))
+            EOF
+        """
+        golden = Path(__file__).parent / "golden" / "converter_n3_pipelined.v"
+        nl = IndexToPermutationConverter(3).build_netlist(pipelined=True)
+        assert to_verilog(nl) == golden.read_text()
 
 
 class TestVCD:

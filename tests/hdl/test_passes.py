@@ -1,0 +1,342 @@
+"""Pass pipeline tests: stock passes, the manager, and checked mode."""
+
+import pytest
+
+from repro.core.converter import IndexToPermutationConverter
+from repro.core.knuth import KnuthShuffleCircuit
+from repro.errors import PassVerificationError
+from repro.hdl.gates import Op
+from repro.hdl.netlist import Bus, Netlist
+from repro.hdl.passes import (
+    DEFAULT_PIPELINE,
+    PASSES,
+    ConstantFoldPass,
+    DedupePass,
+    DeMorganPass,
+    PassManager,
+    RegisterConstPropPass,
+    SweepPass,
+    check_equivalent,
+    default_pipeline,
+    rebuild,
+    resolve_passes,
+)
+from repro.hdl.simulator import CombinationalSimulator, SequentialSimulator
+from repro.obs.tracing import Tracer
+
+
+def _same_comb(a: Netlist, b: Netlist, stimulus: dict) -> None:
+    ra = CombinationalSimulator(a).run(stimulus)
+    rb = CombinationalSimulator(b).run(stimulus)
+    for key in ra:
+        assert [int(v) for v in ra[key]] == [int(v) for v in rb[key]]
+
+
+def _same_seq(a: Netlist, b: Netlist, stimuli: list, cycles: int = 20) -> None:
+    sa, sb = SequentialSimulator(a), SequentialSimulator(b)
+    for i in range(cycles):
+        stim = stimuli[i % len(stimuli)] if stimuli else {}
+        oa, ob = sa.step(stim), sb.step(stim)
+        assert {k: int(v[0]) for k, v in oa.items()} == {
+            k: int(v[0]) for k, v in ob.items()
+        }
+
+
+class TestRebuild:
+    def test_identity_roundtrip(self):
+        nl = IndexToPermutationConverter(4).build_netlist(pipelined=True)
+        out = rebuild(nl)
+        assert out.summary() == nl.summary()
+        _same_seq(nl, out, [{"index": i} for i in range(24)])
+
+    def test_ports_preserved(self):
+        nl = Netlist("t")
+        nl.input("unused", 3)
+        a = nl.input("a", 1)
+        nl.output("y", a)
+        out = rebuild(nl)
+        assert list(out.inputs) == ["unused", "a"]
+        assert out.inputs["unused"].width == 3
+
+    def test_does_not_mutate_source(self):
+        nl = IndexToPermutationConverter(3).build_netlist()
+        before = (list(nl.gates), list(nl.registers))
+        rebuild(nl, fold=True, cse=True)
+        assert (list(nl.gates), list(nl.registers)) == before
+
+
+class TestConstantFoldPass:
+    def test_folds_unfolded_netlist(self):
+        nl = Netlist("t", fold=False, cse=False)
+        a = nl.input("a", 1)
+        one = nl._new_wire(Op.CONST1, ())
+        nl._const1 = one
+        w = nl.gate(Op.AND, a[0], one)  # a & 1 == a, but fold is off
+        nl.output("y", Bus([w]))
+        assert nl.num_logic_gates == 1
+        out = ConstantFoldPass().run(nl)
+        # the AND folded to its input; the stale gate is dead, not live
+        assert out.outputs["y"][0] == out.inputs["a"][0]
+        _same_comb(nl, out, {"a": [0, 1]})
+
+
+class TestDedupePass:
+    def test_merges_fanout_duplicates(self):
+        nl = Netlist("t", fold=False, cse=False)
+        a = nl.input("a", 2)
+        w1 = nl.gate(Op.XOR, a[0], a[1])
+        w2 = nl.gate(Op.XOR, a[0], a[1])  # structural duplicate
+        w3 = nl.gate(Op.XOR, a[1], a[0])  # commutative duplicate
+        nl.output("y", Bus([nl.gate(Op.AND, w1, w2), w3]))
+        out = DedupePass().run(nl)
+        assert out.num_logic_gates < nl.num_logic_gates
+        assert out.outputs["y"][1] == out.gates[out.outputs["y"][0]].fanin[0]
+        _same_comb(nl, out, {"a": [0, 1, 2, 3]})
+
+
+class TestDeMorganPass:
+    def _run(self, nl):
+        out = DeMorganPass().run(nl)
+        swept = SweepPass().run(out)
+        return out, swept
+
+    def test_inverter_fusion(self):
+        nl = Netlist("t")
+        a = nl.input("a", 2)
+        nl.output("y", Bus([nl.gate(Op.NOT, nl.gate(Op.AND, a[0], a[1]))]))
+        _, swept = self._run(nl)
+        assert swept.gate_counts() == {Op.NAND: 1}
+        _same_comb(nl, swept, {"a": [0, 1, 2, 3]})
+
+    def test_de_morgan_collapse(self):
+        nl = Netlist("t")
+        a = nl.input("a", 2)
+        w = nl.gate(Op.AND, nl.gate(Op.NOT, a[0]), nl.gate(Op.NOT, a[1]))
+        nl.output("y", Bus([w]))
+        _, swept = self._run(nl)
+        assert swept.gate_counts() == {Op.NOR: 1}
+        _same_comb(nl, swept, {"a": [0, 1, 2, 3]})
+
+    def test_xor_polarity_absorption(self):
+        nl = Netlist("t")
+        a = nl.input("a", 2)
+        one_flip = nl.gate(Op.XOR, nl.gate(Op.NOT, a[0]), a[1])
+        two_flip = nl.gate(Op.XOR, nl.gate(Op.NOT, a[0]), nl.gate(Op.NOT, a[1]))
+        nl.output("y", Bus([one_flip, two_flip]))
+        _, swept = self._run(nl)
+        counts = swept.gate_counts()
+        assert counts.get(Op.NOT, 0) == 0
+        assert counts[Op.XNOR] == 1 and counts[Op.XOR] == 1
+        _same_comb(nl, swept, {"a": [0, 1, 2, 3]})
+
+    def test_never_increases_gate_count_on_real_circuit(self):
+        nl = IndexToPermutationConverter(5).build_netlist()
+        out = DeMorganPass().run(nl)
+        assert out.num_live_gates <= nl.num_live_gates
+        _same_comb(nl, out, {"index": list(range(120))})
+
+
+class TestRegisterConstPropPass:
+    def test_register_tied_to_init_constant_deleted(self):
+        nl = Netlist("t")
+        a = nl.input("a", 1)
+        q = nl.register(nl.const(0), init=False)
+        nl.output("y", Bus([nl.gate(Op.OR, a[0], q)]))
+        out = RegisterConstPropPass().run(nl)
+        assert out.num_registers == 0
+        # OR with constant 0 folds straight through to the input
+        assert out.outputs["y"][0] == out.inputs["a"][0]
+        _same_seq(nl, out, [{"a": 0}, {"a": 1}])
+
+    def test_register_tied_to_other_constant_survives(self):
+        """init=0 but D=1: Q is 0 then 1 — not a constant, must stay."""
+        nl = Netlist("t")
+        a = nl.input("a", 1)
+        q = nl.register(nl.const(1), init=False)
+        nl.output("y", Bus([nl.gate(Op.AND, a[0], q)]))
+        out = RegisterConstPropPass().run(nl)
+        assert out.num_registers == 1
+        _same_seq(nl, out, [{"a": 1}])
+
+    def test_self_loop_hold_register_deleted(self):
+        nl = Netlist("t")
+        a = nl.input("a", 1)
+        q = nl._new_wire(Op.REG, ())
+        from repro.hdl.netlist import Register
+
+        nl.registers.append(Register(q=q, d=q, init=True))
+        nl.output("y", Bus([nl.gate(Op.AND, a[0], q)]))
+        out = RegisterConstPropPass().run(nl)
+        assert out.num_registers == 0
+        _same_seq(nl, out, [{"a": 0}, {"a": 1}])
+
+    def test_chain_through_constant_register_collapses(self):
+        nl = Netlist("t")
+        a = nl.input("a", 1)
+        q1 = nl.register(nl.const(1), init=True)
+        q2 = nl.register(q1, init=True)  # constant only via q1
+        nl.output("y", Bus([nl.gate(Op.AND, a[0], q2)]))
+        out = RegisterConstPropPass().run(nl)
+        assert out.num_registers == 0
+        _same_seq(nl, out, [{"a": 0}, {"a": 1}])
+
+    def test_fires_on_pipelined_converter(self):
+        """The pipelined converter registers constant low-order stage bits."""
+        nl = IndexToPermutationConverter(4).build_netlist(pipelined=True)
+        out = RegisterConstPropPass().run(nl)
+        assert out.num_registers < nl.num_registers
+        _same_seq(nl, out, [{"index": i} for i in range(24)])
+
+
+class TestSweepPass:
+    def test_matches_legacy_optimize_sweep(self):
+        from repro.hdl.optimize import sweep
+
+        nl = IndexToPermutationConverter(5).build_netlist()
+        via_pass = SweepPass().run(nl)
+        via_legacy, stats = sweep(nl)
+        assert via_pass.summary() == via_legacy.summary()
+        assert stats.gates_removed == nl.num_logic_gates - via_pass.num_logic_gates
+
+
+class TestRegistry:
+    def test_default_pipeline_names(self):
+        assert DEFAULT_PIPELINE == ("regprop", "demorgan", "fold", "dedupe", "sweep")
+        assert [p.name for p in default_pipeline()] == list(DEFAULT_PIPELINE)
+
+    def test_every_registered_pass_constructs(self):
+        for name, ctor in PASSES.items():
+            assert ctor().name == name
+
+    def test_resolve_mixed_names_and_instances(self):
+        resolved = resolve_passes(["sweep", DeMorganPass()])
+        assert [p.name for p in resolved] == ["sweep", "demorgan"]
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown pass 'bogus'"):
+            resolve_passes(["bogus"])
+
+
+class TestCheckEquivalent:
+    def test_small_combinational_uses_bdd(self):
+        nl = IndexToPermutationConverter(3).build_netlist()
+        method, points = check_equivalent(nl, SweepPass().run(nl))
+        assert method == "bdd"
+        assert points == 1 << 3
+
+    def test_sequential_uses_simulation(self):
+        nl = IndexToPermutationConverter(3).build_netlist(pipelined=True)
+        method, points = check_equivalent(nl, SweepPass().run(nl))
+        assert method == "simulation"
+        assert points > 0
+
+    def test_wide_combinational_falls_back_to_simulation(self):
+        nl = IndexToPermutationConverter(6).build_netlist()  # 10 input bits
+        method, _ = check_equivalent(nl, SweepPass().run(nl), bdd_bit_limit=4)
+        assert method == "simulation"
+
+    def test_detects_broken_rewrite(self):
+        nl = Netlist("t")
+        a = nl.input("a", 2)
+        nl.output("y", Bus([nl.gate(Op.AND, a[0], a[1])]))
+        bad = Netlist("t")
+        b = bad.input("a", 2)
+        bad.output("y", Bus([bad.gate(Op.OR, b[0], b[1])]))
+        with pytest.raises(AssertionError, match="counterexample"):
+            check_equivalent(nl, bad)
+
+
+class _BrokenPass:
+    """A 'pass' that swaps the output polarity — must be caught."""
+
+    name = "broken"
+
+    def run(self, nl: Netlist) -> Netlist:
+        out = rebuild(nl)
+        name, bus = next(iter(out.outputs.items()))
+        out.outputs[name] = Bus(out.gate(Op.NOT, w) for w in bus)
+        return out
+
+
+class TestPassManager:
+    def test_full_pipeline_on_converter(self):
+        nl = IndexToPermutationConverter(4).build_netlist(pipelined=True)
+        result = PassManager().run(nl)
+        assert [r.pass_name for r in result.reports] == list(DEFAULT_PIPELINE)
+        assert result.gates_removed > 0
+        assert result.registers_removed > 0
+        assert not result.checked
+        _same_seq(nl, result.netlist, [{"index": i} for i in range(24)])
+
+    @pytest.mark.parametrize("n", [3, 4, 5])
+    def test_checked_pipeline_converter(self, n):
+        nl = IndexToPermutationConverter(n).build_netlist(pipelined=True)
+        result = PassManager(checked=True).run(nl)
+        assert result.checked
+        assert all(r.check_method in ("bdd", "simulation") for r in result.reports)
+        assert all(r.check_points > 0 for r in result.reports)
+
+    @pytest.mark.parametrize("n", [3, 4, 5])
+    def test_checked_pipeline_shuffle(self, n):
+        nl = KnuthShuffleCircuit(n, m=8).build_netlist()
+        result = PassManager(checked=True).run(nl)
+        assert result.checked
+
+    def test_checked_combinational_uses_bdd_proof(self):
+        nl = IndexToPermutationConverter(3).build_netlist()
+        result = PassManager(checked=True).run(nl)
+        assert {r.check_method for r in result.reports} == {"bdd"}
+
+    def test_broken_pass_raises_and_names_itself(self):
+        nl = IndexToPermutationConverter(3).build_netlist()
+        manager = PassManager(["sweep", _BrokenPass()], checked=True)
+        with pytest.raises(PassVerificationError, match="'broken'"):
+            manager.run(nl)
+
+    def test_unchecked_manager_lets_broken_pass_through(self):
+        """checked=False skips the gate — that is the documented contract."""
+        nl = IndexToPermutationConverter(3).build_netlist()
+        result = PassManager([_BrokenPass()]).run(nl)
+        assert result.reports[0].check_method is None
+
+    def test_tracer_gets_one_span_per_pass(self):
+        tracer = Tracer()
+        nl = IndexToPermutationConverter(3).build_netlist()
+        with tracer.span("pipeline"):
+            PassManager(checked=True, tracer=tracer).run(nl)
+        root = tracer.roots[0]
+        assert [c.name for c in root.children] == [
+            f"pass:{name}" for name in DEFAULT_PIPELINE
+        ]
+        assert all("gates" in c.attrs for c in root.children)
+        assert all("check" in c.attrs for c in root.children)
+
+    def test_metrics_recorded_when_enabled(self):
+        from repro.obs.metrics import REGISTRY
+
+        REGISTRY.enable()
+        try:
+            REGISTRY.reset()
+            nl = IndexToPermutationConverter(4).build_netlist()
+            PassManager(checked=True).run(nl)
+            text = REGISTRY.render_exposition()
+        finally:
+            REGISTRY.disable()
+        assert 'repro_pass_runs_total{pass_name="sweep"}' in text
+        assert "repro_pass_equivalence_checks_total" in text
+        assert "repro_pass_wall_seconds" in text
+
+    def test_render_delta_table(self):
+        nl = IndexToPermutationConverter(4).build_netlist()
+        result = PassManager(checked=True).run(nl)
+        table = result.render()
+        for name in DEFAULT_PIPELINE:
+            assert name in table
+        assert "bdd:" in table
+
+    def test_pipeline_idempotent(self):
+        nl = IndexToPermutationConverter(5).build_netlist()
+        once = PassManager().run(nl).netlist
+        again = PassManager().run(once)
+        assert again.gates_removed == 0
+        assert again.registers_removed == 0

@@ -4,10 +4,12 @@ import json
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core.converter import IndexToPermutationConverter
 from repro.core.knuth import KnuthShuffleCircuit
-from repro.hdl.gates import Op
+from repro.hdl.gates import GATE_ARITY, Op
 from repro.hdl.netlist import Bus, Netlist
 from repro.hdl.serialize import (
     load_netlist,
@@ -60,6 +62,67 @@ class TestRoundtrip:
         nl.output("y", a)
         back = _roundtrip(nl)
         assert back.gates[a[0]].name == "data[0]"
+
+    def test_empty_string_gate_name_preserved(self):
+        """'' is a legal name and must not collapse to None (falsy-test bug)."""
+        nl = Netlist()
+        a = nl.input("a", 1)
+        w = nl.gate(Op.NOT, a[0], name="")
+        nl.output("y", Bus([w]))
+        back = _roundtrip(nl)
+        assert back.gates[w].name == ""
+
+    def test_reloaded_netlist_dedupes_further_edits(self):
+        """The CSE table must be rebuilt on load, not just the constants."""
+        nl = Netlist("t")
+        a = nl.input("a", 2)
+        w = nl.gate(Op.AND, a[0], a[1])
+        nl.output("y", Bus([w]))
+        back = _roundtrip(nl)
+        again = back.gate(Op.AND, back.inputs["a"][0], back.inputs["a"][1])
+        assert again == w  # structural hash hit, no duplicate gate
+        # commutative canonicalisation survives too
+        swapped = back.gate(Op.AND, back.inputs["a"][1], back.inputs["a"][0])
+        assert swapped == w
+        assert back.num_logic_gates == nl.num_logic_gates
+
+
+_GATE_OPS = [Op.NOT, Op.AND, Op.OR, Op.XOR, Op.NAND, Op.NOR, Op.XNOR, Op.MUX]
+_NAMES = st.one_of(st.none(), st.text(max_size=6))
+
+
+@st.composite
+def _netlists(draw):
+    """Random sequential netlists: named buses, logic, registers (q/d/init)."""
+    nl = Netlist(draw(st.text(max_size=8)))
+    wires = []
+    for i in range(draw(st.integers(1, 3))):
+        wires.extend(nl.input(f"in{i}", draw(st.integers(1, 4))))
+    for _ in range(draw(st.integers(0, 12))):
+        op = draw(st.sampled_from(_GATE_OPS))
+        fanin = [draw(st.sampled_from(wires)) for _ in range(GATE_ARITY[op])]
+        wires.append(nl.gate(op, *fanin, name=draw(_NAMES)))
+        if draw(st.booleans()):
+            wires.append(
+                nl.register(wires[-1], init=draw(st.booleans()), name=draw(_NAMES))
+            )
+    for j in range(draw(st.integers(1, 2))):
+        width = draw(st.integers(1, 3))
+        nl.output(f"out{j}", Bus([draw(st.sampled_from(wires)) for _ in range(width)]))
+    return nl
+
+
+class TestRoundtripProperty:
+    @given(_netlists())
+    @settings(max_examples=60, deadline=None)
+    def test_every_field_survives(self, nl):
+        back = _roundtrip(nl)
+        assert back.name == nl.name
+        assert back.gates == nl.gates  # op + fanin + name, gate for gate
+        assert back.registers == nl.registers  # q, d and init all intact
+        assert back.inputs == nl.inputs
+        assert back.outputs == nl.outputs
+        assert back.summary() == nl.summary()
 
 
 class TestValidation:

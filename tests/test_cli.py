@@ -48,6 +48,52 @@ def test_resources(capsys):
     assert "Freq" in out and len(out.splitlines()) == 2
 
 
+class TestSynthCommand:
+    def test_synth_default_full_pipeline(self, capsys):
+        assert main(["synth", "4"]) == 0
+        out = capsys.readouterr().out
+        for name in ("regprop", "demorgan", "fold", "dedupe", "sweep"):
+            assert name in out  # per-pass delta table
+        assert "Freq" in out  # resource row
+
+    def test_synth_checked_reports_proof_method(self, capsys):
+        assert main(["synth", "3", "--checked"]) == 0
+        assert "bdd:" in capsys.readouterr().out
+
+    def test_synth_checked_pipelined_uses_simulation(self, capsys):
+        assert main(["synth", "3", "--checked", "--pipelined"]) == 0
+        assert "simulation:" in capsys.readouterr().out
+
+    def test_synth_pass_subset(self, capsys):
+        assert main(["synth", "4", "--passes", "sweep"]) == 0
+        out = capsys.readouterr().out
+        assert "sweep" in out and "demorgan" not in out
+
+    def test_synth_no_opt_has_no_pass_table(self, capsys):
+        assert main(["synth", "4", "--no-opt"]) == 0
+        out = capsys.readouterr().out
+        assert "sweep" not in out and "Freq" in out
+
+    def test_synth_shuffle_circuit(self, capsys):
+        assert main(["synth", "4", "--circuit", "shuffle"]) == 0
+        assert "Freq" in capsys.readouterr().out
+
+    def test_synth_unknown_pass_is_usage_error(self, capsys):
+        assert main(["synth", "4", "--passes", "bogus"]) == 2
+        captured = capsys.readouterr()
+        assert captured.err.startswith("repro-perm: error:")
+        assert "unknown pass 'bogus'" in captured.err
+        assert len(captured.err.strip().splitlines()) == 1
+
+    def test_synth_no_opt_and_passes_conflict(self, capsys):
+        assert main(["synth", "4", "--no-opt", "--passes", "sweep"]) == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_synth_bad_n(self, capsys):
+        assert main(["synth", "0"]) == 2
+        assert "n must be at least 1" in capsys.readouterr().err
+
+
 def test_fig4_small(capsys):
     assert main(["fig4", "2048"]) == 0
     out = capsys.readouterr().out

@@ -1,0 +1,114 @@
+"""Unified synthesis flow tests: FlowTarget, FlowResult, build_circuit."""
+
+import pytest
+
+from repro.core.converter import IndexToPermutationConverter
+from repro.flow import (
+    CIRCUITS,
+    FlowResult,
+    FlowTarget,
+    build_circuit,
+    render_flow_report,
+    synthesize,
+)
+from repro.fpga.report import synthesize as raw_synthesize
+from repro.hdl.simulator import SequentialSimulator
+
+
+class TestFlowTarget:
+    def test_defaults_select_full_pipeline(self):
+        t = FlowTarget()
+        assert t.k == 6 and t.passes is None and not t.checked
+
+    def test_no_opt_constructor(self):
+        t = FlowTarget.no_opt(k=4)
+        assert t.passes == () and t.k == 4
+
+
+class TestBuildCircuit:
+    @pytest.mark.parametrize("circuit", CIRCUITS)
+    def test_known_circuits_build(self, circuit):
+        nl = build_circuit(circuit, 4)
+        assert nl.num_logic_gates > 0
+
+    def test_pipelined_flag_adds_registers(self):
+        plain = build_circuit("converter", 4)
+        piped = build_circuit("converter", 4, pipelined=True)
+        assert plain.num_registers == 0
+        assert piped.num_registers > 0
+
+    def test_unknown_circuit_rejected(self):
+        with pytest.raises(ValueError, match="unknown circuit 'alu'"):
+            build_circuit("alu", 4)
+
+
+class TestSynthesize:
+    def test_full_flow_result_is_consistent(self):
+        result = synthesize(build_circuit("converter", 6, pipelined=True), n=6)
+        assert isinstance(result, FlowResult)
+        assert result.total_luts == len(result.luts) == result.report.total_luts
+        assert result.lut_levels == result.report.lut_levels
+        assert result.fmax_mhz == result.report.fmax_mhz
+        assert result.report.n == 6
+        assert result.passes is not None
+        assert result.gates_removed > 0
+
+    def test_no_opt_matches_raw_fpga_synthesize(self):
+        """passes=() reproduces the pre-flow behaviour bit for bit."""
+        nl = build_circuit("converter", 5, pipelined=True)
+        via_flow = synthesize(nl, FlowTarget.no_opt(), n=5)
+        assert via_flow.passes is None
+        assert via_flow.netlist is nl
+        assert via_flow.report == raw_synthesize(nl, 5)
+
+    def test_optimised_flow_never_worse_than_raw(self):
+        nl = build_circuit("converter", 6, pipelined=True)
+        raw = raw_synthesize(nl, 6)
+        opt = synthesize(nl, n=6)
+        assert opt.report.total_luts <= raw.total_luts
+        assert opt.report.lut_levels <= raw.lut_levels
+        assert opt.report.registers <= raw.registers
+
+    def test_optimised_netlist_behaviour_preserved(self):
+        nl = build_circuit("converter", 4, pipelined=True)
+        result = synthesize(nl, n=4)
+        s1, s2 = SequentialSimulator(nl), SequentialSimulator(result.netlist)
+        for i in range(24):
+            o1, o2 = s1.step({"index": i}), s2.step({"index": i})
+            assert int(o1["word"][0]) == int(o2["word"][0])
+
+    def test_explicit_pass_selection(self):
+        nl = build_circuit("converter", 5)
+        result = synthesize(nl, FlowTarget(passes=("sweep",)), n=5)
+        assert [r.pass_name for r in result.passes.reports] == ["sweep"]
+
+    def test_checked_target_gates_every_pass(self):
+        nl = build_circuit("converter", 4)
+        result = synthesize(nl, FlowTarget(checked=True), n=4)
+        assert result.passes.checked
+
+    def test_unknown_pass_name_surfaces(self):
+        with pytest.raises(ValueError, match="unknown pass"):
+            synthesize(build_circuit("converter", 3), FlowTarget(passes=("bogus",)))
+
+    def test_k_reaches_the_mapper(self):
+        nl = build_circuit("converter", 6)
+        k4 = synthesize(nl, FlowTarget(k=4), n=6)
+        k6 = synthesize(nl, FlowTarget(k=6), n=6)
+        assert k4.total_luts > k6.total_luts
+
+    def test_default_n_is_zero(self):
+        assert synthesize(build_circuit("converter", 3)).report.n == 0
+
+
+class TestRenderFlowReport:
+    def test_contains_pass_table_and_resource_row(self):
+        result = synthesize(build_circuit("converter", 4, pipelined=True), n=4)
+        text = render_flow_report(result)
+        assert "sweep" in text  # pass delta table
+        assert "Freq" in text or "MHz" in text  # resource table header
+
+    def test_no_opt_report_has_no_pass_table(self):
+        result = synthesize(build_circuit("converter", 4), FlowTarget.no_opt(), n=4)
+        text = render_flow_report(result)
+        assert "sweep" not in text
