@@ -106,7 +106,7 @@ def _cmd_synth(args: argparse.Namespace) -> int:
     if args.n < 1:
         raise ReproError("n must be at least 1")
     nl = build_circuit(args.circuit, args.n, pipelined=args.pipelined)
-    target = FlowTarget(k=args.k, passes=passes, checked=args.checked)
+    target = FlowTarget(k=args.k, passes=passes, checked=args.checked, engine=args.engine)
     try:
         result = synthesize(nl, target, n=args.n, tracer=getattr(args, "_tracer", None))
     except ValueError as exc:  # unknown pass name from the registry
@@ -146,6 +146,7 @@ def _cmd_faults(args: argparse.Namespace) -> int:
         samples=args.samples,
         seed=args.seed,
         optimized=args.optimized,
+        engine=args.engine,
     )
     result = run_campaign(
         spec,
@@ -260,6 +261,11 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--k", type=int, default=6, help="LUT input size (default: 6)"
     )
+    p.add_argument(
+        "--engine", choices=["auto", "interp", "compiled"], default="auto",
+        help="simulation backend for --checked equivalence runs "
+        "(default: auto — compiled whenever the check allows it)",
+    )
     p.set_defaults(fn=_cmd_synth)
 
     p = sub.add_parser("fig4", help="run the Fig.-4 histogram experiment")
@@ -295,6 +301,11 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--degrade", action="store_true",
         help="keep partial statistics if shards fail permanently",
+    )
+    p.add_argument(
+        "--engine", choices=["auto", "interp", "compiled"], default="auto",
+        help="simulation backend (default: auto — fault-parallel compiled "
+        "sweeps for stuck/seu models, interpreter otherwise)",
     )
     p.set_defaults(fn=_cmd_faults)
 

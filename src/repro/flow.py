@@ -49,12 +49,15 @@ class FlowTarget:
     :data:`repro.hdl.passes.PASSES`); ``None`` selects the full default
     pipeline and an empty tuple disables optimisation entirely (the
     pre-pass-pipeline behaviour).  ``checked`` gates every pass with an
-    equivalence check.
+    equivalence check; ``engine`` selects the simulation backend those
+    checks run on (``"auto"``/``"interp"``/``"compiled"``, see
+    :mod:`repro.hdl.simulator`).
     """
 
     k: int = 6  #: LUT input size
     passes: tuple[str, ...] | None = None
     checked: bool = False
+    engine: str = "auto"
     delay_model: DelayModel = field(default_factory=DelayModel)
 
     @classmethod
@@ -105,6 +108,7 @@ def synthesize(
         manager = PassManager(
             target.passes if target.passes is not None else None,
             checked=target.checked,
+            engine=target.engine,
             tracer=tracer,
         )
         pipeline = manager.run(netlist)

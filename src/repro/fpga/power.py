@@ -63,7 +63,9 @@ def measure_activity(
     """Clock the netlist through ``input_stream``, counting wire toggles."""
     if not input_stream:
         raise ValueError("need at least one input vector")
-    sim = SequentialSimulator(netlist, batch=1)
+    # Interpreter pinned: activity counting reads the per-wire value
+    # table, which the compiled engine never materialises.
+    sim = SequentialSimulator(netlist, batch=1, backend="interp")
     live = sorted(netlist.live_wires())
     toggles = np.zeros(len(live), dtype=np.int64)
     prev: np.ndarray | None = None

@@ -18,7 +18,14 @@ k-LUT/ALM resource model to regenerate Tables III and IV.
 
 from repro.hdl.gates import Op, GATE_ARITY, evaluate_op
 from repro.hdl.netlist import Netlist, Bus, Wire
-from repro.hdl.simulator import CombinationalSimulator, SequentialSimulator
+from repro.hdl.simulator import BACKENDS, CombinationalSimulator, SequentialSimulator
+from repro.hdl.compile import (
+    CompiledKernel,
+    PackedFaultPlan,
+    compile_netlist,
+    kernel_cache_info,
+    clear_kernel_cache,
+)
 from repro.hdl.verify import (
     assert_equivalent,
     exhaustive_check,
@@ -39,6 +46,7 @@ from repro.hdl.serialize import (
     netlist_from_dict,
     save_netlist,
     load_netlist,
+    netlist_fingerprint,
 )
 from repro.hdl.model_check import (
     netlist_to_bdds,
@@ -55,8 +63,14 @@ __all__ = [
     "Netlist",
     "Bus",
     "Wire",
+    "BACKENDS",
     "CombinationalSimulator",
     "SequentialSimulator",
+    "CompiledKernel",
+    "PackedFaultPlan",
+    "compile_netlist",
+    "kernel_cache_info",
+    "clear_kernel_cache",
     "assert_equivalent",
     "exhaustive_check",
     "random_check",
@@ -74,6 +88,7 @@ __all__ = [
     "netlist_from_dict",
     "save_netlist",
     "load_netlist",
+    "netlist_fingerprint",
     "netlist_to_bdds",
     "prove_equivalent",
     "prove_constant_output",

@@ -115,6 +115,10 @@ class Netlist:
         self._const0: Wire | None = None
         self._const1: Wire | None = None
         self._level_cache: list[int] | None = None
+        #: Monotonic mutation counter; consumers (fingerprint, compiled
+        #: kernels) combine it with structure sizes to detect staleness.
+        self._version: int = 0
+        self._fingerprint_cache: tuple[object, str] | None = None
 
     # ------------------------------------------------------------------ #
     # construction
@@ -122,6 +126,7 @@ class Netlist:
     def _new_wire(self, op: Op, fanin: tuple[Wire, ...], name: str | None = None) -> Wire:
         self.gates.append(Gate(op, fanin, name))
         self._level_cache = None
+        self._version += 1
         return len(self.gates) - 1
 
     def const(self, value: bool | int) -> Wire:
@@ -155,6 +160,7 @@ class Netlist:
         if isinstance(bus, int):
             bus = Bus((bus,))
         self.outputs[name] = bus
+        self._version += 1
 
     def register(self, d: Wire, init: bool = False, name: str | None = None) -> Wire:
         """Insert a D flip-flop driven by ``d``; returns the Q wire."""

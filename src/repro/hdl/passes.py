@@ -432,14 +432,17 @@ def check_equivalent(
     bdd_bit_limit: int = 14,
     samples: int = 256,
     cycles: int = 16,
+    engine: str = "auto",
 ) -> tuple[str, int]:
     """Prove or densely test that two netlists agree.
 
     Combinational pairs within ``bdd_bit_limit`` input bits get a
     complete ROBDD equivalence proof; everything else (wide or
-    sequential) gets batched random simulation from reset.  Returns
-    ``(method, points)`` where ``method`` is ``"bdd"`` or
-    ``"simulation"``; raises :class:`AssertionError` on disagreement.
+    sequential) gets batched random simulation from reset.  ``engine``
+    selects the simulation backend for the latter path (BDD proofs do
+    not simulate).  Returns ``(method, points)`` where ``method`` is
+    ``"bdd"`` or ``"simulation"``; raises :class:`AssertionError` on
+    disagreement.
     """
     input_bits = sum(bus.width for bus in before.inputs.values())
     combinational = not before.registers and not after.registers
@@ -453,7 +456,9 @@ def check_equivalent(
 
     from repro.hdl.verify import random_equivalence_check
 
-    points = random_equivalence_check(before, after, samples=samples, cycles=cycles)
+    points = random_equivalence_check(
+        before, after, samples=samples, cycles=cycles, engine=engine
+    )
     return "simulation", points
 
 
@@ -534,8 +539,9 @@ class PassManager:
         combinational netlists, batched random simulation otherwise).
         A failing pass raises :class:`~repro.errors.PassVerificationError`
         naming the pass — the transformed netlist never escapes.
-    bdd_bit_limit / check_samples / check_cycles:
-        Checker knobs, forwarded to :func:`check_equivalent`.
+    bdd_bit_limit / check_samples / check_cycles / engine:
+        Checker knobs, forwarded to :func:`check_equivalent`
+        (``engine`` picks the simulation backend for non-BDD checks).
     tracer:
         Optional :class:`repro.obs.tracing.Tracer`; each pass runs in a
         child span carrying its structural deltas.
@@ -549,6 +555,7 @@ class PassManager:
         bdd_bit_limit: int = 14,
         check_samples: int = 256,
         check_cycles: int = 16,
+        engine: str = "auto",
         tracer: object | None = None,
     ) -> None:
         self.passes = (
@@ -558,6 +565,7 @@ class PassManager:
         self.bdd_bit_limit = bdd_bit_limit
         self.check_samples = check_samples
         self.check_cycles = check_cycles
+        self.engine = engine
         self.tracer = tracer
 
     def _run_one(
@@ -576,6 +584,7 @@ class PassManager:
                     bdd_bit_limit=self.bdd_bit_limit,
                     samples=self.check_samples,
                     cycles=self.check_cycles,
+                    engine=self.engine,
                 )
             except AssertionError as exc:
                 raise PassVerificationError(

@@ -9,13 +9,20 @@ loadable with :func:`netlist_from_dict` into a bit-identical netlist
 
 from __future__ import annotations
 
+import hashlib
 import json
 from typing import Any
 
 from repro.hdl.gates import Op
 from repro.hdl.netlist import Bus, Netlist, Register
 
-__all__ = ["netlist_to_dict", "netlist_from_dict", "save_netlist", "load_netlist"]
+__all__ = [
+    "netlist_to_dict",
+    "netlist_from_dict",
+    "save_netlist",
+    "load_netlist",
+    "netlist_fingerprint",
+]
 
 FORMAT_VERSION = 1
 
@@ -76,6 +83,36 @@ def netlist_from_dict(doc: dict[str, Any]) -> Netlist:
         nl.outputs[name] = Bus(wires)
     nl.check()
     return nl
+
+
+def netlist_fingerprint(nl: Netlist) -> str:
+    """Content hash of the canonical serialised form.
+
+    The SHA-256 of the :func:`netlist_to_dict` JSON (sorted keys, no
+    whitespace) — two netlists share a fingerprint iff they are
+    structurally identical, so it is the cache key for compiled
+    simulation kernels (:mod:`repro.hdl.compile`).
+
+    The hash is memoised on the netlist, keyed by the builder's mutation
+    version plus structure counts: any edit through the construction API
+    (``gate``/``input``/``output``/``register``/direct ``registers``
+    appends) invalidates it.  In-place surgery on existing ``gates``
+    entries bypasses the builder and is not tracked.
+    """
+    token: tuple[object, ...] = (
+        nl._version,
+        len(nl.gates),
+        len(nl.registers),
+        len(nl.inputs),
+        len(nl.outputs),
+    )
+    cached = nl._fingerprint_cache
+    if cached is not None and cached[0] == token:
+        return cached[1]
+    blob = json.dumps(netlist_to_dict(nl), sort_keys=True, separators=(",", ":"))
+    digest = hashlib.sha256(blob.encode("utf-8")).hexdigest()
+    nl._fingerprint_cache = (token, digest)
+    return digest
 
 
 def save_netlist(nl: Netlist, path: str) -> None:

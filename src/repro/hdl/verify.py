@@ -124,6 +124,7 @@ def random_equivalence_check(
     samples: int = 256,
     cycles: int = 16,
     rng: np.random.Generator | None = None,
+    engine: str = "auto",
 ) -> int:
     """Netlist-vs-netlist miter by dense random simulation.
 
@@ -135,6 +136,10 @@ def random_equivalence_check(
     for ``cycles`` clocks with ``samples`` independent random lanes and
     compared on *every* cycle — so register-retiming bugs that only
     surface after the pipeline fills are caught too.
+
+    ``engine`` selects the simulation backend (``"auto"``/``"interp"``/
+    ``"compiled"``, see :mod:`repro.hdl.simulator`); the engines are
+    bit-identical, so the choice affects wall time only.
 
     Returns the number of compared (vector, cycle) points; raises
     :class:`AssertionError` on the first disagreement.
@@ -152,8 +157,8 @@ def random_equivalence_check(
             name: _random_words(rng, bus.width, samples)
             for name, bus in a.inputs.items()
         }
-        sim_a = CombinationalSimulator(a)
-        sim_b = CombinationalSimulator(b)
+        sim_a = CombinationalSimulator(a, backend=engine)
+        sim_b = CombinationalSimulator(b, backend=engine)
         got_a, got_b = sim_a.run(batches), sim_b.run(batches)
         for name in a.outputs:
             va = [int(v) for v in got_a[name]]
@@ -169,8 +174,8 @@ def random_equivalence_check(
 
     from repro.hdl.simulator import SequentialSimulator
 
-    seq_a = SequentialSimulator(a, batch=samples)
-    seq_b = SequentialSimulator(b, batch=samples)
+    seq_a = SequentialSimulator(a, batch=samples, backend=engine)
+    seq_b = SequentialSimulator(b, batch=samples, backend=engine)
     compared = 0
     for cycle in range(cycles):
         step_inputs = {

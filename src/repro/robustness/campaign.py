@@ -23,6 +23,7 @@ campaign spec — nothing heavyweight crosses the pickle boundary.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -31,14 +32,17 @@ import numpy as np
 from repro.analysis.faultcoverage import wilson_interval
 from repro.errors import CampaignConfigError
 from repro.core.factorial import factorial
+from repro.hdl.compile import PackedFaultPlan
 from repro.hdl.netlist import Netlist
-from repro.hdl.simulator import CombinationalSimulator, SequentialSimulator
+from repro.hdl.simulator import BACKENDS, CombinationalSimulator, SequentialSimulator
 from repro.obs import metrics as _metrics
 from repro.obs.events import EventSink
 from repro.parallel.sharding import ShardSpec, hardened_map_reduce, index_shards
 from repro.robustness.faults import (
     Fault,
     FaultOverlay,
+    SEUFault,
+    StuckAtFault,
     bridging_fault_sites,
     seu_fault_sites,
     stuck_fault_sites,
@@ -76,6 +80,7 @@ class CampaignSpec:
     test_count: int = 64  #: converter test indices (capped at n!)
     stream_length: int = 16  #: shuffle output rows compared per fault
     optimized: bool = False  #: attack the pass-pipeline-optimised netlist
+    engine: str = "auto"  #: simulation backend: "auto", "interp" or "compiled"
 
     def __post_init__(self):
         if self.circuit not in CIRCUITS:
@@ -86,6 +91,8 @@ class CampaignSpec:
             raise CampaignConfigError("campaigns need n >= 2")
         if self.samples is not None and self.samples < 1:
             raise CampaignConfigError("samples must be >= 1 (or omitted)")
+        if self.engine not in BACKENDS:
+            raise CampaignConfigError(f"engine must be one of {BACKENDS}")
 
 
 @dataclass
@@ -101,6 +108,9 @@ class CampaignResult:
     exhaustive: bool
     examples: dict[str, list[str]] = field(default_factory=dict)
     failed_shards: int = 0
+    engine: str = "auto"  #: backend that actually ran the campaign
+    sweeps: int = 0  #: combinational sweeps executed across all workers
+    wall_s: float = 0.0  #: end-to-end campaign wall time
 
     @property
     def corrupting(self) -> int:
@@ -144,6 +154,13 @@ class CampaignResult:
             lo, hi = wilson_interval(self.detected, self.corrupting)
             lines.append(
                 f"95% Wilson CI on bijection coverage: [{100 * lo:.1f}%, {100 * hi:.1f}%]"
+            )
+        if self.wall_s > 0 and self.total:
+            lines.append(
+                f"throughput: {self.total / self.wall_s:,.0f} faults/s, "
+                f"{self.sweeps / self.wall_s:,.0f} sweeps/s "
+                f"({self.sweeps} sweeps in {self.wall_s:.2f}s, "
+                f"engine={self.engine})"
             )
         if self.failed_shards:
             lines.append(
@@ -216,30 +233,69 @@ def fault_list(spec: CampaignSpec) -> list[Fault]:
     return sites
 
 
+#: Lane budget per fault-parallel sweep; with the default 64 test
+#: vectors this packs 63 faults + 1 golden slot into 4096 lanes.
+_LANE_BUDGET = 4096
+
+
 class _Evaluator:
-    """Runs the circuit under a fault overlay and returns ``(B, n)`` rows."""
+    """Runs the circuit under a fault overlay and returns ``(B, n)`` rows.
+
+    Two evaluation modes share one classification path:
+
+    * **per-fault** (:meth:`run`) — one simulation per overlay, on
+      whichever backend ``spec.engine`` selects;
+    * **fault-parallel** (:meth:`run_packed`) — the compiled engine
+      packs one fault per bit-lane next to a golden lane
+      (:class:`~repro.hdl.compile.PackedFaultPlan`), so a single sweep
+      evaluates up to ``chunk_faults`` stuck-at/SEU sites at once.
+
+    Both produce bit-identical rows (the engines are equivalence-tested
+    property-style), so campaign counts and example lists match exactly
+    regardless of mode.
+    """
 
     def __init__(self, spec: CampaignSpec):
         self.spec = spec
         self.netlist = _build_netlist(spec)
+        self.backend = spec.engine
         if spec.circuit == "converter":
             self.indices = _test_indices(spec)
             self.fill = (spec.n - 1) if spec.model == "seu" else 0
         else:
             self.indices = []
             self.fill = 1  # cycle 0 emits seed-state garbage (see knuth.py)
+        self.combinational = spec.circuit == "converter" and spec.model != "seu"
+        if spec.circuit == "converter":
+            self.stream_len = len(self.indices) + self.fill
+        else:
+            self.stream_len = spec.stream_length + self.fill
+        #: sweeps one per-fault evaluation costs
+        self.sweeps_per_run = 1 if self.combinational else self.stream_len
+        # Fault-parallel needs per-lane masks: stuck-at and SEU compile,
+        # bridging reads aggressor values mid-sweep and cannot.
+        self.fault_parallel = spec.engine != "interp" and spec.model in (
+            "stuck",
+            "seu",
+        )
+        if self.combinational:
+            per_fault = max(1, len(self.indices))
+            slots = max(2, min(64, _LANE_BUDGET // per_fault))
+        else:
+            slots = 64
+        self.chunk_faults = slots - 1
 
     def run(self, overlay: FaultOverlay | None) -> np.ndarray:
         spec, nl = self.spec, self.netlist
-        if spec.circuit == "converter" and spec.model != "seu":
-            sim = CombinationalSimulator(nl)
+        if self.combinational:
+            sim = CombinationalSimulator(nl, backend=self.backend)
             outs = sim.run({"index": self.indices}, overlay=overlay)
             rows = np.empty((len(self.indices), spec.n), dtype=np.int64)
             for t in range(spec.n):
                 rows[:, t] = [int(v) for v in outs[f"out{t}"]]
             return rows
         # sequential paths: pipelined converter or the shuffle cascade
-        seq = SequentialSimulator(nl, batch=1, overlay=overlay)
+        seq = SequentialSimulator(nl, batch=1, overlay=overlay, backend=self.backend)
         if spec.circuit == "converter":
             stream = self.indices + [0] * self.fill
         else:
@@ -250,6 +306,57 @@ class _Evaluator:
             if cycle >= self.fill:
                 rows.append([int(outs[f"out{t}"][0]) for t in range(spec.n)])
         return np.asarray(rows, dtype=np.int64)
+
+    def run_packed(
+        self, chunk: Sequence[Fault]
+    ) -> tuple[list[np.ndarray], np.ndarray, int]:
+        """One fault-parallel evaluation of up to ``chunk_faults`` sites.
+
+        Returns ``(per-fault rows, golden rows, sweeps)``: slot 0 of the
+        packed batch carries the fault-free circuit, slot ``s`` carries
+        ``chunk[s-1]``.
+        """
+        spec, nl = self.spec, self.netlist
+        n, slots = spec.n, len(chunk) + 1
+        if self.combinational:
+            per_fault = len(self.indices)
+            lanes = slots * per_fault
+            plan = PackedFaultPlan(lanes)
+            for s, fault in enumerate(chunk, start=1):
+                assert isinstance(fault, StuckAtFault)
+                plan.stick(
+                    fault.wire, fault.value, slice(s * per_fault, (s + 1) * per_fault)
+                )
+            sim = CombinationalSimulator(nl, backend="compiled")
+            outs = sim.run({"index": list(self.indices) * slots}, overlay=plan)
+            cols = np.empty((lanes, n), dtype=np.int64)
+            for t in range(n):
+                cols[:, t] = outs[f"out{t}"].astype(np.int64)
+            cube = cols.reshape(slots, per_fault, n)
+            return [cube[s] for s in range(1, slots)], cube[0], 1
+        # sequential: one lane per slot, whole stream in one pass
+        plan = PackedFaultPlan(slots)
+        for s, fault in enumerate(chunk, start=1):
+            if isinstance(fault, StuckAtFault):
+                plan.stick(fault.wire, fault.value, [s])
+            else:
+                assert isinstance(fault, SEUFault)
+                plan.upset(fault.register, fault.cycle, [s])
+        seq = SequentialSimulator(nl, batch=slots, overlay=plan, backend="compiled")
+        if spec.circuit == "converter":
+            stream = self.indices + [0] * self.fill
+        else:
+            stream = [None] * (spec.stream_length + self.fill)
+        frames = []
+        for cycle, value in enumerate(stream):
+            outs = seq.step({} if value is None else {"index": value})
+            if cycle >= self.fill:
+                frame = np.empty((slots, n), dtype=np.int64)
+                for t in range(n):
+                    frame[:, t] = outs[f"out{t}"].astype(np.int64)
+                frames.append(frame)
+        cube = np.stack(frames)  # (cycles, slots, n)
+        return [cube[:, s, :] for s in range(1, slots)], cube[:, 0, :], len(stream)
 
 
 def _classify(golden: np.ndarray, faulty: np.ndarray, n: int) -> str:
@@ -275,17 +382,33 @@ class _CampaignWork:
     def __call__(self, shard: ShardSpec) -> dict:
         faults = fault_list(self.spec)
         ev = _Evaluator(self.spec)
-        golden = ev.run(None)
         counts = {k: 0 for k in _CLASSES}
         examples: dict[str, list[str]] = {k: [] for k in _CLASSES}
-        for i in shard:
-            fault = faults[i]
-            overlay = FaultOverlay([fault], ev.netlist)
-            klass = _classify(golden, ev.run(overlay), self.spec.n)
+        sweeps = 0
+
+        def record(fault: Fault, klass: str) -> None:
             counts[klass] += 1
             if len(examples[klass]) < 3:
                 examples[klass].append(fault.describe(ev.netlist))
-        return {"counts": counts, "examples": examples}
+
+        shard_faults = [faults[i] for i in shard]
+        if ev.fault_parallel:
+            size = ev.chunk_faults
+            for off in range(0, len(shard_faults), size):
+                chunk = shard_faults[off : off + size]
+                faulty_rows, golden, cost = ev.run_packed(chunk)
+                sweeps += cost
+                for fault, rows in zip(chunk, faulty_rows):
+                    record(fault, _classify(golden, rows, self.spec.n))
+        else:
+            golden = ev.run(None)
+            sweeps += ev.sweeps_per_run
+            for fault in shard_faults:
+                overlay = FaultOverlay([fault], ev.netlist)
+                klass = _classify(golden, ev.run(overlay), self.spec.n)
+                sweeps += ev.sweeps_per_run
+                record(fault, klass)
+        return {"counts": counts, "examples": examples, "sweeps": sweeps}
 
 
 def _merge(a: dict, b: dict) -> dict:
@@ -293,7 +416,11 @@ def _merge(a: dict, b: dict) -> dict:
     examples = {
         k: (a["examples"][k] + b["examples"][k])[:3] for k in _CLASSES
     }
-    return {"counts": counts, "examples": examples}
+    return {
+        "counts": counts,
+        "examples": examples,
+        "sweeps": a.get("sweeps", 0) + b.get("sweeps", 0),
+    }
 
 
 def run_campaign(
@@ -317,17 +444,20 @@ def run_campaign(
     silence).  ``tracer`` threads the caller's trace through the sharded
     runner, so every shard attempt becomes a child span.
     """
+    t0 = time.perf_counter()
     faults = fault_list(spec)
     if not faults:
         raise ValueError(f"no {spec.model} fault sites in the {spec.circuit} netlist")
     ev = _Evaluator(spec)
     test_vectors = len(ev.indices) if spec.circuit == "converter" else spec.stream_length
+    engine_used = "compiled" if ev.fault_parallel else spec.engine
     shards = index_shards(len(faults), max(1, workers) * 4)
     if events is not None:
         events.emit(
             "plan",
             circuit=spec.circuit,
             model=spec.model,
+            engine=engine_used,
             fault_sites=len(faults),
             test_vectors=test_vectors,
             shards=len(shards),
@@ -356,6 +486,7 @@ def run_campaign(
     merged = partial.value or {
         "counts": {k: 0 for k in _CLASSES},
         "examples": {k: [] for k in _CLASSES},
+        "sweeps": 0,
     }
     counted = sum(merged["counts"].values())
     result_coverage = (
@@ -371,6 +502,7 @@ def run_campaign(
         _CAMPAIGN_COVERAGE.set(
             result_coverage, circuit=spec.circuit, model=spec.model
         )
+    wall_s = time.perf_counter() - t0
     if events is not None:
         events.emit(
             "done",
@@ -379,6 +511,8 @@ def run_campaign(
             detected=merged["counts"]["detected"],
             silent=merged["counts"]["silent"],
             failed_shards=len(partial.failed),
+            sweeps=merged.get("sweeps", 0),
+            wall_s=round(wall_s, 3),
         )
     return CampaignResult(
         spec=spec,
@@ -390,4 +524,7 @@ def run_campaign(
         exhaustive=spec.samples is None and spec.model != "bridge",
         examples=merged["examples"],
         failed_shards=len(partial.failed),
+        engine=engine_used,
+        sweeps=merged.get("sweeps", 0),
+        wall_s=wall_s,
     )

@@ -148,6 +148,18 @@ class FaultOverlay:
         """Register Q wires whose state flips at the start of ``cycle``."""
         return self._seu.get(cycle, ())
 
+    def stuck_assignments(self) -> dict[int, bool] | None:
+        """Wire → forced value, when the overlay is pure stuck-at.
+
+        The compiled simulation engine (:mod:`repro.hdl.compile`) turns
+        such assignments into per-lane masks; bridging faults read the
+        aggressor's healthy value mid-sweep and cannot be expressed that
+        way, so their presence returns ``None`` (interpreter fallback).
+        """
+        if self._bridges:
+            return None
+        return dict(self._stuck)
+
     def describe(self, nl: Netlist) -> str:
         return "; ".join(f.describe(nl) for f in self.faults)
 

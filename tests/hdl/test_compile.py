@@ -1,0 +1,400 @@
+"""Compiled engine vs interpreter: bit-exact equivalence, cache behaviour.
+
+The compiled backend (:mod:`repro.hdl.compile`) must be a drop-in for the
+interpreter — Hypothesis drives random netlists, random batches and random
+stuck-at overlays through both engines and requires identical outputs, for
+combinational and sequential circuits alike.  The kernel cache is checked
+for hits on recompilation and invalidation after netlist mutation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hdl.compile import (
+    PackedFaultPlan,
+    clear_kernel_cache,
+    compile_netlist,
+    kernel_cache_info,
+    pack_lanes,
+    unpack_lanes,
+    words_for,
+)
+from repro.hdl.gates import Op
+from repro.hdl.netlist import Bus, Netlist
+from repro.hdl.serialize import netlist_fingerprint
+from repro.hdl.simulator import CombinationalSimulator, SequentialSimulator
+from repro.robustness.faults import FaultOverlay, SEUFault, StuckAtFault
+
+from .test_fuzz import random_circuit, _build
+
+
+def _ints(outs):
+    return {k: [int(v) for v in vals] for k, vals in outs.items()}
+
+
+# --------------------------------------------------------------------- #
+# packing primitives
+
+
+class TestPacking:
+    def test_roundtrip_multiword(self):
+        rng = np.random.default_rng(0)
+        for lanes in (1, 63, 64, 65, 200, 4096):
+            bits = rng.integers(0, 2, size=lanes).astype(bool)
+            value = pack_lanes(bits)
+            assert isinstance(value, int)
+            assert value.bit_length() <= lanes <= words_for(lanes) * 64
+            assert np.array_equal(unpack_lanes(value, lanes), bits)
+
+    def test_lane_order_is_lsb_first(self):
+        assert pack_lanes(np.ones(3, dtype=bool)) == 0b111
+        assert pack_lanes(np.array([False, True], dtype=bool)) == 0b10
+
+
+# --------------------------------------------------------------------- #
+# combinational equivalence
+
+
+@given(random_circuit())
+@settings(max_examples=100)
+def test_compiled_matches_interp_combinational(case):
+    n_inputs, ops, picks, vectors = case
+    nl, _ = _build(n_inputs, ops, picks)
+    interp = CombinationalSimulator(nl, backend="interp").run({"a": vectors})
+    compiled = CombinationalSimulator(nl, backend="compiled").run({"a": vectors})
+    assert _ints(interp) == _ints(compiled)
+
+
+@given(random_circuit(), st.data())
+@settings(max_examples=80)
+def test_compiled_matches_interp_with_stuck_overlay(case, data):
+    n_inputs, ops, picks, vectors = case
+    nl, _ = _build(n_inputs, ops, picks)
+    logic = [
+        w
+        for w, g in enumerate(nl.gates)
+        if g.op not in (Op.INPUT, Op.REG, Op.CONST0, Op.CONST1)
+    ]
+    if not logic:
+        return
+    n_faults = data.draw(st.integers(1, min(3, len(logic))))
+    faults = [
+        StuckAtFault(
+            wire=data.draw(st.sampled_from(logic)), value=data.draw(st.booleans())
+        )
+        for _ in range(n_faults)
+    ]
+    overlay = FaultOverlay(faults, nl)
+    interp = CombinationalSimulator(nl, backend="interp").run(
+        {"a": vectors}, overlay=overlay
+    )
+    compiled = CombinationalSimulator(nl, backend="compiled").run(
+        {"a": vectors}, overlay=overlay
+    )
+    assert _ints(interp) == _ints(compiled)
+
+
+def test_wide_batch_crosses_word_boundary():
+    from repro.flow import build_circuit
+
+    nl = build_circuit("converter", 5)
+    idx = [i % 120 for i in range(200)]  # 200 lanes -> 4 packed words
+    a = CombinationalSimulator(nl, backend="interp").run({"index": idx})
+    b = CombinationalSimulator(nl, backend="compiled").run({"index": idx})
+    assert _ints(a) == _ints(b)
+
+
+# --------------------------------------------------------------------- #
+# sequential equivalence
+
+
+def _registered(case):
+    """Random combinational DAG with its output bus registered."""
+    n_inputs, ops, picks, _ = case
+    nl, _ = _build(n_inputs, ops, picks)
+    out = nl.outputs.pop("y")
+    nl.output("y", nl.register_bus(out, init=0b0101 & ((1 << len(out)) - 1)))
+    return nl, n_inputs
+
+
+@given(random_circuit(), st.data())
+@settings(max_examples=60)
+def test_compiled_matches_interp_sequential(case, data):
+    nl, n_inputs = _registered(case)
+    batch = data.draw(st.integers(1, 5))
+    cycles = data.draw(st.integers(1, 6))
+    streams = [
+        [data.draw(st.integers(0, (1 << n_inputs) - 1)) for _ in range(batch)]
+        for _ in range(cycles)
+    ]
+    si = SequentialSimulator(nl, batch=batch, backend="interp")
+    sc = SequentialSimulator(nl, batch=batch, backend="compiled")
+    for vec in streams:
+        assert _ints(si.step({"a": vec})) == _ints(sc.step({"a": vec}))
+
+
+@given(random_circuit(), st.data())
+@settings(max_examples=40)
+def test_compiled_matches_interp_sequential_with_faults(case, data):
+    nl, n_inputs = _registered(case)
+    regs = [r.q for r in nl.registers]
+    logic = [
+        w
+        for w, g in enumerate(nl.gates)
+        if g.op not in (Op.INPUT, Op.REG, Op.CONST0, Op.CONST1)
+    ]
+    faults = []
+    if logic and data.draw(st.booleans()):
+        faults.append(
+            StuckAtFault(
+                wire=data.draw(st.sampled_from(logic)), value=data.draw(st.booleans())
+            )
+        )
+    faults.append(
+        SEUFault(register=data.draw(st.sampled_from(regs)), cycle=data.draw(st.integers(0, 3)))
+    )
+    vectors = [data.draw(st.integers(0, (1 << n_inputs) - 1)) for _ in range(5)]
+    outs = []
+    for backend in ("interp", "compiled"):
+        sim = SequentialSimulator(
+            nl, batch=1, overlay=FaultOverlay(faults, nl), backend=backend
+        )
+        outs.append([_ints(sim.step({"a": v})) for v in vectors])
+    assert outs[0] == outs[1]
+
+
+def test_feedback_counter_compiled():
+    """Register feedback loops (built via direct register append) compile."""
+
+    def build():
+        nl = Netlist("counter", fold=False, cse=False)
+        from repro.hdl.netlist import Register
+
+        q0 = nl._new_wire(Op.REG, ())
+        q1 = nl._new_wire(Op.REG, ())
+        d0 = nl.gate(Op.NOT, q0)
+        carry = q0
+        d1 = nl.gate(Op.XOR, q1, carry)
+        nl.registers.append(Register(q=q0, d=d0))
+        nl.registers.append(Register(q=q1, d=d1))
+        nl.output("count", Bus([q0, q1]))
+        return nl
+
+    nl = build()
+    si = SequentialSimulator(nl, batch=1, backend="interp")
+    sc = SequentialSimulator(nl, batch=1, backend="compiled")
+    seq_i = [int(si.step({})["count"][0]) for _ in range(8)]
+    seq_c = [int(sc.step({})["count"][0]) for _ in range(8)]
+    assert seq_i == seq_c == [0, 1, 2, 3, 0, 1, 2, 3]
+
+
+# --------------------------------------------------------------------- #
+# incremental (event-driven) kernels
+
+
+class TestIncrementalKernel:
+    def test_flags_are_exclusive(self):
+        from repro.flow import build_circuit
+
+        nl = build_circuit("converter", 3, pipelined=True)
+        with pytest.raises(ValueError, match="exclusive"):
+            compile_netlist(nl, patchable=True, incremental=True)
+
+    def test_variants_cached_separately(self):
+        from repro.flow import build_circuit
+
+        nl = build_circuit("converter", 3, pipelined=True)
+        plain = compile_netlist(nl)
+        inc = compile_netlist(nl, incremental=True)
+        assert plain is not inc
+        assert inc.incremental and inc.state_slots > 0
+        assert "S[" in inc.source and "S[" not in plain.source
+        assert compile_netlist(nl, incremental=True) is inc
+
+    def test_held_input_stream_matches_interp(self):
+        """The pipeline-fill fast path (held input, lazy outputs) stays
+        bit-identical to interpreted full re-evaluation every cycle."""
+        from repro.flow import build_circuit
+
+        nl = build_circuit("converter", 4, pipelined=True)
+        idx = np.arange(24, dtype=np.int64)
+        stream = [{"index": idx}] * 7
+        si = SequentialSimulator(nl, batch=24, backend="interp")
+        sc = SequentialSimulator(nl, batch=24, backend="compiled")
+        ref = si.run_stream(stream)
+        lazy = sc.run_stream(stream, materialize=False)
+        for a, b in zip(ref, lazy):
+            assert _ints(a) == _ints(b)
+
+    def test_changing_then_held_then_reset(self):
+        """Stale state entries after input changes or reset() must never
+        leak: the identity guard only skips when values truly match."""
+        from repro.flow import build_circuit
+
+        nl = build_circuit("converter", 3, pipelined=True)
+        vecs = [[0, 5, 3], [1, 1, 1], [1, 1, 1], [4, 0, 2]]
+        si = SequentialSimulator(nl, batch=3, backend="interp")
+        sc = SequentialSimulator(nl, batch=3, backend="compiled")
+        first = []
+        for v in vecs:
+            a, b = _ints(si.step({"index": v})), _ints(sc.step({"index": v}))
+            assert a == b
+            first.append(b)
+        sc.reset()
+        sc_again = [_ints(sc.step({"index": v})) for v in vecs]
+        assert sc_again == first
+
+
+# --------------------------------------------------------------------- #
+# packed fault plans
+
+
+def test_packed_plan_matches_per_fault_runs():
+    from repro.flow import build_circuit
+    from repro.robustness.faults import stuck_fault_sites
+
+    nl = build_circuit("converter", 4)
+    idx = list(range(24))
+    sites = stuck_fault_sites(nl)[:10]
+    T, slots = len(idx), len(sites) + 1
+    plan = PackedFaultPlan(slots * T)
+    for s, f in enumerate(sites, start=1):
+        plan.stick(f.wire, f.value, slice(s * T, (s + 1) * T))
+    packed = CombinationalSimulator(nl, backend="compiled").run(
+        {"index": idx * slots}, overlay=plan
+    )
+    # slot 0 is golden; slot s is fault s-1 — compare against per-fault runs
+    for s in range(slots):
+        overlay = None if s == 0 else FaultOverlay([sites[s - 1]], nl)
+        ref = CombinationalSimulator(nl, backend="interp").run(
+            {"index": idx}, overlay=overlay
+        )
+        for name in ref:
+            got = [int(v) for v in packed[name][s * T : (s + 1) * T]]
+            assert got == [int(v) for v in ref[name]], (s, name)
+
+
+def test_packed_plan_runs_on_interpreter_too():
+    """The plan implements the overlay protocol, lane for lane."""
+    from repro.flow import build_circuit
+    from repro.robustness.faults import stuck_fault_sites
+
+    nl = build_circuit("converter", 3)
+    idx = list(range(6))
+    f = stuck_fault_sites(nl)[3]
+    plan = PackedFaultPlan(2 * 6)
+    plan.stick(f.wire, f.value, slice(6, 12))
+    a = CombinationalSimulator(nl, backend="interp").run({"index": idx * 2}, overlay=plan)
+    b = CombinationalSimulator(nl, backend="compiled").run({"index": idx * 2}, overlay=plan)
+    assert _ints(a) == _ints(b)
+
+
+def test_packed_plan_lane_mismatch_rejected():
+    from repro.flow import build_circuit
+
+    nl = build_circuit("converter", 3)
+    plan = PackedFaultPlan(12)
+    plan.stick(10, True, [1])
+    with pytest.raises(ValueError, match="lanes"):
+        CombinationalSimulator(nl, backend="compiled").run(
+            {"index": list(range(6))}, overlay=plan
+        )
+
+
+# --------------------------------------------------------------------- #
+# kernel cache
+
+
+class TestKernelCache:
+    def setup_method(self):
+        clear_kernel_cache()
+
+    def test_recompile_hits_cache(self):
+        nl = Netlist("c")
+        a = nl.input("a", 2)
+        nl.output("y", nl.gate(Op.AND, a[0], a[1]))
+        k1 = compile_netlist(nl)
+        k2 = compile_netlist(nl)
+        assert k1 is k2
+        info = kernel_cache_info()
+        assert info["hits"] == 1 and info["misses"] == 1
+
+    def test_structurally_identical_netlists_share_kernels(self):
+        def build():
+            nl = Netlist("c")
+            a = nl.input("a", 2)
+            nl.output("y", nl.gate(Op.XOR, a[0], a[1]))
+            return nl
+
+        assert compile_netlist(build()) is compile_netlist(build())
+
+    def test_patchable_variants_cached_separately(self):
+        nl = Netlist("c")
+        a = nl.input("a", 2)
+        nl.output("y", nl.gate(Op.OR, a[0], a[1]))
+        plain = compile_netlist(nl, patchable=False)
+        patch = compile_netlist(nl, patchable=True)
+        assert plain is not patch
+        assert "P.get" not in plain.source and "_g = P.get" in patch.source
+
+    def test_mutation_invalidates_kernel(self):
+        nl = Netlist("c")
+        a = nl.input("a", 2)
+        nl.output("y", nl.gate(Op.AND, a[0], a[1]))
+        before = netlist_fingerprint(nl)
+        out1 = CombinationalSimulator(nl, backend="compiled").run({"a": [0b11]})
+        assert int(out1["y"][0]) == 1
+        # mutate through the builder API: new gate, new output port
+        nl.output("z", nl.gate(Op.XOR, a[0], a[1]))
+        assert netlist_fingerprint(nl) != before
+        out2 = CombinationalSimulator(nl, backend="compiled").run({"a": [0b01]})
+        assert int(out2["y"][0]) == 0 and int(out2["z"][0]) == 1
+        # both structures compiled: two distinct kernels, no stale reuse
+        assert kernel_cache_info()["misses"] == 2
+
+    def test_register_append_invalidates_fingerprint(self):
+        from repro.hdl.netlist import Register
+
+        nl = Netlist("c")
+        a = nl.input("a", 1)
+        q = nl._new_wire(Op.REG, ())
+        nl.output("y", q)
+        before = netlist_fingerprint(nl)
+        nl.registers.append(Register(q=q, d=a[0]))
+        assert netlist_fingerprint(nl) != before
+
+
+# --------------------------------------------------------------------- #
+# word packing helpers (satellite: vectorised bits_from_ints)
+
+
+class TestVectorisedPacking:
+    def test_fast_and_wide_paths_agree(self):
+        from repro.hdl.simulator import bits_from_ints, ints_from_bits
+
+        rng = np.random.default_rng(1)
+        for width in (1, 7, 63, 64, 65, 90):
+            vals = [int(x) for x in rng.integers(0, 1 << min(width, 63), size=17)]
+            lanes = bits_from_ints(vals, width)
+            assert len(lanes) == width
+            assert [int(v) for v in ints_from_bits(lanes)] == vals
+
+    def test_bigint_values_beyond_uint64(self):
+        from repro.hdl.simulator import bits_from_ints, ints_from_bits
+
+        vals = [(1 << 90) + 5, (1 << 70) - 1, 0]
+        lanes = bits_from_ints(vals, 91)
+        assert [int(v) for v in ints_from_bits(lanes)] == vals
+
+    def test_validation_messages_preserved(self):
+        from repro.hdl.simulator import bits_from_ints
+
+        with pytest.raises(ValueError, match="non-negative"):
+            bits_from_ints([-1], 4)
+        with pytest.raises(ValueError, match="does not fit"):
+            bits_from_ints([8], 3)
+        with pytest.raises(ValueError, match="does not fit"):
+            bits_from_ints([1 << 70], 64)

@@ -63,6 +63,48 @@ class TestConverterCampaign:
         assert "rank oracle" in text
 
 
+class TestEngineIdentity:
+    """The fault-parallel compiled path must match the per-fault interpreter
+    exactly — counts, per-fault classification order and rendered examples."""
+
+    @pytest.mark.parametrize(
+        "circuit,model,n",
+        [
+            ("converter", "stuck", 4),
+            ("converter", "seu", 4),
+            ("shuffle", "stuck", 4),
+            ("shuffle", "seu", 4),
+        ],
+    )
+    def test_compiled_matches_interp(self, circuit, model, n):
+        def run(engine):
+            return run_campaign(
+                CampaignSpec(
+                    circuit=circuit, n=n, model=model, samples=24, engine=engine
+                )
+            )
+
+        a, b = run("interp"), run("compiled")
+        assert (a.benign, a.detected, a.silent) == (b.benign, b.detected, b.silent)
+        assert a.examples == b.examples
+        assert a.engine == "interp" and b.engine == "compiled"
+        # fault-parallelism: far fewer sweeps than one-per-fault
+        assert 0 < b.sweeps < a.sweeps
+
+    def test_auto_resolves_to_fault_parallel(self):
+        res = run_campaign(CampaignSpec(n=4, model="stuck", samples=12))
+        assert res.engine == "compiled"
+        assert "faults/s" in res.render()
+
+    def test_bridge_model_falls_back_to_interp(self):
+        res = run_campaign(CampaignSpec(n=4, model="bridge", samples=12))
+        assert res.engine in ("auto", "interp")
+
+    def test_engine_validation(self):
+        with pytest.raises(ValueError):
+            CampaignSpec(engine="verilator")
+
+
 class TestShuffleCampaign:
     def test_stuck_campaign_runs(self):
         res = run_campaign(
