@@ -1,0 +1,161 @@
+"""Serving-layer benchmark: what micro-batching buys the hot path.
+
+Two measurements, written to ``results/serving.{txt,json}``:
+
+1. **Batched vs unbatched** — the same stream of distinct unrank
+   requests (n=8, cache disabled) served (a) one compiled sweep per
+   request (``max_batch=1``) and (b) coalesced into 63-lane sweeps
+   (``max_batch=63``, submitted in full waves so every batch closes on
+   the batch-full path with no deadline waits).  The per-request cost
+   must drop by ≥ 10×: one packed sweep costs barely more than one
+   single-lane sweep, so 63 lanes amortise it 63-fold minus the
+   per-request packing/admission overhead.
+2. **Closed-loop load vs batch size** — the synthetic load generator
+   (8 clients, unrank-only mix) against services configured with
+   increasing lane budgets; the table records throughput and latency
+   percentiles per batch size.
+
+Smoke mode (``REPRO_BENCH_SMOKE=1``, used by CI) shrinks the request
+counts and — because CI containers are too noisy for ratio thresholds —
+only requires batching not to *lose* (ratio ≥ 1).
+"""
+
+import os
+import time
+
+from conftest import write_report
+
+from repro.core.converter import IndexToPermutationConverter
+from repro.serve import (
+    PermutationService,
+    Request,
+    ServiceConfig,
+    run_closed_loop,
+)
+
+SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+N = 8
+LANES = 63
+WAVES = 4 if SMOKE else 24
+SINGLES = 40 if SMOKE else 400
+LOAD_TOTAL = 80 if SMOKE else 400
+LOAD_CLIENTS = 4 if SMOKE else 8
+MIN_BATCH_SPEEDUP = 1.0 if SMOKE else 10.0
+TRIALS = 1 if SMOKE else 3
+BATCH_SIZES = (1, 4, 16, LANES)
+
+
+def _no_cache(max_batch: int) -> ServiceConfig:
+    return ServiceConfig(
+        max_batch=max_batch, batch_deadline_s=60.0, cache_capacity=0
+    )
+
+
+def _warm(svc: PermutationService) -> None:
+    """One throwaway wave so engine construction is outside the timing."""
+    futs = [
+        svc.submit(Request("unrank", N, i)) for i in range(svc.config.max_batch)
+    ]
+    for f in futs:
+        f.result(timeout=10.0)
+
+
+def _time_unbatched(count: int) -> float:
+    """Per-request seconds with one sweep per request."""
+    with PermutationService(_no_cache(1)) as svc:
+        _warm(svc)
+        t0 = time.perf_counter()
+        for i in range(count):
+            svc.submit(Request("unrank", N, 1 + i)).result(timeout=10.0)
+        return (time.perf_counter() - t0) / count
+
+
+def _time_batched(waves: int) -> float:
+    """Per-request seconds with full 63-lane waves (batch-full path)."""
+    with PermutationService(_no_cache(LANES)) as svc:
+        _warm(svc)
+        t0 = time.perf_counter()
+        for w in range(waves):
+            base = 1 + LANES * (w + 1)
+            futs = [
+                svc.submit(Request("unrank", N, base + i)) for i in range(LANES)
+            ]
+            for f in futs:
+                f.result(timeout=10.0)
+        return (time.perf_counter() - t0) / (waves * LANES)
+
+
+def test_batched_serving_speedup_and_load_profile(benchmark, results_dir):
+    conv = IndexToPermutationConverter(N)
+
+    # -- correctness spot check through the batched path ----------------- #
+    with PermutationService(_no_cache(LANES)) as svc:
+        futs = [svc.submit(Request("unrank", N, i * 7)) for i in range(LANES)]
+        for i, f in enumerate(futs):
+            assert f.result(timeout=10.0).permutation == conv.convert(i * 7)
+
+    # -- batched vs unbatched (best of TRIALS: scheduler noise only ever
+    #    slows a trial down, so min() is the honest per-path cost) ------- #
+    single_s = min(_time_unbatched(SINGLES) for _ in range(TRIALS))
+    batched_s = min(_time_batched(WAVES) for _ in range(TRIALS))
+    benchmark.pedantic(lambda: _time_batched(1), rounds=1, iterations=1)
+    speedup = single_s / batched_s
+    assert speedup >= MIN_BATCH_SPEEDUP, (
+        f"batched serving {speedup:.1f}x below {MIN_BATCH_SPEEDUP}x "
+        f"(single {single_s * 1e6:.1f}us/req, batched {batched_s * 1e6:.1f}us/req)"
+    )
+
+    # -- closed-loop load vs batch size ---------------------------------- #
+    rows = []
+    for size in BATCH_SIZES:
+        cfg = ServiceConfig(
+            max_batch=size, batch_deadline_s=0.001, cache_capacity=0
+        )
+        with PermutationService(cfg) as svc:
+            report = run_closed_loop(
+                svc,
+                N,
+                total=LOAD_TOTAL,
+                clients=LOAD_CLIENTS,
+                mix={"unrank": 1.0},
+                seed=7,
+            )
+        pct = report.latency_percentiles()
+        rows.append(
+            {
+                "batch_size": size,
+                "throughput_rps": report.throughput_rps,
+                "p50_ms": pct["p50"] * 1e3,
+                "p99_ms": pct["p99"] * 1e3,
+                "mean_lanes": report.mean_lanes,
+                "shed": report.shed,
+            }
+        )
+
+    table = "\n".join(
+        f"  {r['batch_size']:>10}  {r['throughput_rps']:>12.0f}  "
+        f"{r['p50_ms']:>8.3f}  {r['p99_ms']:>8.3f}  {r['mean_lanes']:>10.1f}"
+        for r in rows
+    )
+    write_report(
+        results_dir,
+        "serving",
+        f"Batch serving layer (unrank n={N}, cache disabled)\n"
+        f"per-request cost:\n"
+        f"  unbatched (1 lane/sweep)  : {single_s * 1e6:9.1f} us/req\n"
+        f"  batched  ({LANES} lanes/sweep) : {batched_s * 1e6:9.1f} us/req   "
+        f"({speedup:.1f}x)\n\n"
+        f"closed-loop load, {LOAD_CLIENTS} clients x {LOAD_TOTAL} requests:\n"
+        f"  {'batch size':>10}  {'req/s':>12}  {'p50 ms':>8}  {'p99 ms':>8}  "
+        f"{'mean lanes':>10}\n" + table,
+        benchmark=benchmark,
+        data={
+            "n": N,
+            "smoke": SMOKE,
+            "single_us_per_req": single_s * 1e6,
+            "batched_us_per_req": batched_s * 1e6,
+            "batched_speedup_x": speedup,
+            "min_required_speedup_x": MIN_BATCH_SPEEDUP,
+            "load_profile": rows,
+        },
+    )

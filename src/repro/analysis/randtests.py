@@ -113,8 +113,13 @@ def battery(
     lags: tuple[int, ...] = (1, 2, 7),
 ) -> list[TestResult]:
     """Run the full battery over one generator's output words."""
-    words = np.array([int(w) for w in lfsr.words(draws)], dtype=np.float64)
-    lsb = (words.astype(np.int64) & 1).astype(np.int8)
+    raw = lfsr.words(draws)
+    if raw.dtype == object:  # width > 64: bigints need an explicit pass
+        lsb = np.array([int(w) & 1 for w in raw], dtype=np.int8)
+        words = np.array([int(w) for w in raw], dtype=np.float64)
+    else:
+        lsb = (raw.astype(np.uint64) & np.uint64(1)).astype(np.int8)
+        words = raw.astype(np.float64)
     results = [monobit_test(lsb), runs_test(lsb)]
     for lag in lags:
         results.append(serial_correlation(words, lag=lag))

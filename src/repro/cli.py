@@ -13,6 +13,8 @@ Subcommands mirror the paper's artefacts:
   per-pass delta table and the resource row
 * ``fig4 [samples]``   — run the Fig.-4 histogram experiment
 * ``faults n``         — fault-injection campaign + coverage report
+* ``serve n``          — drive the batch-serving layer with a synthetic
+  closed-loop load generator and print throughput/latency percentiles
 * ``trace <cmd> …``    — run any subcommand under a tracing span and
   print the span tree to stderr (``--vcd PATH`` additionally records a
   gate-level waveform for ``unrank``)
@@ -92,9 +94,26 @@ def _cmd_resources(args: argparse.Namespace) -> int:
     return 0
 
 
+def _require_engine(engine: str) -> None:
+    """Reject an unknown simulation backend with a one-line diagnostic.
+
+    Validated here rather than via argparse ``choices`` so a typo exits
+    with the same status-2 + stderr contract as every other bad value
+    (argparse would exit 2 too, but with a usage dump instead of the
+    taxonomy's one-liner, and untestable through ``main()``'s return).
+    """
+    from repro.hdl.simulator import BACKENDS
+
+    if engine not in BACKENDS:
+        raise ReproError(
+            f"unknown engine {engine!r}; expected one of " + ", ".join(BACKENDS)
+        )
+
+
 def _cmd_synth(args: argparse.Namespace) -> int:
     from repro.flow import FlowTarget, build_circuit, render_flow_report, synthesize
 
+    _require_engine(args.engine)
     if args.no_opt and args.passes is not None:
         raise ReproError("--no-opt and --passes are mutually exclusive")
     if args.no_opt:
@@ -131,6 +150,7 @@ def _cmd_fig4(args: argparse.Namespace) -> int:
 def _cmd_faults(args: argparse.Namespace) -> int:
     from repro.robustness.campaign import CampaignSpec, run_campaign
 
+    _require_engine(args.engine)
     tracer = getattr(args, "_tracer", None)
     sinks = []
     if not args.quiet:
@@ -156,6 +176,77 @@ def _cmd_faults(args: argparse.Namespace) -> int:
         tracer=tracer,
     )
     print(result.render())
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import (
+        WORKLOADS,
+        PermutationService,
+        ServiceConfig,
+        run_closed_loop,
+    )
+
+    if args.n < 1:
+        raise ReproError("n must be at least 1")
+    if args.requests < 1:
+        raise ReproError("--requests must be positive")
+    if args.clients < 1:
+        raise ReproError("--clients must be positive")
+    from repro.hdl.compile import SWEEP_LANES
+
+    batch_size = args.batch_size if args.batch_size is not None else SWEEP_LANES
+    if batch_size < 1:
+        raise ReproError(f"--batch-size must be positive, got {batch_size}")
+    if args.workload != "mixed" and args.workload not in WORKLOADS:
+        raise ReproError(
+            f"unknown workload {args.workload!r}; expected mixed or one of "
+            + ", ".join(WORKLOADS)
+        )
+    if args.workload == "shuffle" and args.n < 2:
+        raise ReproError("workload shuffle needs n >= 2")
+    mix = None if args.workload == "mixed" else {args.workload: 1.0}
+    try:
+        config = ServiceConfig(
+            max_batch=batch_size,
+            batch_deadline_s=args.deadline_ms / 1000.0,
+            max_queue_depth=args.queue_depth,
+            rng_seed=args.seed,
+        )
+    except ValueError as exc:  # e.g. batch size beyond the lane quantum
+        raise ReproError(str(exc)) from exc
+
+    with PermutationService(config, tracer=getattr(args, "_tracer", None)) as svc:
+        report = run_closed_loop(
+            svc,
+            args.n,
+            total=args.requests,
+            clients=args.clients,
+            mix=mix,
+            seed=args.seed,
+        )
+        stats = svc.stats()
+    pct = report.latency_percentiles()
+    by_workload = " ".join(
+        f"{w}={c}" for w, c in sorted(report.by_workload.items())
+    )
+    print(
+        f"served {report.completed} requests (n={args.n}, "
+        f"{report.clients} clients, workload {args.workload})"
+    )
+    print(f"  throughput  {report.throughput_rps:10.1f} req/s")
+    print(
+        f"  latency     p50={pct['p50'] * 1e3:.3f}ms  "
+        f"p90={pct['p90'] * 1e3:.3f}ms  p99={pct['p99'] * 1e3:.3f}ms  "
+        f"max={pct['max'] * 1e3:.3f}ms"
+    )
+    print(f"  batching    mean {report.mean_lanes:.1f} lanes/sweep")
+    print(
+        f"  cache       {stats['cache_hits']} hits / "
+        f"{stats['cache_misses']} misses"
+    )
+    print(f"  shed        {report.shed}")
+    print(f"  workloads   {by_workload}")
     return 0
 
 
@@ -262,9 +353,10 @@ def _build_parser() -> argparse.ArgumentParser:
         "--k", type=int, default=6, help="LUT input size (default: 6)"
     )
     p.add_argument(
-        "--engine", choices=["auto", "interp", "compiled"], default="auto",
-        help="simulation backend for --checked equivalence runs "
-        "(default: auto — compiled whenever the check allows it)",
+        "--engine", default="auto",
+        help="simulation backend for --checked equivalence runs: auto, "
+        "interp or compiled (default: auto — compiled whenever the "
+        "check allows it)",
     )
     p.set_defaults(fn=_cmd_synth)
 
@@ -303,11 +395,46 @@ def _build_parser() -> argparse.ArgumentParser:
         help="keep partial statistics if shards fail permanently",
     )
     p.add_argument(
-        "--engine", choices=["auto", "interp", "compiled"], default="auto",
-        help="simulation backend (default: auto — fault-parallel compiled "
-        "sweeps for stuck/seu models, interpreter otherwise)",
+        "--engine", default="auto",
+        help="simulation backend: auto, interp or compiled (default: auto "
+        "— fault-parallel compiled sweeps for stuck/seu models, "
+        "interpreter otherwise)",
     )
     p.set_defaults(fn=_cmd_faults)
+
+    p = sub.add_parser(
+        "serve", help="closed-loop load test of the batch-serving layer"
+    )
+    p.add_argument("n", type=int)
+    p.add_argument(
+        "--requests", type=int, default=200,
+        help="total requests to complete (default: 200)",
+    )
+    p.add_argument(
+        "--clients", type=int, default=8,
+        help="concurrent closed-loop clients (default: 8)",
+    )
+    p.add_argument(
+        "--workload", default="mixed",
+        help="request mix: mixed, unrank, random_perm or shuffle "
+        "(default: mixed)",
+    )
+    p.add_argument(
+        "--batch-size", type=int, default=None, metavar="B",
+        help="micro-batcher lane budget (default: the 63-lane sweep "
+        "quantum)",
+    )
+    p.add_argument(
+        "--deadline-ms", type=float, default=2.0,
+        help="micro-batch flush deadline in milliseconds (default: 2)",
+    )
+    p.add_argument(
+        "--queue-depth", type=int, default=252,
+        help="admission-control queue limit; beyond it requests are "
+        "shed (default: 252)",
+    )
+    p.add_argument("--seed", type=int, default=0, help="load-mix seed")
+    p.set_defaults(fn=_cmd_serve)
 
     p = sub.add_parser(
         "trace", help="run a subcommand under a tracing span tree"

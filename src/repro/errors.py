@@ -15,7 +15,13 @@ rooted at :class:`ReproError`, so callers (and the CLI) can distinguish
   one: the dangerous silent-corruption class);
 * **infrastructure failures** — :class:`WorkerFailedError` (a parallel
   shard raised or its process died; carries the shard id) and
-  :class:`ShardTimeoutError` (the shard exceeded its deadline).
+  :class:`ShardTimeoutError` (the shard exceeded its deadline);
+* **admission-control decisions** — :class:`ServiceOverloadedError`
+  (``ServiceOverloaded`` for short): the serving layer *chose* to shed
+  a request because its queue was at capacity.  Shedding is not a bug —
+  it is the mechanism that keeps tail latency bounded under overload —
+  so it gets its own type that clients can catch and retry with
+  backoff.
 
 The taxonomy is what makes graceful degradation possible: the hardened
 runners in :mod:`repro.parallel.sharding` retry ``WorkerFailedError``
@@ -34,6 +40,9 @@ __all__ = [
     "SilentCorruptionError",
     "WorkerFailedError",
     "ShardTimeoutError",
+    "InvalidRequestError",
+    "ServiceOverloadedError",
+    "ServiceOverloaded",
 ]
 
 
@@ -116,3 +125,31 @@ class WorkerFailedError(ReproError):
 
 class ShardTimeoutError(WorkerFailedError):
     """A shard exceeded its per-shard deadline in a hardened runner."""
+
+
+class InvalidRequestError(ReproError, ValueError):
+    """A malformed serving request (unknown workload, bad n, missing or
+    out-of-range index…).  Caller mistake, so also a :class:`ValueError`."""
+
+
+class ServiceOverloadedError(ReproError):
+    """The serving queue is at capacity; this request was shed.
+
+    Raised by :meth:`repro.serve.PermutationService.submit` when the
+    number of queued-but-unserved requests has reached the configured
+    ``max_queue_depth``.  Shedding at admission keeps the queue — and
+    therefore every accepted request's latency — bounded; the client
+    should back off and retry.  ``queue_depth`` and ``limit`` record
+    the pressure at the moment of rejection.
+    """
+
+    def __init__(
+        self, message: str, queue_depth: int | None = None, limit: int | None = None
+    ):
+        super().__init__(message)
+        self.queue_depth = queue_depth
+        self.limit = limit
+
+
+#: The short name the serving layer's docs use for the shed signal.
+ServiceOverloaded = ServiceOverloadedError

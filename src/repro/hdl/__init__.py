@@ -18,8 +18,14 @@ k-LUT/ALM resource model to regenerate Tables III and IV.
 
 from repro.hdl.gates import Op, GATE_ARITY, evaluate_op
 from repro.hdl.netlist import Netlist, Bus, Wire
-from repro.hdl.simulator import BACKENDS, CombinationalSimulator, SequentialSimulator
+from repro.hdl.simulator import (
+    BACKENDS,
+    BatchEntry,
+    CombinationalSimulator,
+    SequentialSimulator,
+)
 from repro.hdl.compile import (
+    SWEEP_LANES,
     CompiledKernel,
     PackedFaultPlan,
     compile_netlist,
@@ -64,8 +70,10 @@ __all__ = [
     "Bus",
     "Wire",
     "BACKENDS",
+    "BatchEntry",
     "CombinationalSimulator",
     "SequentialSimulator",
+    "SWEEP_LANES",
     "CompiledKernel",
     "PackedFaultPlan",
     "compile_netlist",

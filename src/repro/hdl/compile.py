@@ -86,6 +86,7 @@ from repro.obs import metrics as _metrics
 
 __all__ = [
     "KERNEL_CACHE_LIMIT",
+    "SWEEP_LANES",
     "CompiledKernel",
     "PackedFaultPlan",
     "compile_netlist",
@@ -100,6 +101,13 @@ __all__ = [
 
 #: Maximum number of compiled kernels retained (LRU eviction beyond it).
 KERNEL_CACHE_LIMIT = 128
+
+#: Payload lanes per packed sweep quantum.  63 payload lanes plus one
+#: spare keep every packed wire value inside a single 64-bit word — the
+#: cheapest big-int a sweep can carry.  Fault-parallel campaigns spend
+#: the spare lane on the golden (fault-free) slot; the serving layer's
+#: micro-batcher coalesces up to this many requests into one sweep.
+SWEEP_LANES = 63
 
 _COMPILE_WALL = _metrics.REGISTRY.histogram(
     "repro_sim_compile_seconds",

@@ -99,6 +99,7 @@ from repro.obs import metrics as _metrics
 __all__ = [
     "bits_from_ints",
     "ints_from_bits",
+    "BatchEntry",
     "CombinationalSimulator",
     "SequentialSimulator",
     "BACKENDS",
@@ -567,6 +568,84 @@ class CombinationalSimulator:
             ],
             batch,
         )
+
+
+class BatchEntry:
+    """Prepared batch entry into one netlist's compiled kernel.
+
+    The serving hot path (:mod:`repro.serve`) evaluates the same
+    combinational netlist on small request batches thousands of times a
+    second.  Going through :meth:`CombinationalSimulator.run` would
+    re-resolve the engine, re-classify every kernel leaf and rebuild the
+    register-init words on each call; a ``BatchEntry`` freezes all of
+    that once at construction:
+
+    * the compiled kernel (fetched through the process-wide kernel
+      cache, so structurally identical netlists share one compilation);
+    * the leaf layout — which kernel argument slots are fed by which
+      input-bus bits, and which carry register init values;
+    * the per-bus wire positions of every output.
+
+    A sweep then costs one boundary pack per input bus, one kernel call
+    and one (lazy) boundary unpack.  Registers are held at their reset
+    values — exactly :meth:`CombinationalSimulator.run` with no
+    ``reg_state`` — so a purely combinational circuit needs nothing
+    special and a pipelined one reads as its reset-state fabric.
+    """
+
+    __slots__ = ("netlist", "kernel", "_n_leaves", "_reg_slots", "_input_slots")
+
+    def __init__(self, netlist: Netlist) -> None:
+        netlist.check()
+        self.netlist = netlist
+        self.kernel = compile_netlist(netlist)
+        kern = self.kernel
+        self._n_leaves = len(kern.leaves)
+        pos_of = {w: i for i, w in enumerate(kern.leaves)}
+        init = {r.q: r.init for r in netlist.registers}
+        self._reg_slots: list[tuple[int, bool]] = [
+            (pos_of[w], init[w]) for w in kern.leaves if w in init
+        ]
+        # Input bits outside the kernel's live cone have no leaf slot;
+        # they are packed (validation is per-bus) and then dropped.
+        self._input_slots: list[tuple[str, int, list[int | None]]] = [
+            (name, bus.width, [pos_of.get(w) for w in bus])
+            for name, bus in netlist.inputs.items()
+        ]
+
+    def run(
+        self,
+        inputs: Mapping[str, int | Sequence[int]],
+        materialize: bool = True,
+    ) -> Mapping[str, np.ndarray]:
+        """One compiled sweep over a batch of input words.
+
+        Same contract as :meth:`CombinationalSimulator.run` (scalars
+        broadcast, sequences must agree on one batch size); with
+        ``materialize=False`` the returned mapping defers each output
+        bus's boundary transpose until first read
+        (:class:`PackedOutputs`).
+        """
+        seqs, batch = _coerce_inputs(self.netlist, inputs)
+        zero, ones = 0, ones_mask(batch)
+        leaves = [0] * self._n_leaves
+        for pos, init in self._reg_slots:
+            leaves[pos] = ones if init else zero
+        for name, width, positions in self._input_slots:
+            packed_bus = _packed_from_ints(seqs[name], width, batch, ones)
+            for pos, value in zip(positions, packed_bus):
+                if pos is not None:
+                    leaves[pos] = value
+        outs = self.kernel.fn(leaves, {}, zero, ones)
+        _observe_sweep("compiled", batch)
+        index = self.kernel.index
+        buses = {
+            name: [outs[index[w]] for w in bus]
+            for name, bus in self.netlist.outputs.items()
+        }
+        if materialize:
+            return _outputs_from_packed(list(buses.items()), batch)
+        return PackedOutputs(buses, batch)
 
 
 class SequentialSimulator:

@@ -40,6 +40,7 @@ __all__ = [
     "MetricsRegistry",
     "REGISTRY",
     "DEFAULT_BUCKETS",
+    "FAST_LATENCY_BUCKETS",
     "OVERFLOW_LABEL",
 ]
 
@@ -52,6 +53,17 @@ OVERFLOW_LABEL = "__overflow__"
 #: Prometheus' default duration buckets (seconds).
 DEFAULT_BUCKETS = (
     0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+#: Buckets for sub-millisecond paths (seconds).  The default buckets
+#: start at 5 ms, which puts an entire in-process serving request — a
+#: few microseconds of queueing plus one compiled sweep — in the first
+#: bucket and erases the latency distribution.  These extend three
+#: decades further down (1 µs .. 100 ms) for per-stage serving
+#: histograms and similar hot-path timings.
+FAST_LATENCY_BUCKETS = (
+    1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+    1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 1e-1,
 )
 
 

@@ -26,7 +26,7 @@ per stage for Table IV's resource accounting.
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import Any, Iterator
 
 import numpy as np
 
@@ -110,8 +110,24 @@ class LFSRBase:
         return self.next_word() / (1 << self.width)
 
     def words(self, count: int) -> np.ndarray:
-        """Generate ``count`` successive state words (object array)."""
-        out = np.empty(count, dtype=object)
+        """Generate ``count`` successive state words.
+
+        Machine-word registers come back in the smallest unsigned tier
+        that holds them (``uint8``/``uint32``/``uint64`` — the same
+        tiers the compiled-simulation boundary uses), so downstream
+        NumPy consumers (:mod:`repro.rng.scaled`, :mod:`repro.analysis`)
+        stay vectorised.  Only widths above 64 bits fall back to an
+        object array of Python bigints.
+        """
+        if self.width <= 8:
+            dtype: Any = np.uint8
+        elif self.width <= 32:
+            dtype = np.uint32
+        elif self.width <= 64:
+            dtype = np.uint64
+        else:
+            dtype = object
+        out = np.empty(count, dtype=dtype)
         s = self.state
         step = self._step
         for i in range(count):
@@ -166,6 +182,13 @@ class LFSRBase:
         this generator's future, so workers drawing at most that many words
         never overlap — the classic block-splitting scheme for parallel
         Monte-Carlo.
+
+        The parent itself is advanced past the last block (``count ·
+        ceil(total_draws / count)`` steps): substream 0 begins at what was
+        the parent's current state, so a parent left in place and still
+        drawing would silently replay substream 0's window — the classic
+        block-splitting hazard.  After this call the parent's next draws
+        are disjoint from every substream's window, parent included.
         """
         if count < 1:
             raise ValueError("count must be positive")
@@ -176,6 +199,9 @@ class LFSRBase:
             s.state = self.state
             s.jump(j * block)
             streams.append(s)
+        # move the parent past every handed-out block so continued parent
+        # draws cannot overlap substream 0 (or any other substream)
+        self.jump(count * block)
         return streams
 
 

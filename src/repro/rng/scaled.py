@@ -35,6 +35,7 @@ __all__ = [
     "ScaledRandomInteger",
     "BiasReport",
     "bias_profile",
+    "empirical_bias",
     "build_scaled_netlist",
 ]
 
@@ -102,7 +103,30 @@ def bias_profile(k: int, m: int) -> BiasReport:
         lo = max(lo, 1)
         hi = min(hi, top - 1)
         counts.append(max(0, hi - lo + 1))
-    assert sum(counts) == top - 1
+    if sum(counts) != top - 1:  # pragma: no cover - closed-form invariant
+        raise AssertionError(
+            f"bias_profile(k={k}, m={m}) lost states: "
+            f"{sum(counts)} != {top - 1}"
+        )
+    return BiasReport(k=k, m=m, counts=tuple(counts))
+
+
+def empirical_bias(k: int, lfsr: LFSRBase) -> BiasReport:
+    """The Fig.-2 output histogram *counted*, not computed.
+
+    Drives ``lfsr`` through one full period from its current state and
+    tallies ``floor(k·x / 2^m)`` for every emitted word.  A maximal LFSR
+    visits each nonzero state exactly once per period, so this must
+    equal :func:`bias_profile` bin for bin — the property test in
+    ``tests/rng/test_scaled.py`` holds the closed-form interval
+    arithmetic (including the excluded all-zeros state) to exactly that.
+    """
+    if k < 1:
+        raise ValueError("k must be positive")
+    m = lfsr.width
+    counts = [0] * k
+    for x in map(int, lfsr.words(lfsr.period)):
+        counts[(k * x) >> m] += 1
     return BiasReport(k=k, m=m, counts=tuple(counts))
 
 
@@ -137,6 +161,11 @@ class ScaledRandomInteger:
         words = self.lfsr.words(count)
         k = self.k
         shift = self.m
+        if words.dtype != object and k.bit_length() + shift <= 64:
+            # the product k·x fits a uint64 word: one vectorised
+            # multiply-shift over the whole batch
+            scaled = (words.astype(np.uint64) * np.uint64(k)) >> np.uint64(shift)
+            return scaled.astype(np.int64)
         return np.fromiter(
             ((k * int(w)) >> shift for w in words), dtype=np.int64, count=count
         )

@@ -32,7 +32,7 @@ import numpy as np
 from repro.analysis.faultcoverage import wilson_interval
 from repro.errors import CampaignConfigError
 from repro.core.factorial import factorial
-from repro.hdl.compile import PackedFaultPlan
+from repro.hdl.compile import SWEEP_LANES, PackedFaultPlan
 from repro.hdl.netlist import Netlist
 from repro.hdl.simulator import BACKENDS, CombinationalSimulator, SequentialSimulator
 from repro.obs import metrics as _metrics
@@ -280,9 +280,9 @@ class _Evaluator:
         )
         if self.combinational:
             per_fault = max(1, len(self.indices))
-            slots = max(2, min(64, _LANE_BUDGET // per_fault))
+            slots = max(2, min(SWEEP_LANES + 1, _LANE_BUDGET // per_fault))
         else:
-            slots = 64
+            slots = SWEEP_LANES + 1
         self.chunk_faults = slots - 1
 
     def run(self, overlay: FaultOverlay | None) -> np.ndarray:

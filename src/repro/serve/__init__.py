@@ -1,0 +1,45 @@
+"""Batch-serving layer over the compiled permutation engines.
+
+This package turns the bit-packed compiled simulator into a
+request-serving hot path: a typed request/response model
+(:mod:`repro.serve.model`), a micro-batcher that coalesces concurrent
+requests into packed sweep lanes (:mod:`repro.serve.batcher`), a bounded
+LRU result cache (:mod:`repro.serve.cache`), admission control with
+typed load-shedding, and the :class:`PermutationService` front end tying
+them together (:mod:`repro.serve.service`).  A closed-loop synthetic
+load generator (:mod:`repro.serve.loadgen`) drives it for the CLI
+``serve`` subcommand and the serving benchmark.
+"""
+
+from repro.serve.batcher import Batch, MicroBatcher, PendingEntry
+from repro.serve.cache import ResultCache
+from repro.serve.engine import ConverterEngine, EngineBank, ShuffleEngine
+from repro.serve.loadgen import LoadReport, percentile, run_closed_loop
+from repro.serve.model import WORKLOADS, Request, Response, validate_request
+from repro.serve.service import (
+    CompletionFuture,
+    PermutationService,
+    ServiceConfig,
+    serve_bulk,
+)
+
+__all__ = [
+    "WORKLOADS",
+    "Request",
+    "Response",
+    "validate_request",
+    "MicroBatcher",
+    "Batch",
+    "PendingEntry",
+    "ResultCache",
+    "ConverterEngine",
+    "ShuffleEngine",
+    "EngineBank",
+    "CompletionFuture",
+    "PermutationService",
+    "ServiceConfig",
+    "serve_bulk",
+    "LoadReport",
+    "run_closed_loop",
+    "percentile",
+]

@@ -1,0 +1,61 @@
+"""Bounded LRU result cache for the serving layer.
+
+Keys are ``(workload, n, index)`` tuples — in practice always
+``("unrank", n, index)``, because both deterministic workloads resolve
+to an unrank once the service has drawn the index, and shuffles (a fresh
+random permutation each time) are never cached.
+
+The cache is **not** thread-safe on its own: the service mutates it only
+under its admission lock, which is also what makes the hit/miss counters
+exact.  ``OrderedDict`` gives O(1) recency updates; capacity 0 disables
+caching entirely (every ``get`` is a miss, ``put`` is a no-op), which is
+how the benchmark isolates the batching speedup from cache effects.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Hashable
+
+__all__ = ["ResultCache"]
+
+
+class ResultCache:
+    """A bounded least-recently-used mapping with hit/miss accounting."""
+
+    def __init__(self, capacity: int):
+        if capacity < 0:
+            raise ValueError("capacity must be non-negative")
+        self.capacity = capacity
+        self._data: OrderedDict[Hashable, object] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def get(self, key: Hashable):
+        """The cached value, refreshed to most-recent — or ``None``."""
+        try:
+            value = self._data[key]
+        except KeyError:
+            self.misses += 1
+            return None
+        self._data.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key: Hashable, value: object) -> None:
+        """Insert (or refresh) a value, evicting the LRU entry if full."""
+        if self.capacity == 0:
+            return
+        if key in self._data:
+            self._data.move_to_end(key)
+        self._data[key] = value
+        if len(self._data) > self.capacity:
+            self._data.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        self._data.clear()

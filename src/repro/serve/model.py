@@ -1,0 +1,110 @@
+"""Typed request/response model for the permutation-serving layer.
+
+A :class:`Request` names one unit of work:
+
+* ``unrank`` — convert a caller-supplied index to its permutation
+  (paper §II, the index-to-permutation converter);
+* ``random_perm`` — the §II-C random permutation generator: the service
+  draws the index from its scaled-LFSR source and unranks it;
+* ``shuffle`` — one output of the §III Knuth-shuffle cascade.
+
+Validation is centralised in :func:`validate_request` so the CLI, the
+service and the load generator all reject malformed requests with the
+same :class:`~repro.errors.InvalidRequestError` (a ``ValueError``
+subclass, like the rest of the caller-mistake taxonomy).
+
+The :class:`Response` carries the permutation plus the serving
+provenance the benchmarks and traces rely on: which batch the request
+rode in (``batch_id``/``lanes``), whether the result came straight from
+the cache, and the per-stage timing split (time queued in the
+micro-batcher vs. time in the compiled sweep).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.factorial import factorial
+from repro.errors import InvalidRequestError
+
+__all__ = ["WORKLOADS", "Request", "Response", "validate_request"]
+
+#: The serveable workloads, in documentation order.
+WORKLOADS = ("unrank", "random_perm", "shuffle")
+
+
+@dataclass(frozen=True)
+class Request:
+    """One unit of serving work.
+
+    ``index`` is required for ``unrank`` and must be absent for the two
+    random workloads (the service owns the randomness — a caller who
+    already has an index wants ``unrank``).
+    """
+
+    workload: str
+    n: int
+    index: int | None = None
+
+
+@dataclass(frozen=True)
+class Response:
+    """A served permutation plus its serving provenance.
+
+    ``index`` is the index actually unranked — for ``random_perm`` the
+    one the service drew; for ``shuffle`` ``None`` (the cascade never
+    materialises an index).  ``batch_id`` is ``None`` when the result
+    short-circuited through the cache and never entered the batcher;
+    otherwise it identifies the compiled sweep this request shared with
+    ``lanes − 1`` others and links the response to its batch span in the
+    trace.
+    """
+
+    request_id: int
+    workload: str
+    n: int
+    index: int | None
+    permutation: tuple[int, ...]
+    batch_id: int | None
+    lanes: int
+    cached: bool
+    queued_s: float
+    sweep_s: float
+    total_s: float
+
+
+def validate_request(req: Request, max_n: int) -> None:
+    """Reject a malformed request with :class:`InvalidRequestError`.
+
+    Checks workload spelling, the ``n`` bounds (``shuffle`` needs at
+    least two elements; everything is capped at ``max_n`` so one request
+    cannot make the service compile an astronomically large netlist),
+    and the index contract described on :class:`Request`.
+    """
+    if req.workload not in WORKLOADS:
+        raise InvalidRequestError(
+            f"unknown workload {req.workload!r}; expected one of "
+            + ", ".join(WORKLOADS)
+        )
+    if isinstance(req.n, bool) or not isinstance(req.n, int):
+        raise InvalidRequestError(f"n must be an integer, got {req.n!r}")
+    floor = 2 if req.workload == "shuffle" else 1
+    if not (floor <= req.n <= max_n):
+        raise InvalidRequestError(
+            f"n={req.n} outside {floor}..{max_n} for workload {req.workload!r}"
+        )
+    if req.workload == "unrank":
+        if req.index is None:
+            raise InvalidRequestError("unrank requires an index")
+        if isinstance(req.index, bool) or not isinstance(req.index, int):
+            raise InvalidRequestError(f"index must be an integer, got {req.index!r}")
+        limit = factorial(req.n)
+        if not (0 <= req.index < limit):
+            raise InvalidRequestError(
+                f"index {req.index} outside 0..{limit - 1} for n={req.n}"
+            )
+    elif req.index is not None:
+        raise InvalidRequestError(
+            f"workload {req.workload!r} draws its own randomness; "
+            "index must not be supplied"
+        )

@@ -1,0 +1,555 @@
+"""The permutation-serving hot path: admission, batching, execution.
+
+:class:`PermutationService` turns the compiled bit-packed engine into a
+request server.  The life of a request:
+
+1. **Validate** — :func:`~repro.serve.model.validate_request`; malformed
+   requests raise :class:`~repro.errors.InvalidRequestError` before
+   touching any shared state.
+2. **Resolve randomness** — a ``random_perm`` draws its index from the
+   service's per-``n`` scaled-LFSR source (§II-C: "the index generator
+   is simply a random number generator"), after which it is an unrank.
+3. **Cache** — deterministic results are looked up in a bounded LRU
+   keyed ``(workload, n, index)``; a hit returns a completed future
+   without ever entering the batcher.
+4. **Admit** — if the batcher already holds ``max_queue_depth`` entries
+   the request is *shed* with
+   :class:`~repro.errors.ServiceOverloadedError` (admission control: the
+   queue, and with it every accepted request's latency, stays bounded).
+5. **Batch** — the request joins its ``(engine, n)`` group in the
+   micro-batcher.  The group flushes when it reaches ``max_batch`` lanes
+   (executed inline on the submitting thread — no handoff latency) or
+   when the group's deadline expires (executed by the dispatcher
+   thread).
+6. **Sweep** — the whole batch rides one compiled sweep; per-lane
+   results resolve the futures, with per-stage timings and the batch id
+   attached to every response.
+
+Everything observable is recorded when the global metrics registry is
+enabled: request counters by workload/outcome, queue-depth gauge, lane
+histogram, per-stage latency histograms on the sub-millisecond
+:data:`~repro.obs.metrics.FAST_LATENCY_BUCKETS`, and cache hit/miss
+counters.  With a :class:`~repro.obs.tracing.Tracer` attached, every
+batch becomes a ``serve.batch`` span with one child span per request,
+so a response's ``batch_id`` links it to its exact sweep in the trace.
+
+:func:`serve_bulk` is the offline cousin: a large index array is split
+into :data:`~repro.hdl.compile.SWEEP_LANES`-sized shards
+(:func:`~repro.parallel.sharding.bounded_shards`) and dispatched across
+worker processes through the hardened map-reduce runner, inheriting its
+retry/timeout machinery.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.factorial import factorial, index_width
+from repro.errors import ServiceOverloadedError
+from repro.hdl.compile import SWEEP_LANES
+from repro.obs import metrics as _metrics
+from repro.obs.metrics import FAST_LATENCY_BUCKETS
+from repro.obs.tracing import Span, Tracer
+from repro.parallel.sharding import bounded_shards, hardened_map_reduce
+from repro.rng.lfsr import FibonacciLFSR, dense_seed
+from repro.rng.scaled import ScaledRandomInteger
+from repro.serve.batcher import Batch, MicroBatcher, PendingEntry
+from repro.serve.cache import ResultCache
+from repro.serve.engine import ConverterEngine, EngineBank
+from repro.serve.model import Request, Response, validate_request
+
+__all__ = ["CompletionFuture", "ServiceConfig", "PermutationService", "serve_bulk"]
+
+# Injectable clock seam (monotonic), mirroring parallel.sharding: all
+# deadline arithmetic goes through this so tests can drive it.
+_monotonic = time.monotonic
+
+_REQUESTS = _metrics.REGISTRY.counter(
+    "repro_serve_requests_total",
+    "serving requests by workload and outcome",
+    ("workload", "outcome"),
+)
+_QUEUE_DEPTH = _metrics.REGISTRY.gauge(
+    "repro_serve_queue_depth", "entries currently queued in the micro-batcher"
+)
+_BATCH_LANES = _metrics.REGISTRY.histogram(
+    "repro_serve_batch_lanes",
+    "lanes per executed batch",
+    buckets=(1, 2, 4, 8, 16, 32, SWEEP_LANES),
+)
+_STAGE_SECONDS = _metrics.REGISTRY.histogram(
+    "repro_serve_stage_seconds",
+    "per-request serving stage latency (seconds)",
+    ("stage",),
+    buckets=FAST_LATENCY_BUCKETS,
+)
+_CACHE_TOTAL = _metrics.REGISTRY.counter(
+    "repro_serve_cache_total", "result cache lookups by result", ("result",)
+)
+
+
+class CompletionFuture:
+    """Single-assignment result slot for one served request.
+
+    Covers the slice of :class:`concurrent.futures.Future` the service
+    needs (``done`` / ``result`` / errors raised on ``result``), but
+    shares the service's condition variable instead of allocating a
+    private reentrant lock per instance — that per-``Future`` lock
+    allocation was the single largest per-request overhead on the
+    batched hot path.  Resolution happens under the shared condition
+    (:meth:`_finish`), so one ``notify_all`` settles a whole batch.
+    """
+
+    __slots__ = ("_cond", "_value", "_exc", "_done")
+
+    def __init__(self, cond: threading.Condition) -> None:
+        self._cond = cond
+        self._value: Response | None = None
+        self._exc: BaseException | None = None
+        self._done = False
+
+    def done(self) -> bool:
+        return self._done
+
+    def _finish(self, value: Response | None, exc: BaseException | None) -> None:
+        """Resolve; the caller must hold the shared condition."""
+        self._value = value
+        self._exc = exc
+        self._done = True
+
+    def result(self, timeout: float | None = None) -> Response:
+        # ``_done`` is written under the condition but read here without
+        # it: the flag flips once, and a stale False only sends us down
+        # the locked slow path.
+        if not self._done:
+            with self._cond:
+                if timeout is None:
+                    while not self._done:
+                        self._cond.wait()
+                else:
+                    deadline = _monotonic() + timeout
+                    while not self._done:
+                        left = deadline - _monotonic()
+                        if left <= 0:
+                            raise FutureTimeoutError()
+                        self._cond.wait(left)
+        if self._exc is not None:
+            raise self._exc
+        return self._value  # type: ignore[return-value]
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tuning knobs for :class:`PermutationService`.
+
+    ``max_batch`` is capped at :data:`~repro.hdl.compile.SWEEP_LANES`:
+    beyond one 64-bit word per packed lane-set the sweep cost stops
+    amortising, so larger batches would only add deadline latency.
+    ``batch_deadline_s`` bounds how long a lone request waits for
+    company; ``max_queue_depth`` bounds how many requests may be queued
+    before admission control sheds.  ``max_n`` bounds the netlists one
+    request can make the service compile.
+    """
+
+    max_batch: int = SWEEP_LANES
+    batch_deadline_s: float = 0.002
+    max_queue_depth: int = 4 * SWEEP_LANES
+    cache_capacity: int = 4096
+    max_n: int = 12
+    rng_seed: int = 0
+    shuffle_m: int = 31
+
+    def __post_init__(self) -> None:
+        if not (1 <= self.max_batch <= SWEEP_LANES):
+            raise ValueError(f"max_batch must be in 1..{SWEEP_LANES}")
+        if self.batch_deadline_s < 0:
+            raise ValueError("batch_deadline_s must be non-negative")
+        if self.max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be positive")
+        if self.cache_capacity < 0:
+            raise ValueError("cache_capacity must be non-negative")
+        if self.max_n < 1:
+            raise ValueError("max_n must be positive")
+
+
+class PermutationService:
+    """Batch-serving front end over the compiled permutation engines."""
+
+    def __init__(self, config: ServiceConfig | None = None, tracer: Tracer | None = None):
+        self.config = config or ServiceConfig()
+        self.tracer = tracer
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._batcher = MicroBatcher(
+            self.config.max_batch, self.config.batch_deadline_s
+        )
+        self._cache = ResultCache(self.config.cache_capacity)
+        self._engines = EngineBank(
+            shuffle_m=self.config.shuffle_m,
+            shuffle_seed_salt=self.config.rng_seed,
+        )
+        # per-group execution locks: batches of one engine run serially
+        # (the shuffle engine advances LFSR state per sweep), batches of
+        # different engines in parallel
+        self._engine_locks: dict[tuple[str, int], threading.Lock] = {}
+        self._index_sources: dict[int, ScaledRandomInteger] = {}
+        self._next_request_id = 0
+        self._shed = 0
+        self._completed = 0
+        self._closed = False
+        self._dispatcher = threading.Thread(
+            target=self._run_dispatcher, name="serve-dispatcher", daemon=True
+        )
+        self._dispatcher.start()
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+
+    def close(self) -> None:
+        """Drain every queued batch, then stop the dispatcher."""
+        with self._cond:
+            if self._closed:
+                return
+            self._closed = True
+            self._cond.notify_all()
+        self._dispatcher.join()
+
+    def __enter__(self) -> "PermutationService":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # submission
+
+    def submit(self, request: Request) -> CompletionFuture:
+        """Admit one request; returns a future for its response.
+
+        Raises :class:`~repro.errors.InvalidRequestError` on malformed
+        input and :class:`~repro.errors.ServiceOverloadedError` when the
+        queue is at ``max_queue_depth`` (the request was shed — back off
+        and retry).  The future resolves when the request's batch
+        executes; a cache hit returns an already-resolved future.
+        """
+        validate_request(request, self.config.max_n)
+        metrics_on = _metrics.REGISTRY.enabled
+        t_submit = time.perf_counter()
+        run_inline: Batch | None = None
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("service is closed")
+            request_id = self._next_request_id
+            self._next_request_id += 1
+            workload, n = request.workload, request.n
+            index = request.index
+            if workload == "random_perm":
+                index = self._draw_index(n)
+            future = CompletionFuture(self._cond)
+            if workload != "shuffle":
+                cached = self._cache.get(("unrank", n, index))
+                if cached is not None:
+                    if metrics_on:
+                        _CACHE_TOTAL.inc(result="hit")
+                        _REQUESTS.inc(workload=workload, outcome="ok")
+                    total = time.perf_counter() - t_submit
+                    # the future is not visible to any other thread yet,
+                    # so resolving it needs no notify
+                    future._finish(
+                        Response(
+                            request_id=request_id,
+                            workload=workload,
+                            n=n,
+                            index=index,
+                            permutation=cached,  # type: ignore[arg-type]
+                            batch_id=None,
+                            lanes=0,
+                            cached=True,
+                            queued_s=0.0,
+                            sweep_s=0.0,
+                            total_s=total,
+                        ),
+                        None,
+                    )
+                    if metrics_on:
+                        _STAGE_SECONDS.observe(total, stage="total")
+                    return future
+                if metrics_on:
+                    _CACHE_TOTAL.inc(result="miss")
+            depth = self._batcher.pending
+            if depth >= self.config.max_queue_depth:
+                self._shed += 1
+                if metrics_on:
+                    _REQUESTS.inc(workload=workload, outcome="shed")
+                raise ServiceOverloadedError(
+                    f"queue depth {depth} at limit; request shed",
+                    queue_depth=depth,
+                    limit=self.config.max_queue_depth,
+                )
+            key = ("shuffle", n) if workload == "shuffle" else ("converter", n)
+            entry = PendingEntry(
+                request=_Admitted(request_id, workload, n, index, t_submit),
+                future=future,
+                enqueued_at=_monotonic(),
+            )
+            was_empty = self._batcher.pending == 0
+            run_inline = self._batcher.add(key, entry, entry.enqueued_at)
+            if metrics_on:
+                _QUEUE_DEPTH.set(self._batcher.pending)
+            if run_inline is None and was_empty:
+                # The dispatcher only needs waking when it had nothing
+                # to wait for: any later-opened group's deadline is by
+                # construction later than the one it is already armed
+                # on, so per-request notifies would be pure wakeup
+                # overhead on the hot path.
+                self._cond.notify_all()
+        if run_inline is not None:
+            self._execute(run_inline)
+        return future
+
+    def convert(self, request: Request, timeout: float | None = 10.0) -> Response:
+        """Blocking convenience wrapper: submit and wait."""
+        return self.submit(request).result(timeout=timeout)
+
+    # ------------------------------------------------------------------ #
+    # statistics
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "submitted": self._next_request_id,
+                "completed": self._completed,
+                "shed": self._shed,
+                "queued": self._batcher.pending,
+                "cache_hits": self._cache.hits,
+                "cache_misses": self._cache.misses,
+                "cache_entries": len(self._cache),
+            }
+
+    # ------------------------------------------------------------------ #
+    # internals
+
+    def _draw_index(self, n: int) -> int:
+        """One random index in ``0..n!−1`` from the per-``n`` source.
+
+        The source is the paper's own index generator: a scaled-LFSR
+        random integer with ``k = n!``.  The LFSR width extends the
+        index width by 8 bits (floored at 31, the paper's generator) so
+        the §III-A pigeonhole bias stays below 1/256.
+        """
+        source = self._index_sources.get(n)
+        if source is None:
+            m = max(31, index_width(n) + 8)
+            source = ScaledRandomInteger(
+                factorial(n),
+                lfsr=FibonacciLFSR(m, seed=dense_seed(m, salt=self.config.rng_seed + n)),
+            )
+            self._index_sources[n] = source
+        return source.next_int()
+
+    def _engine_lock(self, key: tuple[str, int]) -> threading.Lock:
+        lock = self._engine_locks.get(key)
+        if lock is None:
+            lock = self._engine_locks.setdefault(key, threading.Lock())
+        return lock
+
+    def _run_dispatcher(self) -> None:
+        """Deadline loop: flush groups whose batching window expired."""
+        while True:
+            with self._cond:
+                while True:
+                    now = _monotonic()
+                    due = (
+                        self._batcher.take_all()
+                        if self._closed
+                        else self._batcher.take_due(now)
+                    )
+                    if due:
+                        if _metrics.REGISTRY.enabled:
+                            _QUEUE_DEPTH.set(self._batcher.pending)
+                        break
+                    if self._closed:
+                        return
+                    deadline = self._batcher.next_deadline()
+                    self._cond.wait(
+                        None if deadline is None else max(0.0, deadline - now)
+                    )
+            for batch in due:
+                self._execute(batch)
+
+    def _execute(self, batch: Batch) -> None:
+        """Run one closed batch through its engine and resolve futures."""
+        metrics_on = _metrics.REGISTRY.enabled
+        span = (
+            Span("serve.batch", {"batch_id": batch.batch_id, "lanes": batch.lanes})
+            if self.tracer is not None
+            else None
+        )
+        kind, n = batch.key
+        with self._lock:
+            engine = self._engines.for_key(batch.key)
+        exec_start = time.perf_counter()
+        try:
+            with self._engine_lock(batch.key):
+                if kind == "shuffle":
+                    perms = engine.run(batch.lanes)
+                else:
+                    perms = engine.run(
+                        [e.request.index for e in batch.entries]
+                    )
+        except BaseException as exc:  # pragma: no cover - engine bug guard
+            with self._cond:
+                for e in batch.entries:
+                    e.future._finish(None, exc)
+                self._cond.notify_all()
+            if metrics_on:
+                for e in batch.entries:
+                    _REQUESTS.inc(workload=e.request.workload, outcome="error")
+            if span is not None:
+                span.end("error", error=f"{type(exc).__name__}: {exc}")
+                with self._lock:
+                    self.tracer.adopt(span)
+            return
+        sweep_s = time.perf_counter() - exec_start
+        if metrics_on:
+            _BATCH_LANES.observe(batch.lanes)
+        done = time.perf_counter()
+        responses = []
+        for lane, e in enumerate(batch.entries):
+            adm = e.request
+            perm = tuple(int(v) for v in perms[lane])
+            queued = max(0.0, exec_start - adm.submitted_at)
+            responses.append(
+                (
+                    e.future,
+                    Response(
+                        request_id=adm.request_id,
+                        workload=adm.workload,
+                        n=adm.n,
+                        index=adm.index,
+                        permutation=perm,
+                        batch_id=batch.batch_id,
+                        lanes=batch.lanes,
+                        cached=False,
+                        queued_s=queued,
+                        sweep_s=sweep_s,
+                        total_s=done - adm.submitted_at,
+                    ),
+                )
+            )
+            if metrics_on:
+                _REQUESTS.inc(workload=adm.workload, outcome="ok")
+                _STAGE_SECONDS.observe(queued, stage="queued")
+                _STAGE_SECONDS.observe(sweep_s, stage="sweep")
+                _STAGE_SECONDS.observe(done - adm.submitted_at, stage="total")
+            if span is not None:
+                child = Span(
+                    "serve.request",
+                    {
+                        "request_id": adm.request_id,
+                        "workload": adm.workload,
+                        "n": adm.n,
+                        "batch_id": batch.batch_id,
+                    },
+                )
+                child.end("ok")
+                child.wall_s = done - adm.submitted_at
+                span.children.append(child)
+        with self._cond:
+            if kind == "converter":
+                for _, resp in responses:
+                    self._cache.put(("unrank", resp.n, resp.index), resp.permutation)
+            self._completed += len(responses)
+            if span is not None:
+                span.end("ok")
+                self.tracer.adopt(span)
+            for future, resp in responses:
+                future._finish(resp, None)
+            self._cond.notify_all()
+
+
+@dataclass(frozen=True)
+class _Admitted:
+    """An admitted request with its server-resolved index and timestamps."""
+
+    request_id: int
+    workload: str
+    n: int
+    index: int | None
+    submitted_at: float
+
+
+# ---------------------------------------------------------------------- #
+# offline bulk path
+
+
+class _BulkShard:
+    """Picklable shard worker: unrank a contiguous slice of the indices.
+
+    Each worker process memoises one :class:`ConverterEngine` per ``n``
+    (module-level, so repeated shards in the same process pay the
+    netlist build once) and returns its shard's ``(size, n)`` rows.
+    """
+
+    def __init__(self, n: int, indices: tuple[int, ...]):
+        self.n = n
+        self.indices = indices
+
+    def __call__(self, shard) -> np.ndarray:
+        engine = _bulk_engine(self.n)
+        return engine.run(self.indices[shard.start : shard.stop])
+
+
+_BULK_ENGINES: dict[int, ConverterEngine] = {}
+
+
+def _bulk_engine(n: int) -> ConverterEngine:
+    engine = _BULK_ENGINES.get(n)
+    if engine is None:
+        engine = _BULK_ENGINES[n] = ConverterEngine(n)
+    return engine
+
+
+def _stack_rows(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    return np.concatenate([a, b], axis=0)
+
+
+def serve_bulk(
+    n: int,
+    indices,
+    workers: int | None = None,
+    timeout: float | None = None,
+    retries: int = 2,
+    tracer: Tracer | None = None,
+) -> np.ndarray:
+    """Unrank a whole index array offline → ``(len(indices), n)`` rows.
+
+    The batch is cut into :data:`~repro.hdl.compile.SWEEP_LANES`-lane
+    shards — each exactly one compiled sweep — and dispatched through
+    :func:`~repro.parallel.sharding.hardened_map_reduce`, inheriting its
+    retry/timeout/backoff behaviour.  Results are concatenated in shard
+    order, so the output row order always matches the input regardless
+    of worker count.
+    """
+    idx = tuple(int(i) for i in indices)
+    limit = factorial(n)
+    for i in idx:
+        if not (0 <= i < limit):
+            raise ValueError(f"index {i} outside 0..{limit - 1} for n={n}")
+    if not idx:
+        return np.empty((0, n), dtype=np.int64)
+    shards = bounded_shards(len(idx), SWEEP_LANES)
+    return hardened_map_reduce(
+        _BulkShard(n, idx),
+        shards,
+        _stack_rows,
+        workers=workers,
+        timeout=timeout,
+        retries=retries,
+        tracer=tracer,
+    )

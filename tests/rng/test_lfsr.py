@@ -53,6 +53,25 @@ def test_words_batch_equals_sequential():
     assert a.state == b.state
 
 
+@pytest.mark.parametrize(
+    "width,dtype",
+    [(5, np.uint8), (8, np.uint8), (9, np.uint32), (31, np.uint32),
+     (33, np.uint64), (64, np.uint64)],
+)
+def test_words_uses_machine_dtype_tiers(width, dtype):
+    """words() must stay vectorisable: a uint tier, never object, <= 64 bits."""
+    batch = FibonacciLFSR(width, seed=1).words(16)
+    assert batch.dtype == dtype
+
+
+def test_words_wide_register_falls_back_to_object():
+    # widths above 64 are not tabulated; x^65 + x^47 + 1 is primitive
+    batch = FibonacciLFSR(65, taps=(65, 47), seed=1).words(4)
+    assert batch.dtype == object
+    ref = FibonacciLFSR(65, taps=(65, 47), seed=1)
+    assert [int(x) for x in batch] == [ref.next_word() for _ in range(4)]
+
+
 def test_iter_words_stream():
     lfsr = FibonacciLFSR(8, seed=9)
     it = lfsr.iter_words()
@@ -114,6 +133,34 @@ class TestSubstreams:
         for j, s in enumerate(streams):
             got = [s.next_word() for _ in range(250)]
             assert got == draws[250 * j : 250 * (j + 1)]
+
+    @pytest.mark.parametrize("cls", [FibonacciLFSR, GaloisLFSR])
+    def test_parent_window_disjoint_from_every_substream(self, cls):
+        """Regression: substream 0 starts at the parent's (pre-spawn)
+        state, so a parent left in place and still drawing replays it.
+        After spawn_substreams the parent must sit past every handed-out
+        block: all count+1 draw windows — parent included — pairwise
+        disjoint."""
+        parent = cls(20, seed=1234)
+        count, total = 3, 90
+        block = -(-total // count)  # 30
+        streams = parent.spawn_substreams(count=count, total_draws=total)
+        windows = [
+            [s.next_word() for _ in range(block)] for s in streams
+        ]
+        windows.append([parent.next_word() for _ in range(block)])
+        for i in range(len(windows)):
+            for j in range(i + 1, len(windows)):
+                assert not set(windows[i]) & set(windows[j]), (
+                    f"draw windows {i} and {j} overlap"
+                )
+
+    def test_parent_resumes_exactly_after_last_block(self):
+        parent = FibonacciLFSR(16, seed=7)
+        ref = FibonacciLFSR(16, seed=7)
+        parent.spawn_substreams(count=4, total_draws=100)
+        ref.jump(4 * 25)
+        assert parent.state == ref.state
 
     def test_invalid_count_rejected(self):
         with pytest.raises(ValueError):

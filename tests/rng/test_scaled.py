@@ -5,11 +5,12 @@ import pytest
 from hypothesis import given, strategies as st
 
 from repro.hdl.simulator import SequentialSimulator
-from repro.rng.lfsr import FibonacciLFSR
+from repro.rng.lfsr import FibonacciLFSR, GaloisLFSR
 from repro.rng.scaled import (
     ScaledRandomInteger,
     bias_profile,
     build_scaled_netlist,
+    empirical_bias,
     scale_word,
 )
 
@@ -72,6 +73,58 @@ class TestBiasProfile:
             bias_profile(0, 5)
         with pytest.raises(ValueError):
             bias_profile(5, 0)
+
+
+class TestClosedFormAgainstEmpirical:
+    """Audit of the interval arithmetic (all-zeros-state exclusion).
+
+    The closed form claims integer ``i`` is hit by exactly the words in
+    ``[ceil(i·2^m/k), ceil((i+1)·2^m/k) − 1] ∩ [1, 2^m − 1]``.  These
+    tests hold it — and the derived ``ratio``/``max_relative_error`` —
+    to histograms *counted* over an actual full LFSR period, for both
+    register forms, so any future drift in the arithmetic (most easily
+    around the excluded all-zeros state at bin 0) fails loudly.
+    """
+
+    @given(
+        k=st.integers(1, 70),
+        m=st.integers(2, 9),
+        form=st.sampled_from([FibonacciLFSR, GaloisLFSR]),
+        seed_salt=st.integers(0, 5),
+    )
+    def test_profile_matches_counted_period(self, k, m, form, seed_salt):
+        seed = 1 + seed_salt % ((1 << m) - 1)
+        counted = empirical_bias(k, form(m, seed=seed))
+        closed = bias_profile(k, m)
+        assert closed.counts == counted.counts
+        assert closed.ratio == counted.ratio
+        assert closed.max_relative_error == counted.max_relative_error
+
+    @given(k=st.integers(1, 40), m=st.integers(2, 8))
+    def test_derived_stats_match_hand_computation(self, k, m):
+        r = bias_profile(k, m)
+        period = (1 << m) - 1
+        probs = [c / period for c in r.counts]
+        ideal = 1 / k
+        assert r.max_relative_error == pytest.approx(
+            max(abs(p - ideal) for p in probs) / ideal
+        )
+        if min(r.counts) == 0:
+            assert r.ratio == float("inf")
+        else:
+            assert r.ratio == pytest.approx(max(probs) / min(probs))
+
+    def test_zero_state_exclusion_lands_on_bin_zero(self):
+        """Exactly one word (the impossible all-zeros state) is missing,
+        and it is missing from bin 0: versus the mapping over all 2^m
+        words, only counts[0] drops, by exactly one."""
+        for k, m in [(24, 5), (7, 4), (10, 6)]:
+            r = bias_profile(k, m)
+            full = [0] * k
+            for x in range(1 << m):
+                full[(k * x) >> m] += 1
+            assert full[0] - r.counts[0] == 1
+            assert tuple(full[1:]) == r.counts[1:]
 
 
 class TestScaledRandomInteger:

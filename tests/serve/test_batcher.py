@@ -1,0 +1,106 @@
+"""Micro-batcher edge cases, driven with a hand-rolled clock.
+
+The batcher is a pure data structure (no threads, no real clock), so
+every edge case here is fully deterministic: the empty deadline flush,
+the single-request batch, the 64th concurrent request spilling into the
+next sweep, and group independence.
+"""
+
+import pytest
+
+from repro.hdl.compile import SWEEP_LANES
+from repro.serve.batcher import MicroBatcher, PendingEntry
+
+
+def entry(tag, at=0.0):
+    return PendingEntry(request=tag, future=None, enqueued_at=at)
+
+
+class TestConstruction:
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            MicroBatcher(0, 1.0)
+        with pytest.raises(ValueError):
+            MicroBatcher(4, -1.0)
+
+
+class TestDeadlineFlush:
+    def test_empty_batcher_has_nothing_due(self):
+        b = MicroBatcher(63, 0.01)
+        assert b.take_due(1e9) == []
+        assert b.next_deadline() is None
+        assert b.pending == 0
+
+    def test_single_request_batch_flushes_alone_on_deadline(self):
+        b = MicroBatcher(63, 0.01)
+        assert b.add("k", entry("only", at=5.0), now=5.0) is None
+        assert b.next_deadline() == pytest.approx(5.01)
+        assert b.take_due(5.005) == []  # not due yet
+        (batch,) = b.take_due(5.01)
+        assert batch.lanes == 1
+        assert batch.entries[0].request == "only"
+        assert b.pending == 0
+        assert b.next_deadline() is None
+
+    def test_deadline_runs_from_first_entry_of_group(self):
+        b = MicroBatcher(63, 0.01)
+        b.add("k", entry("a", at=1.0), now=1.0)
+        b.add("k", entry("b", at=1.009), now=1.009)
+        # the late joiner does not extend the window
+        (batch,) = b.take_due(1.01)
+        assert [e.request for e in batch.entries] == ["a", "b"]
+
+    def test_groups_flush_independently(self):
+        b = MicroBatcher(63, 0.01)
+        b.add(("converter", 5), entry("a", at=0.0), now=0.0)
+        b.add(("shuffle", 5), entry("b", at=0.008), now=0.008)
+        due = b.take_due(0.012)
+        assert [batch.key for batch in due] == [("converter", 5)]
+        assert b.pending == 1
+        assert b.next_deadline() == pytest.approx(0.018)
+
+
+class TestBatchFull:
+    def test_max_batch_th_request_closes_the_batch(self):
+        b = MicroBatcher(SWEEP_LANES, 10.0)
+        for i in range(SWEEP_LANES - 1):
+            assert b.add("k", entry(i), now=0.0) is None
+        assert b.pending == SWEEP_LANES - 1
+        full = b.add("k", entry(SWEEP_LANES - 1), now=0.0)
+        assert full is not None and full.lanes == SWEEP_LANES
+        assert [e.request for e in full.entries] == list(range(SWEEP_LANES))
+        assert b.pending == 0
+
+    def test_64th_request_spills_into_a_fresh_group(self):
+        b = MicroBatcher(SWEEP_LANES, 10.0)
+        for i in range(SWEEP_LANES):
+            b.add("k", entry(i, at=0.0), now=0.0)
+        # lanes 0..62 left as a closed batch; the 64th arrival opens a
+        # new group destined for the *next* sweep
+        assert b.add("k", entry("spill", at=1.0), now=1.0) is None
+        assert b.pending == 1
+        assert b.next_deadline() == pytest.approx(11.0)
+        (nxt,) = b.take_due(11.0)
+        assert nxt.lanes == 1
+        assert nxt.entries[0].request == "spill"
+
+    def test_batch_ids_increase_in_closing_order(self):
+        b = MicroBatcher(2, 10.0)
+        b.add("x", entry("x0", at=0.0), now=0.0)
+        full_y = b.add("y", entry("y0", at=0.0), now=0.0)
+        assert full_y is None
+        full_y = b.add("y", entry("y1", at=0.0), now=0.0)
+        assert full_y.batch_id == 0  # y filled first
+        (x_batch,) = b.take_all()
+        assert x_batch.batch_id == 1
+
+
+class TestDrain:
+    def test_take_all_closes_every_group(self):
+        b = MicroBatcher(63, 10.0)
+        b.add("x", entry("a", at=0.0), now=0.0)
+        b.add("y", entry("b", at=0.0), now=0.0)
+        batches = b.take_all()
+        assert sorted(batch.key for batch in batches) == ["x", "y"]
+        assert b.pending == 0
+        assert b.take_all() == []

@@ -154,6 +154,44 @@ class TestInputValidation:
         assert main(["unrank", "23", "4"]) == 0
         assert main(["rank", "3", "2", "1", "0"]) == 0
 
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["synth", "4", "--engine", "warp"],
+            ["synth", "4", "--checked", "--engine", "bogus"],
+            ["faults", "4", "--engine", "warp"],
+            ["--quiet", "faults", "4", "--samples", "8", "--engine", ""],
+        ],
+    )
+    def test_unknown_engine_is_usage_error(self, capsys, argv):
+        assert main(argv) == 2
+        captured = capsys.readouterr()
+        assert captured.err.startswith("repro-perm: error:")
+        assert "unknown engine" in captured.err
+        assert "auto" in captured.err and "compiled" in captured.err
+        assert len(captured.err.strip().splitlines()) == 1
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["serve", "4", "--workload", "bogus"],
+            ["serve", "4", "--workload", "unranks"],
+            ["serve", "4", "--batch-size", "0"],
+            ["serve", "4", "--batch-size", "-3"],
+            ["serve", "4", "--batch-size", "9999"],
+            ["serve", "0"],
+            ["serve", "1", "--workload", "shuffle"],
+            ["serve", "4", "--requests", "0"],
+            ["serve", "4", "--clients", "0"],
+        ],
+    )
+    def test_serve_bad_input_is_usage_error(self, capsys, argv):
+        assert main(argv) == 2
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert captured.err.startswith("repro-perm: error:")
+        assert len(captured.err.strip().splitlines()) == 1
+
 
 class TestMetricsFlag:
     def test_metrics_dumps_exposition_to_stderr(self, capsys):
@@ -234,6 +272,37 @@ class TestTraceCommand:
         assert main(["trace", "--vcd", str(vcd), "rank", "0", "1"]) == 2
         assert "--vcd" in capsys.readouterr().err
         assert not vcd.exists()
+
+
+class TestServeCommand:
+    def test_mixed_load_report(self, capsys):
+        assert main(
+            ["serve", "6", "--requests", "60", "--clients", "4",
+             "--deadline-ms", "0.5"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "served 60 requests" in out
+        assert "throughput" in out and "req/s" in out
+        assert "p50=" in out and "p99=" in out
+        assert "lanes/sweep" in out
+        assert "shed" in out
+
+    def test_single_workload_mix(self, capsys):
+        assert main(
+            ["serve", "5", "--requests", "40", "--clients", "2",
+             "--workload", "unrank", "--seed", "3"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "workload unrank" in out
+        assert "unrank=40" in out
+        assert "random_perm" not in out.split("workloads")[1]
+
+    def test_explicit_batch_size_accepted(self, capsys):
+        assert main(
+            ["serve", "5", "--requests", "20", "--clients", "4",
+             "--batch-size", "4", "--queue-depth", "64"]
+        ) == 0
+        assert "served 20 requests" in capsys.readouterr().out
 
 
 class TestFaultsCommand:
