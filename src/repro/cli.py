@@ -14,7 +14,12 @@ Subcommands mirror the paper's artefacts:
 * ``fig4 [samples]``   — run the Fig.-4 histogram experiment
 * ``faults n``         — fault-injection campaign + coverage report
 * ``serve n``          — drive the batch-serving layer with a synthetic
-  closed-loop load generator and print throughput/latency percentiles
+  closed-loop load generator and print throughput/latency percentiles;
+  ``--supervised`` routes sweeps through the fault-tolerant worker tier
+  (restart, breakers, degradation ladder) with every response verified,
+  and ``--chaos`` runs the seeded fault-injection campaign against it,
+  reporting the invariants (zero incorrect responses, every killed
+  worker restarted, availability floor) — exit 1 if any is violated
 * ``trace <cmd> …``    — run any subcommand under a tracing span and
   print the span tree to stderr (``--vcd PATH`` additionally records a
   gate-level waveform for ``unrank``)
@@ -184,6 +189,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         WORKLOADS,
         PermutationService,
         ServiceConfig,
+        SupervisedService,
         run_closed_loop,
     )
 
@@ -193,6 +199,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         raise ReproError("--requests must be positive")
     if args.clients < 1:
         raise ReproError("--clients must be positive")
+    if args.chaos:
+        return _cmd_serve_chaos(args)
     from repro.hdl.compile import SWEEP_LANES
 
     batch_size = args.batch_size if args.batch_size is not None else SWEEP_LANES
@@ -216,7 +224,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     except ValueError as exc:  # e.g. batch size beyond the lane quantum
         raise ReproError(str(exc)) from exc
 
-    with PermutationService(config, tracer=getattr(args, "_tracer", None)) as svc:
+    tracer = getattr(args, "_tracer", None)
+    if args.supervised:
+        svc_cm = SupervisedService(config, tracer=tracer)
+    else:
+        svc_cm = PermutationService(config, tracer=tracer)
+    with svc_cm as svc:
         report = run_closed_loop(
             svc,
             args.n,
@@ -224,6 +237,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             clients=args.clients,
             mix=mix,
             seed=args.seed,
+            verify=args.supervised,
         )
         stats = svc.stats()
     pct = report.latency_percentiles()
@@ -247,7 +261,67 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     )
     print(f"  shed        {report.shed}")
     print(f"  workloads   {by_workload}")
+    if args.supervised:
+        sup = stats["supervisor"]
+        modes = " ".join(f"{m}={c}" for m, c in sorted(report.modes.items()))
+        print(f"  modes       {modes}")
+        print(
+            f"  supervisor  restarts={sup['restarts']} "
+            f"check_failures={sup['check_failures']} "
+            f"failovers={sup['served_fallback']} "
+            f"breaker_trips={sup['breaker_trips']}"
+        )
+        print(f"  verified    incorrect={report.incorrect}")
+        if report.incorrect:
+            return 1
     return 0
+
+
+def _cmd_serve_chaos(args: argparse.Namespace) -> int:
+    """``repro serve N --chaos``: the seeded fault-injection campaign."""
+    import json as _json
+
+    from repro.serve import run_chaos_campaign
+
+    payload = run_chaos_campaign(
+        n=args.n,
+        requests=args.requests,
+        clients=args.clients,
+        seed=args.seed,
+        tracer=getattr(args, "_tracer", None),
+    )
+    injected = payload["chaos"]["injected"]
+    print(
+        f"chaos campaign: {payload['requests']} requests under fire, "
+        f"{payload['recovery_requests']} in recovery (n={args.n}, "
+        f"seed={args.seed})"
+    )
+    print(
+        "  injected    "
+        + " ".join(f"{k}={v}" for k, v in sorted(injected.items()))
+    )
+    print(
+        f"  invariants  incorrect={payload['incorrect_responses']} "
+        f"killed={payload['workers_killed']} "
+        f"restarts={payload['worker_restarts']} "
+        f"quarantines={payload['kernel_quarantines']}"
+    )
+    print(
+        f"  service     availability={payload['availability_chaos']:.4f} "
+        f"(chaos) {payload['availability_recovery']:.4f} (recovery) "
+        f"failovers={payload['failovers']}"
+    )
+    print(f"  recovered   {payload['recovered']}")
+    if args.out:
+        with open(args.out, "w") as fh:
+            _json.dump(payload, fh, indent=1)
+        print(f"  wrote       {args.out}")
+    ok = (
+        payload["incorrect_responses"] == 0
+        and payload["recovered"]
+        and payload["availability_chaos"] >= 0.90
+    )
+    return 0 if ok else 1
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -434,6 +508,20 @@ def _build_parser() -> argparse.ArgumentParser:
         "shed (default: 252)",
     )
     p.add_argument("--seed", type=int, default=0, help="load-mix seed")
+    p.add_argument(
+        "--supervised", action="store_true",
+        help="serve through the supervised multi-worker tier (breakers, "
+        "restart, degradation ladder) with client-side verification",
+    )
+    p.add_argument(
+        "--chaos", action="store_true",
+        help="run the seeded chaos campaign against the supervised tier "
+        "and report the fault-tolerance invariants (implies --supervised)",
+    )
+    p.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="with --chaos: also write the campaign payload as JSON",
+    )
     p.set_defaults(fn=_cmd_serve)
 
     p = sub.add_parser(

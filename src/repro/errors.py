@@ -21,7 +21,18 @@ rooted at :class:`ReproError`, so callers (and the CLI) can distinguish
   a request because its queue was at capacity.  Shedding is not a bug —
   it is the mechanism that keeps tail latency bounded under overload —
   so it gets its own type that clients can catch and retry with
-  backoff.
+  backoff.  Its siblings complete the serving-tier taxonomy:
+  :class:`ServiceDegradedError` (the supervised tier has stepped down
+  its degradation ladder far enough that this request class cannot be
+  served right now — retry after the shard recovers),
+  :class:`ServiceShutdownError` (the service was closed while the
+  request was pending or before it was submitted; also a
+  :class:`RuntimeError` so pre-existing ``except RuntimeError`` call
+  sites keep working), :class:`WorkerCrashedError` and
+  :class:`WorkerStalledError` (a supervised serving worker died
+  mid-sweep or blew its response deadline — both retryable
+  :class:`WorkerFailedError` flavours that the supervisor converts
+  into restarts and failovers, never into served errors).
 
 The taxonomy is what makes graceful degradation possible: the hardened
 runners in :mod:`repro.parallel.sharding` retry ``WorkerFailedError``
@@ -40,9 +51,13 @@ __all__ = [
     "SilentCorruptionError",
     "WorkerFailedError",
     "ShardTimeoutError",
+    "WorkerCrashedError",
+    "WorkerStalledError",
     "InvalidRequestError",
     "ServiceOverloadedError",
     "ServiceOverloaded",
+    "ServiceDegradedError",
+    "ServiceShutdownError",
 ]
 
 
@@ -127,6 +142,29 @@ class ShardTimeoutError(WorkerFailedError):
     """A shard exceeded its per-shard deadline in a hardened runner."""
 
 
+class WorkerCrashedError(WorkerFailedError):
+    """A supervised serving worker died mid-sweep.
+
+    Raised inside the supervisor's execution ladder when the worker
+    thread/process servicing a shard exits (or is killed by the chaos
+    harness) before delivering its sweep result.  The supervisor treats
+    it as a restartable infrastructure failure: the worker is respawned
+    with backoff and the sweep fails over to the next ladder rung —
+    callers of the service itself never see this type.
+    """
+
+
+class WorkerStalledError(WorkerFailedError):
+    """A supervised serving worker blew its sweep/heartbeat deadline.
+
+    Deadline-based stall detection: the worker may still be running (a
+    stuck kernel, a livelock, an injected stall) but its result is no
+    longer trusted or waited on.  Like a crash it is retryable — the
+    stalled worker is abandoned, a fresh one is spawned, and the sweep
+    fails over.  Any late result from the abandoned worker is discarded.
+    """
+
+
 class InvalidRequestError(ReproError, ValueError):
     """A malformed serving request (unknown workload, bad n, missing or
     out-of-range index…).  Caller mistake, so also a :class:`ValueError`."""
@@ -149,6 +187,36 @@ class ServiceOverloadedError(ReproError):
         super().__init__(message)
         self.queue_depth = queue_depth
         self.limit = limit
+
+
+class ServiceDegradedError(ReproError):
+    """The supervised tier cannot serve this request at its current rung.
+
+    Raised when a shard's degradation ladder has stepped past every
+    serving mode that could satisfy the request — e.g. the compiled
+    worker's circuit breaker is open *and* the in-process fallback is
+    unavailable or also broken, leaving cache-only mode, and the request
+    missed the cache.  Like :class:`ServiceOverloadedError` this is a
+    *decision*, not a bug: the tier sheds rather than serve a result it
+    cannot trust.  ``mode`` names the rung the shard is pinned at
+    (``"cache_only"`` …) and ``shard`` identifies the degraded shard.
+    """
+
+    def __init__(self, message: str, mode: str | None = None, shard=None):
+        super().__init__(message)
+        self.mode = mode
+        self.shard = shard
+
+
+class ServiceShutdownError(ReproError, RuntimeError):
+    """The service was closed while this request was pending.
+
+    Raised (a) by ``submit`` on a closed service and (b) on any future
+    still unresolved when ``close()`` finishes draining — shutdown must
+    settle every waiter, never leave one hung.  Subclasses
+    :class:`RuntimeError` so callers guarding with ``except
+    RuntimeError`` keep working.
+    """
 
 
 #: The short name the serving layer's docs use for the shed signal.

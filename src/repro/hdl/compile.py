@@ -92,6 +92,7 @@ __all__ = [
     "compile_netlist",
     "kernel_cache_info",
     "clear_kernel_cache",
+    "evict_kernel",
     "words_for",
     "ones_mask",
     "pack_lanes",
@@ -382,6 +383,22 @@ def clear_kernel_cache() -> None:
     _CACHE.clear()
     _HITS = 0
     _MISSES = 0
+
+
+def evict_kernel(fingerprint: str) -> int:
+    """Quarantine: drop every cached variant of one netlist's kernel.
+
+    Removes all cache entries (plain/patchable/incremental) whose
+    netlist fingerprint matches and returns how many were dropped.  The
+    supervised serving tier calls this when a response check convicts a
+    worker's output — the compiled artefact can no longer be trusted, so
+    the next consumer recompiles from the netlist instead of sharing the
+    possibly-corrupted kernel through the process-wide cache.
+    """
+    victims = [key for key in _CACHE if key[0] == fingerprint]
+    for key in victims:
+        del _CACHE[key]
+    return len(victims)
 
 
 class PackedFaultPlan:

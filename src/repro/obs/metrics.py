@@ -248,6 +248,25 @@ class Gauge(Metric):
     def dec(self, amount: float = 1.0, **labels: object) -> None:
         self.inc(-amount, **labels)
 
+    def set_enum(
+        self, active: str, states: Sequence[str], **labels: object
+    ) -> None:
+        """Record a state machine as the Prometheus enum-gauge pattern.
+
+        One series per state via a ``state`` label (which must be one of
+        the gauge's label names): the active state's series is set to 1,
+        every other to 0.  Scrapes therefore always see exactly one
+        series at 1 — e.g. a circuit breaker's closed/open/half-open —
+        and transitions are visible as level changes, not lost samples.
+        ``active`` must be a member of ``states``.
+        """
+        if not self._registry.enabled:
+            return
+        if active not in states:
+            raise ValueError(f"state {active!r} not in {tuple(states)}")
+        for s in states:
+            self.labels(state=s, **labels).set(1.0 if s == active else 0.0)
+
 
 class Histogram(Metric):
     kind = "histogram"

@@ -40,7 +40,7 @@ import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass
+from dataclasses import dataclass, field as dataclass_field
 from typing import Callable, Generic, Sequence, TypeVar
 
 from repro.errors import ShardTimeoutError, WorkerFailedError
@@ -218,12 +218,19 @@ def parallel_map_reduce(
 
 @dataclass(frozen=True)
 class ShardFailure:
-    """Manifest entry for a shard that exhausted its retry budget."""
+    """Manifest entry for a shard that exhausted its retry budget.
+
+    ``error`` is the rendered final failure (``"TypeName: message"``);
+    ``cause_type`` is the bare exception class name of that final
+    attempt, so callers can dispatch on the failure cause (crash vs.
+    timeout vs. worker exception) without parsing the message.
+    """
 
     shard_id: int
     attempts: int
     error: str
     timed_out: bool = False
+    cause_type: str = ""
 
 
 @dataclass(frozen=True)
@@ -232,13 +239,17 @@ class PartialResult(Generic[R]):
 
     ``value`` is the shard-ordered reduction over the successful shards
     (``None`` when every shard failed).  ``failed`` is the manifest; an
-    empty manifest means the result is complete.
+    empty manifest means the result is complete.  ``attempts`` maps
+    *every* shard id — successful or not — to how many attempts it
+    consumed, so a campaign report can tell a clean run from one that
+    limped home on retries even when ``complete`` is ``True``.
     """
 
     value: R | None
     failed: tuple[ShardFailure, ...]
     completed: int
     total: int
+    attempts: dict[int, int] = dataclass_field(default_factory=dict)
 
     @property
     def complete(self) -> bool:
@@ -247,6 +258,23 @@ class PartialResult(Generic[R]):
     @property
     def coverage(self) -> float:
         return self.completed / self.total if self.total else 1.0
+
+    @property
+    def total_attempts(self) -> int:
+        return sum(self.attempts.values())
+
+    @property
+    def retried_shards(self) -> int:
+        """Shards that needed more than one attempt (successful or not)."""
+        return sum(1 for a in self.attempts.values() if a > 1)
+
+    def failure_causes(self) -> dict[str, int]:
+        """Final-failure cause histogram over the failed manifest."""
+        causes: dict[str, int] = {}
+        for f in self.failed:
+            name = f.cause_type or f.error.split(":", 1)[0]
+            causes[name] = causes.get(name, 0) + 1
+        return causes
 
 
 @dataclass(frozen=True)
@@ -357,6 +385,7 @@ def hardened_map_reduce(
                 attempts=attempts[s.shard_id],
                 error=f"{type(exc).__name__}: {exc}",
                 timed_out=timed_out,
+                cause_type=type(exc).__name__,
             )
         )
 
@@ -500,5 +529,6 @@ def hardened_map_reduce(
             failed=tuple(failures),
             completed=len(results),
             total=len(shards),
+            attempts=dict(attempts),
         )
     return acc

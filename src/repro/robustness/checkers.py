@@ -42,7 +42,76 @@ from repro.core.lehmer import rank_batch, rank_naive, unrank_fenwick
 from repro.errors import FaultDetectedError, InvalidIndexError, SilentCorruptionError
 from repro.hdl.simulator import CombinationalSimulator
 
-__all__ = ["CheckStats", "CheckedConverter", "is_permutation_of"]
+__all__ = [
+    "CheckStats",
+    "CheckedConverter",
+    "is_permutation_of",
+    "check_served_batch",
+]
+
+
+def check_served_batch(perms, indices: Sequence[int] | None = None) -> None:
+    """End-to-end oracle for a served sweep: bijectivity, then rank.
+
+    The supervised serving tier (:mod:`repro.serve.supervisor`) runs
+    every worker-produced batch through this before resolving any
+    future — the serving-layer analogue of :class:`CheckedConverter`'s
+    per-conversion checks, vectorised so a full 63-lane batch costs a
+    small fraction of its sweep:
+
+    1. every row of ``perms`` (a ``(B, n)`` array over the identity
+       pool) must be a permutation of ``0..n−1``, else
+       :class:`~repro.errors.FaultDetectedError` — this catches any
+       corruption that knocks a result off the permutation group
+       (bit-flips, stuck lanes);
+    2. with ``indices`` given (converter sweeps; shuffles have no
+       index), ``rank(perms[i]) == indices[i]`` is checked through the
+       independent Lehmer-code ranker, else
+       :class:`~repro.errors.SilentCorruptionError` — the
+       valid-but-wrong class a structural check cannot see.
+
+    A failure means the batch must **not** be served: the supervisor
+    quarantines the producing worker's kernel and fails the sweep over
+    to the next ladder rung.
+    """
+    p = np.asarray(perms, dtype=np.int64)
+    if p.ndim != 2:
+        raise FaultDetectedError(f"served batch has shape {p.shape}, expected (B, n)")
+    b, n = p.shape
+    expected = np.arange(n, dtype=np.int64)
+    sorted_rows = np.sort(p, axis=1)
+    bad_rows = np.nonzero((sorted_rows != expected).any(axis=1))[0]
+    if bad_rows.size:
+        lane = int(bad_rows[0])
+        idx = None if indices is None else int(indices[lane])
+        raise FaultDetectedError(
+            f"served lane {lane} is not a permutation: {p[lane].tolist()}",
+            index=idx,
+            output=tuple(int(x) for x in p[lane]),
+        )
+    if indices is None:
+        return
+    # indices stay Python ints until the vectorised branch: n! overflows
+    # int64 from n = 21, and the serving layer's max_n is a config knob
+    want = [int(i) for i in indices]
+    if n <= 20:
+        got = rank_batch(p, validate=False)  # bijectivity already held
+        mismatch = np.nonzero(got != np.asarray(want, dtype=np.int64))[0]
+        lane = int(mismatch[0]) if mismatch.size else None
+    else:
+        lane = None
+        pool = list(range(n))
+        for k, (i, row) in enumerate(zip(want, p)):
+            if rank_naive([int(x) for x in row], pool) != i:
+                lane = k
+                break
+    if lane is not None:
+        raise SilentCorruptionError(
+            f"rank oracle: served lane {lane} is the valid permutation "
+            f"{p[lane].tolist()}, but not the one for index {want[lane]}",
+            index=want[lane],
+            output=tuple(int(x) for x in p[lane]),
+        )
 
 
 def is_permutation_of(row: Sequence[int], pool: Sequence[int]) -> bool:

@@ -9,10 +9,27 @@ typed load-shedding, and the :class:`PermutationService` front end tying
 them together (:mod:`repro.serve.service`).  A closed-loop synthetic
 load generator (:mod:`repro.serve.loadgen`) drives it for the CLI
 ``serve`` subcommand and the serving benchmark.
+
+On top of the single-process service sits the supervised tier
+(:mod:`repro.serve.supervisor`): per-shard workers with heartbeats,
+stall detection, restart-with-backoff, circuit breakers and a
+worker → fallback → cache-only degradation ladder, with every served
+batch end-to-end oracle-checked.  The chaos harness
+(:mod:`repro.serve.chaos`) injects crashes, stalls, delays and payload
+corruption on a seeded schedule to prove the tier's invariants — no
+wrong permutation is ever served, killed workers restart, availability
+holds a floor while degraded.
 """
 
 from repro.serve.batcher import Batch, MicroBatcher, PendingEntry
 from repro.serve.cache import ResultCache
+from repro.serve.chaos import (
+    CHAOS_EVENTS,
+    ChaosMonkey,
+    ChaosSpec,
+    SweepPlan,
+    run_chaos_campaign,
+)
 from repro.serve.engine import ConverterEngine, EngineBank, ShuffleEngine
 from repro.serve.loadgen import LoadReport, percentile, run_closed_loop
 from repro.serve.model import WORKLOADS, Request, Response, validate_request
@@ -21,6 +38,16 @@ from repro.serve.service import (
     PermutationService,
     ServiceConfig,
     serve_bulk,
+)
+from repro.serve.supervisor import (
+    BREAKER_STATES,
+    BreakerConfig,
+    CircuitBreaker,
+    FunctionalConverterEngine,
+    ShardWorker,
+    SupervisedService,
+    SupervisorConfig,
+    SweepSupervisor,
 )
 
 __all__ = [
@@ -42,4 +69,17 @@ __all__ = [
     "LoadReport",
     "run_closed_loop",
     "percentile",
+    "BREAKER_STATES",
+    "BreakerConfig",
+    "CircuitBreaker",
+    "SupervisorConfig",
+    "ShardWorker",
+    "FunctionalConverterEngine",
+    "SweepSupervisor",
+    "SupervisedService",
+    "CHAOS_EVENTS",
+    "ChaosSpec",
+    "SweepPlan",
+    "ChaosMonkey",
+    "run_chaos_campaign",
 ]

@@ -45,6 +45,16 @@ class ConverterEngine:
         self.converter = IndexToPermutationConverter(n)
         self._entry = BatchEntry(self.converter.build_netlist())
 
+    @property
+    def kernel_fingerprint(self) -> str:
+        """Fingerprint of the compiled kernel this engine sweeps through.
+
+        The supervised tier uses it to quarantine the process-wide
+        kernel-cache entry when a response check convicts this engine's
+        output (:func:`repro.hdl.compile.evict_kernel`).
+        """
+        return self._entry.kernel.fingerprint
+
     def run(self, indices: Sequence[int]) -> np.ndarray:
         """Unrank a batch of indices in one sweep → ``(B, n)`` array."""
         outs = self._entry.run({"index": list(indices)}, materialize=False)

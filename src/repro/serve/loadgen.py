@@ -8,9 +8,23 @@ measure a batching layer, because an open-loop generator with a fixed
 rate either underfills batches (rate too low) or measures queueing
 collapse (rate too high).
 
-Shed requests (:class:`~repro.errors.ServiceOverloadedError`) are
-counted and retried after a short backoff, exercising exactly the
-client behaviour the admission-control contract asks for.
+Failed attempts are accounted by *why* they failed, never folded
+together: overload sheds (:class:`~repro.errors.ServiceOverloadedError`,
+the admission queue was full — back off and retry) and degraded sheds
+(:class:`~repro.errors.ServiceDegradedError`, a supervised shard stepped
+down past the rung that could serve the request) are separate counters,
+and responses that *were* served while degraded (``mode="fallback"``)
+are counted as service, tallied per mode.  ``availability`` is the
+fraction of attempts that produced a response — the number the chaos
+campaign's ≥90 % floor is asserted against.
+
+With ``verify=True`` every response is client-side checked through the
+same oracle the supervised tier uses internally
+(:func:`~repro.robustness.checkers.check_served_batch`): bijectivity for
+everything, the independent rank-oracle for deterministic workloads.
+``incorrect`` counts convictions and must be zero — a nonzero count
+means the serving stack returned a wrong permutation to a client, the
+one invariant no degradation excuses.
 
 Workloads are drawn per-request from a seeded weighted mix, and unrank
 indices from the same seeded stream, so a report is reproducible for a
@@ -24,8 +38,15 @@ import threading
 import time
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.core.factorial import factorial
-from repro.errors import ServiceOverloadedError
+from repro.errors import (
+    FaultDetectedError,
+    ServiceDegradedError,
+    ServiceOverloadedError,
+)
+from repro.robustness.checkers import check_served_batch
 from repro.serve.model import WORKLOADS, Request
 from repro.serve.service import PermutationService
 
@@ -53,6 +74,11 @@ class LoadReport:
     cache_hits: int = 0
     batch_lane_sum: int = 0
     batched_responses: int = 0
+    degraded_shed: int = 0
+    degraded_responses: int = 0
+    abandoned: int = 0
+    incorrect: int = 0
+    modes: dict[str, int] = field(default_factory=dict)
 
     @property
     def throughput_rps(self) -> float:
@@ -64,6 +90,20 @@ class LoadReport:
         if not self.batched_responses:
             return 0.0
         return self.batch_lane_sum / self.batched_responses
+
+    @property
+    def availability(self) -> float:
+        """Fraction of attempts that produced a response.
+
+        Every shed — overload or degraded — and every abandoned request
+        counts as a failed attempt; a response served from any rung
+        (worker, fallback, cache) counts as service.  1.0 when nothing
+        was attempted.
+        """
+        attempts = self.completed + self.shed + self.degraded_shed + self.abandoned
+        if attempts == 0:
+            return 1.0
+        return self.completed / attempts
 
     def latency_percentiles(self) -> dict[str, float]:
         values = sorted(self.latencies_s)
@@ -83,12 +123,19 @@ def run_closed_loop(
     mix: dict[str, float] | None = None,
     seed: int = 0,
     shed_backoff_s: float = 0.0005,
+    degraded_backoff_s: float = 0.005,
+    max_attempts: int = 400,
+    verify: bool = False,
 ) -> LoadReport:
     """Drive ``total`` completed requests through ``service``.
 
     ``mix`` maps workload name → weight (default: uniform over all
     three).  Returns a :class:`LoadReport`; every latency sample is the
-    full client-observed round trip (submit → response).
+    full client-observed round trip (submit → response).  A request that
+    keeps shedding for ``max_attempts`` attempts is *abandoned* (counted,
+    not retried forever) so a permanently degraded shard cannot hang the
+    run.  With ``verify=True`` each response is oracle-checked and
+    convictions are counted in ``incorrect``.
     """
     if total < 1:
         raise ValueError("total must be positive")
@@ -106,6 +153,18 @@ def run_closed_loop(
     lock = threading.Lock()
     remaining = [total]
 
+    def check_response(resp) -> bool:
+        """True when the served permutation survives the oracle."""
+        perms = np.asarray([resp.permutation], dtype=np.int64)
+        indices = None
+        if resp.workload != "shuffle" and resp.index is not None:
+            indices = [resp.index]
+        try:
+            check_served_batch(perms, indices)
+        except FaultDetectedError:
+            return False
+        return True
+
     def client(client_id: int) -> None:
         rng = random.Random((seed << 16) ^ client_id)
         while True:
@@ -120,7 +179,8 @@ def run_closed_loop(
                 index = rng.randrange(limit)
             req = Request(workload=workload, n=n, index=index)
             t0 = time.perf_counter()
-            while True:
+            resp = None
+            for _ in range(max_attempts):
                 try:
                     resp = service.submit(req).result(timeout=30.0)
                     break
@@ -128,11 +188,25 @@ def run_closed_loop(
                     with lock:
                         report.shed += 1
                     time.sleep(shed_backoff_s)
+                except ServiceDegradedError:
+                    with lock:
+                        report.degraded_shed += 1
+                    time.sleep(degraded_backoff_s)
+            if resp is None:
+                with lock:
+                    report.abandoned += 1
+                continue
             latency = time.perf_counter() - t0
+            ok = check_response(resp) if verify else True
             with lock:
                 report.completed += 1
                 report.latencies_s.append(latency)
                 report.by_workload[workload] = report.by_workload.get(workload, 0) + 1
+                report.modes[resp.mode] = report.modes.get(resp.mode, 0) + 1
+                if resp.mode == "fallback":
+                    report.degraded_responses += 1
+                if not ok:
+                    report.incorrect += 1
                 if resp.cached:
                     report.cache_hits += 1
                 else:

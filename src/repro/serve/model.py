@@ -58,6 +58,14 @@ class Response:
     otherwise it identifies the compiled sweep this request shared with
     ``lanes − 1`` others and links the response to its batch span in the
     trace.
+
+    ``mode`` records which rung of the serving ladder produced the
+    result: ``"direct"`` (the base service's in-process engine),
+    ``"worker"`` (a supervised tier's compiled worker), ``"fallback"``
+    (the supervised tier degraded to its in-process interp fallback for
+    this sweep) or ``"cached"`` (never swept at all).  Clients and the
+    load generator use it to count degraded-mode service separately
+    from healthy service.
     """
 
     request_id: int
@@ -71,6 +79,7 @@ class Response:
     queued_s: float
     sweep_s: float
     total_s: float
+    mode: str = "direct"
 
 
 def validate_request(req: Request, max_n: int) -> None:

@@ -50,7 +50,11 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.factorial import factorial, index_width
-from repro.errors import ServiceOverloadedError
+from repro.errors import (
+    ServiceDegradedError,
+    ServiceOverloadedError,
+    ServiceShutdownError,
+)
 from repro.hdl.compile import SWEEP_LANES
 from repro.obs import metrics as _metrics
 from repro.obs.metrics import FAST_LATENCY_BUCKETS
@@ -90,6 +94,11 @@ _STAGE_SECONDS = _metrics.REGISTRY.histogram(
 )
 _CACHE_TOTAL = _metrics.REGISTRY.counter(
     "repro_serve_cache_total", "result cache lookups by result", ("result",)
+)
+_MODE_TOTAL = _metrics.REGISTRY.counter(
+    "repro_serve_mode_total",
+    "responses by serving mode (degradation-ladder rung)",
+    ("mode",),
 )
 
 
@@ -200,6 +209,7 @@ class PermutationService:
         self._index_sources: dict[int, ScaledRandomInteger] = {}
         self._next_request_id = 0
         self._shed = 0
+        self._degraded_shed = 0
         self._completed = 0
         self._closed = False
         self._dispatcher = threading.Thread(
@@ -211,13 +221,38 @@ class PermutationService:
     # lifecycle
 
     def close(self) -> None:
-        """Drain every queued batch, then stop the dispatcher."""
+        """Drain every queued batch, then stop the dispatcher.
+
+        Shutdown settles **every** pending future: the dispatcher's
+        final pass flushes whatever the batcher holds (each entry
+        resolves with its response, or with the error its batch hit),
+        and any entry still queued after the dispatcher exits — which
+        can only happen if the dispatcher itself died — is failed with
+        :class:`~repro.errors.ServiceShutdownError`.  No waiter is ever
+        left hung on a closed service.
+        """
         with self._cond:
             if self._closed:
                 return
             self._closed = True
             self._cond.notify_all()
         self._dispatcher.join()
+        self._fail_pending(ServiceShutdownError("service closed before execution"))
+
+    def _fail_pending(self, exc: BaseException) -> None:
+        """Settle every still-queued entry with ``exc`` (shutdown belt)."""
+        with self._cond:
+            leftovers = self._batcher.take_all()
+            if not leftovers:
+                return
+            for batch in leftovers:
+                for e in batch.entries:
+                    e.future._finish(None, exc)
+            self._cond.notify_all()
+        if _metrics.REGISTRY.enabled:
+            for batch in leftovers:
+                for e in batch.entries:
+                    _REQUESTS.inc(workload=e.request.workload, outcome="error")
 
     def __enter__(self) -> "PermutationService":
         return self
@@ -232,10 +267,13 @@ class PermutationService:
         """Admit one request; returns a future for its response.
 
         Raises :class:`~repro.errors.InvalidRequestError` on malformed
-        input and :class:`~repro.errors.ServiceOverloadedError` when the
+        input, :class:`~repro.errors.ServiceOverloadedError` when the
         queue is at ``max_queue_depth`` (the request was shed — back off
-        and retry).  The future resolves when the request's batch
-        executes; a cache hit returns an already-resolved future.
+        and retry), :class:`~repro.errors.ServiceDegradedError` when a
+        supervised tier has degraded this request's shard past the rung
+        that could serve it, and :class:`~repro.errors.ServiceShutdownError`
+        on a closed service.  The future resolves when the request's
+        batch executes; a cache hit returns an already-resolved future.
         """
         validate_request(request, self.config.max_n)
         metrics_on = _metrics.REGISTRY.enabled
@@ -243,10 +281,11 @@ class PermutationService:
         run_inline: Batch | None = None
         with self._cond:
             if self._closed:
-                raise RuntimeError("service is closed")
+                raise ServiceShutdownError("service is closed")
             request_id = self._next_request_id
             self._next_request_id += 1
             workload, n = request.workload, request.n
+            key = ("shuffle", n) if workload == "shuffle" else ("converter", n)
             index = request.index
             if workload == "random_perm":
                 index = self._draw_index(n)
@@ -273,14 +312,27 @@ class PermutationService:
                             queued_s=0.0,
                             sweep_s=0.0,
                             total_s=total,
+                            mode="cached",
                         ),
                         None,
                     )
                     if metrics_on:
                         _STAGE_SECONDS.observe(total, stage="total")
+                        _MODE_TOTAL.inc(mode="cached")
                     return future
                 if metrics_on:
                     _CACHE_TOTAL.inc(result="miss")
+            try:
+                # Supervised tiers veto here when the shard's degradation
+                # ladder has stepped down to cache-only: hits (above)
+                # still serve, everything else is shed with a typed
+                # signal the client can distinguish from overload.
+                self._degrade_gate(workload, key)
+            except ServiceDegradedError:
+                self._degraded_shed += 1
+                if metrics_on:
+                    _REQUESTS.inc(workload=workload, outcome="degraded")
+                raise
             depth = self._batcher.pending
             if depth >= self.config.max_queue_depth:
                 self._shed += 1
@@ -291,7 +343,6 @@ class PermutationService:
                     queue_depth=depth,
                     limit=self.config.max_queue_depth,
                 )
-            key = ("shuffle", n) if workload == "shuffle" else ("converter", n)
             entry = PendingEntry(
                 request=_Admitted(request_id, workload, n, index, t_submit),
                 future=future,
@@ -325,6 +376,7 @@ class PermutationService:
                 "submitted": self._next_request_id,
                 "completed": self._completed,
                 "shed": self._shed,
+                "degraded_shed": self._degraded_shed,
                 "queued": self._batcher.pending,
                 "cache_hits": self._cache.hits,
                 "cache_misses": self._cache.misses,
@@ -358,29 +410,70 @@ class PermutationService:
             lock = self._engine_locks.setdefault(key, threading.Lock())
         return lock
 
+    def _degrade_gate(self, workload: str, key: tuple[str, int]) -> None:
+        """Admission veto hook for degraded shards.
+
+        The base service never degrades — every admitted request is
+        served by its in-process engine — so this is a no-op.  The
+        supervised tier overrides it to raise
+        :class:`~repro.errors.ServiceDegradedError` for shards pinned in
+        cache-only mode.
+        """
+
+    def _run_sweep(self, batch: Batch, kind: str, n: int):
+        """Execute one closed batch's sweep → ``(perms, mode)``.
+
+        The execution seam of the serving layer: everything above it
+        (admission, batching, futures, caching, per-request metrics) is
+        shared between tiers, everything below it is how a sweep
+        actually runs.  The base implementation runs the engine-bank
+        engine in-process (mode ``"direct"``); the supervised tier
+        overrides it to route the sweep through its worker/fallback
+        degradation ladder and returns the rung that served it.
+        """
+        with self._lock:
+            engine = self._engines.for_key(batch.key)
+        with self._engine_lock(batch.key):
+            if kind == "shuffle":
+                return engine.run(batch.lanes), "direct"
+            return engine.run([e.request.index for e in batch.entries]), "direct"
+
     def _run_dispatcher(self) -> None:
-        """Deadline loop: flush groups whose batching window expired."""
-        while True:
-            with self._cond:
-                while True:
-                    now = _monotonic()
-                    due = (
-                        self._batcher.take_all()
-                        if self._closed
-                        else self._batcher.take_due(now)
-                    )
-                    if due:
-                        if _metrics.REGISTRY.enabled:
-                            _QUEUE_DEPTH.set(self._batcher.pending)
-                        break
-                    if self._closed:
-                        return
-                    deadline = self._batcher.next_deadline()
-                    self._cond.wait(
-                        None if deadline is None else max(0.0, deadline - now)
-                    )
-            for batch in due:
-                self._execute(batch)
+        """Deadline loop: flush groups whose batching window expired.
+
+        The loop itself must never die with futures in flight: if
+        anything escapes :meth:`_execute` (which already converts sweep
+        failures into failed futures), the remaining queue is settled
+        with :class:`~repro.errors.ServiceShutdownError` before the
+        thread exits, so no waiter can hang on a dead dispatcher.
+        """
+        try:
+            while True:
+                with self._cond:
+                    while True:
+                        now = _monotonic()
+                        due = (
+                            self._batcher.take_all()
+                            if self._closed
+                            else self._batcher.take_due(now)
+                        )
+                        if due:
+                            if _metrics.REGISTRY.enabled:
+                                _QUEUE_DEPTH.set(self._batcher.pending)
+                            break
+                        if self._closed:
+                            return
+                        deadline = self._batcher.next_deadline()
+                        self._cond.wait(
+                            None if deadline is None else max(0.0, deadline - now)
+                        )
+                for batch in due:
+                    self._execute(batch)
+        except BaseException:  # pragma: no cover - dispatcher bug guard
+            self._fail_pending(
+                ServiceShutdownError("serving dispatcher died; request dropped")
+            )
+            raise
 
     def _execute(self, batch: Batch) -> None:
         """Run one closed batch through its engine and resolve futures."""
@@ -391,25 +484,20 @@ class PermutationService:
             else None
         )
         kind, n = batch.key
-        with self._lock:
-            engine = self._engines.for_key(batch.key)
         exec_start = time.perf_counter()
         try:
-            with self._engine_lock(batch.key):
-                if kind == "shuffle":
-                    perms = engine.run(batch.lanes)
-                else:
-                    perms = engine.run(
-                        [e.request.index for e in batch.entries]
-                    )
-        except BaseException as exc:  # pragma: no cover - engine bug guard
+            perms, mode = self._run_sweep(batch, kind, n)
+        except BaseException as exc:
+            outcome = (
+                "degraded" if isinstance(exc, ServiceDegradedError) else "error"
+            )
             with self._cond:
                 for e in batch.entries:
                     e.future._finish(None, exc)
                 self._cond.notify_all()
             if metrics_on:
                 for e in batch.entries:
-                    _REQUESTS.inc(workload=e.request.workload, outcome="error")
+                    _REQUESTS.inc(workload=e.request.workload, outcome=outcome)
             if span is not None:
                 span.end("error", error=f"{type(exc).__name__}: {exc}")
                 with self._lock:
@@ -439,11 +527,13 @@ class PermutationService:
                         queued_s=queued,
                         sweep_s=sweep_s,
                         total_s=done - adm.submitted_at,
+                        mode=mode,
                     ),
                 )
             )
             if metrics_on:
                 _REQUESTS.inc(workload=adm.workload, outcome="ok")
+                _MODE_TOTAL.inc(mode=mode)
                 _STAGE_SECONDS.observe(queued, stage="queued")
                 _STAGE_SECONDS.observe(sweep_s, stage="sweep")
                 _STAGE_SECONDS.observe(done - adm.submitted_at, stage="total")

@@ -1,0 +1,887 @@
+"""Supervised multi-worker serving tier: restart, breakers, degradation.
+
+:class:`PermutationService` (PR 5) is a single failure domain: one stuck
+sweep, one corrupted kernel or one crashed thread takes every shard down
+with it.  This module applies the repo's fault-injection philosophy one
+layer up — the serving stack itself is treated as hardware that *will*
+fail, and correctness under failure is verified, not assumed.
+
+Architecture
+------------
+
+Sweeps are executed by **shard workers**: one supervised worker per
+batch-group key ``(kind, n)``, each owning a *private* engine (its own
+compiled kernel entry) and running sweeps on its own thread, the
+in-process stand-in for a worker process.  The supervisor drives each
+sweep through a per-shard **degradation ladder**:
+
+1. **worker** — the compiled-engine worker runs the sweep under a
+   response deadline.  A crash (the worker thread dies), a stall (the
+   deadline expires; the worker is abandoned exactly like
+   :func:`~repro.parallel.sharding.hardened_map_reduce` abandons a
+   timed-out process — any late result is discarded) or a failed
+   response check counts against the shard's **circuit breaker** and
+   schedules a worker **restart with exponential backoff** on the
+   monotonic clock (the same clock-seam discipline as
+   ``parallel/sharding.py``; tests drive ``_monotonic`` directly).
+2. **fallback** — while the worker is restarting or its breaker is
+   open, sweeps run on the in-process interp fallback (the functional
+   model for converter shards — a different algorithm and code path
+   from the compiled datapath, so a kernel bug cannot follow the sweep
+   down the ladder).  The fallback has its own breaker.
+3. **cache-only** — with both breakers open the shard serves cache hits
+   only; everything else is shed with
+   :class:`~repro.errors.ServiceDegradedError` at admission.
+
+Every worker-produced **and** fallback-produced batch is end-to-end
+self-checked through :func:`repro.robustness.checkers.check_served_batch`
+(bijectivity for all sweeps, the independent Lehmer rank-oracle for
+converter sweeps) before any future resolves — a corrupted result is
+never served silently.  A check failure additionally **quarantines** the
+worker's compiled kernel (:func:`repro.hdl.compile.evict_kernel`): the
+replacement worker recompiles from the netlist rather than inheriting
+the convicted artefact through the process-wide kernel cache.
+
+The breaker is the classic three-state machine::
+
+            failure_threshold consecutive failures
+   CLOSED ──────────────────────────────────────────▶ OPEN
+      ▲                                                │ recovery_s
+      │ half_open_probes successes          elapsed    ▼
+      └──────────────────────────────────────────── HALF-OPEN
+                         (any failure reopens)
+
+Everything is observable: worker restarts, failovers, check failures
+and quarantines are counters; breaker state is the Prometheus enum
+gauge ``repro_serve_breaker_state``; served-mode counts flow through
+``repro_serve_mode_total``; and with a tracer attached every failover,
+restart and check failure becomes a span.
+
+:class:`SupervisedService` plugs the supervisor into the service's
+execution seam (:meth:`~repro.serve.service.PermutationService._run_sweep`)
+and admission gate, inheriting the whole PR-5 hot path unchanged.
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.core.converter import IndexToPermutationConverter
+from repro.errors import (
+    FaultDetectedError,
+    ServiceDegradedError,
+    WorkerCrashedError,
+    WorkerStalledError,
+)
+from repro.hdl.compile import evict_kernel
+from repro.obs import metrics as _metrics
+from repro.obs.tracing import Span, Tracer
+from repro.robustness.checkers import check_served_batch
+from repro.serve.engine import ConverterEngine, ShuffleEngine
+from repro.serve.service import PermutationService, ServiceConfig
+
+__all__ = [
+    "BREAKER_STATES",
+    "BreakerConfig",
+    "CircuitBreaker",
+    "SupervisorConfig",
+    "ShardWorker",
+    "FunctionalConverterEngine",
+    "SweepSupervisor",
+    "SupervisedService",
+]
+
+# Injectable clock/sleep seams (monotonic), mirroring parallel.sharding:
+# every deadline, backoff and heartbeat computation goes through these.
+_monotonic = time.monotonic
+_sleep = time.sleep
+
+#: Breaker states in enum-gauge order (closed is the healthy state).
+BREAKER_STATES = ("closed", "open", "half_open")
+
+#: How long an idle worker thread waits on its queue between heartbeats.
+_POLL_S = 0.05
+
+_WORKER_RESTARTS = _metrics.REGISTRY.counter(
+    "repro_serve_worker_restarts_total",
+    "supervised worker restarts by shard and reason",
+    ("shard", "reason"),
+)
+_BREAKER_STATE = _metrics.REGISTRY.gauge(
+    "repro_serve_breaker_state",
+    "circuit-breaker state per shard and ladder path (enum gauge)",
+    ("shard", "path", "state"),
+)
+_CHECK_FAILURES = _metrics.REGISTRY.counter(
+    "repro_serve_check_failures_total",
+    "served-response check failures by shard and check kind",
+    ("shard", "kind"),
+)
+_FAILOVERS = _metrics.REGISTRY.counter(
+    "repro_serve_failovers_total",
+    "sweeps that failed over from the worker to the fallback rung",
+    ("shard",),
+)
+_QUARANTINES = _metrics.REGISTRY.counter(
+    "repro_serve_kernel_quarantines_total",
+    "compiled kernels evicted after a response-check conviction",
+    ("shard",),
+)
+
+
+# --------------------------------------------------------------------- #
+# circuit breaker
+
+
+@dataclass(frozen=True)
+class BreakerConfig:
+    """Thresholds for one :class:`CircuitBreaker`.
+
+    ``failure_threshold`` consecutive failures trip the breaker OPEN;
+    after ``recovery_s`` (monotonic) it half-opens and admits probe
+    traffic; ``half_open_probes`` consecutive probe successes close it
+    again, any probe failure re-opens it and restarts the recovery
+    clock.
+    """
+
+    failure_threshold: int = 3
+    recovery_s: float = 0.25
+    half_open_probes: int = 1
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ValueError("failure_threshold must be positive")
+        if self.recovery_s < 0:
+            raise ValueError("recovery_s must be non-negative")
+        if self.half_open_probes < 1:
+            raise ValueError("half_open_probes must be positive")
+
+
+class CircuitBreaker:
+    """Closed → open → half-open breaker on the monotonic clock.
+
+    A pure, lock-free state machine: the caller (the supervisor, under
+    its lock) invokes :meth:`allow` before attempting the guarded path
+    and exactly one of :meth:`record_success` / :meth:`record_failure`
+    after.  The OPEN → HALF_OPEN transition is computed lazily from the
+    clock seam on read, so no timer thread exists and tests can drive
+    recovery by stepping a fake clock.
+    """
+
+    def __init__(self, config: BreakerConfig | None = None):
+        self.config = config or BreakerConfig()
+        self._failures = 0  # consecutive failures while closed
+        self._probes = 0  # consecutive successes while half-open
+        self._opened_at: float | None = None
+        self.trips = 0  # lifetime closed→open transitions
+
+    @property
+    def state(self) -> str:
+        if self._opened_at is None:
+            return "closed"
+        if _monotonic() - self._opened_at >= self.config.recovery_s:
+            return "half_open"
+        return "open"
+
+    def allow(self) -> bool:
+        """May the guarded path be attempted right now?"""
+        return self.state != "open"
+
+    def record_success(self) -> None:
+        if self._opened_at is not None:
+            self._probes += 1
+            if self._probes >= self.config.half_open_probes:
+                self._opened_at = None
+                self._failures = 0
+                self._probes = 0
+        else:
+            self._failures = 0
+
+    def record_failure(self) -> None:
+        self._probes = 0
+        if self._opened_at is not None:
+            # a half-open probe failed: re-open and restart recovery
+            self._opened_at = _monotonic()
+            return
+        self._failures += 1
+        if self._failures >= self.config.failure_threshold:
+            self._opened_at = _monotonic()
+            self.trips += 1
+
+
+# --------------------------------------------------------------------- #
+# workers
+
+
+class _SweepJob:
+    """One sweep handed to a worker thread, with a settled-event."""
+
+    __slots__ = ("payload", "event", "value", "error")
+
+    def __init__(self, payload):
+        self.payload = payload
+        self.event = threading.Event()
+        self.value = None
+        self.error: BaseException | None = None
+
+
+class ShardWorker:
+    """One supervised worker: a private engine swept on its own thread.
+
+    The thread is the in-process stand-in for a worker process: it owns
+    the engine (built in :meth:`__init__`, on the spawning thread, so a
+    failed build surfaces as a failed spawn, not a dead worker), beats a
+    heartbeat timestamp while idle and around every sweep, and dies —
+    ``alive`` goes ``False`` — when a sweep raises
+    :class:`~repro.errors.WorkerCrashedError` (how the chaos harness
+    simulates a worker-process crash).  Any other sweep exception fails
+    the sweep but leaves the worker up, like a process surviving one bad
+    request.
+
+    :meth:`run` enforces the response deadline: if the worker does not
+    settle the job in time it raises
+    :class:`~repro.errors.WorkerStalledError` and the worker must be
+    :meth:`kill`-ed — the stalled thread is abandoned (it cannot be
+    interrupted, exactly like a stuck worker process) and any late
+    result it produces is discarded with the job object.
+    """
+
+    def __init__(self, key, worker_id: int, engine, chaos=None):
+        self.key = key
+        self.worker_id = worker_id
+        self.engine = engine
+        self.chaos = chaos
+        self.alive = True
+        self.last_beat = _monotonic()
+        self._killed = False
+        self._queue: queue.SimpleQueue = queue.SimpleQueue()
+        self._thread = threading.Thread(
+            target=self._loop,
+            name=f"serve-worker-{key[0]}-{key[1]}-{worker_id}",
+            daemon=True,
+        )
+        self._thread.start()
+
+    # ------------------------------------------------------------------ #
+
+    def run(self, payload, deadline_s: float):
+        """One sweep with a response deadline; raises typed failures."""
+        if not self.alive:
+            raise WorkerCrashedError(
+                f"worker {self.worker_id} for shard {self.key} is dead"
+            )
+        job = _SweepJob(payload)
+        self._queue.put(job)
+        if not job.event.wait(deadline_s):
+            raise WorkerStalledError(
+                f"worker {self.worker_id} for shard {self.key} missed its "
+                f"{deadline_s:g}s sweep deadline (stall detected)"
+            )
+        if job.error is not None:
+            raise job.error
+        return job.value
+
+    def kill(self) -> None:
+        """Abandon the worker; a stalled thread exits at its next beat."""
+        self.alive = False
+        self._killed = True
+        self._queue.put(None)  # wake an idle loop so the thread exits
+
+    @property
+    def heartbeat_age_s(self) -> float:
+        return max(0.0, _monotonic() - self.last_beat)
+
+    # ------------------------------------------------------------------ #
+
+    def _loop(self) -> None:
+        while not self._killed:
+            try:
+                job = self._queue.get(timeout=_POLL_S)
+            except queue.Empty:
+                self.last_beat = _monotonic()
+                continue
+            if job is None or self._killed:
+                break
+            self.last_beat = _monotonic()
+            try:
+                plan = (
+                    self.chaos.plan_sweep(self.key, self.worker_id)
+                    if self.chaos is not None
+                    else None
+                )
+                if plan is not None:
+                    plan.before()  # may crash the worker or stall it
+                value = self.engine.run(job.payload)
+                if plan is not None:
+                    value = plan.apply(value)
+            except WorkerCrashedError as exc:
+                # the worker "process" dies with the failing sweep
+                self.alive = False
+                job.error = exc
+                job.event.set()
+                return
+            except BaseException as exc:
+                job.error = exc
+                job.event.set()
+            else:
+                job.value = value
+                job.event.set()
+            self.last_beat = _monotonic()
+        self.alive = False
+
+
+class FunctionalConverterEngine:
+    """The interp fallback rung: the stage-accurate functional model.
+
+    Shares no code with the compiled datapath — a corrupted or
+    miscompiled kernel cannot reproduce its own bug here, which is what
+    makes failover a *correctness* recovery and not just an
+    availability one.
+    """
+
+    kind = "converter"
+
+    def __init__(self, n: int):
+        self.n = n
+        self.converter = IndexToPermutationConverter(n)
+
+    def run(self, indices):
+        return self.converter.convert_batch(list(indices))
+
+
+# --------------------------------------------------------------------- #
+# supervisor
+
+
+@dataclass(frozen=True)
+class SupervisorConfig:
+    """Tuning knobs for :class:`SweepSupervisor`.
+
+    ``sweep_deadline_s`` is the per-sweep response deadline (stall
+    detection); ``heartbeat_timeout_s`` the maximum tolerated heartbeat
+    age for an idle worker before it is declared stuck and restarted.
+    Restart backoff doubles per consecutive failure from
+    ``restart_backoff_s`` up to ``restart_backoff_max_s`` and resets on
+    success.  ``check`` enables the end-to-end response oracle (on by
+    default — the whole point of the tier); ``fallback`` enables the
+    interp rung of the ladder (off turns every worker outage into
+    cache-only mode).
+    """
+
+    sweep_deadline_s: float = 1.0
+    heartbeat_timeout_s: float = 5.0
+    restart_backoff_s: float = 0.02
+    restart_backoff_max_s: float = 1.0
+    check: bool = True
+    fallback: bool = True
+    breaker: BreakerConfig = field(default_factory=BreakerConfig)
+    fallback_breaker: BreakerConfig = field(
+        default_factory=lambda: BreakerConfig(failure_threshold=2, recovery_s=0.5)
+    )
+
+    def __post_init__(self) -> None:
+        if self.sweep_deadline_s <= 0:
+            raise ValueError("sweep_deadline_s must be positive")
+        if self.heartbeat_timeout_s <= 0:
+            raise ValueError("heartbeat_timeout_s must be positive")
+        if self.restart_backoff_s < 0 or self.restart_backoff_max_s < 0:
+            raise ValueError("restart backoffs must be non-negative")
+
+
+class _Shard:
+    """Supervisor-side state for one ``(kind, n)`` shard."""
+
+    __slots__ = (
+        "key",
+        "exec_lock",
+        "worker",
+        "fallback_engine",
+        "breaker",
+        "fallback_breaker",
+        "spawns",
+        "restarts",
+        "consecutive_failures",
+        "retry_at",
+        "check_failures",
+        "quarantines",
+        "served",
+    )
+
+    def __init__(self, key, config: SupervisorConfig):
+        self.key = key
+        self.exec_lock = threading.Lock()
+        self.worker: ShardWorker | None = None
+        self.fallback_engine = None
+        self.breaker = CircuitBreaker(config.breaker)
+        self.fallback_breaker = CircuitBreaker(config.fallback_breaker)
+        self.spawns = 0
+        self.restarts = 0
+        self.consecutive_failures = 0
+        self.retry_at = 0.0
+        self.check_failures = 0
+        self.quarantines = 0
+        self.served = {"worker": 0, "fallback": 0}
+
+
+class SweepSupervisor:
+    """Drives sweeps through the per-shard degradation ladder.
+
+    ``engine_factory(key, worker_id)`` builds a fresh private engine for
+    each spawned worker; ``fallback_factory(key)`` builds the shard's
+    in-process fallback engine (memoised per shard).  ``chaos`` is an
+    optional injection policy (see :mod:`repro.serve.chaos`) consulted
+    by workers before/after every sweep — and, when the policy targets
+    the fallback rung, by the supervisor's fallback execution too.
+    """
+
+    def __init__(
+        self,
+        config: SupervisorConfig | None = None,
+        *,
+        engine_factory,
+        fallback_factory,
+        chaos=None,
+        tracer: Tracer | None = None,
+    ):
+        self.config = config or SupervisorConfig()
+        self.chaos = chaos
+        self.tracer = tracer
+        self._engine_factory = engine_factory
+        self._fallback_factory = fallback_factory
+        self._lock = threading.Lock()
+        self._shards: dict[tuple, _Shard] = {}
+        self._worker_ids = itertools.count()
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+
+    def close(self) -> None:
+        with self._lock:
+            self._closed = True
+            workers = [s.worker for s in self._shards.values() if s.worker]
+        for w in workers:
+            w.kill()
+
+    # ------------------------------------------------------------------ #
+    # execution ladder
+
+    def execute(self, key, payload):
+        """Run one sweep → ``(perms, mode)``; raises when fully degraded.
+
+        ``payload`` is the list of indices for a converter sweep or the
+        lane count for a shuffle sweep.  ``mode`` is the rung that
+        served it (``"worker"`` or ``"fallback"``).  When every rung is
+        exhausted the sweep fails with
+        :class:`~repro.errors.ServiceDegradedError` — never with a
+        wrong result: both rungs are oracle-checked before returning.
+        """
+        shard = self._shard(key)
+        indices = payload if isinstance(payload, (list, tuple)) else None
+        with shard.exec_lock:
+            worker = self._acquire_worker(shard)
+            if worker is not None:
+                try:
+                    perms = worker.run(payload, self.config.sweep_deadline_s)
+                    if self.config.check:
+                        check_served_batch(perms, indices)
+                except FaultDetectedError as exc:
+                    self._on_check_failure(shard, worker, exc)
+                except Exception as exc:
+                    self._on_worker_failure(shard, worker, exc)
+                else:
+                    with self._lock:
+                        shard.consecutive_failures = 0
+                        shard.breaker.record_success()
+                        shard.served["worker"] += 1
+                    self._publish_breakers(shard)
+                    return perms, "worker"
+                if _metrics.REGISTRY.enabled:
+                    _FAILOVERS.inc(shard=self._shard_label(key))
+            return self._run_fallback(shard, payload, indices), "fallback"
+
+    def _run_fallback(self, shard: _Shard, payload, indices):
+        """The interp rung; raises ``ServiceDegradedError`` past it."""
+        with self._lock:
+            allowed = (
+                self.config.fallback
+                and not self._closed
+                and shard.fallback_breaker.allow()
+            )
+            engine = None
+            if allowed:
+                engine = shard.fallback_engine
+                if engine is None:
+                    engine = shard.fallback_engine = self._fallback_factory(
+                        shard.key
+                    )
+        if allowed:
+            try:
+                plan = (
+                    self.chaos.plan_fallback(shard.key)
+                    if self.chaos is not None
+                    else None
+                )
+                perms = engine.run(payload)
+                if plan is not None:
+                    perms = plan.apply(perms)
+                if self.config.check:
+                    check_served_batch(perms, indices)
+            except FaultDetectedError as exc:
+                with self._lock:
+                    shard.fallback_breaker.record_failure()
+                    shard.check_failures += 1
+                self._note_check_failure(shard, exc, path="fallback")
+            except Exception:
+                with self._lock:
+                    shard.fallback_breaker.record_failure()
+            else:
+                with self._lock:
+                    shard.fallback_breaker.record_success()
+                    shard.served["fallback"] += 1
+                self._publish_breakers(shard)
+                return perms
+        self._publish_breakers(shard)
+        raise ServiceDegradedError(
+            f"shard {shard.key} is degraded to cache-only mode "
+            "(worker and fallback rungs unavailable)",
+            mode="cache_only",
+            shard=shard.key,
+        )
+
+    # ------------------------------------------------------------------ #
+    # worker management
+
+    def _acquire_worker(self, shard: _Shard) -> ShardWorker | None:
+        """The shard's healthy worker, restarting it if due — or ``None``.
+
+        ``None`` means the worker rung is skipped this sweep: breaker
+        open, restart backoff still running, closed supervisor, or the
+        replacement worker failed to spawn.
+        """
+        with self._lock:
+            if self._closed or not shard.breaker.allow():
+                return None
+            worker = shard.worker
+            if worker is not None and worker.alive:
+                if worker.heartbeat_age_s <= self.config.heartbeat_timeout_s:
+                    return worker
+                # heartbeat went stale while idle: stuck, not serving
+                self._retire_worker_locked(
+                    shard, worker, "heartbeat", "worker heartbeat stale"
+                )
+                return None
+            if _monotonic() < shard.retry_at:
+                return None
+            worker_id = next(self._worker_ids)
+            respawn = shard.spawns > 0
+        # Engine construction (netlist + kernel compile) happens outside
+        # the supervisor lock: it can take milliseconds and other shards
+        # must not stall behind it.
+        try:
+            engine = self._engine_factory(shard.key, worker_id)
+            worker = ShardWorker(shard.key, worker_id, engine, chaos=self.chaos)
+        except Exception as exc:
+            with self._lock:
+                self._schedule_retry_locked(shard)
+                shard.breaker.record_failure()
+            self._adopt_span(
+                "serve.worker_restart",
+                {"shard": str(shard.key), "outcome": "spawn_failed"},
+                error=f"{type(exc).__name__}: {exc}",
+            )
+            return None
+        with self._lock:
+            shard.worker = worker
+            shard.spawns += 1
+            if respawn:
+                shard.restarts += 1
+                if _metrics.REGISTRY.enabled:
+                    _WORKER_RESTARTS.inc(
+                        shard=self._shard_label(shard.key), reason="respawn"
+                    )
+        if respawn:
+            self._adopt_span(
+                "serve.worker_restart",
+                {
+                    "shard": str(shard.key),
+                    "worker_id": worker_id,
+                    "restarts": shard.restarts,
+                },
+            )
+        return worker
+
+    def _retire_worker_locked(
+        self, shard: _Shard, worker: ShardWorker, reason: str, detail: str
+    ) -> None:
+        """Kill + schedule backoff + count one failure (caller holds lock)."""
+        worker.kill()
+        if shard.worker is worker:
+            shard.worker = None
+        self._schedule_retry_locked(shard)
+        shard.breaker.record_failure()
+        if _metrics.REGISTRY.enabled:
+            _WORKER_RESTARTS.inc(shard=self._shard_label(shard.key), reason=reason)
+
+    def _schedule_retry_locked(self, shard: _Shard) -> None:
+        shard.consecutive_failures += 1
+        delay = min(
+            self.config.restart_backoff_max_s,
+            self.config.restart_backoff_s
+            * (2 ** (shard.consecutive_failures - 1)),
+        )
+        shard.retry_at = _monotonic() + delay
+
+    def _on_worker_failure(
+        self, shard: _Shard, worker: ShardWorker, exc: Exception
+    ) -> None:
+        reason = (
+            "stall"
+            if isinstance(exc, WorkerStalledError)
+            else "crash" if isinstance(exc, WorkerCrashedError) else "error"
+        )
+        with self._lock:
+            self._retire_worker_locked(shard, worker, reason, str(exc))
+        self._adopt_span(
+            "serve.failover",
+            {"shard": str(shard.key), "reason": reason},
+            error=f"{type(exc).__name__}: {exc}",
+        )
+
+    def _on_check_failure(
+        self, shard: _Shard, worker: ShardWorker, exc: FaultDetectedError
+    ) -> None:
+        """A convicted response: quarantine the kernel, retire the worker."""
+        fingerprint = getattr(worker.engine, "kernel_fingerprint", None)
+        evicted = evict_kernel(fingerprint) if fingerprint is not None else 0
+        with self._lock:
+            shard.check_failures += 1
+            if fingerprint is not None:
+                shard.quarantines += 1
+            self._retire_worker_locked(shard, worker, "check_failure", str(exc))
+        if _metrics.REGISTRY.enabled and fingerprint is not None:
+            _QUARANTINES.inc(shard=self._shard_label(shard.key))
+        self._note_check_failure(shard, exc, path="worker", evicted=evicted)
+
+    def _note_check_failure(
+        self, shard: _Shard, exc: FaultDetectedError, path: str, evicted: int = 0
+    ) -> None:
+        kind = (
+            "rank_oracle"
+            if type(exc).__name__ == "SilentCorruptionError"
+            else "bijectivity"
+        )
+        if _metrics.REGISTRY.enabled:
+            _CHECK_FAILURES.inc(shard=self._shard_label(shard.key), kind=kind)
+        self._adopt_span(
+            "serve.check_failure",
+            {
+                "shard": str(shard.key),
+                "path": path,
+                "kind": kind,
+                "quarantined_kernels": evicted,
+            },
+            error=str(exc),
+        )
+
+    # ------------------------------------------------------------------ #
+    # introspection
+
+    def mode_for(self, key) -> str:
+        """The shard's ladder rung: ``full`` / ``degraded`` / ``cache_only``.
+
+        Called by the admission gate on *every* request, so the healthy
+        path is lock-free: a dict read and one attribute read, both
+        GIL-atomic.  A closed breaker (``_opened_at is None``) means the
+        worker rung is up; only a shard whose breaker has opened pays
+        for the locked state walk.  The read may be one transition stale
+        — harmless, because :meth:`execute` re-evaluates the ladder
+        authoritatively under the shard lock.
+        """
+        shard = self._shards.get(key)
+        if shard is None or shard.breaker._opened_at is None:
+            return "full"
+        with self._lock:
+            if shard.breaker.allow():
+                return "full"
+            if self.config.fallback and shard.fallback_breaker.allow():
+                return "degraded"
+            return "cache_only"
+
+    def stats(self) -> dict:
+        with self._lock:
+            shards = {}
+            totals = {
+                "restarts": 0,
+                "check_failures": 0,
+                "quarantines": 0,
+                "served_worker": 0,
+                "served_fallback": 0,
+                "breaker_trips": 0,
+            }
+            for key, s in self._shards.items():
+                worker = s.worker
+                shards[str(key)] = {
+                    "mode": (
+                        "full"
+                        if s.breaker.allow()
+                        else "degraded"
+                        if self.config.fallback and s.fallback_breaker.allow()
+                        else "cache_only"
+                    ),
+                    "breaker": s.breaker.state,
+                    "fallback_breaker": s.fallback_breaker.state,
+                    "restarts": s.restarts,
+                    "check_failures": s.check_failures,
+                    "quarantines": s.quarantines,
+                    "served": dict(s.served),
+                    "worker_alive": bool(worker is not None and worker.alive),
+                    "heartbeat_age_s": (
+                        worker.heartbeat_age_s if worker is not None else None
+                    ),
+                }
+                totals["restarts"] += s.restarts
+                totals["check_failures"] += s.check_failures
+                totals["quarantines"] += s.quarantines
+                totals["served_worker"] += s.served["worker"]
+                totals["served_fallback"] += s.served["fallback"]
+                totals["breaker_trips"] += s.breaker.trips + s.fallback_breaker.trips
+        return {"shards": shards, **totals}
+
+    def health_check(self) -> dict:
+        """Heartbeat ages + liveness per shard (operator probe)."""
+        with self._lock:
+            return {
+                str(key): {
+                    "alive": bool(s.worker is not None and s.worker.alive),
+                    "heartbeat_age_s": (
+                        s.worker.heartbeat_age_s if s.worker is not None else None
+                    ),
+                    "breaker": s.breaker.state,
+                }
+                for key, s in self._shards.items()
+            }
+
+    # ------------------------------------------------------------------ #
+    # internals
+
+    def _shard(self, key) -> _Shard:
+        with self._lock:
+            shard = self._shards.get(key)
+            if shard is None:
+                shard = self._shards[key] = _Shard(key, self.config)
+            return shard
+
+    @staticmethod
+    def _shard_label(key) -> str:
+        return f"{key[0]}:{key[1]}"
+
+    def _publish_breakers(self, shard: _Shard) -> None:
+        if not _metrics.REGISTRY.enabled:
+            return
+        label = self._shard_label(shard.key)
+        _BREAKER_STATE.set_enum(
+            shard.breaker.state, BREAKER_STATES, shard=label, path="worker"
+        )
+        _BREAKER_STATE.set_enum(
+            shard.fallback_breaker.state,
+            BREAKER_STATES,
+            shard=label,
+            path="fallback",
+        )
+
+    def _adopt_span(self, name: str, attrs: dict, error: str | None = None) -> None:
+        if self.tracer is None:
+            return
+        span = Span(name, attrs)
+        span.end("ok" if error is None else "error", error=error)
+        self.tracer.adopt(span)
+
+
+# --------------------------------------------------------------------- #
+# the supervised service
+
+
+class SupervisedService(PermutationService):
+    """:class:`PermutationService` with supervised sweep execution.
+
+    The admission/batching/caching hot path is inherited unchanged; only
+    the execution seam differs — sweeps run through a
+    :class:`SweepSupervisor` ladder instead of the in-process engine
+    bank, and admission consults the shard's degradation mode (cache
+    hits always serve; past cache-only, misses shed with
+    :class:`~repro.errors.ServiceDegradedError`).
+    """
+
+    def __init__(
+        self,
+        config: ServiceConfig | None = None,
+        supervisor: SupervisorConfig | None = None,
+        chaos=None,
+        tracer: Tracer | None = None,
+    ):
+        self.supervisor = SweepSupervisor(
+            supervisor,
+            engine_factory=self._make_worker_engine,
+            fallback_factory=self._make_fallback_engine,
+            chaos=chaos,
+            tracer=tracer,
+        )
+        super().__init__(config, tracer=tracer)
+
+    # ------------------------------------------------------------------ #
+
+    def close(self) -> None:
+        super().close()
+        self.supervisor.close()
+
+    def stats(self) -> dict:
+        stats = super().stats()
+        stats["supervisor"] = self.supervisor.stats()
+        return stats
+
+    # ------------------------------------------------------------------ #
+    # the two seams
+
+    def _degrade_gate(self, workload: str, key: tuple[str, int]) -> None:
+        if self.supervisor.mode_for(key) == "cache_only":
+            raise ServiceDegradedError(
+                f"shard {key} is in cache-only mode; request shed",
+                mode="cache_only",
+                shard=key,
+            )
+
+    def _run_sweep(self, batch, kind: str, n: int):
+        payload = (
+            batch.lanes
+            if kind == "shuffle"
+            else [e.request.index for e in batch.entries]
+        )
+        return self.supervisor.execute(batch.key, payload)
+
+    # ------------------------------------------------------------------ #
+    # engine factories
+
+    def _make_worker_engine(self, key, worker_id: int):
+        kind, n = key
+        if kind == "shuffle":
+            # distinct salt per spawned worker: a restarted shuffle
+            # worker must not replay its predecessor's LFSR stream
+            return ShuffleEngine(
+                n,
+                m=self.config.shuffle_m,
+                seed_salt=self.config.rng_seed + 7919 * (worker_id + 1),
+            )
+        return ConverterEngine(n)
+
+    def _make_fallback_engine(self, key):
+        kind, n = key
+        if kind == "shuffle":
+            return ShuffleEngine(
+                n, m=self.config.shuffle_m, seed_salt=self.config.rng_seed + 104729
+            )
+        return FunctionalConverterEngine(n)

@@ -398,3 +398,28 @@ class TestVectorisedPacking:
             bits_from_ints([8], 3)
         with pytest.raises(ValueError, match="does not fit"):
             bits_from_ints([1 << 70], 64)
+
+
+class TestKernelQuarantine:
+    """evict_kernel: the supervised tier's corrupted-kernel quarantine."""
+
+    def test_evicts_every_variant_of_the_fingerprint(self):
+        from repro.hdl.compile import evict_kernel
+
+        clear_kernel_cache()
+        nl = Netlist("quarantine")
+        a = nl.input("a", 2)
+        nl.output("y", nl.gate(Op.AND, a[0], a[1]))
+        plain = compile_netlist(nl)
+        patchable = compile_netlist(nl, patchable=True)
+        assert plain.fingerprint == patchable.fingerprint
+        assert evict_kernel(plain.fingerprint) == 2
+        assert evict_kernel(plain.fingerprint) == 0  # idempotent
+        # the next compile is a fresh build, not the convicted artefact
+        rebuilt = compile_netlist(nl)
+        assert rebuilt is not plain
+
+    def test_unknown_fingerprint_is_a_noop(self):
+        from repro.hdl.compile import evict_kernel
+
+        assert evict_kernel("not-a-real-fingerprint") == 0

@@ -177,3 +177,44 @@ class TestExposition:
         assert reg.render_exposition() == ""
         c.inc()  # handle still usable post-reset
         assert "c_total 1" in reg.render_exposition()
+
+
+class TestEnumGauge:
+    """Gauge.set_enum: the one-hot breaker-state publication pattern."""
+
+    def test_one_hot_across_states(self, reg):
+        g = reg.gauge("g_state", "help", ("shard", "state"))
+        g.set_enum("open", ("closed", "open", "half_open"), shard="s1")
+        snap = {
+            tuple(sorted(s["labels"].items())): s["value"]
+            for m in reg.snapshot()["metrics"]
+            if m["name"] == "g_state"
+            for s in m["series"]
+        }
+        assert snap[(("shard", "s1"), ("state", "closed"))] == 0.0
+        assert snap[(("shard", "s1"), ("state", "open"))] == 1.0
+        assert snap[(("shard", "s1"), ("state", "half_open"))] == 0.0
+
+    def test_transition_clears_the_previous_state(self, reg):
+        g = reg.gauge("g_state", "help", ("state",))
+        states = ("closed", "open", "half_open")
+        g.set_enum("open", states)
+        g.set_enum("closed", states)
+        values = {
+            s["labels"]["state"]: s["value"]
+            for m in reg.snapshot()["metrics"]
+            if m["name"] == "g_state"
+            for s in m["series"]
+        }
+        assert values == {"closed": 1.0, "open": 0.0, "half_open": 0.0}
+
+    def test_unknown_state_rejected(self, reg):
+        g = reg.gauge("g_state", "help", ("state",))
+        with pytest.raises(ValueError):
+            g.set_enum("exploded", ("closed", "open"))
+
+    def test_disabled_registry_noop(self):
+        reg = MetricsRegistry(enabled=False)
+        g = reg.gauge("g_state", "help", ("state",))
+        g.set_enum("anything-goes", ("closed",))  # not even validated
+        assert g.series_count == 0

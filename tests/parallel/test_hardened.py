@@ -278,3 +278,64 @@ class TestPlainRunnerErrorWrapping:
         assert index_shards(0, 3) == []
         with pytest.raises(ValueError):
             parallel_map_reduce(_square_sum, index_shards(0, 3), _add)
+
+
+class _AlwaysCrashes:
+    """Kills its worker process on every attempt of one shard.
+
+    The small delay lets healthy shards in the same wave finish before
+    the pool is torn down, keeping the failure isolated to its shard.
+    """
+
+    def __init__(self, bad_shard: int = 1, delay: float = 0.25):
+        self.bad_shard = bad_shard
+        self.delay = delay
+
+    def __call__(self, shard: ShardSpec) -> int:
+        if shard.shard_id == self.bad_shard:
+            time.sleep(self.delay)
+            os._exit(1)
+        return _square_sum(shard)
+
+
+class TestFailureManifest:
+    """Satellite: per-shard attempts and final-failure causes surface."""
+
+    def test_worker_crash_mid_campaign_yields_partial_with_coverage(self):
+        shards = index_shards(40, 4)
+        partial = hardened_map_reduce(
+            _AlwaysCrashes(), shards, _add,
+            workers=2, retries=2, degrade=True, backoff=0.0, jitter=0.0,
+        )
+        assert not partial.complete
+        failed_ids = {f.shard_id for f in partial.failed}
+        assert 1 in failed_ids
+        # coverage is accurate: completed + failed account for every shard
+        assert partial.completed == 4 - len(failed_ids)
+        assert partial.coverage == pytest.approx(partial.completed / 4)
+        crash = next(f for f in partial.failed if f.shard_id == 1)
+        assert crash.cause_type == "BrokenProcessPool"
+        assert crash.attempts == 3  # 1 initial + 2 retries, all consumed
+        assert partial.attempts[1] == 3
+        assert partial.failure_causes()["BrokenProcessPool"] >= 1
+        assert partial.retried_shards >= 1
+        # the reduction covers exactly the surviving shards
+        expected = sum(
+            _square_sum(s) for s in shards if s.shard_id not in failed_ids
+        )
+        assert partial.value == expected
+
+    def test_attempt_counts_cover_clean_and_retried_shards(self, tmp_path):
+        shards = index_shards(50, 4)
+        partial = hardened_map_reduce(
+            _FlakyOnce(str(tmp_path)), shards, _add,
+            workers=1, degrade=True, backoff=0.0, jitter=0.0,
+        )
+        assert partial.complete
+        assert partial.attempts[1] == 2  # the flaky shard needed a retry
+        assert all(
+            partial.attempts[s.shard_id] == 1 for s in shards if s.shard_id != 1
+        )
+        assert partial.total_attempts == 5
+        assert partial.retried_shards == 1
+        assert partial.failure_causes() == {}

@@ -11,7 +11,11 @@ from repro.errors import (
     SilentCorruptionError,
 )
 from repro.hdl.components import geq_const
-from repro.robustness.checkers import CheckedConverter, is_permutation_of
+from repro.robustness.checkers import (
+    CheckedConverter,
+    check_served_batch,
+    is_permutation_of,
+)
 from repro.robustness.faults import FaultOverlay, StuckAtFault, stuck_fault_sites
 
 
@@ -138,3 +142,51 @@ def test_is_permutation_of():
     assert is_permutation_of([2, 0, 1], [0, 1, 2])
     assert not is_permutation_of([2, 2, 1], [0, 1, 2])
     assert not is_permutation_of([0, 1], [0, 1, 2])
+
+
+class TestServedBatchOracle:
+    """check_served_batch: the supervised serving tier's response check."""
+
+    def _batch(self, n=5, indices=(0, 1, 59, 119)):
+        conv = IndexToPermutationConverter(n)
+        return np.array([conv.convert(i) for i in indices]), list(indices)
+
+    def test_clean_batch_passes_with_and_without_indices(self):
+        perms, indices = self._batch()
+        check_served_batch(perms, indices)
+        check_served_batch(perms)  # bijectivity-only (shuffle sweeps)
+
+    def test_bit_flip_breaks_bijectivity(self):
+        perms, indices = self._batch()
+        perms[2, 0] ^= 1
+        with pytest.raises(FaultDetectedError):
+            check_served_batch(perms, indices)
+        with pytest.raises(FaultDetectedError):
+            check_served_batch(perms)  # caught even without the oracle
+
+    def test_valid_but_wrong_lane_needs_the_rank_oracle(self):
+        perms, indices = self._batch()
+        perms[1, 0], perms[1, 1] = perms[1, 1].item(), perms[1, 0].item()
+        # still bijective → the structural check alone is blind to it
+        check_served_batch(perms)
+        with pytest.raises(SilentCorruptionError):
+            check_served_batch(perms, indices)
+
+    def test_conviction_names_the_lane(self):
+        perms, indices = self._batch()
+        perms[3, 0] ^= 1
+        with pytest.raises(FaultDetectedError, match="lane 3"):
+            check_served_batch(perms, indices)
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(FaultDetectedError):
+            check_served_batch(np.arange(5), [0])
+
+    def test_large_n_falls_back_to_naive_ranker(self):
+        # n > 20 exceeds the vectorised ranker's factorial range
+        n = 24
+        identity = np.arange(n)
+        perms = np.stack([identity, identity[::-1].copy()])
+        check_served_batch(perms, [0, factorial(n) - 1])
+        with pytest.raises(SilentCorruptionError):
+            check_served_batch(perms, [1, factorial(n) - 1])

@@ -1,0 +1,103 @@
+"""ResultCache: LRU semantics and thread-safety under eviction pressure."""
+
+import threading
+
+import pytest
+
+from repro.serve.cache import ResultCache
+
+
+class TestLruSemantics:
+    def test_get_refreshes_recency(self):
+        cache = ResultCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # a is now most recent
+        cache.put("c", 3)  # evicts b, not a
+        assert cache.get("a") == 1
+        assert cache.get("b") is None
+        assert cache.evictions == 1
+
+    def test_zero_capacity_disables_caching(self):
+        cache = ResultCache(0)
+        cache.put("a", 1)
+        assert cache.get("a") is None
+        assert len(cache) == 0
+
+    def test_counters_are_exact(self):
+        cache = ResultCache(4)
+        cache.put("k", "v")
+        assert cache.get("k") == "v"
+        assert cache.get("missing") is None
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            ResultCache(-1)
+
+
+class TestConcurrency:
+    """Satellite: concurrent get/put during LRU eviction must neither
+    raise nor corrupt the hit/miss accounting."""
+
+    def test_hammer_get_put_under_eviction(self):
+        # capacity far below the key universe → constant eviction churn
+        cache = ResultCache(8)
+        threads = 6
+        ops = 3000
+        errors: list[BaseException] = []
+        gets = [0] * threads
+        barrier = threading.Barrier(threads)
+
+        def worker(tid: int) -> None:
+            try:
+                barrier.wait()
+                for i in range(ops):
+                    key = (tid * 7 + i) % 32  # overlapping key sets
+                    if i % 3 == 0:
+                        cache.put(key, (tid, i))
+                    else:
+                        cache.get(key)
+                        gets[tid] += 1
+            except BaseException as exc:  # pragma: no cover - the failure case
+                errors.append(exc)
+
+        ts = [threading.Thread(target=worker, args=(t,)) for t in range(threads)]
+        for t in ts:
+            t.start()
+        for t in ts:
+            t.join()
+        assert not errors
+        # accounting stayed exact: every get was either a hit or a miss
+        assert cache.hits + cache.misses == sum(gets)
+        assert len(cache) <= 8
+
+    def test_resident_entry_always_hits_under_churn(self):
+        # hot + 7 cold keys exactly fill capacity 8, so nothing is ever
+        # evicted — but every put reorders the recency list the get is
+        # walking.  Every get must hit, no matter how the threads
+        # interleave: a lost hit here means an operation was torn
+        # mid-reorder (the eviction race itself is the hammer test above)
+        cache = ResultCache(8)
+        cache.put("hot", 42)
+        misses: list[int] = []
+
+        def reader() -> None:
+            for _ in range(4000):
+                value = cache.get("hot")
+                if value != 42:
+                    misses.append(1)
+
+        def churner(tid: int) -> None:
+            for i in range(4000):
+                cache.put(("cold", (tid + i) % 7), i)
+
+        ts = [threading.Thread(target=reader)] + [
+            threading.Thread(target=churner, args=(t,)) for t in range(3)
+        ]
+        for t in ts:
+            t.start()
+        for t in ts:
+            t.join()
+        assert not misses
+        assert cache.get("hot") == 42
