@@ -12,17 +12,29 @@ harness — schema ``repro-bench/1``, carrying an environment fingerprint,
 the benchmark's structured ``data`` payload, and iteration statistics
 when a pytest-benchmark fixture is handed in.  ``python -m
 repro.obs.bench validate results/*.json`` checks them in CI.
+
+Each emitted report is also ingested into the append-only bench-history
+ledger (``results/history/<name>.jsonl``, schema
+``repro-bench-history/1``) keyed by the current git SHA, so ``python -m
+repro.obs.bench regress`` can compare this run against the trailing
+window.  Smoke runs (``REPRO_BENCH_SMOKE=1``) are flagged and only ever
+compared against other smoke entries.  Ingestion is best-effort: a
+ledger failure must not fail the benchmark that produced the numbers.
 """
 
 from __future__ import annotations
 
+import json
+import os
 import pathlib
 
 import pytest
 
 from repro.obs import bench as obs_bench
+from repro.obs import history as obs_history
 
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+HISTORY_DIR = RESULTS_DIR / "history"
 
 
 @pytest.fixture(scope="session")
@@ -42,7 +54,7 @@ def write_report(
 ) -> None:
     path = results_dir / f"{name}.txt"
     path.write_text(text + "\n")
-    obs_bench.emit_report(
+    json_path = obs_bench.emit_report(
         results_dir,
         name,
         data=data,
@@ -50,3 +62,11 @@ def write_report(
         benchmark=benchmark,
         text_report=f"results/{name}.txt",
     )
+    try:
+        obs_history.ingest_report(
+            json.loads(json_path.read_text()),
+            HISTORY_DIR,
+            smoke=bool(os.environ.get("REPRO_BENCH_SMOKE")),
+        )
+    except (OSError, ValueError) as exc:
+        print(f"bench-history ingest skipped for {name}: {exc}")

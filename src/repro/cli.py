@@ -19,7 +19,17 @@ Subcommands mirror the paper's artefacts:
   (restart, breakers, degradation ladder) with every response verified,
   and ``--chaos`` runs the seeded fault-injection campaign against it,
   reporting the invariants (zero incorrect responses, every killed
-  worker restarted, availability floor) — exit 1 if any is violated
+  worker restarted, availability floor) — exit 1 if any is violated.
+  Telemetry flags: ``--expose PORT`` starts the pull-based exposition
+  endpoint (``/metrics``, ``/metrics.json``, ``/traces``, ``/health``)
+  next to the run, ``--trace-sample R`` head-samples batch traces into
+  the span ring, ``--trace-dump PATH`` writes the ring as a
+  ``repro-traces/1`` document, ``--profile PATH`` runs the stack-sampling
+  profiler and writes a ``repro-profile/1`` report, and ``--linger S``
+  keeps the endpoint scrapeable after the load completes
+* ``obs top``          — refreshing terminal dashboard scraped from a
+  live exposition endpoint (queue depth, shed/degraded rates, breaker
+  states, cache hit ratio, latency-digest percentiles)
 * ``trace <cmd> …``    — run any subcommand under a tracing span and
   print the span tree to stderr (``--vcd PATH`` additionally records a
   gate-level waveform for ``unrank``)
@@ -225,21 +235,100 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         raise ReproError(str(exc)) from exc
 
     tracer = getattr(args, "_tracer", None)
+    ring = None
+    trace_sample = args.trace_sample
+    if trace_sample is None and args.trace_dump is not None:
+        trace_sample = 1.0  # a requested dump implies sampling
+    if tracer is None and trace_sample:
+        from repro.obs.sampling import ProbabilisticSampler, SpanRing
+        from repro.obs.tracing import Tracer
+
+        if not 0.0 <= trace_sample <= 1.0:
+            raise ReproError("--trace-sample must be in [0, 1]")
+        ring = SpanRing(512)
+        tracer = Tracer(
+            sampler=ProbabilisticSampler(trace_sample, seed=args.seed),
+            ring=ring,
+            keep_roots=False,
+        )
+    elif tracer is not None:
+        ring = tracer.ring
+
+    profiler = None
+    if args.profile is not None:
+        from repro.obs.profiler import SamplingProfiler
+
+        profiler = SamplingProfiler()
+
     if args.supervised:
         svc_cm = SupervisedService(config, tracer=tracer)
     else:
         svc_cm = PermutationService(config, tracer=tracer)
-    with svc_cm as svc:
-        report = run_closed_loop(
-            svc,
-            args.n,
-            total=args.requests,
-            clients=args.clients,
-            mix=mix,
-            seed=args.seed,
-            verify=args.supervised,
-        )
-        stats = svc.stats()
+    exposer = None
+    try:
+        with svc_cm as svc:
+            if args.expose is not None:
+                from repro.obs.httpexp import ExpositionServer
+
+                exposer = ExpositionServer(
+                    ring=ring,
+                    health_fn=lambda: _serve_health(svc),
+                    port=args.expose,
+                ).start()
+                print(f"exposition endpoint {exposer.url}", file=sys.stderr)
+            if profiler is not None:
+                profiler.start()
+            try:
+                report = run_closed_loop(
+                    svc,
+                    args.n,
+                    total=args.requests,
+                    clients=args.clients,
+                    mix=mix,
+                    seed=args.seed,
+                    verify=args.supervised,
+                )
+                stats = svc.stats()
+            finally:
+                if profiler is not None:
+                    profiler.stop()
+            _print_serve_report(args, report, stats)
+            rc = 1 if args.supervised and report.incorrect else 0
+            if exposer is not None and args.linger > 0:
+                import time as _time
+
+                _time.sleep(args.linger)
+    finally:
+        if exposer is not None:
+            exposer.stop()
+    if args.trace_dump is not None and ring is not None:
+        import json as _json
+
+        with open(args.trace_dump, "w") as fh:
+            _json.dump(ring.dump(), fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        print(f"  traces      wrote {args.trace_dump}")
+    if profiler is not None:
+        profiler.dump(args.profile)
+        print(f"  profile     wrote {args.profile}")
+    return rc
+
+
+def _serve_health(svc) -> dict:
+    """The ``/health`` document for a running serve command.
+
+    ``status`` is ``"ok"`` unless a supervised shard has lost its worker
+    (lazy spawn means an empty shard table is healthy, not degraded).
+    """
+    supervisor = getattr(svc, "supervisor", None)
+    if supervisor is None:
+        return {"status": "ok", "shards": {}}
+    shards = supervisor.health_check()
+    ok = all(info["alive"] for info in shards.values())
+    return {"status": "ok" if ok else "degraded", "shards": shards}
+
+
+def _print_serve_report(args: argparse.Namespace, report, stats: dict) -> None:
     pct = report.latency_percentiles()
     by_workload = " ".join(
         f"{w}={c}" for w, c in sorted(report.by_workload.items())
@@ -272,9 +361,6 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"breaker_trips={sup['breaker_trips']}"
         )
         print(f"  verified    incorrect={report.incorrect}")
-        if report.incorrect:
-            return 1
-    return 0
 
 
 def _cmd_serve_chaos(args: argparse.Namespace) -> int:
@@ -322,6 +408,41 @@ def _cmd_serve_chaos(args: argparse.Namespace) -> int:
         and payload["availability_chaos"] >= 0.90
     )
     return 0 if ok else 1
+
+
+def _cmd_obs_top(args: argparse.Namespace) -> int:
+    """``repro obs top``: scrape a live endpoint, render the dashboard."""
+    import json as _json
+    import time as _time
+    import urllib.error
+
+    from repro.obs.httpexp import fetch_json, render_dashboard
+
+    url = args.url.rstrip("/")
+    frame = 0
+    while True:
+        try:
+            snapshot = fetch_json(url + "/metrics.json")
+        except (OSError, ValueError) as exc:
+            raise ReproError(f"cannot scrape {url}/metrics.json: {exc}") from exc
+        try:
+            health: dict | None = fetch_json(url + "/health")
+        except urllib.error.HTTPError as exc:
+            # 503 still carries the health document (degraded service)
+            try:
+                health = _json.loads(exc.read().decode())
+            except ValueError:
+                health = {"status": f"http {exc.code}"}
+        except (OSError, ValueError):
+            health = None
+        panel = render_dashboard(snapshot, health)
+        if args.frames != 1 and frame > 0:
+            sys.stdout.write("\x1b[2J\x1b[H")  # clear between refreshes
+        print(panel, flush=True)
+        frame += 1
+        if args.frames and frame >= args.frames:
+            return 0
+        _time.sleep(args.interval)
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -522,7 +643,53 @@ def _build_parser() -> argparse.ArgumentParser:
         "--out", metavar="PATH", default=None,
         help="with --chaos: also write the campaign payload as JSON",
     )
+    p.add_argument(
+        "--expose", type=int, default=None, metavar="PORT",
+        help="start the pull-based exposition endpoint on 127.0.0.1:PORT "
+        "(0 = OS-assigned; the resolved URL is printed to stderr)",
+    )
+    p.add_argument(
+        "--linger", type=float, default=0.0, metavar="S",
+        help="with --expose: keep the endpoint up S seconds after the "
+        "load completes so late scrapes see the final counters",
+    )
+    p.add_argument(
+        "--trace-sample", type=float, default=None, metavar="RATE",
+        help="head-sample batch traces at RATE in [0,1] into the span "
+        "ring behind /traces (default: off)",
+    )
+    p.add_argument(
+        "--trace-dump", metavar="PATH", default=None,
+        help="write the span ring as a repro-traces/1 JSON document on "
+        "exit (implies --trace-sample 1.0 unless given)",
+    )
+    p.add_argument(
+        "--profile", metavar="PATH", default=None,
+        help="run the continuous stack-sampling profiler during the load "
+        "and write a repro-profile/1 JSON report",
+    )
     p.set_defaults(fn=_cmd_serve)
+
+    p = sub.add_parser(
+        "obs", help="telemetry tooling against a live exposition endpoint"
+    )
+    obs_sub = p.add_subparsers(dest="obs_command", required=True)
+    t = obs_sub.add_parser(
+        "top", help="refreshing terminal dashboard from /metrics.json + /health"
+    )
+    t.add_argument(
+        "--url", default="http://127.0.0.1:9109",
+        help="exposition endpoint base URL (default: http://127.0.0.1:9109)",
+    )
+    t.add_argument(
+        "--interval", type=float, default=2.0,
+        help="seconds between refreshes (default: 2)",
+    )
+    t.add_argument(
+        "--frames", type=int, default=0,
+        help="stop after N frames; 0 = refresh until interrupted",
+    )
+    t.set_defaults(fn=_cmd_obs_top)
 
     p = sub.add_parser(
         "trace", help="run a subcommand under a tracing span tree"

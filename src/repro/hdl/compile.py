@@ -93,6 +93,7 @@ __all__ = [
     "kernel_cache_info",
     "clear_kernel_cache",
     "evict_kernel",
+    "note_sweep",
     "words_for",
     "ones_mask",
     "pack_lanes",
@@ -120,6 +121,30 @@ _CACHE_EVENTS = _metrics.REGISTRY.counter(
     "compiled-kernel cache lookups",
     ("result",),
 )
+_KERNEL_SWEEPS = _metrics.REGISTRY.counter(
+    "repro_kernel_sweeps_total",
+    "compiled-kernel sweep executions by serving-engine kind",
+    ("kind",),
+)
+_KERNEL_SWEEP_LANES = _metrics.REGISTRY.counter(
+    "repro_kernel_sweep_lanes_total",
+    "payload lanes carried by compiled-kernel sweeps, by engine kind",
+    ("kind",),
+)
+
+
+def note_sweep(kind: str, lanes: int = 1) -> None:
+    """Count one executed sweep and its payload lanes (batch granularity).
+
+    Called by the engines around each compiled sweep; the pair of
+    counters gives dashboards the lanes-per-sweep amortisation ratio.
+    One guard + two incs per *sweep* (not per lane), so the hot path
+    pays nothing measurable.
+    """
+    if _metrics.REGISTRY.enabled:
+        _KERNEL_SWEEPS.inc(kind=kind)
+        _KERNEL_SWEEP_LANES.inc(lanes, kind=kind)
+
 
 def words_for(lanes: int) -> int:
     """Number of 64-bit words needed to hold ``lanes`` bit-lanes."""

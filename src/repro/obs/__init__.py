@@ -20,21 +20,47 @@ real telemetry layer instead of ad-hoc ``perf_counter`` calls:
 * :mod:`repro.obs.bench` — the benchmark telemetry harness: versioned,
   schema-validated JSON reports (``results/*.json``) with an environment
   fingerprint and iteration statistics.
+* :mod:`repro.obs.sampling` — trace samplers (probabilistic,
+  rate-limited), W3C-sized trace/span ids, and the bounded span ring
+  behind the ``/traces`` endpoint.
+* :mod:`repro.obs.digests` — mergeable HDR-style log-bucketed latency
+  digests (p50/p90/p99/p99.9 with bounded relative error).
+* :mod:`repro.obs.httpexp` — the pull-based exposition endpoint
+  (``/metrics``, ``/metrics.json``, ``/traces``, ``/health``) and the
+  ``repro obs top`` dashboard renderer.
+* :mod:`repro.obs.profiler` — the continuous stack-sampling profiler
+  with engine-phase attribution and folded-stack output.
+* :mod:`repro.obs.history` — the append-only bench-history ledger
+  (``repro-bench-history/1``) and the noise-aware regression gate.
 
-``probes`` and ``bench`` are imported lazily: ``probes`` pulls in the
-converter (which itself uses ``obs.metrics``), and keeping it out of the
-package import breaks the cycle.
+``probes``, ``bench``, ``httpexp``, ``profiler`` and ``history`` are
+imported lazily: ``probes`` pulls in the converter (which itself uses
+``obs.metrics``) and the others are tooling nobody on the hot path
+needs at import time.
 """
 
 from __future__ import annotations
 
-from repro.obs import events, metrics, tracing
+from repro.obs import digests, events, metrics, sampling, tracing
 
-__all__ = ["metrics", "tracing", "events", "probes", "bench"]
+__all__ = [
+    "metrics",
+    "tracing",
+    "events",
+    "sampling",
+    "digests",
+    "probes",
+    "bench",
+    "httpexp",
+    "profiler",
+    "history",
+]
+
+_LAZY = ("probes", "bench", "httpexp", "profiler", "history")
 
 
 def __getattr__(name: str):
-    if name in ("probes", "bench"):
+    if name in _LAZY:
         import importlib
 
         return importlib.import_module(f"repro.obs.{name}")

@@ -329,23 +329,27 @@ def measure_disabled_metrics_overhead(
 
 
 # --------------------------------------------------------------------- #
-# CLI (CI entry point): python -m repro.obs.bench validate results/*.json
+# CLI (CI entry points):
+#   python -m repro.obs.bench validate results/*.json
+#   python -m repro.obs.bench ingest results/ [--history results/history]
+#   python -m repro.obs.bench regress [--history results/history] [--smoke]
 
 
-def main(argv: list[str] | None = None) -> int:
-    import argparse
+def _report_paths(paths: Sequence[str]) -> list[pathlib.Path]:
+    """Expand files/directories into the report files they contain."""
+    out: list[pathlib.Path] = []
+    for raw in paths:
+        p = pathlib.Path(raw)
+        if p.is_dir():
+            out.extend(sorted(p.glob("*.json")))
+        else:
+            out.append(p)
+    return out
 
-    parser = argparse.ArgumentParser(
-        prog="python -m repro.obs.bench",
-        description="Benchmark telemetry utilities",
-    )
-    sub = parser.add_subparsers(dest="command", required=True)
-    v = sub.add_parser("validate", help="validate bench JSON reports")
-    v.add_argument("paths", nargs="+", help="report files to validate")
-    args = parser.parse_args(argv)
 
+def _cmd_validate(args) -> int:
     rc = 0
-    for path in args.paths:
+    for path in _report_paths(args.paths):
         try:
             payload = load_and_validate(path)
         except FileNotFoundError:
@@ -357,6 +361,95 @@ def main(argv: list[str] | None = None) -> int:
         else:
             print(f"ok {path} ({payload['name']})")
     return rc
+
+
+def _cmd_ingest(args) -> int:
+    from repro.obs import history as _history
+
+    sha = args.git_sha or _history.current_git_sha()
+    rc = 0
+    for path in _report_paths(args.paths):
+        try:
+            payload = load_and_validate(path)
+        except FileNotFoundError:
+            print(f"MISSING {path}", file=sys.stderr)
+            rc = 1
+            continue
+        except (BenchReportError, json.JSONDecodeError) as exc:
+            print(f"INVALID {path}: {exc}", file=sys.stderr)
+            rc = 1
+            continue
+        entry = _history.ingest_report(
+            payload, args.history, git_sha=sha, smoke=args.smoke
+        )
+        if entry is None:
+            print(f"duplicate {path} ({payload['name']} @ {sha[:12]}); skipped")
+        else:
+            print(
+                f"ingested {path} -> {args.history}/{payload['name']}.jsonl "
+                f"({len(entry['metrics'])} metrics @ {sha[:12]})"
+            )
+    return rc
+
+
+def _cmd_regress(args) -> int:
+    from repro.obs import history as _history
+
+    result = _history.regress(
+        args.history,
+        names=args.names or None,
+        window=args.window,
+        rel_tol=args.rel_tol,
+        z=args.z,
+        smoke=args.smoke,
+    )
+    print(_history.render_regress_report(result))
+    return 0 if result["ok"] else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.bench",
+        description="Benchmark telemetry utilities",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    v = sub.add_parser("validate", help="validate bench JSON reports")
+    v.add_argument("paths", nargs="+", help="report files (or results dirs)")
+    v.set_defaults(fn=_cmd_validate)
+
+    i = sub.add_parser(
+        "ingest", help="append bench reports to the history ledger"
+    )
+    i.add_argument("paths", nargs="+", help="report files (or results dirs)")
+    i.add_argument(
+        "--history", default="results/history", help="ledger directory"
+    )
+    i.add_argument("--git-sha", default=None, help="override the entry's SHA")
+    i.add_argument(
+        "--smoke", action="store_true", help="mark entries as smoke-mode runs"
+    )
+    i.set_defaults(fn=_cmd_ingest)
+
+    r = sub.add_parser(
+        "regress", help="gate the newest ledger entries against history"
+    )
+    r.add_argument("names", nargs="*", help="benchmark names (default: all)")
+    r.add_argument(
+        "--history", default="results/history", help="ledger directory"
+    )
+    r.add_argument("--window", type=int, default=5)
+    r.add_argument("--rel-tol", type=float, default=0.10)
+    r.add_argument("--z", type=float, default=3.0)
+    r.add_argument(
+        "--smoke", action="store_true", help="compare smoke-mode entries"
+    )
+    r.set_defaults(fn=_cmd_regress)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
 
 
 if __name__ == "__main__":

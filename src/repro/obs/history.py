@@ -1,0 +1,387 @@
+"""Bench-history ledger + noise-aware perf-regression gate.
+
+Every ``repro-bench/1`` report is a snapshot; this module gives the
+repo a *trajectory*.  :func:`ingest_report` appends one line per report
+to an append-only JSONL ledger — ``results/history/<name>.jsonl``, one
+file per benchmark, one ``repro-bench-history/1`` entry per line, keyed
+by git SHA — and :func:`regress` compares the newest entry against the
+trailing window of its predecessors, flagging metrics that moved past a
+noise-aware threshold.
+
+Ledger entry (``repro-bench-history/1``)
+----------------------------------------
+::
+
+    {
+      "schema": "repro-bench-history/1",   # required, exact
+      "name": "serving_latency",           # benchmark name, [a-z0-9_]+
+      "git_sha": "36ccb92…",               # required (or "unknown")
+      "recorded_at": "2026-08-08T12:00:00Z",
+      "smoke": false,                      # CI smoke runs are marked …
+      "metrics": {"timing_mean_s": 1.2e-5, # flat name → float
+                  "data.batched_ns": 9800.0}
+    }
+
+Smoke-mode entries (thresholds relaxed, tiny workloads) are recorded
+with ``smoke: true`` and only ever compared against other smoke entries
+— a fast CI run must not drag the full-run baseline around.
+
+Regression semantics
+--------------------
+For each metric of the newest entry, the baseline is the trailing
+window (default 5) of same-``smoke`` predecessors.  The tolerance is
+``max(rel_tol · |median|, z · stddev)`` — whichever is larger, so a
+noisy metric gets the statistical allowance and a rock-stable one the
+relative floor.  Direction is inferred from the metric name
+(:func:`metric_direction`): ``…_s``/``…_seconds``/``…_ns`` regress
+*upward*, ``…_per_s``/``…_speedup``/``…x`` regress *downward*; metrics
+with no inferable direction — or fewer than ``min_history`` baseline
+points — are reported as skipped, never failed.  That makes the gate
+safe to turn on against a freshly seeded ledger: the first runs skip,
+the trajectory accumulates, the gate tightens by itself.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import subprocess
+import time
+from typing import Iterable
+
+__all__ = [
+    "HISTORY_SCHEMA",
+    "extract_metrics",
+    "metric_direction",
+    "current_git_sha",
+    "ingest_report",
+    "load_history",
+    "ledger_names",
+    "validate_history_entry",
+    "regress",
+    "render_regress_report",
+]
+
+HISTORY_SCHEMA = "repro-bench-history/1"
+
+#: Most metrics a single report may contribute (flattening guard).
+_MAX_METRICS = 64
+
+#: Suffix → direction tables for :func:`metric_direction`.  The longest
+#: matching suffix across both tables wins, so ``_per_s`` (higher is
+#: better) beats the bare ``_s`` latency suffix and ``_overhead_x``
+#: (lower) beats the generic ``_x`` speedup suffix.  ``lower`` means "a
+#: bigger value is worse".
+_LOWER_BETTER_SUFFIXES = (
+    "_s",
+    "_ns",
+    "_us",
+    "_ms",
+    "_seconds",
+    "_bytes",
+    "_pct",
+    "_stddev",
+    "_overhead_x",
+)
+_HIGHER_BETTER_SUFFIXES = (
+    "_per_s",
+    "_per_sec",
+    "_throughput",
+    "_speedup",
+    "_ratio",
+    "_coverage",
+    "_x",
+)
+
+
+def metric_direction(name: str) -> str | None:
+    """``"lower"`` / ``"higher"`` (better) by longest-suffix match, else ``None``."""
+    best_len = 0
+    best: str | None = None
+    for suffix in _LOWER_BETTER_SUFFIXES:
+        if name.endswith(suffix) and len(suffix) > best_len:
+            best_len, best = len(suffix), "lower"
+    for suffix in _HIGHER_BETTER_SUFFIXES:
+        if name.endswith(suffix) and len(suffix) > best_len:
+            best_len, best = len(suffix), "higher"
+    return best
+
+
+# --------------------------------------------------------------------- #
+# report → flat metrics
+
+
+def _flatten(prefix: str, value: object, out: dict[str, float]) -> None:
+    if len(out) >= _MAX_METRICS:
+        return
+    if isinstance(value, bool):  # bools are ints; never a perf metric
+        return
+    if isinstance(value, (int, float)):
+        out[prefix] = float(value)
+        return
+    if isinstance(value, dict):
+        for k in sorted(value):
+            _flatten(f"{prefix}.{k}" if prefix else str(k), value[k], out)
+
+
+def extract_metrics(report: dict) -> dict[str, float]:
+    """The flat numeric metrics of one ``repro-bench/1`` report.
+
+    Timing statistics become ``timing_<stat>_s``; numeric scalars under
+    ``data`` keep their dotted path (``data.batched_ns``).  Histogram
+    arrays and non-numeric leaves are ignored.
+    """
+    out: dict[str, float] = {}
+    timing = report.get("timing")
+    if isinstance(timing, dict):
+        unit = timing.get("unit", "s")
+        for stat in ("min", "max", "mean", "median", "stddev"):
+            v = timing.get(stat)
+            if isinstance(v, (int, float)) and not isinstance(v, bool):
+                out[f"timing_{stat}_{unit}"] = float(v)
+    data = report.get("data")
+    if isinstance(data, dict):
+        _flatten("data", data, out)
+    return out
+
+
+# --------------------------------------------------------------------- #
+# ledger I/O
+
+
+def current_git_sha(repo_dir: str | pathlib.Path | None = None) -> str:
+    """The current commit SHA, or ``"unknown"`` outside a git checkout."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=str(repo_dir) if repo_dir is not None else None,
+            capture_output=True,
+            text=True,
+            timeout=5.0,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    sha = proc.stdout.strip()
+    return sha if proc.returncode == 0 and sha else "unknown"
+
+
+def _ledger_path(history_dir: str | pathlib.Path, name: str) -> pathlib.Path:
+    return pathlib.Path(history_dir) / f"{name}.jsonl"
+
+
+def ingest_report(
+    report: dict,
+    history_dir: str | pathlib.Path,
+    *,
+    git_sha: str | None = None,
+    smoke: bool = False,
+) -> dict | None:
+    """Append one ledger entry for ``report``; returns it (or ``None``).
+
+    Idempotent per ``(git_sha, smoke)``: re-running CI on the same
+    commit must not stack duplicate entries and shrink the effective
+    baseline window to one commit's noise.  Returns ``None`` when the
+    entry was skipped as a duplicate.
+    """
+    name = report.get("name")
+    if not isinstance(name, str) or not name:
+        raise ValueError("report has no name; validate it first")
+    sha = git_sha if git_sha is not None else current_git_sha()
+    entry = {
+        "schema": HISTORY_SCHEMA,
+        "name": name,
+        "git_sha": sha,
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "smoke": bool(smoke),
+        "metrics": extract_metrics(report),
+    }
+    validate_history_entry(entry)
+    path = _ledger_path(history_dir, name)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    if sha != "unknown" and path.exists():
+        for prior in load_history(history_dir, name):
+            if prior["git_sha"] == sha and prior["smoke"] == bool(smoke):
+                return None
+    with path.open("a") as fh:
+        fh.write(json.dumps(entry, sort_keys=True) + "\n")
+    return entry
+
+
+def load_history(history_dir: str | pathlib.Path, name: str) -> list[dict]:
+    """Every (validated) ledger entry for ``name``, oldest first."""
+    path = _ledger_path(history_dir, name)
+    if not path.exists():
+        return []
+    entries = []
+    for i, line in enumerate(path.read_text().splitlines()):
+        if not line.strip():
+            continue
+        try:
+            entry = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path}:{i + 1}: not JSON: {exc}") from exc
+        validate_history_entry(entry, where=f"{path}:{i + 1}")
+        entries.append(entry)
+    return entries
+
+
+def ledger_names(history_dir: str | pathlib.Path) -> list[str]:
+    """Benchmark names with a ledger file, sorted."""
+    root = pathlib.Path(history_dir)
+    if not root.is_dir():
+        return []
+    return sorted(p.stem for p in root.glob("*.jsonl"))
+
+
+def validate_history_entry(entry: object, where: str = "entry") -> None:
+    """Raise :class:`ValueError` unless ``entry`` fits the schema."""
+    problems = []
+    if not isinstance(entry, dict):
+        raise ValueError(f"{where}: must be a JSON object")
+    if entry.get("schema") != HISTORY_SCHEMA:
+        problems.append(
+            f"schema must be {HISTORY_SCHEMA!r}, got {entry.get('schema')!r}"
+        )
+    if not isinstance(entry.get("name"), str) or not entry.get("name"):
+        problems.append("name must be a non-empty string")
+    if not isinstance(entry.get("git_sha"), str) or not entry.get("git_sha"):
+        problems.append("git_sha must be a non-empty string")
+    if not isinstance(entry.get("smoke"), bool):
+        problems.append("smoke must be a boolean")
+    metrics = entry.get("metrics")
+    if not isinstance(metrics, dict) or not all(
+        isinstance(k, str)
+        and isinstance(v, (int, float))
+        and not isinstance(v, bool)
+        for k, v in metrics.items()
+    ):
+        problems.append("metrics must map string names to numbers")
+    if problems:
+        raise ValueError(f"{where}: " + "; ".join(problems))
+
+
+# --------------------------------------------------------------------- #
+# the regression gate
+
+
+def _median(xs: list[float]) -> float:
+    ys = sorted(xs)
+    n = len(ys)
+    return ys[n // 2] if n % 2 else (ys[n // 2 - 1] + ys[n // 2]) / 2
+
+
+def _stddev(xs: list[float]) -> float:
+    n = len(xs)
+    if n < 2:
+        return 0.0
+    mean = sum(xs) / n
+    return (sum((x - mean) ** 2 for x in xs) / (n - 1)) ** 0.5
+
+
+def regress(
+    history_dir: str | pathlib.Path,
+    *,
+    names: Iterable[str] | None = None,
+    window: int = 5,
+    rel_tol: float = 0.10,
+    z: float = 3.0,
+    min_history: int = 2,
+    smoke: bool = False,
+) -> dict:
+    """Compare each ledger's newest entry against its trailing window.
+
+    Returns ``{"ok", "checked", "regressions", "improvements",
+    "skipped"}``; ``ok`` is ``False`` iff any metric regressed.  Only
+    entries whose ``smoke`` flag matches are compared (smoke CI runs
+    measure relaxed workloads).  See the module docstring for the
+    threshold and direction rules.
+    """
+    todo = list(names) if names is not None else ledger_names(history_dir)
+    regressions: list[dict] = []
+    improvements: list[dict] = []
+    skipped: list[dict] = []
+    checked = 0
+    for name in todo:
+        entries = [
+            e for e in load_history(history_dir, name) if e["smoke"] == smoke
+        ]
+        if not entries:
+            skipped.append({"name": name, "reason": "no matching entries"})
+            continue
+        candidate = entries[-1]
+        baseline = entries[:-1][-window:]
+        for metric, value in sorted(candidate["metrics"].items()):
+            direction = metric_direction(metric)
+            if direction is None:
+                skipped.append(
+                    {"name": name, "metric": metric, "reason": "no direction"}
+                )
+                continue
+            series = [
+                e["metrics"][metric]
+                for e in baseline
+                if isinstance(e["metrics"].get(metric), (int, float))
+            ]
+            if len(series) < min_history:
+                skipped.append(
+                    {
+                        "name": name,
+                        "metric": metric,
+                        "reason": f"history {len(series)} < {min_history}",
+                    }
+                )
+                continue
+            checked += 1
+            center = _median(series)
+            tolerance = max(rel_tol * abs(center), z * _stddev(series))
+            delta = value - center
+            row = {
+                "name": name,
+                "metric": metric,
+                "value": value,
+                "baseline_median": center,
+                "tolerance": tolerance,
+                "delta": delta,
+                "direction": direction,
+                "git_sha": candidate["git_sha"],
+                "window": len(series),
+            }
+            worse = delta > tolerance if direction == "lower" else -delta > tolerance
+            better = -delta > tolerance if direction == "lower" else delta > tolerance
+            if worse:
+                regressions.append(row)
+            elif better:
+                improvements.append(row)
+    return {
+        "ok": not regressions,
+        "checked": checked,
+        "regressions": regressions,
+        "improvements": improvements,
+        "skipped": skipped,
+    }
+
+
+def render_regress_report(result: dict) -> str:
+    """Human-readable summary of a :func:`regress` result."""
+    lines = []
+    for row in result["regressions"]:
+        lines.append(
+            f"REGRESSION {row['name']}.{row['metric']}: "
+            f"{row['value']:.6g} vs baseline {row['baseline_median']:.6g} "
+            f"(Δ {row['delta']:+.3g}, tol ±{row['tolerance']:.3g}, "
+            f"n={row['window']}, {row['direction']}-is-better)"
+        )
+    for row in result["improvements"]:
+        lines.append(
+            f"improved   {row['name']}.{row['metric']}: "
+            f"{row['value']:.6g} vs baseline {row['baseline_median']:.6g} "
+            f"(Δ {row['delta']:+.3g})"
+        )
+    lines.append(
+        f"{'PASS' if result['ok'] else 'FAIL'}: "
+        f"{result['checked']} metric(s) checked, "
+        f"{len(result['regressions'])} regressed, "
+        f"{len(result['improvements'])} improved, "
+        f"{len(result['skipped'])} skipped"
+    )
+    return "\n".join(lines)

@@ -31,12 +31,13 @@ from __future__ import annotations
 import re
 import threading
 from bisect import bisect_left
-from typing import Sequence
+from typing import NoReturn, Sequence
 
 __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "Digest",
     "MetricsRegistry",
     "REGISTRY",
     "DEFAULT_BUCKETS",
@@ -82,6 +83,12 @@ class _NoopHandle:
         pass
 
     def observe(self, value: float) -> None:
+        pass
+
+    def observe_n(self, value: float, n: int) -> None:
+        pass
+
+    def observe_many(self, values) -> None:
         pass
 
 
@@ -131,6 +138,31 @@ class _HistogramHandle:
         self.sum += v
         self.count += 1
 
+    def observe_n(self, value: float, n: int) -> None:
+        """``n`` identical observations in one call.
+
+        The batch-granularity seam: a 63-lane sweep has one sweep
+        duration shared by every response, so the serving loop records
+        it once per batch instead of once per lane.
+        """
+        v = float(value)
+        self.counts[bisect_left(self.edges, v)] += n
+        self.sum += v * n
+        self.count += n
+
+    def observe_many(self, values) -> None:
+        """A batch of distinct observations with one method dispatch."""
+        counts, edges = self.counts, self.edges
+        total = 0.0
+        n = 0
+        for value in values:
+            v = float(value)
+            counts[bisect_left(edges, v)] += 1
+            total += v
+            n += 1
+        self.sum += total
+        self.count += n
+
     def cumulative(self) -> list[int]:
         out, acc = [], 0
         for c in self.counts:
@@ -140,7 +172,21 @@ class _HistogramHandle:
 
 
 class Metric:
-    """Base class: series management and cardinality control."""
+    """Base class: series management and cardinality control.
+
+    **Cardinality bound.**  A metric holds at most ``max_series``
+    distinct label sets — the per-metric override passed at
+    registration, or the registry-wide default
+    (:attr:`MetricsRegistry.max_series`, 256).  The ``max_series + 1``-th
+    distinct label set does *not* allocate: the observation is routed to
+    the single reserved :data:`OVERFLOW_LABEL` series (one extra series,
+    created on first overflow), so an unbounded label value — a shard
+    key per ``n``, a raw request index — degrades that metric to "and
+    everything else" resolution but can never grow memory past
+    ``max_series + 1`` series.  The serving tier's per-(workload, shard,
+    rung) labels are sized well inside the default; the bound is the
+    backstop for the labels nobody predicted.
+    """
 
     kind = "untyped"
     _handle_cls: type = _CounterHandle
@@ -151,16 +197,20 @@ class Metric:
         name: str,
         help: str,
         labelnames: Sequence[str] = (),
+        max_series: int | None = None,
     ):
         if not _NAME_RE.match(name):
             raise ValueError(f"invalid metric name {name!r}")
         for ln in labelnames:
             if not _LABEL_RE.match(ln):
                 raise ValueError(f"invalid label name {ln!r}")
+        if max_series is not None and max_series < 1:
+            raise ValueError("max_series must be positive")
         self._registry = registry
         self.name = name
         self.help = help
         self.labelnames = tuple(labelnames)
+        self.max_series = max_series
         self._series: dict[tuple[str, ...], object] = {}
 
     # ------------------------------------------------------------------ #
@@ -168,22 +218,53 @@ class Metric:
     def _new_handle(self):
         return self._handle_cls()
 
+    @property
+    def _series_budget(self) -> int:
+        return (
+            self.max_series
+            if self.max_series is not None
+            else self._registry.max_series
+        )
+
+    def _bad_labels(self, labels: dict) -> NoReturn:
+        raise ValueError(
+            f"{self.name} expects labels {self.labelnames}, "
+            f"got {tuple(sorted(labels))}"
+        )
+
     def labels(self, **labels: object):
-        """The handle for one label set (no-op handle when disabled)."""
+        """The handle for one label set (no-op handle when disabled).
+
+        Beyond the metric's cardinality budget (see the class docstring)
+        new label sets collapse into the reserved
+        :data:`OVERFLOW_LABEL` series instead of allocating.
+        """
         if not self._registry.enabled:
             return _NOOP
-        if set(labels) != set(self.labelnames):
-            raise ValueError(
-                f"{self.name} expects labels {self.labelnames}, "
-                f"got {tuple(sorted(labels))}"
-            )
-        key = tuple(str(labels[ln]) for ln in self.labelnames)
+        # Validation is a length check + KeyError fallback rather than
+        # set equality: labels() sits on the serving hot path and two
+        # throwaway set() builds per call cost more than the lookup.
+        names = self.labelnames
+        nlabels = len(names)
+        if len(labels) != nlabels:
+            self._bad_labels(labels)
+        try:
+            # unrolled for the 1- and 2-label shapes every serving
+            # metric uses: a genexpr-into-tuple costs a generator frame
+            if nlabels == 1:
+                key = (str(labels[names[0]]),)
+            elif nlabels == 2:
+                key = (str(labels[names[0]]), str(labels[names[1]]))
+            else:
+                key = tuple(str(labels[ln]) for ln in names)
+        except KeyError:
+            self._bad_labels(labels)
         handle = self._series.get(key)
         if handle is None:
             with self._registry._lock:
                 handle = self._series.get(key)
                 if handle is None:
-                    if len(self._series) >= self._registry.max_series:
+                    if len(self._series) >= self._series_budget:
                         key = (OVERFLOW_LABEL,) * len(self.labelnames)
                         handle = self._series.get(key)
                         if handle is None:
@@ -271,8 +352,16 @@ class Gauge(Metric):
 class Histogram(Metric):
     kind = "histogram"
 
-    def __init__(self, registry, name, help, labelnames=(), buckets=DEFAULT_BUCKETS):
-        super().__init__(registry, name, help, labelnames)
+    def __init__(
+        self,
+        registry,
+        name,
+        help,
+        labelnames=(),
+        max_series=None,
+        buckets=DEFAULT_BUCKETS,
+    ):
+        super().__init__(registry, name, help, labelnames, max_series)
         edges = tuple(sorted(float(b) for b in buckets))
         if not edges:
             raise ValueError("histogram needs at least one bucket edge")
@@ -290,6 +379,61 @@ class Histogram(Metric):
             self.labels(**labels).observe(value)
         else:
             self._default_handle().observe(value)
+
+
+class Digest(Metric):
+    """A labelled family of mergeable HDR-style latency digests.
+
+    Each series handle is a :class:`repro.obs.digests.LatencyDigest` —
+    log-bucketed, so tail quantiles (p99.9) keep ~±2% relative accuracy
+    without hand-picked edges, unlike the fixed-bucket
+    :class:`Histogram`.  Exposed in the Prometheus *summary* idiom:
+    ``name{quantile="0.5"}`` series per configured quantile plus
+    ``name_sum``/``name_count``.  Handles merge across workers via
+    :meth:`~repro.obs.digests.LatencyDigest.merge`; :meth:`merge_in`
+    folds an exported digest dict into one series, which is how
+    map-reduce parents absorb worker-side sketches.
+    """
+
+    kind = "summary"
+
+    def __init__(
+        self,
+        registry,
+        name,
+        help,
+        labelnames=(),
+        max_series=None,
+        quantiles=None,
+    ):
+        from repro.obs.digests import DIGEST_QUANTILES
+
+        super().__init__(registry, name, help, labelnames, max_series)
+        self.quantiles = tuple(quantiles) if quantiles is not None else DIGEST_QUANTILES
+
+    def _new_handle(self):
+        from repro.obs.digests import LatencyDigest
+
+        return LatencyDigest()
+
+    def observe(self, value: float, **labels: object) -> None:
+        if not self._registry.enabled:
+            return
+        if labels or self.labelnames:
+            self.labels(**labels).observe(value)
+        else:
+            self._default_handle().observe(value)
+
+    def merge_in(self, exported: dict, **labels: object) -> None:
+        """Fold a worker-exported digest dict into one series."""
+        from repro.obs.digests import LatencyDigest
+
+        if not self._registry.enabled:
+            return
+        handle = self.labels(**labels) if (labels or self.labelnames) else self._default_handle()
+        if handle is _NOOP:
+            return
+        handle.merge(LatencyDigest.from_dict(exported))
 
 
 def _escape_label_value(v: str) -> str:
@@ -352,11 +496,23 @@ class MetricsRegistry:
             self._metrics[name] = metric
             return metric
 
-    def counter(self, name: str, help: str = "", labelnames: Sequence[str] = ()) -> Counter:
-        return self._register(Counter, name, help, labelnames)
+    def counter(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        max_series: int | None = None,
+    ) -> Counter:
+        return self._register(Counter, name, help, labelnames, max_series=max_series)
 
-    def gauge(self, name: str, help: str = "", labelnames: Sequence[str] = ()) -> Gauge:
-        return self._register(Gauge, name, help, labelnames)
+    def gauge(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        max_series: int | None = None,
+    ) -> Gauge:
+        return self._register(Gauge, name, help, labelnames, max_series=max_series)
 
     def histogram(
         self,
@@ -364,8 +520,23 @@ class MetricsRegistry:
         help: str = "",
         labelnames: Sequence[str] = (),
         buckets: Sequence[float] = DEFAULT_BUCKETS,
+        max_series: int | None = None,
     ) -> Histogram:
-        return self._register(Histogram, name, help, labelnames, buckets=buckets)
+        return self._register(
+            Histogram, name, help, labelnames, max_series=max_series, buckets=buckets
+        )
+
+    def digest(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        quantiles: Sequence[float] | None = None,
+        max_series: int | None = None,
+    ) -> Digest:
+        return self._register(
+            Digest, name, help, labelnames, max_series=max_series, quantiles=quantiles
+        )
 
     def reset(self) -> None:
         """Zero every series; registrations survive."""
@@ -398,6 +569,13 @@ class MetricsRegistry:
                     plain = _fmt_labels(m.labelnames, key)
                     out.append(f"{name}_sum{plain} {_fmt_value(h.sum)}")
                     out.append(f"{name}_count{plain} {h.count}")
+                elif m.kind == "summary":
+                    for q in m.quantiles:
+                        lbl = _fmt_labels(m.labelnames, key, f'quantile="{q}"')
+                        out.append(f"{name}{lbl} {repr(h.quantile(q))}")
+                    plain = _fmt_labels(m.labelnames, key)
+                    out.append(f"{name}_sum{plain} {_fmt_value(h.sum)}")
+                    out.append(f"{name}_count{plain} {h.count}")
                 else:
                     lbl = _fmt_labels(m.labelnames, key)
                     out.append(f"{name}{lbl} {_fmt_value(h.value)}")
@@ -418,6 +596,17 @@ class MetricsRegistry:
                             "labels": labels,
                             "buckets": list(h.edges),
                             "counts": list(h.counts),
+                            "sum": h.sum,
+                            "count": h.count,
+                        }
+                    )
+                elif m.kind == "summary":
+                    series.append(
+                        {
+                            "labels": labels,
+                            "quantiles": {
+                                str(q): h.quantile(q) for q in m.quantiles
+                            },
                             "sum": h.sum,
                             "count": h.count,
                         }

@@ -1,0 +1,296 @@
+"""Trace sampling: samplers, trace/span identifiers, the span ring.
+
+Production tracing cannot afford a span tree per request — at the
+serving layer's ~10 µs/request a full trace would dominate the hot path
+and fill memory in seconds.  This module supplies the three pieces that
+turn the span API of :mod:`repro.obs.tracing` into *sampled* distributed
+tracing:
+
+* **Samplers** — the head-sampling decision seam.  A sampler is asked
+  once per trace *root*; every descendant span inherits the decision
+  (consistent sampling: a trace is recorded whole or not at all).
+  :class:`ProbabilisticSampler` keeps a seeded fraction of traces,
+  :class:`RateLimitedSampler` caps traces per second on the monotonic
+  clock (token bucket, clock-seam injectable for tests), and the
+  :class:`AlwaysSampler`/:class:`NeverSampler` constants cover the
+  debug/off ends.
+* **Identifiers** — :func:`new_trace_id` / :func:`new_span_id` mint
+  W3C-trace-context-sized hex ids (128/64 bit) from a per-process
+  generator seeded from ``os.urandom`` (reseeded after fork), so ids
+  minted on different threads, workers or hosts never collide in
+  practice and a request can be followed across process boundaries by
+  grepping one string.
+* **SpanRing** — a bounded in-memory ring of finished root-span exports.
+  The exposition endpoint serves it at ``/traces``; :meth:`SpanRing.dump`
+  writes a JSON document validated by :func:`validate_trace_dump`.  The
+  ring drops the *oldest* trace on overflow — recent traces are the ones
+  an operator is debugging — and counts what it dropped.
+
+Nothing here imports the serving layer: samplers and rings are plain
+obs primitives that any subsystem (serving, campaigns, map-reduce) can
+attach to a :class:`~repro.obs.tracing.Tracer`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import random
+import threading
+import time
+from collections import deque
+from typing import Iterable
+
+__all__ = [
+    "Sampler",
+    "AlwaysSampler",
+    "NeverSampler",
+    "ProbabilisticSampler",
+    "RateLimitedSampler",
+    "new_trace_id",
+    "new_span_id",
+    "SpanRing",
+    "TRACE_DUMP_SCHEMA",
+    "validate_trace_dump",
+]
+
+# Injectable clock seam (monotonic), mirroring parallel.sharding.
+_monotonic = time.monotonic
+
+#: Schema tag for :meth:`SpanRing.dump` documents.
+TRACE_DUMP_SCHEMA = "repro-traces/1"
+
+
+# Id minting draws from a process-local Mersenne generator seeded once
+# from the OS entropy pool, not from os.urandom per id: a sampled
+# 63-lane batch mints 64+ span ids back to back and the urandom syscall
+# was the single largest line in that bill.  getrandbits is one C call
+# under the GIL, so concurrent minting threads stay safe; forked
+# children reseed on first use (pid check) so two workers never replay
+# the same id stream.
+_id_rand = random.Random(os.urandom(16))
+_id_pid = os.getpid()
+
+
+def _id_bits(bits: int) -> int:
+    global _id_rand, _id_pid
+    pid = os.getpid()
+    if pid != _id_pid:
+        _id_rand = random.Random(os.urandom(16))
+        _id_pid = pid
+    return _id_rand.getrandbits(bits)
+
+
+def new_trace_id() -> str:
+    """A 128-bit hex trace id (W3C trace-context sized)."""
+    return f"{_id_bits(128):032x}"
+
+
+def new_span_id() -> str:
+    """A 64-bit hex span id."""
+    return f"{_id_bits(64):016x}"
+
+
+class Sampler:
+    """Head-sampling decision seam: asked once per trace root.
+
+    Subclasses override :meth:`sample`.  The base class records the
+    decision tally so dashboards can report the effective sampling rate
+    (``sampled / decisions``) without a separate counter.
+    """
+
+    def __init__(self) -> None:
+        self.decisions = 0
+        self.sampled = 0
+
+    def sample(self, name: str) -> bool:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def __call__(self, name: str) -> bool:
+        self.decisions += 1
+        if self.sample(name):
+            self.sampled += 1
+            return True
+        return False
+
+
+class AlwaysSampler(Sampler):
+    """Record every trace (the pre-sampling behaviour; debugging)."""
+
+    def sample(self, name: str) -> bool:
+        return True
+
+
+class NeverSampler(Sampler):
+    """Record no traces (spans still time, nothing is exported)."""
+
+    def sample(self, name: str) -> bool:
+        return False
+
+
+class ProbabilisticSampler(Sampler):
+    """Keep a seeded pseudo-random fraction of traces.
+
+    The stream is a seeded ``random.Random`` — two services configured
+    with the same ``(rate, seed)`` make the same decisions in the same
+    order, which is what makes sampled-trace tests deterministic.
+    """
+
+    def __init__(self, rate: float, seed: int = 0):
+        super().__init__()
+        if not (0.0 <= rate <= 1.0):
+            raise ValueError(f"sampling rate must be in [0, 1], got {rate}")
+        import random
+
+        self.rate = rate
+        self._rng = random.Random(seed)
+
+    def sample(self, name: str) -> bool:
+        if self.rate >= 1.0:
+            return True
+        if self.rate <= 0.0:
+            return False
+        return self._rng.random() < self.rate
+
+
+class RateLimitedSampler(Sampler):
+    """Cap sampled traces per second (token bucket, monotonic clock).
+
+    Admits at most ``max_per_s`` traces per second with a burst budget of
+    ``burst`` tokens, so a quiet service still records its first few
+    requests after an idle period while a storm cannot flood the ring.
+    All clock reads go through the module seam ``_monotonic`` — tests
+    drive it directly.
+    """
+
+    def __init__(self, max_per_s: float, burst: int | None = None):
+        super().__init__()
+        if max_per_s <= 0:
+            raise ValueError("max_per_s must be positive")
+        self.max_per_s = float(max_per_s)
+        self.burst = float(burst if burst is not None else max(1.0, max_per_s))
+        self._tokens = self.burst
+        self._last = _monotonic()
+        self._lock = threading.Lock()
+
+    def sample(self, name: str) -> bool:
+        with self._lock:
+            now = _monotonic()
+            self._tokens = min(
+                self.burst, self._tokens + (now - self._last) * self.max_per_s
+            )
+            self._last = now
+            if self._tokens >= 1.0:
+                self._tokens -= 1.0
+                return True
+            return False
+
+
+class SpanRing:
+    """Bounded ring of finished root-span exports (newest kept).
+
+    ``record`` takes a span *export* (the plain dict from
+    :meth:`~repro.obs.tracing.Span.export`) so the ring never pins live
+    span objects, and a ring snapshot is already JSON-ready.  Overflow
+    evicts the oldest trace and increments ``dropped``.
+    """
+
+    def __init__(self, capacity: int = 256):
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.dropped = 0
+        self.recorded = 0
+        self._ring: deque[dict] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def record(self, span_export: dict) -> None:
+        with self._lock:
+            if len(self._ring) == self.capacity:
+                self.dropped += 1
+            self._ring.append(span_export)
+            self.recorded += 1
+
+    def snapshot(self) -> list[dict]:
+        """The ring's traces, oldest first (a copy; safe to serialise)."""
+        with self._lock:
+            return list(self._ring)
+
+    def dump(self, path: str | pathlib.Path | None = None) -> dict:
+        """The ring as a ``repro-traces/1`` document (optionally written)."""
+        doc = {
+            "schema": TRACE_DUMP_SCHEMA,
+            "capacity": self.capacity,
+            "recorded": self.recorded,
+            "dropped": self.dropped,
+            "traces": self.snapshot(),
+        }
+        if path is not None:
+            pathlib.Path(path).write_text(
+                json.dumps(doc, indent=1, sort_keys=True) + "\n"
+            )
+        return doc
+
+
+# --------------------------------------------------------------------- #
+# trace-dump validation (CI gate for dumped traces)
+
+
+def _walk_spans(span: dict) -> Iterable[dict]:
+    yield span
+    for child in span.get("children", ()):
+        yield from _walk_spans(child)
+
+
+def validate_trace_dump(doc: object) -> None:
+    """Raise :class:`ValueError` unless ``doc`` is a valid trace dump.
+
+    Checks the schema tag, that every span carries ``name``/``span_id``,
+    that children share their root's ``trace_id``, and that every
+    child's ``parent_id`` is its structural parent's ``span_id`` — the
+    invariant the failover-trace tests rely on.
+    """
+    problems: list[str] = []
+    if not isinstance(doc, dict):
+        raise ValueError("trace dump must be a JSON object")
+    if doc.get("schema") != TRACE_DUMP_SCHEMA:
+        problems.append(
+            f"schema must be {TRACE_DUMP_SCHEMA!r}, got {doc.get('schema')!r}"
+        )
+    traces = doc.get("traces")
+    if not isinstance(traces, list):
+        problems.append("traces must be an array")
+        traces = []
+    for i, root in enumerate(traces):
+        if not isinstance(root, dict):
+            problems.append(f"traces[{i}] must be an object")
+            continue
+        trace_id = root.get("trace_id")
+        if not isinstance(trace_id, str) or not trace_id:
+            problems.append(f"traces[{i}] missing trace_id")
+            continue
+        for span in _walk_spans(root):
+            if not isinstance(span.get("name"), str):
+                problems.append(f"traces[{i}]: span without a name")
+            if not isinstance(span.get("span_id"), str):
+                problems.append(f"traces[{i}]: span {span.get('name')!r} missing span_id")
+            if span.get("trace_id") != trace_id:
+                problems.append(
+                    f"traces[{i}]: span {span.get('name')!r} trace_id "
+                    f"{span.get('trace_id')!r} != root {trace_id!r}"
+                )
+            for child in span.get("children", ()):
+                if isinstance(child, dict) and child.get("parent_id") != span.get(
+                    "span_id"
+                ):
+                    problems.append(
+                        f"traces[{i}]: child {child.get('name')!r} parent_id "
+                        f"{child.get('parent_id')!r} != parent span_id "
+                        f"{span.get('span_id')!r}"
+                    )
+    if problems:
+        raise ValueError("; ".join(problems))

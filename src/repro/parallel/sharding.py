@@ -45,6 +45,7 @@ from typing import Callable, Generic, Sequence, TypeVar
 
 from repro.errors import ShardTimeoutError, WorkerFailedError
 from repro.obs import metrics as _metrics
+from repro.obs.digests import LatencyDigest
 from repro.obs.tracing import Span
 
 __all__ = [
@@ -85,6 +86,10 @@ _SHARD_ATTEMPTS = _metrics.REGISTRY.counter(
 )
 _SHARD_SECONDS = _metrics.REGISTRY.histogram(
     "repro_shard_seconds", "successful shard attempt duration (seconds)"
+)
+_SHARD_DIGEST = _metrics.REGISTRY.digest(
+    "repro_shard_seconds_digest",
+    "shard attempt duration digest, merged from worker-side sketches",
 )
 
 T = TypeVar("T")
@@ -279,10 +284,11 @@ class PartialResult(Generic[R]):
 
 @dataclass(frozen=True)
 class _TracedValue:
-    """A worker result bundled with the worker-side span export."""
+    """A worker result bundled with the worker-side span + digest exports."""
 
     value: object
     span: dict
+    digest: dict | None = None
 
 
 class _TracedWork:
@@ -290,7 +296,13 @@ class _TracedWork:
 
     The span (wall/CPU time, worker PID, shard bounds) travels back with
     the result as a plain dict and is grafted into the parent trace —
-    that is the cross-process span propagation.
+    that is the cross-process span propagation.  A worker-side
+    :class:`~repro.obs.digests.LatencyDigest` sketch of the shard
+    duration rides along the same way and is merged into the parent's
+    ``repro_shard_seconds_digest`` series — the digests are built
+    directly (not through the registry) because worker processes start
+    with a fresh, disabled registry; merging happens where the registry
+    is live.
     """
 
     def __init__(self, work: Callable[[ShardSpec], object]):
@@ -303,7 +315,9 @@ class _TracedWork:
         )
         value = self.work(shard)  # exceptions propagate; parent records them
         span.end("ok")
-        return _TracedValue(value, span.export())
+        sketch = LatencyDigest()
+        sketch.observe(span.wall_s)
+        return _TracedValue(value, span.export(), sketch.to_dict())
 
 
 def hardened_map_reduce(
@@ -427,6 +441,8 @@ def hardened_map_reduce(
                     else:
                         if span is not None:
                             span.end("ok")
+                            if metrics_on:
+                                _SHARD_DIGEST.observe(span.wall_s)
                         outcomes.append((s, value, None, False, span))
             else:
                 if pool is None:
@@ -460,6 +476,8 @@ def hardened_map_reduce(
                         span = None
                         if isinstance(value, _TracedValue):
                             span = Span.from_export(value.span)
+                            if metrics_on and value.digest is not None:
+                                _SHARD_DIGEST.merge_in(value.digest)
                             value = value.value
                         outcomes.append((s, value, None, False, span))
             for s, value, exc, timed_out, span in outcomes:

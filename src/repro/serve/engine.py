@@ -30,6 +30,7 @@ import numpy as np
 
 from repro.core.converter import IndexToPermutationConverter
 from repro.core.knuth import KnuthShuffleCircuit
+from repro.hdl.compile import note_sweep
 from repro.hdl.simulator import BatchEntry
 
 __all__ = ["ConverterEngine", "ShuffleEngine", "EngineBank"]
@@ -57,6 +58,7 @@ class ConverterEngine:
 
     def run(self, indices: Sequence[int]) -> np.ndarray:
         """Unrank a batch of indices in one sweep → ``(B, n)`` array."""
+        note_sweep("converter", len(indices))
         outs = self._entry.run({"index": list(indices)}, materialize=False)
         perms = np.empty((len(indices), self.n), dtype=np.int64)
         for t in range(self.n):
@@ -92,6 +94,7 @@ class ShuffleEngine:
 
     def run(self, count: int) -> np.ndarray:
         """Draw ``count`` random permutations → ``(B, n)`` array."""
+        note_sweep("shuffle", count)
         return self.circuit.sample(count)
 
 

@@ -29,9 +29,16 @@ Everything observable is recorded when the global metrics registry is
 enabled: request counters by workload/outcome, queue-depth gauge, lane
 histogram, per-stage latency histograms on the sub-millisecond
 :data:`~repro.obs.metrics.FAST_LATENCY_BUCKETS`, and cache hit/miss
-counters.  With a :class:`~repro.obs.tracing.Tracer` attached, every
-batch becomes a ``serve.batch`` span with one child span per request,
-so a response's ``batch_id`` links it to its exact sweep in the trace.
+counters, and an end-to-end latency *digest*
+(:class:`~repro.obs.digests.LatencyDigest` per workload/mode) whose
+log-bucketed grid keeps p99/p99.9 honest where fixed edges cannot.
+With a :class:`~repro.obs.tracing.Tracer` attached, every *sampled*
+batch (the tracer's sampler decides once per batch) becomes a
+``serve.batch`` span with one child span per request, and the batch
+span is threaded through :meth:`PermutationService._run_sweep` so
+supervised tiers hang their failover/fallback spans off the same
+``trace_id`` — a response's ``batch_id`` links it to its exact sweep in
+the trace.
 
 :func:`serve_bulk` is the offline cousin: a large index array is split
 into :data:`~repro.hdl.compile.SWEEP_LANES`-sized shards
@@ -44,6 +51,7 @@ from __future__ import annotations
 
 import threading
 import time
+from collections import deque
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass
 
@@ -88,7 +96,8 @@ _BATCH_LANES = _metrics.REGISTRY.histogram(
 )
 _STAGE_SECONDS = _metrics.REGISTRY.histogram(
     "repro_serve_stage_seconds",
-    "per-request serving stage latency (seconds)",
+    "per-request serving stage latency (queued / sweep) in seconds; "
+    "end-to-end totals live in repro_serve_latency_seconds",
     ("stage",),
     buckets=FAST_LATENCY_BUCKETS,
 )
@@ -100,6 +109,72 @@ _MODE_TOTAL = _metrics.REGISTRY.counter(
     "responses by serving mode (degradation-ladder rung)",
     ("mode",),
 )
+_LATENCY_DIGEST = _metrics.REGISTRY.digest(
+    "repro_serve_latency_seconds",
+    "end-to-end request latency digest (log-bucketed; p50/p90/p99/p99.9)",
+    ("workload", "mode"),
+)
+
+
+class _TelemetryFlusher(threading.Thread):
+    """Folds per-batch telemetry into the registry off the hot path.
+
+    The dispatcher already walks every batch entry to build responses;
+    the per-entry telemetry cost it pays is two list appends.  The
+    expensive part — label resolution, histogram/digest folds, counter
+    increments over those value lists — is handed over here as one
+    record per batch and folded on this daemon thread, so a scrape sees
+    the same numbers a few hundred microseconds later but the serving
+    loop never waits on a bucket fold.  Records fold in submission
+    order (single consumer, FIFO deque), and :meth:`close` drains the
+    queue before returning, so anything observed after
+    ``service.close()`` is complete and ordered.
+    """
+
+    def __init__(self) -> None:
+        super().__init__(name="serve-telemetry", daemon=True)
+        self._queue: deque[tuple] = deque()
+        self._wake = threading.Event()
+        self._stopping = False
+        self.start()
+
+    def put(self, record: tuple) -> None:
+        self._queue.append(record)
+        self._wake.set()
+
+    def run(self) -> None:
+        queue = self._queue
+        while True:
+            self._wake.wait()
+            self._wake.clear()
+            while queue:
+                self._fold(queue.popleft())
+            if self._stopping and not queue:
+                return
+
+    def close(self) -> None:
+        """Stop the flusher after draining every queued record."""
+        self._stopping = True
+        self._wake.set()
+        self.join()
+        while self._queue:  # records enqueued after the final wake
+            self._fold(self._queue.popleft())
+
+    @staticmethod
+    def _fold(record: tuple) -> None:
+        lanes, mode, kind, sweep_s, queued_vals, workload_totals, pending = record
+        _BATCH_LANES.observe(lanes)
+        _MODE_TOTAL.inc(lanes, mode=mode)
+        _STAGE_SECONDS.labels(stage="queued").observe_many(queued_vals)
+        _STAGE_SECONDS.labels(stage="sweep").observe_n(sweep_s, lanes)
+        for wl, totals in workload_totals.items():
+            _LATENCY_DIGEST.labels(workload=wl, mode=mode).observe_many(totals)
+            _REQUESTS.inc(len(totals), workload=wl, outcome="ok")
+        if kind != "shuffle":
+            # every converter-batch entry missed the cache at admission
+            # (hits resolve inline in submit)
+            _CACHE_TOTAL.inc(lanes, result="miss")
+        _QUEUE_DEPTH.set(pending)
 
 
 class CompletionFuture:
@@ -212,6 +287,9 @@ class PermutationService:
         self._degraded_shed = 0
         self._completed = 0
         self._closed = False
+        # started lazily by _execute on the first metrics-enabled batch;
+        # only the dispatcher thread creates it, so no lock is needed
+        self._telemetry: _TelemetryFlusher | None = None
         self._dispatcher = threading.Thread(
             target=self._run_dispatcher, name="serve-dispatcher", daemon=True
         )
@@ -238,6 +316,9 @@ class PermutationService:
             self._cond.notify_all()
         self._dispatcher.join()
         self._fail_pending(ServiceShutdownError("service closed before execution"))
+        if self._telemetry is not None:
+            # dispatcher is down, so no new records: drain and stop
+            self._telemetry.close()
 
     def _fail_pending(self, exc: BaseException) -> None:
         """Settle every still-queued entry with ``exc`` (shutdown belt)."""
@@ -317,11 +398,13 @@ class PermutationService:
                         None,
                     )
                     if metrics_on:
-                        _STAGE_SECONDS.observe(total, stage="total")
                         _MODE_TOTAL.inc(mode="cached")
+                        _LATENCY_DIGEST.observe(
+                            total, workload=workload, mode="cached"
+                        )
                     return future
-                if metrics_on:
-                    _CACHE_TOTAL.inc(result="miss")
+                # misses are counted at batch granularity in _execute:
+                # every admitted converter-batch entry was a miss here
             try:
                 # Supervised tiers veto here when the shard's degradation
                 # ladder has stepped down to cache-only: hits (above)
@@ -350,8 +433,6 @@ class PermutationService:
             )
             was_empty = self._batcher.pending == 0
             run_inline = self._batcher.add(key, entry, entry.enqueued_at)
-            if metrics_on:
-                _QUEUE_DEPTH.set(self._batcher.pending)
             if run_inline is None and was_empty:
                 # The dispatcher only needs waking when it had nothing
                 # to wait for: any later-opened group's deadline is by
@@ -420,7 +501,7 @@ class PermutationService:
         cache-only mode.
         """
 
-    def _run_sweep(self, batch: Batch, kind: str, n: int):
+    def _run_sweep(self, batch: Batch, kind: str, n: int, span: Span | None = None):
         """Execute one closed batch's sweep → ``(perms, mode)``.
 
         The execution seam of the serving layer: everything above it
@@ -430,6 +511,11 @@ class PermutationService:
         engine in-process (mode ``"direct"``); the supervised tier
         overrides it to route the sweep through its worker/fallback
         degradation ladder and returns the rung that served it.
+
+        ``span`` is the batch's (sampled) trace span, or ``None`` for an
+        unsampled batch: tiers attach their execution detail — worker
+        attempts, failovers, fallback rungs — as children so the whole
+        ladder shares the batch's ``trace_id``.
         """
         with self._lock:
             engine = self._engines.for_key(batch.key)
@@ -478,15 +564,19 @@ class PermutationService:
     def _execute(self, batch: Batch) -> None:
         """Run one closed batch through its engine and resolve futures."""
         metrics_on = _metrics.REGISTRY.enabled
+        # Head-sampling happens here, once per batch: an unsampled batch
+        # pays one sampler call and never constructs a span.
         span = (
-            Span("serve.batch", {"batch_id": batch.batch_id, "lanes": batch.lanes})
+            self.tracer.sampled_root(
+                "serve.batch", batch_id=batch.batch_id, lanes=batch.lanes
+            )
             if self.tracer is not None
             else None
         )
         kind, n = batch.key
         exec_start = time.perf_counter()
         try:
-            perms, mode = self._run_sweep(batch, kind, n)
+            perms, mode = self._run_sweep(batch, kind, n, span)
         except BaseException as exc:
             outcome = (
                 "degraded" if isinstance(exc, ServiceDegradedError) else "error"
@@ -496,22 +586,34 @@ class PermutationService:
                     e.future._finish(None, exc)
                 self._cond.notify_all()
             if metrics_on:
+                by_workload: dict[str, int] = {}
                 for e in batch.entries:
-                    _REQUESTS.inc(workload=e.request.workload, outcome=outcome)
+                    wl = e.request.workload
+                    by_workload[wl] = by_workload.get(wl, 0) + 1
+                for wl, c in by_workload.items():
+                    _REQUESTS.inc(c, workload=wl, outcome=outcome)
             if span is not None:
                 span.end("error", error=f"{type(exc).__name__}: {exc}")
                 with self._lock:
                     self.tracer.adopt(span)
             return
         sweep_s = time.perf_counter() - exec_start
-        if metrics_on:
-            _BATCH_LANES.observe(batch.lanes)
         done = time.perf_counter()
         responses = []
+        if metrics_on:
+            # Per-entry telemetry is two list appends; everything else —
+            # label resolution, histogram/digest folds, counter incs —
+            # is handed to the _TelemetryFlusher thread as one record
+            # per batch below the loop.  That discipline is what keeps
+            # enabled-telemetry overhead inside the ≤5% serving budget
+            # (see bench_serving's overhead assertion).
+            queued_vals: list[float] = []
+            workload_totals: dict[str, list[float]] = {}
         for lane, e in enumerate(batch.entries):
             adm = e.request
             perm = tuple(int(v) for v in perms[lane])
             queued = max(0.0, exec_start - adm.submitted_at)
+            total = done - adm.submitted_at
             responses.append(
                 (
                     e.future,
@@ -526,41 +628,61 @@ class PermutationService:
                         cached=False,
                         queued_s=queued,
                         sweep_s=sweep_s,
-                        total_s=done - adm.submitted_at,
+                        total_s=total,
                         mode=mode,
                     ),
                 )
             )
             if metrics_on:
-                _REQUESTS.inc(workload=adm.workload, outcome="ok")
-                _MODE_TOTAL.inc(mode=mode)
-                _STAGE_SECONDS.observe(queued, stage="queued")
-                _STAGE_SECONDS.observe(sweep_s, stage="sweep")
-                _STAGE_SECONDS.observe(done - adm.submitted_at, stage="total")
+                queued_vals.append(queued)
+                wt = workload_totals.get(adm.workload)
+                if wt is None:
+                    wt = workload_totals[adm.workload] = []
+                wt.append(total)
             if span is not None:
-                child = Span(
+                # pre-finished record children: the sweep already timed
+                # the work, so the child skips all four clock reads
+                span.child_record(
                     "serve.request",
-                    {
-                        "request_id": adm.request_id,
-                        "workload": adm.workload,
-                        "n": adm.n,
-                        "batch_id": batch.batch_id,
-                    },
+                    wall_s=total,
+                    request_id=adm.request_id,
+                    workload=adm.workload,
+                    n=adm.n,
+                    batch_id=batch.batch_id,
                 )
-                child.end("ok")
-                child.wall_s = done - adm.submitted_at
-                span.children.append(child)
+        if metrics_on:
+            # one handoff per batch: mode and sweep time are uniform
+            # within a batch, and the per-entry value lists fold into
+            # the histograms/digests on the flusher thread (queue depth
+            # is likewise sampled once per batch — a dashboard scrape
+            # cannot tell the difference, the hot path can)
+            if self._telemetry is None:
+                self._telemetry = _TelemetryFlusher()
+            self._telemetry.put(
+                (
+                    len(batch.entries),
+                    mode,
+                    kind,
+                    sweep_s,
+                    queued_vals,
+                    workload_totals,
+                    self._batcher.pending,
+                )
+            )
         with self._cond:
             if kind == "converter":
                 for _, resp in responses:
                     self._cache.put(("unrank", resp.n, resp.index), resp.permutation)
             self._completed += len(responses)
-            if span is not None:
-                span.end("ok")
-                self.tracer.adopt(span)
             for future, resp in responses:
                 future._finish(resp, None)
             self._cond.notify_all()
+        if span is not None:
+            # end + export outside the condition lock: adopt() walks and
+            # serialises the whole span tree, and nothing below needs
+            # the service state
+            span.end("ok")
+            self.tracer.adopt(span)
 
 
 @dataclass(frozen=True)

@@ -131,6 +131,11 @@ _QUARANTINES = _metrics.REGISTRY.counter(
     "compiled kernels evicted after a response-check conviction",
     ("shard",),
 )
+_SWEEP_DIGEST = _metrics.REGISTRY.digest(
+    "repro_serve_sweep_seconds",
+    "supervised sweep duration digest by shard and ladder rung",
+    ("shard", "rung"),
+)
 
 
 # --------------------------------------------------------------------- #
@@ -218,15 +223,23 @@ class CircuitBreaker:
 
 
 class _SweepJob:
-    """One sweep handed to a worker thread, with a settled-event."""
+    """One sweep handed to a worker thread, with a settled-event.
 
-    __slots__ = ("payload", "event", "value", "error")
+    ``traced`` asks the worker thread to time its sweep in a span
+    (minted worker-side, grafted by the caller after the job settles —
+    never touched concurrently from both threads); the finished span
+    lands in ``span``.
+    """
 
-    def __init__(self, payload):
+    __slots__ = ("payload", "event", "value", "error", "traced", "span")
+
+    def __init__(self, payload, traced: bool = False):
         self.payload = payload
         self.event = threading.Event()
         self.value = None
         self.error: BaseException | None = None
+        self.traced = traced
+        self.span: Span | None = None
 
 
 class ShardWorker:
@@ -268,18 +281,29 @@ class ShardWorker:
 
     # ------------------------------------------------------------------ #
 
-    def run(self, payload, deadline_s: float):
-        """One sweep with a response deadline; raises typed failures."""
+    def run(self, payload, deadline_s: float, parent: Span | None = None):
+        """One sweep with a response deadline; raises typed failures.
+
+        With ``parent`` given, the worker thread times the sweep —
+        compiled-kernel execution included — in its own span, which is
+        grafted under ``parent`` (restamped onto its trace) once the job
+        settles.  A stalled job's span is *not* grafted: the abandoned
+        thread may still be mutating it.
+        """
         if not self.alive:
             raise WorkerCrashedError(
                 f"worker {self.worker_id} for shard {self.key} is dead"
             )
-        job = _SweepJob(payload)
+        job = _SweepJob(payload, traced=parent is not None)
         self._queue.put(job)
         if not job.event.wait(deadline_s):
             raise WorkerStalledError(
                 f"worker {self.worker_id} for shard {self.key} missed its "
                 f"{deadline_s:g}s sweep deadline (stall detected)"
+            )
+        if parent is not None and job.span is not None:
+            parent.children.append(
+                job.span.restamp(parent.trace_id, parent.span_id)
             )
         if job.error is not None:
             raise job.error
@@ -307,6 +331,20 @@ class ShardWorker:
             if job is None or self._killed:
                 break
             self.last_beat = _monotonic()
+            sweep_span = (
+                Span(
+                    "serve.worker_sweep",
+                    {
+                        "shard": str(self.key),
+                        "worker_id": self.worker_id,
+                        "kernel": getattr(
+                            self.engine, "kernel_fingerprint", None
+                        ),
+                    },
+                )
+                if job.traced
+                else None
+            )
             try:
                 plan = (
                     self.chaos.plan_sweep(self.key, self.worker_id)
@@ -321,13 +359,23 @@ class ShardWorker:
             except WorkerCrashedError as exc:
                 # the worker "process" dies with the failing sweep
                 self.alive = False
+                if sweep_span is not None:
+                    job.span = sweep_span.end(
+                        "error", error=f"{type(exc).__name__}: {exc}"
+                    )
                 job.error = exc
                 job.event.set()
                 return
             except BaseException as exc:
+                if sweep_span is not None:
+                    job.span = sweep_span.end(
+                        "error", error=f"{type(exc).__name__}: {exc}"
+                    )
                 job.error = exc
                 job.event.set()
             else:
+                if sweep_span is not None:
+                    job.span = sweep_span.end("ok")
                 job.value = value
                 job.event.set()
             self.last_beat = _monotonic()
@@ -470,7 +518,7 @@ class SweepSupervisor:
     # ------------------------------------------------------------------ #
     # execution ladder
 
-    def execute(self, key, payload):
+    def execute(self, key, payload, span: Span | None = None):
         """Run one sweep → ``(perms, mode)``; raises when fully degraded.
 
         ``payload`` is the list of indices for a converter sweep or the
@@ -479,32 +527,61 @@ class SweepSupervisor:
         exhausted the sweep fails with
         :class:`~repro.errors.ServiceDegradedError` — never with a
         wrong result: both rungs are oracle-checked before returning.
+
+        ``span`` is the enclosing (sampled) batch span: every ladder
+        step taken for this sweep — worker attempts, failovers, worker
+        restarts, check failures, the fallback rung — is attached as a
+        child, so one ``trace_id`` tells the sweep's whole story.
         """
         shard = self._shard(key)
         indices = payload if isinstance(payload, (list, tuple)) else None
         with shard.exec_lock:
-            worker = self._acquire_worker(shard)
+            worker = self._acquire_worker(shard, span)
             if worker is not None:
+                attempt = (
+                    span.child(
+                        "serve.worker_attempt",
+                        shard=str(key),
+                        worker_id=worker.worker_id,
+                    )
+                    if span is not None
+                    else None
+                )
+                t0 = time.perf_counter()
                 try:
-                    perms = worker.run(payload, self.config.sweep_deadline_s)
+                    perms = worker.run(
+                        payload, self.config.sweep_deadline_s, attempt
+                    )
                     if self.config.check:
                         check_served_batch(perms, indices)
                 except FaultDetectedError as exc:
-                    self._on_check_failure(shard, worker, exc)
+                    if attempt is not None:
+                        attempt.end("error", error=f"{type(exc).__name__}: {exc}")
+                    self._on_check_failure(shard, worker, exc, span)
                 except Exception as exc:
-                    self._on_worker_failure(shard, worker, exc)
+                    if attempt is not None:
+                        attempt.end("error", error=f"{type(exc).__name__}: {exc}")
+                    self._on_worker_failure(shard, worker, exc, span)
                 else:
+                    if attempt is not None:
+                        attempt.end("ok")
                     with self._lock:
                         shard.consecutive_failures = 0
                         shard.breaker.record_success()
                         shard.served["worker"] += 1
                     self._publish_breakers(shard)
+                    if _metrics.REGISTRY.enabled:
+                        _SWEEP_DIGEST.observe(
+                            time.perf_counter() - t0,
+                            shard=self._shard_label(key),
+                            rung="worker",
+                        )
                     return perms, "worker"
                 if _metrics.REGISTRY.enabled:
                     _FAILOVERS.inc(shard=self._shard_label(key))
-            return self._run_fallback(shard, payload, indices), "fallback"
+            return self._run_fallback(shard, payload, indices, span), "fallback"
 
-    def _run_fallback(self, shard: _Shard, payload, indices):
+    def _run_fallback(self, shard: _Shard, payload, indices, span: Span | None = None):
         """The interp rung; raises ``ServiceDegradedError`` past it."""
         with self._lock:
             allowed = (
@@ -520,6 +597,12 @@ class SweepSupervisor:
                         shard.key
                     )
         if allowed:
+            fspan = (
+                span.child("serve.fallback", shard=str(shard.key))
+                if span is not None
+                else None
+            )
+            t0 = time.perf_counter()
             try:
                 plan = (
                     self.chaos.plan_fallback(shard.key)
@@ -532,18 +615,30 @@ class SweepSupervisor:
                 if self.config.check:
                     check_served_batch(perms, indices)
             except FaultDetectedError as exc:
+                if fspan is not None:
+                    fspan.end("error", error=f"{type(exc).__name__}: {exc}")
                 with self._lock:
                     shard.fallback_breaker.record_failure()
                     shard.check_failures += 1
-                self._note_check_failure(shard, exc, path="fallback")
-            except Exception:
+                self._note_check_failure(shard, exc, path="fallback", parent=span)
+            except Exception as exc:
+                if fspan is not None:
+                    fspan.end("error", error=f"{type(exc).__name__}: {exc}")
                 with self._lock:
                     shard.fallback_breaker.record_failure()
             else:
+                if fspan is not None:
+                    fspan.end("ok")
                 with self._lock:
                     shard.fallback_breaker.record_success()
                     shard.served["fallback"] += 1
                 self._publish_breakers(shard)
+                if _metrics.REGISTRY.enabled:
+                    _SWEEP_DIGEST.observe(
+                        time.perf_counter() - t0,
+                        shard=self._shard_label(shard.key),
+                        rung="fallback",
+                    )
                 return perms
         self._publish_breakers(shard)
         raise ServiceDegradedError(
@@ -556,7 +651,9 @@ class SweepSupervisor:
     # ------------------------------------------------------------------ #
     # worker management
 
-    def _acquire_worker(self, shard: _Shard) -> ShardWorker | None:
+    def _acquire_worker(
+        self, shard: _Shard, span: Span | None = None
+    ) -> ShardWorker | None:
         """The shard's healthy worker, restarting it if due — or ``None``.
 
         ``None`` means the worker rung is skipped this sweep: breaker
@@ -593,6 +690,7 @@ class SweepSupervisor:
                 "serve.worker_restart",
                 {"shard": str(shard.key), "outcome": "spawn_failed"},
                 error=f"{type(exc).__name__}: {exc}",
+                parent=span,
             )
             return None
         with self._lock:
@@ -612,6 +710,7 @@ class SweepSupervisor:
                     "worker_id": worker_id,
                     "restarts": shard.restarts,
                 },
+                parent=span,
             )
         return worker
 
@@ -637,7 +736,11 @@ class SweepSupervisor:
         shard.retry_at = _monotonic() + delay
 
     def _on_worker_failure(
-        self, shard: _Shard, worker: ShardWorker, exc: Exception
+        self,
+        shard: _Shard,
+        worker: ShardWorker,
+        exc: Exception,
+        span: Span | None = None,
     ) -> None:
         reason = (
             "stall"
@@ -650,10 +753,15 @@ class SweepSupervisor:
             "serve.failover",
             {"shard": str(shard.key), "reason": reason},
             error=f"{type(exc).__name__}: {exc}",
+            parent=span,
         )
 
     def _on_check_failure(
-        self, shard: _Shard, worker: ShardWorker, exc: FaultDetectedError
+        self,
+        shard: _Shard,
+        worker: ShardWorker,
+        exc: FaultDetectedError,
+        span: Span | None = None,
     ) -> None:
         """A convicted response: quarantine the kernel, retire the worker."""
         fingerprint = getattr(worker.engine, "kernel_fingerprint", None)
@@ -665,10 +773,15 @@ class SweepSupervisor:
             self._retire_worker_locked(shard, worker, "check_failure", str(exc))
         if _metrics.REGISTRY.enabled and fingerprint is not None:
             _QUARANTINES.inc(shard=self._shard_label(shard.key))
-        self._note_check_failure(shard, exc, path="worker", evicted=evicted)
+        self._note_check_failure(shard, exc, path="worker", evicted=evicted, parent=span)
 
     def _note_check_failure(
-        self, shard: _Shard, exc: FaultDetectedError, path: str, evicted: int = 0
+        self,
+        shard: _Shard,
+        exc: FaultDetectedError,
+        path: str,
+        evicted: int = 0,
+        parent: Span | None = None,
     ) -> None:
         kind = (
             "rank_oracle"
@@ -686,6 +799,7 @@ class SweepSupervisor:
                 "quarantined_kernels": evicted,
             },
             error=str(exc),
+            parent=parent,
         )
 
     # ------------------------------------------------------------------ #
@@ -794,7 +908,25 @@ class SweepSupervisor:
             path="fallback",
         )
 
-    def _adopt_span(self, name: str, attrs: dict, error: str | None = None) -> None:
+    def _adopt_span(
+        self,
+        name: str,
+        attrs: dict,
+        error: str | None = None,
+        parent: Span | None = None,
+    ) -> None:
+        """One finished event-span: a child of ``parent``, else adopted.
+
+        With a ``parent`` (the sampled batch span) the event joins that
+        trace directly; without one — unsampled batch, or supervisor
+        housekeeping outside any sweep — it becomes its own adopted root
+        so the event is still never lost.
+        """
+        if parent is not None:
+            parent.child(name, **attrs).end(
+                "ok" if error is None else "error", error=error
+            )
+            return
         if self.tracer is None:
             return
         span = Span(name, attrs)
@@ -855,13 +987,13 @@ class SupervisedService(PermutationService):
                 shard=key,
             )
 
-    def _run_sweep(self, batch, kind: str, n: int):
+    def _run_sweep(self, batch, kind: str, n: int, span: Span | None = None):
         payload = (
             batch.lanes
             if kind == "shuffle"
             else [e.request.index for e in batch.entries]
         )
-        return self.supervisor.execute(batch.key, payload)
+        return self.supervisor.execute(batch.key, payload, span)
 
     # ------------------------------------------------------------------ #
     # engine factories

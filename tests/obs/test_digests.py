@@ -1,0 +1,170 @@
+"""Latency digests: bucket accuracy, merge algebra, serialisation."""
+
+import math
+import random
+import threading
+
+import pytest
+
+from repro.obs.digests import (
+    DIGEST_QUANTILES,
+    SUBBUCKETS_PER_OCTAVE,
+    LatencyDigest,
+)
+
+#: The digest's advertised relative error: half a 2^(1/16) bucket.
+GRID_RATIO = 2.0 ** (1.0 / SUBBUCKETS_PER_OCTAVE)
+
+
+class TestBucketing:
+    def test_quantiles_within_grid_relative_error(self):
+        rng = random.Random(7)
+        values = [rng.uniform(1e-6, 1e-1) for _ in range(5000)]
+        d = LatencyDigest()
+        for v in values:
+            d.observe(v)
+        values.sort()
+        for q in DIGEST_QUANTILES:
+            exact = values[round(q * (len(values) - 1))]
+            got = d.quantile(q)
+            assert exact / GRID_RATIO <= got <= exact * GRID_RATIO, (
+                f"q={q}: {got} vs exact {exact}"
+            )
+
+    def test_observe_many_matches_observe(self):
+        rng = random.Random(13)
+        values = [rng.uniform(1e-9, 10.0) for _ in range(512)]
+        one = LatencyDigest()
+        many = LatencyDigest()
+        for v in values:
+            one.observe(v)
+        many.observe_many(values)
+        assert one.to_dict() == many.to_dict()
+
+    def test_extreme_values_saturate_into_end_buckets(self):
+        d = LatencyDigest()
+        d.observe(1e-15)  # below the 1 ns grid floor
+        d.observe(1e9)  # above the ~1100 s grid ceiling
+        assert d.count == 2
+        assert d.min == 1e-15
+        assert d.max == 1e9
+        # the underflow saturates into the bottom (~1 ns) bucket, so its
+        # read-back is the grid floor, not the raw value; the overflow's
+        # bucket midpoint is clamped back to the observed max
+        assert d.quantile(0.0) <= 2e-9
+        assert d.quantile(1.0) == pytest.approx(1e9)
+
+    def test_zero_and_negative_count_as_zero(self):
+        d = LatencyDigest()
+        d.observe_many([0.0, -1.0, 0.5])
+        assert d.count == 3
+        assert d.zero_count == 2
+        assert d.min == 0.0
+        assert d.quantile(0.0) == 0.0
+        assert d.quantile(1.0) == pytest.approx(0.5, rel=0.05)
+
+    def test_mean_ignores_zero_observations(self):
+        d = LatencyDigest()
+        d.observe(0.0)
+        d.observe(2.0)
+        d.observe(4.0)
+        assert d.mean == pytest.approx(3.0)
+
+    def test_quantile_bounds_checked(self):
+        d = LatencyDigest()
+        with pytest.raises(ValueError):
+            d.quantile(1.5)
+        with pytest.raises(ValueError):
+            d.quantile(-0.1)
+
+    def test_empty_digest_reads_zero(self):
+        d = LatencyDigest()
+        assert d.count == 0
+        assert d.quantile(0.99) == 0.0
+        assert d.min == 0.0
+        assert d.max == 0.0
+        assert d.mean == 0.0
+
+
+class TestMerge:
+    def test_merge_equals_single_observer(self):
+        rng = random.Random(3)
+        a_vals = [rng.uniform(1e-6, 1.0) for _ in range(300)]
+        b_vals = [rng.uniform(1e-6, 1.0) for _ in range(200)]
+        a = LatencyDigest()
+        b = LatencyDigest()
+        whole = LatencyDigest()
+        a.observe_many(a_vals)
+        b.observe_many(b_vals)
+        whole.observe_many(a_vals + b_vals)
+        a.merge(b)
+        merged, single = a.to_dict(), whole.to_dict()
+        # sums accumulate in different orders, so compare them in
+        # floating-point tolerance; everything else is integer-exact
+        assert merged.pop("sum") == pytest.approx(single.pop("sum"))
+        assert merged == single
+
+    def test_merge_is_commutative(self):
+        xs, ys = [0.001, 0.002, 5.0], [0.004, 0.00001]
+        ab = LatencyDigest()
+        ab.observe_many(xs)
+        other = LatencyDigest()
+        other.observe_many(ys)
+        ba = LatencyDigest()
+        ba.observe_many(ys)
+        other2 = LatencyDigest()
+        other2.observe_many(xs)
+        assert ab.merge(other).to_dict() == ba.merge(other2).to_dict()
+
+    def test_merge_across_serialisation_boundary(self):
+        # the cross-process wire format: export on one side, rebuild and
+        # merge on the other, exactly like sharded workers report back
+        worker = LatencyDigest()
+        worker.observe_many([0.010, 0.020, 0.040])
+        parent = LatencyDigest()
+        parent.observe_many([0.001])
+        parent.merge(LatencyDigest.from_dict(worker.to_dict()))
+        assert parent.count == 4
+        assert parent.max == pytest.approx(0.040)
+        assert parent.sum == pytest.approx(0.071)
+
+
+class TestSerialisation:
+    def test_round_trip_preserves_everything(self):
+        d = LatencyDigest()
+        d.observe_many([0.0, 1e-4, 2e-4, 0.3])
+        clone = LatencyDigest.from_dict(d.to_dict())
+        assert clone.to_dict() == d.to_dict()
+        for q in DIGEST_QUANTILES:
+            assert clone.quantile(q) == d.quantile(q)
+
+    def test_to_dict_is_json_plain(self):
+        import json
+
+        d = LatencyDigest()
+        d.observe_many([0.5, 0.6])
+        assert json.loads(json.dumps(d.to_dict())) == d.to_dict()
+
+    def test_empty_round_trip(self):
+        clone = LatencyDigest.from_dict(LatencyDigest().to_dict())
+        assert clone.count == 0
+        assert math.isinf(clone._min)
+
+
+class TestThreadSafety:
+    def test_concurrent_observers_lose_nothing(self):
+        d = LatencyDigest()
+        per_thread = 2000
+
+        def work(seed: int) -> None:
+            rng = random.Random(seed)
+            for _ in range(per_thread):
+                d.observe(rng.uniform(1e-6, 1.0))
+
+        threads = [threading.Thread(target=work, args=(i,)) for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert d.count == 4 * per_thread
+        assert sum(d._counts.values()) == 4 * per_thread

@@ -1,0 +1,148 @@
+"""Bench-history ledger: ingest idempotency, direction rules, the gate."""
+
+import json
+
+import pytest
+
+from repro.obs.history import (
+    HISTORY_SCHEMA,
+    extract_metrics,
+    ingest_report,
+    ledger_names,
+    load_history,
+    metric_direction,
+    regress,
+    render_regress_report,
+    validate_history_entry,
+)
+
+
+def report(name: str = "serving", **metrics: float) -> dict:
+    return {
+        "schema": "repro-bench/1",
+        "name": name,
+        "data": dict(metrics) or {"sweep_us": 20.0},
+    }
+
+
+class TestDirections:
+    def test_latency_suffixes_are_lower_better(self):
+        for name in ("data.single_us", "wall_s", "rss_bytes", "jitter_stddev"):
+            assert metric_direction(name) == "lower"
+
+    def test_throughput_suffixes_are_higher_better(self):
+        for name in ("requests_per_s", "hit_ratio", "batched_speedup"):
+            assert metric_direction(name) == "higher"
+
+    def test_per_s_beats_the_bare_s_latency_suffix(self):
+        # longest suffix wins: a rate metric must not be classified as
+        # a latency just because "_per_s" also ends in "_s"
+        assert metric_direction("data.throughput_per_s") == "higher"
+
+    def test_overhead_x_is_lower_better_despite_x_suffix(self):
+        # "_overhead_x" must match before the generic "_x" rule: a
+        # bigger telemetry-overhead multiplier is worse, not better
+        assert metric_direction("telemetry_overhead_x") == "lower"
+        assert metric_direction("batched_speedup_x") == "higher"
+
+    def test_unknown_suffix_has_no_direction(self):
+        assert metric_direction("n") is None
+
+
+class TestIngest:
+    def test_appends_one_valid_entry(self, tmp_path):
+        entry = ingest_report(
+            report(sweep_us=21.5), tmp_path, git_sha="abc123"
+        )
+        validate_history_entry(entry)
+        assert entry["schema"] == HISTORY_SCHEMA
+        assert entry["metrics"]["data.sweep_us"] == 21.5
+        assert ledger_names(tmp_path) == ["serving"]
+        assert load_history(tmp_path, "serving") == [entry]
+
+    def test_idempotent_per_sha_and_smoke_flag(self, tmp_path):
+        assert ingest_report(report(), tmp_path, git_sha="abc") is not None
+        assert ingest_report(report(), tmp_path, git_sha="abc") is None
+        # a smoke entry at the same sha is a different population
+        assert (
+            ingest_report(report(), tmp_path, git_sha="abc", smoke=True)
+            is not None
+        )
+        assert len(load_history(tmp_path, "serving")) == 2
+
+    def test_nameless_report_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="name"):
+            ingest_report({"schema": "repro-bench/1"}, tmp_path)
+
+    def test_nested_data_flattens_with_dotted_keys(self):
+        metrics = extract_metrics(
+            {"name": "x", "data": {"load": {"p99_ms": 1.5, "rows": [1, 2]}}}
+        )
+        assert metrics["data.load.p99_ms"] == 1.5
+        assert "data.load.rows" not in metrics  # lists are not scalar metrics
+
+
+class TestRegress:
+    def _seed(self, tmp_path, values, metric="sweep_us"):
+        for i, v in enumerate(values):
+            ingest_report(
+                report(**{metric: v}), tmp_path, git_sha=f"sha{i}"
+            )
+
+    def test_passes_inside_tolerance(self, tmp_path):
+        self._seed(tmp_path, [20.0, 21.0, 20.5, 20.8])
+        result = regress(tmp_path)
+        assert result["ok"]
+        assert result["checked"] == 1
+        assert result["regressions"] == []
+
+    def test_flags_a_latency_regression(self, tmp_path):
+        self._seed(tmp_path, [20.0, 21.0, 20.5, 40.0])
+        result = regress(tmp_path)
+        assert not result["ok"]
+        [row] = result["regressions"]
+        assert row["metric"] == "data.sweep_us"
+        assert row["direction"] == "lower"
+        rendered = render_regress_report(result)
+        assert "FAIL" in rendered
+        assert "data.sweep_us" in rendered
+
+    def test_flags_a_throughput_regression(self, tmp_path):
+        self._seed(tmp_path, [10.0, 10.2, 9.9, 5.0], metric="batched_speedup_x")
+        result = regress(tmp_path)
+        assert not result["ok"]
+
+    def test_improvement_is_not_a_failure(self, tmp_path):
+        self._seed(tmp_path, [20.0, 21.0, 20.5, 10.0])
+        result = regress(tmp_path)
+        assert result["ok"]
+        assert len(result["improvements"]) == 1
+
+    def test_short_history_skips_instead_of_failing(self, tmp_path):
+        # a fresh ledger must never block CI: one baseline entry is
+        # below min_history, so the gate reports a skip, not a verdict
+        self._seed(tmp_path, [20.0, 45.0])
+        result = regress(tmp_path, min_history=2)
+        assert result["ok"]
+        assert result["checked"] == 0
+        assert any("history" in s.get("reason", "") for s in result["skipped"])
+
+    def test_smoke_populations_never_mix(self, tmp_path):
+        self._seed(tmp_path, [20.0, 20.1, 20.2, 20.3])
+        # smoke candidate is wildly slower, but compares only against
+        # smoke history (none) -> skipped
+        ingest_report(report(sweep_us=99.0), tmp_path, git_sha="s1", smoke=True)
+        result = regress(tmp_path, smoke=True)
+        assert result["ok"]
+        assert result["checked"] == 0
+
+
+class TestValidation:
+    def test_rejects_wrong_schema(self):
+        with pytest.raises(ValueError, match="schema"):
+            validate_history_entry({"schema": "nope"})
+
+    def test_ledger_lines_are_self_validating_json(self, tmp_path):
+        ingest_report(report(), tmp_path, git_sha="abc")
+        for line in (tmp_path / "serving.jsonl").read_text().splitlines():
+            validate_history_entry(json.loads(line))

@@ -1,0 +1,106 @@
+"""The pull-based exposition endpoint and the terminal dashboard."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs.httpexp import ExpositionServer, fetch_json, fetch_text, render_dashboard
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.sampling import TRACE_DUMP_SCHEMA, SpanRing, validate_trace_dump
+from repro.obs.tracing import Span
+
+
+@pytest.fixture
+def reg() -> MetricsRegistry:
+    reg = MetricsRegistry(enabled=True)
+    c = reg.counter(
+        "repro_serve_requests_total", "requests", ("workload", "outcome")
+    )
+    c.inc(7, workload="unrank", outcome="ok")
+    c.inc(1, workload="unrank", outcome="shed")
+    reg.gauge("repro_serve_queue_depth", "queued entries").set(3)
+    return reg
+
+
+def test_port_zero_resolves_and_serves_prometheus_text(reg):
+    with ExpositionServer(registry=reg, port=0) as srv:
+        assert srv.port != 0
+        text = fetch_text(srv.url + "/metrics")
+    assert "# TYPE repro_serve_requests_total counter" in text
+    assert (
+        'repro_serve_requests_total{workload="unrank",outcome="ok"} 7' in text
+    )
+    assert "repro_serve_queue_depth 3" in text
+
+
+def test_metrics_json_is_the_registry_snapshot(reg):
+    with ExpositionServer(registry=reg, port=0) as srv:
+        doc = fetch_json(srv.url + "/metrics.json")
+    assert doc == reg.snapshot()
+
+
+def test_traces_serves_the_ring_dump(reg):
+    ring = SpanRing(capacity=8)
+    ring.record(Span("serve.batch").end().export())
+    with ExpositionServer(registry=reg, ring=ring, port=0) as srv:
+        doc = fetch_json(srv.url + "/traces")
+    validate_trace_dump(doc)
+    assert doc["recorded"] == 1
+    assert doc["traces"][0]["name"] == "serve.batch"
+
+
+def test_traces_without_a_ring_is_an_empty_valid_dump(reg):
+    with ExpositionServer(registry=reg, port=0) as srv:
+        doc = fetch_json(srv.url + "/traces")
+    assert doc["schema"] == TRACE_DUMP_SCHEMA
+    assert doc["traces"] == []
+
+
+def test_health_defaults_ok_and_degrades_to_503(reg):
+    with ExpositionServer(registry=reg, port=0) as srv:
+        assert fetch_json(srv.url + "/health") == {"status": "ok"}
+    degraded = {"status": "degraded", "shards": {"0": {"alive": False}}}
+    with ExpositionServer(registry=reg, health_fn=lambda: degraded, port=0) as srv:
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(srv.url + "/health", timeout=2.0)
+        assert err.value.code == 503
+        assert json.loads(err.value.read()) == degraded
+
+
+def test_unknown_path_is_404_not_a_crash(reg):
+    with ExpositionServer(registry=reg, port=0) as srv:
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(srv.url + "/nope", timeout=2.0)
+        assert err.value.code == 404
+        # and the server is still alive afterwards
+        assert fetch_json(srv.url + "/health") == {"status": "ok"}
+
+
+def test_stop_is_idempotent_and_restartable(reg):
+    srv = ExpositionServer(registry=reg, port=0)
+    srv.start()
+    first = srv.url
+    fetch_text(first + "/metrics")
+    srv.stop()
+    srv.stop()  # second stop is a no-op
+    srv.start()
+    fetch_text(srv.url + "/metrics")
+    srv.stop()
+
+
+class TestDashboard:
+    def test_renders_traffic_and_depth_rows(self, reg):
+        panel = render_dashboard(reg.snapshot())
+        assert "repro serving telemetry" in panel
+        assert "requests" in panel
+        assert "shed" in panel
+        assert "queue depth       3" in panel
+
+    def test_health_section_and_empty_snapshot_tolerated(self):
+        empty = MetricsRegistry(enabled=True)
+        panel = render_dashboard(
+            empty.snapshot(), health={"status": "degraded", "shards": {}}
+        )
+        assert "health      degraded" in panel

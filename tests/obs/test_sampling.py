@@ -1,0 +1,165 @@
+"""Samplers, trace/span id minting, the span ring and its dump schema."""
+
+import json
+
+import pytest
+
+from repro.obs import sampling as sampling_mod
+from repro.obs.sampling import (
+    TRACE_DUMP_SCHEMA,
+    AlwaysSampler,
+    NeverSampler,
+    ProbabilisticSampler,
+    RateLimitedSampler,
+    SpanRing,
+    new_span_id,
+    new_trace_id,
+    validate_trace_dump,
+)
+from repro.obs.tracing import Span
+
+
+class TestIdentifiers:
+    def test_shapes_are_w3c_sized_hex(self):
+        t, s = new_trace_id(), new_span_id()
+        assert len(t) == 32 and int(t, 16) >= 0
+        assert len(s) == 16 and int(s, 16) >= 0
+
+    def test_ids_do_not_repeat(self):
+        ids = {new_span_id() for _ in range(10_000)}
+        assert len(ids) == 10_000
+
+    def test_fork_guard_reseeds_on_pid_change(self, monkeypatch):
+        # simulate a fork by lying about the pid: the generator must be
+        # replaced so a child never replays the parent's id stream
+        before = sampling_mod._id_rand
+        monkeypatch.setattr(
+            sampling_mod.os, "getpid", lambda: sampling_mod._id_pid + 1
+        )
+        new_span_id()
+        assert sampling_mod._id_rand is not before
+
+
+class TestSamplers:
+    def test_always_and_never(self):
+        assert all(AlwaysSampler()("x") for _ in range(10))
+        assert not any(NeverSampler()("x") for _ in range(10))
+
+    def test_probabilistic_is_seeded_and_deterministic(self):
+        a = ProbabilisticSampler(0.3, seed=42)
+        b = ProbabilisticSampler(0.3, seed=42)
+        assert [a("t") for _ in range(200)] == [b("t") for _ in range(200)]
+
+    def test_probabilistic_hits_roughly_its_rate(self):
+        s = ProbabilisticSampler(0.25, seed=1)
+        kept = sum(s("t") for _ in range(4000))
+        assert 800 <= kept <= 1200  # 0.25 ± generous tolerance
+
+    def test_rate_bounds_validated(self):
+        with pytest.raises(ValueError):
+            ProbabilisticSampler(1.5)
+        with pytest.raises(ValueError):
+            ProbabilisticSampler(-0.1)
+
+    def test_edge_rates_never_touch_the_rng(self):
+        assert all(ProbabilisticSampler(1.0)("t") for _ in range(5))
+        assert not any(ProbabilisticSampler(0.0)("t") for _ in range(5))
+
+    def test_decision_tally_feeds_effective_rate(self):
+        s = ProbabilisticSampler(0.5, seed=0)
+        for _ in range(100):
+            s("t")
+        assert s.decisions == 100
+        assert 0 < s.sampled < 100
+
+    def test_rate_limited_token_bucket_on_driven_clock(self, monkeypatch):
+        clock = {"now": 100.0}
+        monkeypatch.setattr(sampling_mod, "_monotonic", lambda: clock["now"])
+        s = RateLimitedSampler(max_per_s=2.0, burst=2)
+        # burst drains, then the bucket is empty
+        assert s("t") and s("t")
+        assert not s("t")
+        # half a second refills one token at 2/s
+        clock["now"] += 0.5
+        assert s("t")
+        assert not s("t")
+
+    def test_rate_limited_validates_rate(self):
+        with pytest.raises(ValueError):
+            RateLimitedSampler(0.0)
+
+
+class TestSpanRing:
+    def _export(self, name: str = "root") -> dict:
+        return Span(name).end().export()
+
+    def test_overflow_drops_oldest_and_counts(self):
+        ring = SpanRing(capacity=2)
+        for name in ("a", "b", "c"):
+            ring.record(self._export(name))
+        assert len(ring) == 2
+        assert ring.recorded == 3
+        assert ring.dropped == 1
+        assert [t["name"] for t in ring.snapshot()] == ["b", "c"]
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            SpanRing(0)
+
+    def test_dump_writes_valid_schema(self, tmp_path):
+        ring = SpanRing(capacity=4)
+        ring.record(self._export())
+        path = tmp_path / "traces.json"
+        doc = ring.dump(path)
+        assert doc["schema"] == TRACE_DUMP_SCHEMA
+        on_disk = json.loads(path.read_text())
+        assert on_disk == doc
+        validate_trace_dump(on_disk)
+
+
+class TestTraceDumpValidation:
+    def test_accepts_a_real_tree(self):
+        root = Span("batch")
+        root.child("request").end()
+        root.end()
+        validate_trace_dump(
+            {
+                "schema": TRACE_DUMP_SCHEMA,
+                "capacity": 1,
+                "recorded": 1,
+                "dropped": 0,
+                "traces": [root.export()],
+            }
+        )
+
+    def test_rejects_wrong_schema(self):
+        with pytest.raises(ValueError, match="schema"):
+            validate_trace_dump({"schema": "nope", "traces": []})
+
+    def test_rejects_broken_parent_link(self):
+        root = Span("batch")
+        child = root.child("request")
+        child.end()
+        root.end()
+        doc = root.export()
+        doc["children"][0]["parent_id"] = "0000000000000000"
+        with pytest.raises(ValueError):
+            validate_trace_dump(
+                {"schema": TRACE_DUMP_SCHEMA, "traces": [doc]}
+            )
+
+    def test_rejects_cross_trace_child(self):
+        root = Span("batch")
+        child = root.child("request")
+        child.end()
+        root.end()
+        doc = root.export()
+        doc["children"][0]["trace_id"] = new_trace_id()
+        with pytest.raises(ValueError):
+            validate_trace_dump(
+                {"schema": TRACE_DUMP_SCHEMA, "traces": [doc]}
+            )
+
+    def test_rejects_non_object(self):
+        with pytest.raises(ValueError):
+            validate_trace_dump([])

@@ -303,6 +303,9 @@ class TestObservability:
         assert 'repro_serve_mode_total{mode="fallback"}' in text
 
     def test_failover_and_restart_spans_are_traced(self):
+        # ladder events now join the batch's trace as children rather
+        # than surfacing as disconnected roots: one trace_id tells the
+        # crash → failover → restart story end to end
         tracer = Tracer()
         svc = SupervisedService(
             ServiceConfig(batch_deadline_s=0.001, cache_capacity=0),
@@ -315,11 +318,18 @@ class TestObservability:
             svc.convert(Request("unrank", 5, 8))
         finally:
             svc.close()
-        names = [root.name for root in tracer.roots]
+        assert all(r.name == "serve.batch" for r in tracer.roots)
+        spans = [s for r in tracer.roots for s in r.walk()]
+        names = [s.name for s in spans]
         assert "serve.failover" in names
         assert "serve.worker_restart" in names
-        failover = next(r for r in tracer.roots if r.name == "serve.failover")
+        failover = next(s for s in spans if s.name == "serve.failover")
         assert failover.attrs["reason"] == "crash"
+        # the failover span shares its batch's trace_id
+        crashed = next(
+            r for r in tracer.roots if r.find_all("serve.failover")
+        )
+        assert failover.trace_id == crashed.trace_id
 
 
 class TestCloseSemantics:
