@@ -1,10 +1,13 @@
 """Robustness extension: fault-campaign throughput and checked-mode overhead.
 
-Two questions an operator asks before enabling the robustness layer:
+Three questions an operator asks before enabling the robustness layer:
 
 1. how fast do campaigns run (faults simulated per second), i.e. what
    does a nightly exhaustive stuck-at sweep cost?
-2. what does online checking cost per conversion — bijectivity alone,
+2. how much denser do sweeps pack under the wide-lane vector engine —
+   faults per sweep versus the compiled 63-slot quantum, with the
+   classification identity that makes the density trustworthy?
+3. what does online checking cost per conversion — bijectivity alone,
    and with the rank∘unrank oracle — relative to the bare converter?
 """
 
@@ -17,8 +20,10 @@ from repro.robustness.campaign import CampaignSpec, fault_list, run_campaign
 from repro.robustness.checkers import CheckedConverter
 
 N_CAMPAIGN = 5
+N_WIDE = 6
 N_CHECKED = 8
 BATCH = 2048
+MIN_FAULTS_PER_SWEEP_RATIO = 8.0
 
 
 def test_stuck_campaign_throughput(benchmark, results_dir):
@@ -53,6 +58,74 @@ def test_stuck_campaign_throughput(benchmark, results_dir):
             "benign": result.benign,
             "detected": result.detected,
             "silent": result.silent,
+        },
+    )
+
+
+def test_vector_campaign_faults_per_sweep(benchmark, results_dir):
+    """The vector engine packs a whole campaign into a handful of sweeps.
+
+    Sweep counts are deterministic (pure slot arithmetic, no timing), so
+    the ≥ 8× density ratio and the classification identity hold on any
+    machine, smoke mode included.
+    """
+    spec_c = CampaignSpec(
+        circuit="converter", n=N_WIDE, model="stuck", engine="compiled"
+    )
+    spec_v = CampaignSpec(
+        circuit="converter", n=N_WIDE, model="stuck", engine="vector"
+    )
+    total = len(fault_list(spec_c))
+    res_c = run_campaign(spec_c)
+
+    def run():
+        return run_campaign(spec_v)
+
+    res_v = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    assert (res_c.benign, res_c.detected, res_c.silent) == (
+        res_v.benign,
+        res_v.detected,
+        res_v.silent,
+    )
+    assert res_c.examples == res_v.examples
+    assert res_c.total == res_v.total == total
+
+    per_sweep_c = total / res_c.sweeps
+    per_sweep_v = total / res_v.sweeps
+    ratio = per_sweep_v / per_sweep_c
+    assert ratio >= MIN_FAULTS_PER_SWEEP_RATIO, (
+        f"vector packs {per_sweep_v:.0f} faults/sweep vs compiled "
+        f"{per_sweep_c:.0f} — {ratio:.1f}x, need "
+        f"{MIN_FAULTS_PER_SWEEP_RATIO}x"
+    )
+
+    write_report(
+        results_dir,
+        "fault_campaign_vector",
+        f"Wide-lane fault campaign (converter n={N_WIDE}, exhaustive "
+        f"stuck-at, {total} faults)\n"
+        f"  compiled : {res_c.sweeps:4d} sweeps  "
+        f"({per_sweep_c:7.1f} faults/sweep)  {res_c.wall_s:.2f}s\n"
+        f"  vector   : {res_v.sweeps:4d} sweeps  "
+        f"({per_sweep_v:7.1f} faults/sweep)  {res_v.wall_s:.2f}s\n"
+        f"  density  : {ratio:.1f}x, identical classification\n\n"
+        + res_v.render(),
+        benchmark=benchmark,
+        data={
+            "n": N_WIDE,
+            "model": "stuck",
+            "faults": total,
+            "compiled_sweeps": res_c.sweeps,
+            "vector_sweeps": res_v.sweeps,
+            "compiled_faults_per_sweep": per_sweep_c,
+            "vector_faults_per_sweep": per_sweep_v,
+            "faults_per_sweep_ratio_x": ratio,
+            "compiled_wall_s": res_c.wall_s,
+            "vector_wall_s": res_v.wall_s,
+            "benign": res_v.benign,
+            "detected": res_v.detected,
+            "silent": res_v.silent,
         },
     )
 

@@ -9,7 +9,10 @@ Two measurements, written to ``results/serving.{txt,json}``:
    the batch-full path with no deadline waits).  The per-request cost
    must drop by ≥ 10×: one packed sweep costs barely more than one
    single-lane sweep, so 63 lanes amortise it 63-fold minus the
-   per-request packing/admission overhead.
+   per-request packing/admission overhead.  The same stream is also
+   served with ``engine="vector"`` at its wider quantum (waves of
+   ``VEC_LANES`` riding single wide sweeps) and the per-request cost
+   recorded next to the compiled columns.
 2. **Closed-loop load vs batch size** — the synthetic load generator
    (8 clients, unrank-only mix) against services configured with
    increasing lane budgets; the table records throughput and latency
@@ -60,11 +63,19 @@ MAX_TELEMETRY_OVERHEAD_X = 1.5 if SMOKE else 1.05
 TRACE_SAMPLE_RATE = 0.1
 TRIALS = 1 if SMOKE else 3
 BATCH_SIZES = (1, 4, 16, LANES)
+# the vector engine lifts the sweep quantum past the compiled 63-lane
+# ceiling; full waves at these widths ride single wide sweeps
+VEC_LANES = 256 if SMOKE else 1024
+VEC_WAVES = 2 if SMOKE else 8
+VECTOR_BATCH_SIZES = () if SMOKE else (128, 512)
 
 
-def _no_cache(max_batch: int) -> ServiceConfig:
+def _no_cache(max_batch: int, engine: str = "auto") -> ServiceConfig:
     return ServiceConfig(
-        max_batch=max_batch, batch_deadline_s=60.0, cache_capacity=0
+        max_batch=max_batch,
+        batch_deadline_s=60.0,
+        cache_capacity=0,
+        engine=engine,
     )
 
 
@@ -87,24 +98,30 @@ def _time_unbatched(count: int) -> float:
         return (time.perf_counter() - t0) / count
 
 
-def _drive_waves(svc, waves: int) -> float:
-    """Per-request seconds over full 63-lane waves on ``svc``."""
+def _drive_waves(svc, waves: int, lanes: int = LANES) -> float:
+    """Per-request seconds over full ``lanes``-wide waves on ``svc``."""
     _warm(svc)
     t0 = time.perf_counter()
     for w in range(waves):
-        base = 1 + LANES * (w + 1)
+        base = 1 + lanes * (w + 1)
         futs = [
-            svc.submit(Request("unrank", N, base + i)) for i in range(LANES)
+            svc.submit(Request("unrank", N, base + i)) for i in range(lanes)
         ]
         for f in futs:
-            f.result(timeout=10.0)
-    return (time.perf_counter() - t0) / (waves * LANES)
+            f.result(timeout=30.0)
+    return (time.perf_counter() - t0) / (waves * lanes)
 
 
 def _time_batched(waves: int) -> float:
     """Per-request seconds with full 63-lane waves (batch-full path)."""
     with PermutationService(_no_cache(LANES)) as svc:
         return _drive_waves(svc, waves)
+
+
+def _time_vector(waves: int) -> float:
+    """Per-request seconds with wide waves on the vector engine."""
+    with PermutationService(_no_cache(VEC_LANES, engine="vector")) as svc:
+        return _drive_waves(svc, waves, lanes=VEC_LANES)
 
 
 def _time_supervised(waves: int) -> float:
@@ -142,12 +159,23 @@ def test_batched_serving_speedup_and_load_profile(benchmark, results_dir):
         for i, f in enumerate(futs):
             assert f.result(timeout=10.0).permutation == conv.convert(i * 7)
 
+    # -- and through a single wide vector sweep -------------------------- #
+    with PermutationService(_no_cache(VEC_LANES, engine="vector")) as svc:
+        assert svc.config.max_batch == VEC_LANES > LANES
+        futs = [
+            svc.submit(Request("unrank", N, i * 5)) for i in range(VEC_LANES)
+        ]
+        for i, f in enumerate(futs):
+            assert f.result(timeout=30.0).permutation == conv.convert(i * 5)
+
     # -- batched vs unbatched (best of TRIALS: scheduler noise only ever
     #    slows a trial down, so min() is the honest per-path cost) ------- #
     single_s = min(_time_unbatched(SINGLES) for _ in range(TRIALS))
     batched_s = min(_time_batched(WAVES) for _ in range(TRIALS))
+    vector_s = min(_time_vector(VEC_WAVES) for _ in range(TRIALS))
     benchmark.pedantic(lambda: _time_batched(1), rounds=1, iterations=1)
     speedup = single_s / batched_s
+    vector_speedup = single_s / vector_s
     assert speedup >= MIN_BATCH_SPEEDUP, (
         f"batched serving {speedup:.1f}x below {MIN_BATCH_SPEEDUP}x "
         f"(single {single_s * 1e6:.1f}us/req, batched {batched_s * 1e6:.1f}us/req)"
@@ -193,9 +221,14 @@ def test_batched_serving_speedup_and_load_profile(benchmark, results_dir):
 
     # -- closed-loop load vs batch size ---------------------------------- #
     rows = []
-    for size in BATCH_SIZES:
+    sized = [(size, "auto") for size in BATCH_SIZES]
+    sized += [(size, "vector") for size in VECTOR_BATCH_SIZES]
+    for size, engine in sized:
         cfg = ServiceConfig(
-            max_batch=size, batch_deadline_s=0.001, cache_capacity=0
+            max_batch=size,
+            batch_deadline_s=0.001,
+            cache_capacity=0,
+            engine=engine,
         )
         with PermutationService(cfg) as svc:
             report = run_closed_loop(
@@ -210,6 +243,7 @@ def test_batched_serving_speedup_and_load_profile(benchmark, results_dir):
         rows.append(
             {
                 "batch_size": size,
+                "engine": engine,
                 "throughput_rps": report.throughput_rps,
                 "p50_ms": pct["p50"] * 1e3,
                 "p99_ms": pct["p99"] * 1e3,
@@ -219,7 +253,8 @@ def test_batched_serving_speedup_and_load_profile(benchmark, results_dir):
         )
 
     table = "\n".join(
-        f"  {r['batch_size']:>10}  {r['throughput_rps']:>12.0f}  "
+        f"  {r['batch_size']:>10}  {r['engine']:>8}  "
+        f"{r['throughput_rps']:>12.0f}  "
         f"{r['p50_ms']:>8.3f}  {r['p99_ms']:>8.3f}  {r['mean_lanes']:>10.1f}"
         for r in rows
     )
@@ -231,14 +266,16 @@ def test_batched_serving_speedup_and_load_profile(benchmark, results_dir):
         f"  unbatched (1 lane/sweep)  : {single_s * 1e6:9.1f} us/req\n"
         f"  batched  ({LANES} lanes/sweep) : {batched_s * 1e6:9.1f} us/req   "
         f"({speedup:.1f}x)\n"
+        f"  vector ({VEC_LANES} lanes/sweep): {vector_s * 1e6:9.1f} us/req   "
+        f"({vector_speedup:.1f}x)\n"
         f"  supervised tier (checks on): {supervised_s * 1e6:9.1f} us/req   "
         f"({overhead_x:.2f}x overhead, budget {MAX_SUPERVISED_OVERHEAD_X}x)\n"
         f"  telemetry on (metrics+{TRACE_SAMPLE_RATE:.0%} traces): "
         f"{telemetry_s * 1e6:9.1f} us/req   "
         f"({telemetry_x:.3f}x overhead, budget {MAX_TELEMETRY_OVERHEAD_X}x)\n\n"
         f"closed-loop load, {LOAD_CLIENTS} clients x {LOAD_TOTAL} requests:\n"
-        f"  {'batch size':>10}  {'req/s':>12}  {'p50 ms':>8}  {'p99 ms':>8}  "
-        f"{'mean lanes':>10}\n" + table,
+        f"  {'batch size':>10}  {'engine':>8}  {'req/s':>12}  {'p50 ms':>8}  "
+        f"{'p99 ms':>8}  {'mean lanes':>10}\n" + table,
         benchmark=benchmark,
         data={
             "n": N,
@@ -246,6 +283,9 @@ def test_batched_serving_speedup_and_load_profile(benchmark, results_dir):
             "single_us_per_req": single_s * 1e6,
             "batched_us_per_req": batched_s * 1e6,
             "batched_speedup_x": speedup,
+            "vector_us_per_req": vector_s * 1e6,
+            "vector_lanes": VEC_LANES,
+            "vector_speedup_x": vector_speedup,
             "min_required_speedup_x": MIN_BATCH_SPEEDUP,
             "supervised_us_per_req": supervised_s * 1e6,
             "supervised_overhead_x": overhead_x,

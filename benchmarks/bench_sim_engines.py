@@ -1,18 +1,22 @@
-"""Engine shoot-out: compiled bit-packed kernels vs the boolean interpreter.
+"""Engine shoot-out: compiled bigints vs NumPy vector vs the interpreter.
 
-Two claims the compiled engine makes (DESIGN.md §8), each asserted here
+Three claims the packed engines make (DESIGN.md §8), each asserted here
 with the bit-identity guarantee that makes the speed worth trusting:
 
 1. a pipelined batch sweep — every index of the n=8 converter pushed
    through the gate-level pipeline in one packed batch — runs ≥ 20×
    faster compiled than interpreted, with bit-identical outputs that
    also match the stage-accurate functional model;
-2. an exhaustive stuck-at campaign runs ≥ 10× faster end to end under
+2. the vector engine (the same kernels over NumPy ``uint64`` word
+   arrays) stays bit-identical to compiled on that sweep, and its
+   relative speed is recorded as ``vector_vs_compiled_speedup_x``;
+3. an exhaustive stuck-at campaign runs ≥ 10× faster end to end under
    the fault-parallel compiled path than one-fault-per-run
-   interpretation, with identical classification counts and examples.
+   interpretation, with identical classification counts and examples —
+   and identical again under the vector engine's wide sweeps.
 
 Smoke mode (``REPRO_BENCH_SMOKE=1``, used by CI) shrinks to n=6 and
-only requires the compiled engine not to lose: the container running CI
+only requires the packed engines not to lose: the container running CI
 is too noisy for ratio thresholds, but identity must still hold.
 """
 
@@ -55,6 +59,7 @@ def test_engine_speedup_and_identity(benchmark, results_dir):
 
     # -- pipelined batch sweep ------------------------------------------ #
     _sweep(nl, stream, batch, "compiled", False)  # warm the kernel cache
+    _sweep(nl, stream, batch, "vector", False)
     interp_s, interp_out = min(
         (_sweep(nl, stream, batch, "interp", True) for _ in range(TRIALS)),
         key=lambda r: r[0],
@@ -63,20 +68,26 @@ def test_engine_speedup_and_identity(benchmark, results_dir):
         (_sweep(nl, stream, batch, "compiled", False) for _ in range(TRIALS)),
         key=lambda r: r[0],
     )
+    vector_s, vector_out = min(
+        (_sweep(nl, stream, batch, "vector", False) for _ in range(TRIALS)),
+        key=lambda r: r[0],
+    )
     benchmark.pedantic(
         lambda: _sweep(nl, stream, batch, "compiled", False),
         rounds=1,
         iterations=1,
     )
 
-    assert interp_out.keys() == compiled_out.keys()
+    assert interp_out.keys() == compiled_out.keys() == vector_out.keys()
     for name in interp_out:
         assert np.array_equal(interp_out[name], compiled_out[name]), name
+        assert np.array_equal(compiled_out[name], vector_out[name]), name
     golden = conv.convert_batch(indices)
     for pos in range(N):
         assert np.array_equal(compiled_out[f"out{pos}"], golden[:, pos])
 
     sweep_speedup = interp_s / compiled_s
+    vector_vs_compiled = compiled_s / vector_s
     assert sweep_speedup >= MIN_SWEEP_SPEEDUP, (
         f"sweep speedup {sweep_speedup:.1f}x below {MIN_SWEEP_SPEEDUP}x "
         f"(interp {interp_s * 1e3:.1f}ms, compiled {compiled_s * 1e3:.1f}ms)"
@@ -87,11 +98,13 @@ def test_engine_speedup_and_identity(benchmark, results_dir):
     faults = len(fault_list(spec))
     res_i = run_campaign(CampaignSpec(circuit="converter", n=N, model="stuck", engine="interp"))
     res_c = run_campaign(CampaignSpec(circuit="converter", n=N, model="stuck", engine="compiled"))
+    res_v = run_campaign(CampaignSpec(circuit="converter", n=N, model="stuck", engine="vector"))
     counts_i = (res_i.benign, res_i.detected, res_i.silent)
     counts_c = (res_c.benign, res_c.detected, res_c.silent)
-    assert counts_i == counts_c
-    assert res_i.examples == res_c.examples
-    assert res_i.total == res_c.total == faults
+    counts_v = (res_v.benign, res_v.detected, res_v.silent)
+    assert counts_i == counts_c == counts_v
+    assert res_i.examples == res_c.examples == res_v.examples
+    assert res_i.total == res_c.total == res_v.total == faults
 
     campaign_speedup = res_i.wall_s / res_c.wall_s
     assert campaign_speedup >= MIN_CAMPAIGN_SPEEDUP, (
@@ -102,16 +115,20 @@ def test_engine_speedup_and_identity(benchmark, results_dir):
     write_report(
         results_dir,
         "sim_engines",
-        f"Simulation engines: compiled bit-packed vs interpreter "
-        f"(converter n={N}, pipelined)\n"
+        f"Simulation engines: interpreter vs compiled bigints vs NumPy "
+        f"vector (converter n={N}, pipelined)\n"
         f"batch sweep ({batch} lanes x {cycles} cycles):\n"
         f"  interp   : {interp_s * 1e3:9.1f} ms\n"
         f"  compiled : {compiled_s * 1e3:9.1f} ms   "
         f"({sweep_speedup:.1f}x, bit-identical, matches functional model)\n"
+        f"  vector   : {vector_s * 1e3:9.1f} ms   "
+        f"({vector_vs_compiled:.2f}x vs compiled, bit-identical)\n"
         f"exhaustive stuck-at campaign ({faults} faults):\n"
         f"  interp   : {res_i.wall_s:9.2f} s   ({res_i.sweeps} sweeps)\n"
         f"  compiled : {res_c.wall_s:9.2f} s   ({res_c.sweeps} sweeps, "
-        f"{campaign_speedup:.1f}x, identical classification)\n\n"
+        f"{campaign_speedup:.1f}x, identical classification)\n"
+        f"  vector   : {res_v.wall_s:9.2f} s   ({res_v.sweeps} sweeps, "
+        f"identical classification)\n\n"
         + res_c.render(),
         benchmark=benchmark,
         data={
@@ -121,10 +138,15 @@ def test_engine_speedup_and_identity(benchmark, results_dir):
             "cycles": cycles,
             "sweep_interp_s": interp_s,
             "sweep_compiled_s": compiled_s,
+            "sweep_vector_s": vector_s,
             "sweep_speedup_x": sweep_speedup,
+            "vector_vs_compiled_speedup_x": vector_vs_compiled,
             "campaign_faults": faults,
             "campaign_interp_s": res_i.wall_s,
             "campaign_compiled_s": res_c.wall_s,
+            "campaign_vector_s": res_v.wall_s,
+            "campaign_sweeps_compiled": res_c.sweeps,
+            "campaign_sweeps_vector": res_v.sweeps,
             "campaign_speedup_x": campaign_speedup,
             "campaign_counts": {
                 "benign": res_c.benign,

@@ -117,7 +117,7 @@ def _require_engine(engine: str) -> None:
     (argparse would exit 2 too, but with a usage dump instead of the
     taxonomy's one-liner, and untestable through ``main()``'s return).
     """
-    from repro.hdl.simulator import BACKENDS
+    from repro.hdl.engine import BACKENDS
 
     if engine not in BACKENDS:
         raise ReproError(
@@ -211,11 +211,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         raise ReproError("--clients must be positive")
     if args.chaos:
         return _cmd_serve_chaos(args)
-    from repro.hdl.compile import SWEEP_LANES
-
-    batch_size = args.batch_size if args.batch_size is not None else SWEEP_LANES
-    if batch_size < 1:
-        raise ReproError(f"--batch-size must be positive, got {batch_size}")
+    _require_engine(args.engine)
+    if args.batch_size is not None and args.batch_size < 1:
+        raise ReproError(f"--batch-size must be positive, got {args.batch_size}")
     if args.workload != "mixed" and args.workload not in WORKLOADS:
         raise ReproError(
             f"unknown workload {args.workload!r}; expected mixed or one of "
@@ -226,10 +224,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     mix = None if args.workload == "mixed" else {args.workload: 1.0}
     try:
         config = ServiceConfig(
-            max_batch=batch_size,
+            max_batch=args.batch_size,
             batch_deadline_s=args.deadline_ms / 1000.0,
             max_queue_depth=args.queue_depth,
             rng_seed=args.seed,
+            engine=args.engine,
         )
     except ValueError as exc:  # e.g. batch size beyond the lane quantum
         raise ReproError(str(exc)) from exc
@@ -550,8 +549,8 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--engine", default="auto",
         help="simulation backend for --checked equivalence runs: auto, "
-        "interp or compiled (default: auto — compiled whenever the "
-        "check allows it)",
+        "interp, compiled or vector (default: auto — compiled whenever "
+        "the check allows it)",
     )
     p.set_defaults(fn=_cmd_synth)
 
@@ -591,9 +590,10 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--engine", default="auto",
-        help="simulation backend: auto, interp or compiled (default: auto "
-        "— fault-parallel compiled sweeps for stuck/seu models, "
-        "interpreter otherwise)",
+        help="simulation backend: auto, interp, compiled or vector "
+        "(default: auto — fault-parallel compiled sweeps for stuck/seu "
+        "models, interpreter otherwise; vector packs thousands of "
+        "faults per sweep)",
     )
     p.set_defaults(fn=_cmd_faults)
 
@@ -616,17 +616,23 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--batch-size", type=int, default=None, metavar="B",
-        help="micro-batcher lane budget (default: the 63-lane sweep "
-        "quantum)",
+        help="micro-batcher lane budget (default: the engine's sweep "
+        "quantum — 63 lanes compiled, 4096 vector)",
     )
     p.add_argument(
         "--deadline-ms", type=float, default=2.0,
         help="micro-batch flush deadline in milliseconds (default: 2)",
     )
     p.add_argument(
-        "--queue-depth", type=int, default=252,
+        "--queue-depth", type=int, default=None,
         help="admission-control queue limit; beyond it requests are "
-        "shed (default: 252)",
+        "shed (default: 4x the engine's sweep quantum)",
+    )
+    p.add_argument(
+        "--engine", default="auto",
+        help="simulation backend behind the serving sweeps: auto, "
+        "interp, compiled or vector (default: auto; vector lifts the "
+        "batch quantum from 63 to 4096 lanes)",
     )
     p.add_argument("--seed", type=int, default=0, help="load-mix seed")
     p.add_argument(

@@ -50,7 +50,8 @@ class FlowTarget:
     pipeline and an empty tuple disables optimisation entirely (the
     pre-pass-pipeline behaviour).  ``checked`` gates every pass with an
     equivalence check; ``engine`` selects the simulation backend those
-    checks run on (``"auto"``/``"interp"``/``"compiled"``, see
+    checks run on (any name in :data:`repro.hdl.engine.BACKENDS` —
+    ``"auto"``/``"interp"``/``"compiled"``/``"vector"``, see
     :mod:`repro.hdl.simulator`).
     """
 

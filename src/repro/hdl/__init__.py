@@ -18,11 +18,24 @@ k-LUT/ALM resource model to regenerate Tables III and IV.
 
 from repro.hdl.gates import Op, GATE_ARITY, evaluate_op
 from repro.hdl.netlist import Netlist, Bus, Wire
-from repro.hdl.simulator import (
+from repro.hdl.engine import (
     BACKENDS,
+    Engine,
+    EngineCapabilities,
+    engine_capability,
+    engine_names,
+    get_engine,
+    register_engine,
+    resolve_backend,
+)
+from repro.hdl.simulator import (
     BatchEntry,
     CombinationalSimulator,
     SequentialSimulator,
+)
+from repro.hdl.vector import (
+    VECTOR_SWEEP_LANES,
+    VectorEngine,
 )
 from repro.hdl.compile import (
     SWEEP_LANES,
@@ -70,9 +83,18 @@ __all__ = [
     "Bus",
     "Wire",
     "BACKENDS",
+    "Engine",
+    "EngineCapabilities",
+    "engine_capability",
+    "engine_names",
+    "get_engine",
+    "register_engine",
+    "resolve_backend",
     "BatchEntry",
     "CombinationalSimulator",
     "SequentialSimulator",
+    "VECTOR_SWEEP_LANES",
+    "VectorEngine",
     "SWEEP_LANES",
     "CompiledKernel",
     "PackedFaultPlan",

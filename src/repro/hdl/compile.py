@@ -123,27 +123,29 @@ _CACHE_EVENTS = _metrics.REGISTRY.counter(
 )
 _KERNEL_SWEEPS = _metrics.REGISTRY.counter(
     "repro_kernel_sweeps_total",
-    "compiled-kernel sweep executions by serving-engine kind",
-    ("kind",),
+    "kernel sweep executions by serving-engine kind and backend",
+    ("kind", "engine"),
 )
 _KERNEL_SWEEP_LANES = _metrics.REGISTRY.counter(
     "repro_kernel_sweep_lanes_total",
-    "payload lanes carried by compiled-kernel sweeps, by engine kind",
-    ("kind",),
+    "payload lanes carried by kernel sweeps, by engine kind and backend",
+    ("kind", "engine"),
 )
 
 
-def note_sweep(kind: str, lanes: int = 1) -> None:
+def note_sweep(kind: str, lanes: int = 1, engine: str = "compiled") -> None:
     """Count one executed sweep and its payload lanes (batch granularity).
 
-    Called by the engines around each compiled sweep; the pair of
-    counters gives dashboards the lanes-per-sweep amortisation ratio.
+    Called by the serving engines around each kernel sweep; the pair of
+    counters gives dashboards the lanes-per-sweep amortisation ratio,
+    broken out per simulation backend (``engine`` label — bounded
+    cardinality: one series per registered backend per engine kind).
     One guard + two incs per *sweep* (not per lane), so the hot path
     pays nothing measurable.
     """
     if _metrics.REGISTRY.enabled:
-        _KERNEL_SWEEPS.inc(kind=kind)
-        _KERNEL_SWEEP_LANES.inc(lanes, kind=kind)
+        _KERNEL_SWEEPS.inc(kind=kind, engine=engine)
+        _KERNEL_SWEEP_LANES.inc(lanes, kind=kind, engine=engine)
 
 
 def words_for(lanes: int) -> int:

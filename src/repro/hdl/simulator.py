@@ -1,16 +1,24 @@
 """Vectorised netlist simulation.
 
-Two engines are provided behind each simulator's ``backend`` knob:
+Every simulator ``backend`` knob resolves through the engine registry
+(:mod:`repro.hdl.engine`).  This module defines and registers two of
+the builtin engines; the third lives in :mod:`repro.hdl.vector`:
 
-* ``"interp"`` — single-pass interpretation of the levelised gate list,
-  one NumPy boolean array per wire.  Fully general: supports probes and
-  every fault-overlay kind.
-* ``"compiled"`` — Verilator-style compiled-code simulation
-  (:mod:`repro.hdl.compile`): the netlist is code-generated once into
-  straight-line Python over bit-packed integer lanes (one *bit* per
-  Monte-Carlo lane), giving order-of-magnitude speedups on batched
-  sweeps.  Bit-identical to the interpreter.
-* ``"auto"`` (default) — compiled whenever the request can be served by
+* ``"interp"`` (:class:`InterpEngine`) — single-pass interpretation of
+  the levelised gate list, one NumPy boolean array per wire.  Fully
+  general: supports probes and every fault-overlay kind.
+* ``"compiled"`` (:class:`CompiledEngine`) — Verilator-style
+  compiled-code simulation (:mod:`repro.hdl.compile`): the netlist is
+  code-generated once into straight-line Python over bit-packed integer
+  lanes (one *bit* per Monte-Carlo lane), giving order-of-magnitude
+  speedups on batched sweeps.  Bit-identical to the interpreter.
+* ``"vector"`` (:class:`~repro.hdl.vector.VectorEngine`) — the same
+  kernels over NumPy ``uint64`` word arrays, breaking the 63-lane
+  quantum for wide sweeps (fault campaigns, bulk serving).
+* ``"auto"`` (default) — the highest-priority engine whose declared
+  capabilities accept the request (see
+  :func:`repro.hdl.engine.resolve_backend`); with the builtin
+  priorities that is compiled whenever the request can be served by
   it, interpreter otherwise.  The compiled engine cannot host a probe
   (it keeps no wire-value table) nor arbitrary overlays; stuck-at
   overlays *are* supported, compiled to per-lane masks.  The fallback
@@ -84,6 +92,7 @@ from typing import Any, Mapping, Sequence
 import numpy as np
 
 from repro.hdl.compile import (
+    SWEEP_LANES,
     PackedFaultPlan,
     compile_netlist,
     ones_mask,
@@ -91,6 +100,14 @@ from repro.hdl.compile import (
     stuck_masks_from_overlay,
     unpack_lanes,
     words_for,
+)
+from repro.hdl.engine import (
+    BACKENDS,
+    Engine,
+    EngineCapabilities,
+    register_engine,
+    require_backend,
+    resolve_backend,
 )
 from repro.hdl.gates import Op, evaluate_op
 from repro.hdl.netlist import Netlist
@@ -102,11 +119,10 @@ __all__ = [
     "BatchEntry",
     "CombinationalSimulator",
     "SequentialSimulator",
+    "InterpEngine",
+    "CompiledEngine",
     "BACKENDS",
 ]
-
-#: Engine selectors accepted by both simulators.
-BACKENDS = ("auto", "interp", "compiled")
 
 _SWEEPS = _metrics.REGISTRY.counter(
     "repro_sim_sweeps_total",
@@ -134,6 +150,10 @@ def bits_from_ints(
     arr = np.asarray(values)
     if arr.ndim != 1:
         raise ValueError("values must be one-dimensional")
+    if arr.dtype.kind == "f" and not isinstance(values, np.ndarray):
+        # an int list mixing values above int64 with smaller ones
+        # promotes to lossy float64; rebuild exactly from the originals
+        arr = np.array([int(v) for v in values], dtype=object)
     if width <= 64 and arr.dtype.kind in "iu" and arr.size:
         lo = int(arr.min())
         if lo < 0:
@@ -383,8 +403,7 @@ class CombinationalSimulator:
     def __init__(
         self, netlist: Netlist, probe: Any = None, backend: str = "auto"
     ) -> None:
-        if backend not in BACKENDS:
-            raise ValueError(f"backend must be one of {BACKENDS}")
+        require_backend(backend)
         netlist.check()
         self.netlist = netlist
         self.probe = probe
@@ -395,19 +414,6 @@ class CombinationalSimulator:
         # constant lanes, keyed by batch size.
         self._values_buf: list[Any] = []
         self._const_lanes: dict[tuple[int, bool], np.ndarray] = {}
-
-    # -- engine selection ---------------------------------------------- #
-
-    def _resolve_engine(self, overlay: Any) -> str:
-        """Apply the fallback rules in the module docstring."""
-        if self.backend == "interp" or self.probe is not None:
-            return "interp"
-        if overlay is None or isinstance(overlay, PackedFaultPlan):
-            return "compiled"
-        getter = getattr(overlay, "stuck_assignments", None)
-        if getter is not None and getter() is not None:
-            return "compiled"
-        return "interp"
 
     # -- public API ----------------------------------------------------- #
 
@@ -438,9 +444,8 @@ class CombinationalSimulator:
             Output-bus name → object array of integers (batch-sized).
         """
         seqs, batch = _coerce_inputs(self.netlist, inputs)
-        if self._resolve_engine(overlay) == "compiled":
-            return self._run_compiled(seqs, batch, reg_state, overlay)
-        return self._run_interp(seqs, batch, reg_state, overlay)
+        engine = resolve_backend(self.backend, probe=self.probe, overlay=overlay)
+        return engine.comb_run(self, seqs, batch, reg_state, overlay)
 
     # -- interpreter ---------------------------------------------------- #
 
@@ -593,12 +598,25 @@ class BatchEntry:
     special and a pipelined one reads as its reset-state fabric.
     """
 
-    __slots__ = ("netlist", "kernel", "_n_leaves", "_reg_slots", "_input_slots")
+    __slots__ = (
+        "netlist",
+        "kernel",
+        "engine",
+        "_n_leaves",
+        "_reg_slots",
+        "_input_slots",
+        "_interp_sim",
+    )
 
-    def __init__(self, netlist: Netlist) -> None:
+    def __init__(self, netlist: Netlist, backend: str = "compiled") -> None:
         netlist.check()
         self.netlist = netlist
+        # Engine resolution happens once, here: the serving hot path
+        # must never re-resolve per sweep.  No probe and no overlay ever
+        # ride a batch entry, so the resolved engine is final.
+        self.engine = resolve_backend(backend)
         self.kernel = compile_netlist(netlist)
+        self._interp_sim: "CombinationalSimulator | None" = None
         kern = self.kernel
         self._n_leaves = len(kern.leaves)
         pos_of = {w: i for i, w in enumerate(kern.leaves)}
@@ -627,6 +645,14 @@ class BatchEntry:
         (:class:`PackedOutputs`).
         """
         seqs, batch = _coerce_inputs(self.netlist, inputs)
+        return self.engine.batch_run(self, seqs, batch, materialize)
+
+    def _run_compiled(
+        self,
+        seqs: Mapping[str, "Sequence[int] | np.ndarray"],
+        batch: int,
+        materialize: bool,
+    ) -> Mapping[str, np.ndarray]:
         zero, ones = 0, ones_mask(batch)
         leaves = [0] * self._n_leaves
         for pos, init in self._reg_slots:
@@ -678,7 +704,9 @@ class SequentialSimulator:
         self.probe = probe
         self.backend = backend
         self.cycle = 0
-        self._engine = self.comb._resolve_engine(overlay)
+        # The overlay and probe are fixed for the simulator's lifetime,
+        # so the engine resolves once, here, through the registry.
+        self.engine = resolve_backend(backend, probe=probe, overlay=overlay)
         self._bool_state: dict[int, np.ndarray] | None = {}
         self._packed_state: dict[int, int] | None = None
         self._masks: Mapping[int, tuple[int, int]] | None = None
@@ -686,6 +714,9 @@ class SequentialSimulator:
         self._inc_state: list[Any] | None = None
         self._zero = 0
         self._ones = ones_mask(batch)
+        #: engine-private session scratch (e.g. the vector engine's
+        #: word-array state); cleared by the ``state`` setter
+        self._scratch: dict[str, Any] = {}
         self.reset()
 
     # -- state access --------------------------------------------------- #
@@ -695,10 +726,7 @@ class SequentialSimulator:
         """Register Q wire → boolean lane vector (unpacked on demand)."""
         bool_state = self._bool_state
         if bool_state is None:
-            packed = self._packed_state or {}
-            bool_state = {
-                q: unpack_lanes(value, self.batch) for q, value in packed.items()
-            }
+            bool_state = self.engine.seq_unpack_state(self)
             self._bool_state = bool_state
         return bool_state
 
@@ -706,23 +734,12 @@ class SequentialSimulator:
     def state(self, value: Mapping[int, np.ndarray]) -> None:
         self._bool_state = dict(value)
         self._packed_state = None
+        self._scratch.pop("state", None)
 
     def reset(self) -> None:
         """Load every register with its init value; rewind the cycle count."""
         self.cycle = 0
-        if self._engine == "compiled":
-            # constant init values pack to the all-ones/all-zeros words
-            # directly — no boolean arrays, no bit shuffles
-            ones = self._ones
-            self._packed_state = {
-                r.q: ones if r.init else 0 for r in self.netlist.registers
-            }
-            self._bool_state = None
-            return
-        self.state = {
-            r.q: np.full(self.batch, r.init, dtype=bool)
-            for r in self.netlist.registers
-        }
+        self.engine.seq_reset(self)
 
     # -- stepping ------------------------------------------------------- #
 
@@ -734,9 +751,7 @@ class SequentialSimulator:
         value then propagates (and is re-latched downstream) exactly
         once — a transient upset, not a stuck bit.
         """
-        if self._engine == "compiled":
-            return self._step_compiled(inputs)
-        return self._step_interp(inputs)
+        return self.engine.seq_step(self, inputs)
 
     def _apply_seu_interp(self) -> None:
         if self.overlay is None:
@@ -942,6 +957,114 @@ class SequentialSimulator:
         evaluation, so the flag is a no-op there; values read from either
         engine are identical regardless.
         """
-        if self._engine == "compiled":
-            return self._run_stream_compiled(input_stream, materialize)
-        return [self.step(inp) for inp in input_stream]
+        return self.engine.seq_run_stream(self, input_stream, materialize)
+
+
+# --------------------------------------------------------------------- #
+# builtin engine registrations
+
+
+@register_engine
+class InterpEngine(Engine):
+    """The boolean interpreter: fully general, one array per wire.
+
+    The only engine that materialises the wire-value table, so it hosts
+    probes and arbitrary overlays (bridging faults read their aggressor
+    wires from that table).  ``auto_priority`` 0: the fallback every
+    other engine defers to.
+    """
+
+    name = "interp"
+    capabilities = EngineCapabilities(
+        name="interp",
+        sweep_lanes=4096,
+        probes=True,
+        patch_masks=True,
+        seu_lanes=True,
+        general_overlays=True,
+        incremental=False,
+        auto_priority=0,
+    )
+
+    @classmethod
+    def comb_run(cls, sim, seqs, batch, reg_state, overlay):
+        return sim._run_interp(seqs, batch, reg_state, overlay)
+
+    @classmethod
+    def batch_run(cls, entry, seqs, batch, materialize):
+        sim = entry._interp_sim
+        if sim is None:
+            sim = entry._interp_sim = CombinationalSimulator(
+                entry.netlist, backend="interp"
+            )
+        return sim._run_interp(seqs, batch, None, None)
+
+    @classmethod
+    def seq_reset(cls, sim):
+        sim.state = {
+            r.q: np.full(sim.batch, r.init, dtype=bool)
+            for r in sim.netlist.registers
+        }
+
+    @classmethod
+    def seq_step(cls, sim, inputs):
+        return sim._step_interp(inputs)
+
+    @classmethod
+    def seq_unpack_state(cls, sim):
+        # the interpreter keeps boolean state directly; an unset
+        # _bool_state can only mean "no registers"
+        return {}
+
+
+@register_engine
+class CompiledEngine(Engine):
+    """The bit-packed bigint kernels of :mod:`repro.hdl.compile`.
+
+    Highest ``auto_priority``: per-sweep dispatch cost is the lowest of
+    the three engines at the ≤ 63-payload-lane quantum, so ``auto``
+    picks it whenever the request compiles to per-lane masks.
+    """
+
+    name = "compiled"
+    capabilities = EngineCapabilities(
+        name="compiled",
+        sweep_lanes=SWEEP_LANES,
+        probes=False,
+        patch_masks=True,
+        seu_lanes=True,
+        general_overlays=False,
+        incremental=True,
+        auto_priority=100,
+    )
+
+    @classmethod
+    def comb_run(cls, sim, seqs, batch, reg_state, overlay):
+        return sim._run_compiled(seqs, batch, reg_state, overlay)
+
+    @classmethod
+    def batch_run(cls, entry, seqs, batch, materialize):
+        return entry._run_compiled(seqs, batch, materialize)
+
+    @classmethod
+    def seq_reset(cls, sim):
+        # constant init values pack to the all-ones/all-zeros words
+        # directly — no boolean arrays, no bit shuffles
+        ones = sim._ones
+        sim._packed_state = {
+            r.q: ones if r.init else 0 for r in sim.netlist.registers
+        }
+        sim._bool_state = None
+
+    @classmethod
+    def seq_step(cls, sim, inputs):
+        return sim._step_compiled(inputs)
+
+    @classmethod
+    def seq_unpack_state(cls, sim):
+        packed = sim._packed_state or {}
+        return {q: unpack_lanes(value, sim.batch) for q, value in packed.items()}
+
+    @classmethod
+    def seq_run_stream(cls, sim, input_stream, materialize):
+        return sim._run_stream_compiled(input_stream, materialize)

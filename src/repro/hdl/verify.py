@@ -137,8 +137,9 @@ def random_equivalence_check(
     compared on *every* cycle — so register-retiming bugs that only
     surface after the pipeline fills are caught too.
 
-    ``engine`` selects the simulation backend (``"auto"``/``"interp"``/
-    ``"compiled"``, see :mod:`repro.hdl.simulator`); the engines are
+    ``engine`` selects the simulation backend through the registry
+    (any name in :data:`repro.hdl.engine.BACKENDS` — ``"auto"``,
+    ``"interp"``, ``"compiled"``, ``"vector"``); the engines are
     bit-identical, so the choice affects wall time only.
 
     Returns the number of compared (vector, cycle) points; raises

@@ -33,8 +33,9 @@ from repro.analysis.faultcoverage import wilson_interval
 from repro.errors import CampaignConfigError
 from repro.core.factorial import factorial
 from repro.hdl.compile import SWEEP_LANES, PackedFaultPlan
+from repro.hdl.engine import BACKENDS, engine_capability
 from repro.hdl.netlist import Netlist
-from repro.hdl.simulator import BACKENDS, CombinationalSimulator, SequentialSimulator
+from repro.hdl.simulator import CombinationalSimulator, SequentialSimulator
 from repro.obs import metrics as _metrics
 from repro.obs.events import EventSink
 from repro.parallel.sharding import ShardSpec, hardened_map_reduce, index_shards
@@ -80,7 +81,7 @@ class CampaignSpec:
     test_count: int = 64  #: converter test indices (capped at n!)
     stream_length: int = 16  #: shuffle output rows compared per fault
     optimized: bool = False  #: attack the pass-pipeline-optimised netlist
-    engine: str = "auto"  #: simulation backend: "auto", "interp" or "compiled"
+    engine: str = "auto"  #: registered backend name or "auto" (see BACKENDS)
 
     def __post_init__(self):
         if self.circuit not in CIRCUITS:
@@ -233,9 +234,13 @@ def fault_list(spec: CampaignSpec) -> list[Fault]:
     return sites
 
 
-#: Lane budget per fault-parallel sweep; with the default 64 test
-#: vectors this packs 63 faults + 1 golden slot into 4096 lanes.
-_LANE_BUDGET = 4096
+#: Lane budget per fault slot in a fault-parallel sweep: the slot count
+#: is capped so combinational campaigns with huge test-vector sets do
+#: not explode one sweep's memory.  The packed engine's capability sets
+#: the slot ceiling — 63 faults + 1 golden slot into 4096 lanes on the
+#: compiled engine (one 64-bit word per packed lane-set), 4096 faults +
+#: 1 golden on the vector engine.
+_LANES_PER_SLOT = 64
 
 
 class _Evaluator:
@@ -245,10 +250,13 @@ class _Evaluator:
 
     * **per-fault** (:meth:`run`) — one simulation per overlay, on
       whichever backend ``spec.engine`` selects;
-    * **fault-parallel** (:meth:`run_packed`) — the compiled engine
+    * **fault-parallel** (:meth:`run_packed`) — a mask-patching engine
       packs one fault per bit-lane next to a golden lane
       (:class:`~repro.hdl.compile.PackedFaultPlan`), so a single sweep
       evaluates up to ``chunk_faults`` stuck-at/SEU sites at once.
+      ``spec.engine="vector"`` runs the packed sweeps on the wide-lane
+      NumPy engine (4096 fault slots per sweep); every other
+      fault-parallel selection uses the compiled bigint engine (63).
 
     Both produce bit-identical rows (the engines are equivalence-tested
     property-style), so campaign counts and example lists match exactly
@@ -278,11 +286,16 @@ class _Evaluator:
             "stuck",
             "seu",
         )
+        # Which mask-patching engine carries the packed sweeps: vector
+        # when explicitly requested, else the compiled bigint engine.
+        self.packed_backend = "vector" if spec.engine == "vector" else "compiled"
+        slots_cap = engine_capability(self.packed_backend).sweep_lanes + 1
         if self.combinational:
             per_fault = max(1, len(self.indices))
-            slots = max(2, min(SWEEP_LANES + 1, _LANE_BUDGET // per_fault))
+            budget = _LANES_PER_SLOT * slots_cap
+            slots = max(2, min(slots_cap, budget // per_fault))
         else:
-            slots = SWEEP_LANES + 1
+            slots = slots_cap
         self.chunk_faults = slots - 1
 
     def run(self, overlay: FaultOverlay | None) -> np.ndarray:
@@ -327,7 +340,7 @@ class _Evaluator:
                 plan.stick(
                     fault.wire, fault.value, slice(s * per_fault, (s + 1) * per_fault)
                 )
-            sim = CombinationalSimulator(nl, backend="compiled")
+            sim = CombinationalSimulator(nl, backend=self.packed_backend)
             outs = sim.run({"index": list(self.indices) * slots}, overlay=plan)
             cols = np.empty((lanes, n), dtype=np.int64)
             for t in range(n):
@@ -342,7 +355,9 @@ class _Evaluator:
             else:
                 assert isinstance(fault, SEUFault)
                 plan.upset(fault.register, fault.cycle, [s])
-        seq = SequentialSimulator(nl, batch=slots, overlay=plan, backend="compiled")
+        seq = SequentialSimulator(
+            nl, batch=slots, overlay=plan, backend=self.packed_backend
+        )
         if spec.circuit == "converter":
             stream = self.indices + [0] * self.fill
         else:
@@ -450,8 +465,16 @@ def run_campaign(
         raise ValueError(f"no {spec.model} fault sites in the {spec.circuit} netlist")
     ev = _Evaluator(spec)
     test_vectors = len(ev.indices) if spec.circuit == "converter" else spec.stream_length
-    engine_used = "compiled" if ev.fault_parallel else spec.engine
-    shards = index_shards(len(faults), max(1, workers) * 4)
+    engine_used = ev.packed_backend if ev.fault_parallel else spec.engine
+    # Never cut the fault list finer than one packed chunk per shard
+    # when a wide-lane engine could fit the whole campaign in one sweep
+    # — dicing it into per-worker slivers would waste its lanes.  The
+    # compiled engine keeps the historical 4-shards-per-worker split
+    # (its 63-fault chunks already align with it).
+    want = max(1, workers) * 4
+    if ev.fault_parallel and ev.chunk_faults > SWEEP_LANES:
+        want = min(want, -(-len(faults) // ev.chunk_faults))
+    shards = index_shards(len(faults), want)
     if events is not None:
         events.emit(
             "plan",

@@ -37,14 +37,26 @@ __all__ = ["ConverterEngine", "ShuffleEngine", "EngineBank"]
 
 
 class ConverterEngine:
-    """Batched unranking through one compiled converter sweep."""
+    """Batched unranking through one prepared converter sweep.
+
+    ``backend`` selects the simulation engine through the registry
+    (:mod:`repro.hdl.engine`): ``"compiled"`` (bigint lanes, the
+    63-payload-lane quantum) by default, ``"vector"`` for wide-lane
+    NumPy sweeps when the service admits batches beyond 63.
+    """
 
     kind = "converter"
 
-    def __init__(self, n: int):
+    def __init__(self, n: int, backend: str = "compiled"):
         self.n = n
         self.converter = IndexToPermutationConverter(n)
-        self._entry = BatchEntry(self.converter.build_netlist())
+        self._entry = BatchEntry(self.converter.build_netlist(), backend=backend)
+        self.backend = self._entry.engine.name
+
+    @property
+    def sweep_lanes(self) -> int:
+        """Lane capacity of one sweep, as reported by the engine."""
+        return self._entry.engine.capabilities.sweep_lanes
 
     @property
     def kernel_fingerprint(self) -> str:
@@ -58,7 +70,7 @@ class ConverterEngine:
 
     def run(self, indices: Sequence[int]) -> np.ndarray:
         """Unrank a batch of indices in one sweep → ``(B, n)`` array."""
-        note_sweep("converter", len(indices))
+        note_sweep("converter", len(indices), engine=self.backend)
         outs = self._entry.run({"index": list(indices)}, materialize=False)
         perms = np.empty((len(indices), self.n), dtype=np.int64)
         for t in range(self.n):
@@ -94,7 +106,7 @@ class ShuffleEngine:
 
     def run(self, count: int) -> np.ndarray:
         """Draw ``count`` random permutations → ``(B, n)`` array."""
-        note_sweep("shuffle", count)
+        note_sweep("shuffle", count, engine="functional")
         return self.circuit.sample(count)
 
 
@@ -107,16 +119,24 @@ class EngineBank:
     except the shuffle LFSRs, which the service serialises per batch).
     """
 
-    def __init__(self, shuffle_m: int = 31, shuffle_seed_salt: int = 0):
+    def __init__(
+        self,
+        shuffle_m: int = 31,
+        shuffle_seed_salt: int = 0,
+        backend: str = "compiled",
+    ):
         self._engines: dict[tuple[str, int], object] = {}
         self._shuffle_m = shuffle_m
         self._shuffle_seed_salt = shuffle_seed_salt
+        self._backend = backend
 
     def converter(self, n: int) -> ConverterEngine:
         key = ("converter", n)
         engine = self._engines.get(key)
         if engine is None:
-            engine = self._engines[key] = ConverterEngine(n)
+            engine = self._engines[key] = ConverterEngine(
+                n, backend=self._backend
+            )
         return engine  # type: ignore[return-value]
 
     def shuffle(self, n: int) -> ShuffleEngine:

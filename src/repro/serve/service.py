@@ -41,10 +41,10 @@ supervised tiers hang their failover/fallback spans off the same
 the trace.
 
 :func:`serve_bulk` is the offline cousin: a large index array is split
-into :data:`~repro.hdl.compile.SWEEP_LANES`-sized shards
-(:func:`~repro.parallel.sharding.bounded_shards`) and dispatched across
-worker processes through the hardened map-reduce runner, inheriting its
-retry/timeout machinery.
+into sweep-quantum-sized shards (one shard per sweep, the quantum
+reported by the selected engine's capability record) and dispatched
+across worker processes through the hardened map-reduce runner,
+inheriting its retry/timeout machinery.
 """
 
 from __future__ import annotations
@@ -63,7 +63,7 @@ from repro.errors import (
     ServiceOverloadedError,
     ServiceShutdownError,
 )
-from repro.hdl.compile import SWEEP_LANES
+from repro.hdl.engine import resolve_backend
 from repro.obs import metrics as _metrics
 from repro.obs.metrics import FAST_LATENCY_BUCKETS
 from repro.obs.tracing import Span, Tracer
@@ -92,7 +92,9 @@ _QUEUE_DEPTH = _metrics.REGISTRY.gauge(
 _BATCH_LANES = _metrics.REGISTRY.histogram(
     "repro_serve_batch_lanes",
     "lanes per executed batch",
-    buckets=(1, 2, 4, 8, 16, 32, SWEEP_LANES),
+    # spans every engine's sweep quantum: the compiled engine tops out
+    # at one 64-bit word of lanes, the vector engine at 4096
+    buckets=(1, 2, 4, 8, 16, 32, 64, 256, 1024, 4096),
 )
 _STAGE_SECONDS = _metrics.REGISTRY.histogram(
     "repro_serve_stage_seconds",
@@ -231,26 +233,43 @@ class CompletionFuture:
 class ServiceConfig:
     """Tuning knobs for :class:`PermutationService`.
 
-    ``max_batch`` is capped at :data:`~repro.hdl.compile.SWEEP_LANES`:
-    beyond one 64-bit word per packed lane-set the sweep cost stops
-    amortising, so larger batches would only add deadline latency.
-    ``batch_deadline_s`` bounds how long a lone request waits for
-    company; ``max_queue_depth`` bounds how many requests may be queued
+    ``engine`` selects the simulation backend through the registry
+    (:mod:`repro.hdl.engine`); the engine's capability record sets the
+    *sweep quantum* — the lane capacity of one sweep.  ``max_batch``
+    defaults to that quantum and is capped at it: admitting more
+    requests than one sweep carries would only add deadline latency.
+    With the default ``"auto"`` engine the quantum is the compiled
+    engine's 63 lanes (one 64-bit word per packed lane-set);
+    ``engine="vector"`` lifts it to 4096.  ``batch_deadline_s`` bounds
+    how long a lone request waits for company; ``max_queue_depth``
+    (default 4x the quantum) bounds how many requests may be queued
     before admission control sheds.  ``max_n`` bounds the netlists one
     request can make the service compile.
     """
 
-    max_batch: int = SWEEP_LANES
+    max_batch: "int | None" = None
     batch_deadline_s: float = 0.002
-    max_queue_depth: int = 4 * SWEEP_LANES
+    max_queue_depth: "int | None" = None
     cache_capacity: int = 4096
     max_n: int = 12
     rng_seed: int = 0
     shuffle_m: int = 31
+    engine: str = "auto"
+
+    @property
+    def sweep_quantum(self) -> int:
+        """Lane capacity of one sweep under the configured engine."""
+        return resolve_backend(self.engine).capabilities.sweep_lanes
 
     def __post_init__(self) -> None:
-        if not (1 <= self.max_batch <= SWEEP_LANES):
-            raise ValueError(f"max_batch must be in 1..{SWEEP_LANES}")
+        quantum = self.sweep_quantum  # validates the engine name too
+        if self.max_batch is None:
+            object.__setattr__(self, "max_batch", quantum)
+        if self.max_queue_depth is None:
+            object.__setattr__(self, "max_queue_depth", 4 * quantum)
+        assert self.max_batch is not None and self.max_queue_depth is not None
+        if not (1 <= self.max_batch <= quantum):
+            raise ValueError(f"max_batch must be in 1..{quantum}")
         if self.batch_deadline_s < 0:
             raise ValueError("batch_deadline_s must be non-negative")
         if self.max_queue_depth < 1:
@@ -276,6 +295,7 @@ class PermutationService:
         self._engines = EngineBank(
             shuffle_m=self.config.shuffle_m,
             shuffle_seed_salt=self.config.rng_seed,
+            backend=self.config.engine,
         )
         # per-group execution locks: batches of one engine run serially
         # (the shuffle engine advances LFSR state per sweep), batches of
@@ -703,27 +723,30 @@ class _Admitted:
 class _BulkShard:
     """Picklable shard worker: unrank a contiguous slice of the indices.
 
-    Each worker process memoises one :class:`ConverterEngine` per ``n``
-    (module-level, so repeated shards in the same process pay the
-    netlist build once) and returns its shard's ``(size, n)`` rows.
+    Each worker process memoises one :class:`ConverterEngine` per
+    ``(n, engine)`` (module-level, so repeated shards in the same
+    process pay the netlist build once) and returns its shard's
+    ``(size, n)`` rows.
     """
 
-    def __init__(self, n: int, indices: tuple[int, ...]):
+    def __init__(self, n: int, indices: tuple[int, ...], engine: str = "auto"):
         self.n = n
         self.indices = indices
+        self.engine = engine
 
     def __call__(self, shard) -> np.ndarray:
-        engine = _bulk_engine(self.n)
+        engine = _bulk_engine(self.n, self.engine)
         return engine.run(self.indices[shard.start : shard.stop])
 
 
-_BULK_ENGINES: dict[int, ConverterEngine] = {}
+_BULK_ENGINES: dict[tuple[int, str], ConverterEngine] = {}
 
 
-def _bulk_engine(n: int) -> ConverterEngine:
-    engine = _BULK_ENGINES.get(n)
+def _bulk_engine(n: int, backend: str = "auto") -> ConverterEngine:
+    key = (n, backend)
+    engine = _BULK_ENGINES.get(key)
     if engine is None:
-        engine = _BULK_ENGINES[n] = ConverterEngine(n)
+        engine = _BULK_ENGINES[key] = ConverterEngine(n, backend=backend)
     return engine
 
 
@@ -738,11 +761,13 @@ def serve_bulk(
     timeout: float | None = None,
     retries: int = 2,
     tracer: Tracer | None = None,
+    engine: str = "auto",
 ) -> np.ndarray:
     """Unrank a whole index array offline → ``(len(indices), n)`` rows.
 
-    The batch is cut into :data:`~repro.hdl.compile.SWEEP_LANES`-lane
-    shards — each exactly one compiled sweep — and dispatched through
+    The batch is cut into sweep-quantum-lane shards — each exactly one
+    sweep of the selected ``engine``, 63 lanes compiled / 4096 vector —
+    and dispatched through
     :func:`~repro.parallel.sharding.hardened_map_reduce`, inheriting its
     retry/timeout/backoff behaviour.  Results are concatenated in shard
     order, so the output row order always matches the input regardless
@@ -755,9 +780,10 @@ def serve_bulk(
             raise ValueError(f"index {i} outside 0..{limit - 1} for n={n}")
     if not idx:
         return np.empty((0, n), dtype=np.int64)
-    shards = bounded_shards(len(idx), SWEEP_LANES)
+    quantum = resolve_backend(engine).capabilities.sweep_lanes
+    shards = bounded_shards(len(idx), quantum)
     return hardened_map_reduce(
-        _BulkShard(n, idx),
+        _BulkShard(n, idx, engine),
         shards,
         _stack_rows,
         workers=workers,

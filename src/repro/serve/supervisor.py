@@ -1008,7 +1008,7 @@ class SupervisedService(PermutationService):
                 m=self.config.shuffle_m,
                 seed_salt=self.config.rng_seed + 7919 * (worker_id + 1),
             )
-        return ConverterEngine(n)
+        return ConverterEngine(n, backend=self.config.engine)
 
     def _make_fallback_engine(self, key):
         kind, n = key

@@ -1,0 +1,50 @@
+"""The serving layer must not hard-code the sweep-lane quantum.
+
+Lane budgets are an *engine capability* — ``resolve_backend(engine)
+.capabilities.sweep_lanes`` — not a property of the serving layer.  A
+bare ``63`` (the compiled engine's quantum) in serving code would pin
+the layer to one backend and silently cap a wide-lane engine; this test
+tokenises every module under ``src/repro/serve`` and rejects numeric
+literals of the historical quantum outside strings and comments (prose
+may still *mention* the numbers when describing engines).
+"""
+
+from __future__ import annotations
+
+import io
+import pathlib
+import tokenize
+
+SERVE_DIR = (
+    pathlib.Path(__file__).resolve().parents[2] / "src" / "repro" / "serve"
+)
+
+#: Lane-quantum literals that must come from engine capabilities instead.
+FORBIDDEN = {"63", "0x3F", "0x3f", "0o77", "0b111111"}
+
+
+def _numeric_literals(path: pathlib.Path) -> list[tuple[int, str]]:
+    source = path.read_text(encoding="utf-8")
+    out = []
+    for tok in tokenize.generate_tokens(io.StringIO(source).readline):
+        if tok.type == tokenize.NUMBER:
+            out.append((tok.start[0], tok.string))
+    return out
+
+
+def test_serve_sources_exist():
+    assert SERVE_DIR.is_dir()
+    assert list(SERVE_DIR.glob("*.py"))
+
+
+def test_no_bare_lane_quantum_literals_in_serve():
+    offenders = []
+    for path in sorted(SERVE_DIR.glob("*.py")):
+        for line, literal in _numeric_literals(path):
+            if literal in FORBIDDEN:
+                offenders.append(f"{path.name}:{line}: {literal}")
+    assert not offenders, (
+        "bare sweep-lane literals in serving code (use "
+        "resolve_backend(engine).capabilities.sweep_lanes): "
+        + "; ".join(offenders)
+    )
