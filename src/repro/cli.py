@@ -20,6 +20,13 @@ Subcommands mirror the paper's artefacts:
   and ``--chaos`` runs the seeded fault-injection campaign against it,
   reporting the invariants (zero incorrect responses, every killed
   worker restarted, availability floor) — exit 1 if any is violated.
+  ``--workers W`` routes sweeps through the multi-process shard pool
+  (shared-memory result rings, restart-with-backoff, per-shard
+  admission control); ``--listen [PORT]`` runs the ``repro-serve/1``
+  binary TCP front end until SIGINT, and ``--connect HOST:PORT`` is
+  the matching multi-connection socket load generator with
+  client-side verification (``--connections``, ``--depth``,
+  ``--frame-count``, ``--min-availability``).
   Telemetry flags: ``--expose PORT`` starts the pull-based exposition
   endpoint (``/metrics``, ``/metrics.json``, ``/traces``, ``/health``)
   next to the run, ``--trace-sample R`` head-samples batch traces into
@@ -198,6 +205,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.serve import (
         WORKLOADS,
         PermutationService,
+        PoolConfig,
+        PooledService,
         ServiceConfig,
         SupervisedService,
         run_closed_loop,
@@ -209,8 +218,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         raise ReproError("--requests must be positive")
     if args.clients < 1:
         raise ReproError("--clients must be positive")
+    if args.connect is not None:
+        return _cmd_serve_connect(args)
     if args.chaos:
         return _cmd_serve_chaos(args)
+    if args.workers < 0:
+        raise ReproError("--workers must be non-negative")
+    if args.workers and args.supervised:
+        raise ReproError("--workers and --supervised are mutually exclusive")
     _require_engine(args.engine)
     if args.batch_size is not None and args.batch_size < 1:
         raise ReproError(f"--batch-size must be positive, got {args.batch_size}")
@@ -259,10 +274,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
         profiler = SamplingProfiler()
 
-    if args.supervised:
+    if args.workers:
+        svc_cm = PooledService(
+            config, PoolConfig(workers=args.workers), tracer=tracer
+        )
+    elif args.supervised:
         svc_cm = SupervisedService(config, tracer=tracer)
     else:
         svc_cm = PermutationService(config, tracer=tracer)
+    if args.listen is not None:
+        return _serve_listen(args, svc_cm, ring)
+    verify = args.supervised or bool(args.workers)
     exposer = None
     try:
         with svc_cm as svc:
@@ -285,14 +307,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                     clients=args.clients,
                     mix=mix,
                     seed=args.seed,
-                    verify=args.supervised,
+                    verify=verify,
                 )
                 stats = svc.stats()
             finally:
                 if profiler is not None:
                     profiler.stop()
             _print_serve_report(args, report, stats)
-            rc = 1 if args.supervised and report.incorrect else 0
+            rc = 1 if verify and report.incorrect else 0
             if exposer is not None and args.linger > 0:
                 import time as _time
 
@@ -313,12 +335,165 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return rc
 
 
+def _serve_listen(args: argparse.Namespace, svc_cm, ring) -> int:
+    """``repro serve N --listen``: run the socket front end until SIGINT.
+
+    The bound address is printed on stdout (parseable by scripts that
+    pass ``--listen 0`` for an OS-assigned port); the process then parks
+    until interrupted and exits 0 after a clean drain of the service and
+    the worker pool.
+    """
+    import signal as _signal
+    import threading
+
+    from repro.serve import NetServer
+
+    # A background job started from a non-interactive shell inherits
+    # SIGINT *ignored* (POSIX), which would leave `kill -INT` unable to
+    # trigger the clean drain; restore delivery explicitly and route
+    # SIGTERM onto the same path so plain `kill` also drains.
+    def _on_term(signum, frame):
+        raise KeyboardInterrupt
+
+    try:
+        _signal.signal(_signal.SIGINT, _signal.default_int_handler)
+        _signal.signal(_signal.SIGTERM, _on_term)
+    except ValueError:
+        pass  # not the main thread: rely on the caller's handling
+
+    exposer = None
+    try:
+        with svc_cm as svc:
+            with NetServer(svc, port=args.listen) as server:
+                host, port = server.address
+                print(f"serving repro-serve/1 on {host}:{port}", flush=True)
+                if args.expose is not None:
+                    from repro.obs.httpexp import ExpositionServer
+
+                    exposer = ExpositionServer(
+                        ring=ring,
+                        health_fn=lambda: _serve_health(svc),
+                        port=args.expose,
+                    ).start()
+                    print(
+                        f"exposition endpoint {exposer.url}",
+                        file=sys.stderr,
+                        flush=True,
+                    )
+                try:
+                    threading.Event().wait()
+                except KeyboardInterrupt:
+                    print("shutting down", file=sys.stderr, flush=True)
+    finally:
+        if exposer is not None:
+            exposer.stop()
+    return 0
+
+
+def _cmd_serve_connect(args: argparse.Namespace) -> int:
+    """``repro serve N --connect HOST:PORT``: socket load generator.
+
+    Drives a remote ``repro-serve/1`` server with a multi-connection
+    closed loop, verifying every permutation client-side, and exits 1
+    when availability falls below ``--min-availability`` or any response
+    fails verification.
+    """
+    from repro.serve import WORKLOADS, run_socket_loadgen
+
+    host, _, port_s = args.connect.rpartition(":")
+    host = host or "127.0.0.1"
+    try:
+        port = int(port_s)
+    except ValueError:
+        raise ReproError(
+            f"--connect expects HOST:PORT, got {args.connect!r}"
+        ) from None
+    if args.connections < 1:
+        raise ReproError("--connections must be positive")
+    if args.depth < 1:
+        raise ReproError("--depth must be positive")
+    if args.frame_count < 1:
+        raise ReproError("--frame-count must be positive")
+    if args.workload != "mixed" and args.workload not in WORKLOADS:
+        raise ReproError(
+            f"unknown workload {args.workload!r}; expected mixed or one of "
+            + ", ".join(WORKLOADS)
+        )
+    mix = None if args.workload == "mixed" else {args.workload: 1.0}
+    try:
+        report = run_socket_loadgen(
+            host,
+            port,
+            args.n,
+            total=args.requests,
+            connections=args.connections,
+            depth=args.depth,
+            frame_count=args.frame_count,
+            mix=mix,
+            seed=args.seed,
+            verify=True,
+        )
+    except (OSError, ValueError) as exc:
+        raise ReproError(f"socket load against {host}:{port} failed: {exc}") from exc
+    pct = report.latency_percentiles()
+    print(
+        f"socket loadgen: {report.completed}/{args.requests} frames against "
+        f"{host}:{port} ({args.connections} connections, depth {args.depth}, "
+        f"{args.frame_count} lanes/frame)"
+    )
+    print(f"  throughput  {report.throughput_rps:10.1f} frames/s "
+          f"({report.lanes_per_second:.1f} lanes/s)")
+    print(
+        f"  latency     p50={pct['p50'] * 1e3:.3f}ms  "
+        f"p90={pct['p90'] * 1e3:.3f}ms  p99={pct['p99'] * 1e3:.3f}ms  "
+        f"max={pct['max'] * 1e3:.3f}ms"
+    )
+    print(
+        f"  availability {report.availability:.4f}  shed={report.shed} "
+        f"degraded={report.degraded_shed} abandoned={report.abandoned}"
+    )
+    print(f"  verified    incorrect={report.incorrect}")
+    if report.incorrect:
+        return 1
+    if args.min_availability is not None:
+        if report.availability < args.min_availability:
+            print(
+                f"repro-perm: availability {report.availability:.4f} below "
+                f"floor {args.min_availability:.4f}",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
 def _serve_health(svc) -> dict:
     """The ``/health`` document for a running serve command.
 
     ``status`` is ``"ok"`` unless a supervised shard has lost its worker
-    (lazy spawn means an empty shard table is healthy, not degraded).
+    or a pooled shard group has every replica down (lazy spawn means an
+    empty shard table is healthy, not degraded).  For the pooled tier the
+    document also carries per-worker rows (pid, shard, sweeps, restarts)
+    that ``obs top`` renders as its worker table.
     """
+    pool = getattr(svc, "pool", None)
+    if pool is not None:
+        rows = pool.worker_rows()
+        by_shard: dict[str, list] = {}
+        for row in rows:
+            by_shard.setdefault(row["shard"], []).append(row)
+        shards = {
+            shard: {
+                "alive": sum(1 for r in group if r["alive"]),
+                "replicas": len(group),
+            }
+            for shard, group in by_shard.items()
+        }
+        ok = all(info["alive"] > 0 for info in shards.values())
+        return {
+            "status": "ok" if ok else "degraded",
+            "shards": shards,
+            "workers": rows,
+        }
     supervisor = getattr(svc, "supervisor", None)
     if supervisor is None:
         return {"status": "ok", "shards": {}}
@@ -358,6 +533,18 @@ def _print_serve_report(args: argparse.Namespace, report, stats: dict) -> None:
             f"check_failures={sup['check_failures']} "
             f"failovers={sup['served_fallback']} "
             f"breaker_trips={sup['breaker_trips']}"
+        )
+        print(f"  verified    incorrect={report.incorrect}")
+    if getattr(args, "workers", 0) and "pool" in stats:
+        pool = stats["pool"]
+        print(
+            f"  pool        workers={pool['workers_alive']} "
+            f"sweeps={pool['served_worker']} "
+            f"restarts={pool['restarts']} fallback={pool['served_fallback']}"
+        )
+        print(
+            f"  pool cache  {pool['cache_hits']} hits / "
+            f"{pool['cache_misses']} misses (worker tier)"
         )
         print(f"  verified    incorrect={report.incorrect}")
 
@@ -419,6 +606,7 @@ def _cmd_obs_top(args: argparse.Namespace) -> int:
 
     url = args.url.rstrip("/")
     frame = 0
+    prev: dict | None = None
     while True:
         try:
             snapshot = fetch_json(url + "/metrics.json")
@@ -434,7 +622,10 @@ def _cmd_obs_top(args: argparse.Namespace) -> int:
                 health = {"status": f"http {exc.code}"}
         except (OSError, ValueError):
             health = None
-        panel = render_dashboard(snapshot, health)
+        panel = render_dashboard(
+            snapshot, health, prev=prev, interval_s=args.interval
+        )
+        prev = snapshot
         if args.frames != 1 and frame > 0:
             sys.stdout.write("\x1b[2J\x1b[H")  # clear between refreshes
         print(panel, flush=True)
@@ -673,6 +864,39 @@ def _build_parser() -> argparse.ArgumentParser:
         "--profile", metavar="PATH", default=None,
         help="run the continuous stack-sampling profiler during the load "
         "and write a repro-profile/1 JSON report",
+    )
+    p.add_argument(
+        "--workers", type=int, default=0, metavar="W",
+        help="serve through the multi-process pool with W replica "
+        "workers per shard (default: 0 = in-process sweeps)",
+    )
+    p.add_argument(
+        "--listen", type=int, default=None, nargs="?", const=0,
+        metavar="PORT",
+        help="run the repro-serve/1 TCP front end on 127.0.0.1:PORT "
+        "(omitted PORT or 0 = OS-assigned, printed on stdout) until "
+        "SIGINT instead of driving an in-process load",
+    )
+    p.add_argument(
+        "--connect", metavar="HOST:PORT", default=None,
+        help="client mode: drive a remote repro-serve/1 server with the "
+        "socket load generator and verify every response",
+    )
+    p.add_argument(
+        "--connections", type=int, default=2,
+        help="with --connect: concurrent TCP connections (default: 2)",
+    )
+    p.add_argument(
+        "--depth", type=int, default=2,
+        help="with --connect: in-flight frames per connection (default: 2)",
+    )
+    p.add_argument(
+        "--frame-count", type=int, default=1, metavar="C",
+        help="with --connect: permutations requested per frame (default: 1)",
+    )
+    p.add_argument(
+        "--min-availability", type=float, default=None, metavar="F",
+        help="with --connect: exit 1 if availability falls below F",
     )
     p.set_defaults(fn=_cmd_serve)
 

@@ -54,6 +54,7 @@ __all__ = [
     "WorkerCrashedError",
     "WorkerStalledError",
     "InvalidRequestError",
+    "ProtocolError",
     "ServiceOverloadedError",
     "ServiceOverloaded",
     "ServiceDegradedError",
@@ -168,6 +169,21 @@ class WorkerStalledError(WorkerFailedError):
 class InvalidRequestError(ReproError, ValueError):
     """A malformed serving request (unknown workload, bad n, missing or
     out-of-range index…).  Caller mistake, so also a :class:`ValueError`."""
+
+
+class ProtocolError(ReproError, ValueError):
+    """A malformed ``repro-serve/1`` wire frame.
+
+    Raised by the binary protocol codec (:mod:`repro.serve.net.protocol`)
+    for anything the framing layer itself must reject: an oversized or
+    truncated frame, an unknown protocol version, an unrecognised
+    workload or status tag, or trailing bytes after a fully decoded
+    body.  The server answers with a typed ``ERROR`` response and closes
+    the connection — a byte-level violation means the stream can no
+    longer be trusted to be frame-aligned — while *semantic* mistakes in
+    a well-formed frame (bad ``n``, index out of range, zero count) stay
+    :class:`InvalidRequestError` and leave the connection open.
+    """
 
 
 class ServiceOverloadedError(ReproError):

@@ -210,12 +210,32 @@ def _fmt_s(v: float) -> str:
     return f"{v * 1e6:6.1f}µs"
 
 
-def render_dashboard(snapshot: dict, health: dict | None = None) -> str:
+def _worker_sweeps(snapshot: dict | None) -> dict[tuple[str, str], float]:
+    """Per-(shard, replica) cumulative sweep counts from a snapshot."""
+    out: dict[tuple[str, str], float] = {}
+    if not snapshot:
+        return out
+    for s in _series(snapshot, "repro_serve_pool_worker_sweeps_total"):
+        labels = s.get("labels", {})
+        key = (labels.get("shard", "?"), labels.get("replica", "?"))
+        out[key] = out.get(key, 0.0) + float(s.get("value", 0.0))
+    return out
+
+
+def render_dashboard(
+    snapshot: dict,
+    health: dict | None = None,
+    prev: dict | None = None,
+    interval_s: float | None = None,
+) -> str:
     """One terminal panel from a ``/metrics.json`` snapshot.
 
     Missing metrics render as absent rows, not errors: the dashboard is
     usable against any registry, not only a fully-instrumented serving
-    run.
+    run.  When the health document carries per-worker rows (the pooled
+    serving tier), a worker table is appended — pid, shard, cumulative
+    sweeps, restarts — with a sweeps/s column computed from the previous
+    snapshot ``prev`` over ``interval_s`` when both are given.
     """
     lines: list[str] = []
     bar = "─" * 64
@@ -292,6 +312,42 @@ def render_dashboard(snapshot: dict, health: dict | None = None) -> str:
                 f" {_fmt_s(float(qs.get('0.999', 0.0))):>9}"
             )
 
+    # --- worker pool ---------------------------------------------------
+    pool_depth = _series(snapshot, "repro_serve_pool_queue_depth")
+    if pool_depth:
+        cells = "   ".join(
+            f"{s.get('labels', {}).get('shard', '?')}="
+            f"{int(float(s.get('value', 0.0)))}"
+            for s in sorted(
+                pool_depth, key=lambda s: s.get("labels", {}).get("shard", "")
+            )
+        )
+        lines.append(f"pool depth  {cells}")
+    workers = (health or {}).get("workers") or []
+    if workers:
+        now_sweeps = _worker_sweeps(snapshot)
+        prev_sweeps = _worker_sweeps(prev)
+        lines.append(bar)
+        lines.append(
+            f"{'worker':<20} {'pid':>8} {'sweeps':>8} {'sweeps/s':>9} "
+            f"{'restarts':>9}"
+        )
+        for row in workers:
+            name = f"{row.get('shard', '?')}#{row.get('replica', '?')}"
+            key = (str(row.get("shard", "?")), str(row.get("replica", "?")))
+            if prev is not None and interval_s:
+                delta = now_sweeps.get(key, float(row.get("sweeps", 0)))
+                delta -= prev_sweeps.get(key, 0.0)
+                rate = f"{max(delta, 0.0) / interval_s:>9.1f}"
+            else:
+                rate = f"{'—':>9}"
+            state = "" if row.get("alive", True) else "  (down)"
+            lines.append(
+                f"{name:<20} {int(row.get('pid') or 0):>8} "
+                f"{int(row.get('sweeps', 0)):>8} {rate} "
+                f"{int(row.get('restarts', 0)):>9}{state}"
+            )
+
     # --- health --------------------------------------------------------
     if health is not None:
         lines.append(bar)
@@ -299,6 +355,12 @@ def render_dashboard(snapshot: dict, health: dict | None = None) -> str:
         shards = health.get("shards") or {}
         lines.append(f"health      {status}")
         for key, info in sorted(shards.items()):
+            if "replicas" in info:  # pooled shard group: alive is a count
+                lines.append(
+                    f"  {key:<18} replicas {info.get('alive', 0)}/"
+                    f"{info.get('replicas', 0)} up"
+                )
+                continue
             alive = "up" if info.get("alive") else "down"
             breaker = info.get("breaker", "?")
             lines.append(f"  {key:<18} worker {alive:<5} breaker {breaker}")

@@ -57,6 +57,7 @@ __all__ = [
     "ShardFailure",
     "PartialResult",
     "default_workers",
+    "retry_backoff",
 ]
 
 # Injectable clock/sleep seams: ALL deadline + backoff arithmetic in this
@@ -320,6 +321,31 @@ class _TracedWork:
         return _TracedValue(value, span.export(), sketch.to_dict())
 
 
+def retry_backoff(
+    attempt: int,
+    backoff: float,
+    jitter: float = 0.0,
+    rng: "random.Random | None" = None,
+    cap: float | None = None,
+) -> float:
+    """The hardened-runner retry delay: ``backoff · 2^(attempt−1)`` + jitter.
+
+    ``attempt`` is 1-based (the attempt that just failed).  Jitter is
+    uniform in ``[0, jitter)`` from ``rng`` (seeded by the caller — runs
+    stay reproducible); ``cap`` bounds the exponential term so repeated
+    failures converge to a fixed retry cadence instead of effectively
+    never retrying.  Shared by :func:`hardened_map_reduce` and the
+    serving tier's worker pool so both layers restart crashed workers
+    with identical semantics.
+    """
+    delay = backoff * (2 ** (attempt - 1))
+    if cap is not None:
+        delay = min(cap, delay)
+    if jitter > 0.0 and rng is not None:
+        delay += rng.uniform(0.0, jitter)
+    return delay
+
+
 def hardened_map_reduce(
     work: Callable[[ShardSpec], R],
     shards: Sequence[ShardSpec],
@@ -508,8 +534,10 @@ def hardened_map_reduce(
                     )
                 last_error[s.shard_id] = (exc, timed_out)
                 if attempts[s.shard_id] <= retries:
-                    delay = backoff * (2 ** (attempts[s.shard_id] - 1))
-                    retry_delay = max(retry_delay, delay + rng.uniform(0.0, jitter))
+                    delay = retry_backoff(
+                        attempts[s.shard_id], backoff, jitter=jitter, rng=rng
+                    )
+                    retry_delay = max(retry_delay, delay)
                     pending.append(s)
                     if events is not None:
                         events.emit(

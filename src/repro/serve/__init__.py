@@ -19,6 +19,12 @@ batch end-to-end oracle-checked.  The chaos harness
 corruption on a seeded schedule to prove the tier's invariants — no
 wrong permutation is ever served, killed workers restart, availability
 holds a floor while degraded.
+
+The multi-process tier (:mod:`repro.serve.pool`) moves sweeps into real
+worker processes — one shard group per ``(kind, n)`` with configurable
+replica counts, results returned through shared-memory rings — and the
+network tier (:mod:`repro.serve.net`) exposes the whole stack over a
+length-prefixed binary TCP protocol (``repro-serve/1``).
 """
 
 from repro.serve.batcher import Batch, MicroBatcher, PendingEntry
@@ -31,8 +37,22 @@ from repro.serve.chaos import (
     run_chaos_campaign,
 )
 from repro.serve.engine import ConverterEngine, EngineBank, ShuffleEngine
-from repro.serve.loadgen import LoadReport, percentile, run_closed_loop
-from repro.serve.model import WORKLOADS, Request, Response, validate_request
+from repro.serve.loadgen import (
+    LoadReport,
+    percentile,
+    run_closed_loop,
+    run_socket_loadgen,
+)
+from repro.serve.model import (
+    WORKLOADS,
+    Request,
+    Response,
+    WideResponse,
+    validate_request,
+    validate_wide,
+)
+from repro.serve.net import NetServer, ServeConnection
+from repro.serve.pool import PoolConfig, PooledService, WorkerPool
 from repro.serve.service import (
     CompletionFuture,
     PermutationService,
@@ -68,7 +88,15 @@ __all__ = [
     "serve_bulk",
     "LoadReport",
     "run_closed_loop",
+    "run_socket_loadgen",
     "percentile",
+    "WideResponse",
+    "validate_wide",
+    "NetServer",
+    "ServeConnection",
+    "PoolConfig",
+    "WorkerPool",
+    "PooledService",
     "BREAKER_STATES",
     "BreakerConfig",
     "CircuitBreaker",

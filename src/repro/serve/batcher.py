@@ -41,11 +41,19 @@ __all__ = ["PendingEntry", "Batch", "MicroBatcher"]
 
 @dataclass
 class PendingEntry:
-    """One queued request: the work item, its future, and when it arrived."""
+    """One queued request: the work item, its future, and when it arrived.
+
+    ``lanes`` is how many sweep lanes the entry occupies — 1 for the
+    classic single-request path, ``count`` for a *wide* entry (one
+    socket frame carrying many indices that resolve through one future).
+    Wide entries are what let the network front end amortise its
+    per-frame decode/submit cost over many lanes.
+    """
 
     request: object
     future: object
     enqueued_at: float
+    lanes: int = 1
 
 
 @dataclass(frozen=True)
@@ -58,12 +66,13 @@ class Batch:
 
     @property
     def lanes(self) -> int:
-        return len(self.entries)
+        return sum(e.lanes for e in self.entries)
 
 
 @dataclass
 class _Group:
     entries: list[PendingEntry] = field(default_factory=list)
+    lanes: int = 0  #: occupied sweep lanes (>= len(entries))
     opened_at: float = 0.0  #: enqueue time of the group's first entry
 
 
@@ -83,24 +92,43 @@ class MicroBatcher:
 
     @property
     def pending(self) -> int:
-        """Entries currently queued across all groups (the queue depth)."""
+        """Lanes currently queued across all groups (the queue depth).
+
+        Counted in *lanes*, not entries: a wide entry holds as many
+        queue slots as sweep lanes it will occupy, so admission control
+        sheds on real sweep capacity either way.
+        """
         return self._pending
 
-    def add(self, key: Hashable, entry: PendingEntry, now: float) -> Batch | None:
-        """Queue an entry; returns the closed batch if this filled one.
+    def add(self, key: Hashable, entry: PendingEntry, now: float) -> list[Batch]:
+        """Queue an entry; returns whatever batches this closed (0..2).
 
-        A returned batch has already left the queue — the caller (the
-        submitting thread) executes it inline, which is what makes the
+        A single-lane entry closes at most the group it joins.  A wide
+        entry that does not fit the open group's remaining lanes first
+        *spills*: the open group closes as-is and the entry opens a
+        fresh group — which may itself close immediately if the entry
+        alone reaches ``max_batch`` lanes, hence up to two batches.
+        Returned batches have already left the queue — the caller (the
+        submitting thread) executes them inline, which is what makes the
         batch-full path zero-latency: no handoff to the dispatcher.
         """
+        if entry.lanes > self.max_batch:
+            raise ValueError(
+                f"entry of {entry.lanes} lanes exceeds max_batch {self.max_batch}"
+            )
+        closed: list[Batch] = []
         group = self._groups.get(key)
+        if group is not None and group.lanes + entry.lanes > self.max_batch:
+            closed.append(self._close(key, group))
+            group = None
         if group is None:
             group = self._groups[key] = _Group(opened_at=now)
         group.entries.append(entry)
-        self._pending += 1
-        if len(group.entries) >= self.max_batch:
-            return self._close(key, group)
-        return None
+        group.lanes += entry.lanes
+        self._pending += entry.lanes
+        if group.lanes >= self.max_batch:
+            closed.append(self._close(key, group))
+        return closed
 
     def next_deadline(self) -> float | None:
         """When the oldest open group must flush (``None`` if empty)."""
@@ -123,7 +151,7 @@ class MicroBatcher:
 
     def _close(self, key: Hashable, group: _Group) -> Batch:
         del self._groups[key]
-        self._pending -= len(group.entries)
+        self._pending -= group.lanes
         batch = Batch(
             batch_id=self._next_batch_id, key=key, entries=tuple(group.entries)
         )

@@ -27,7 +27,14 @@ from dataclasses import dataclass
 from repro.core.factorial import factorial
 from repro.errors import InvalidRequestError
 
-__all__ = ["WORKLOADS", "Request", "Response", "validate_request"]
+__all__ = [
+    "WORKLOADS",
+    "Request",
+    "Response",
+    "WideResponse",
+    "validate_request",
+    "validate_wide",
+]
 
 #: The serveable workloads, in documentation order.
 WORKLOADS = ("unrank", "random_perm", "shuffle")
@@ -82,6 +89,36 @@ class Response:
     mode: str = "direct"
 
 
+@dataclass(frozen=True)
+class WideResponse:
+    """A served *wide* request: ``count`` permutations behind one future.
+
+    The network front end submits one entry per socket frame however
+    many indices the frame carries; the whole frame resolves through a
+    single future into this response.  ``permutations`` is a
+    ``(count, n)`` int64 array (rows in request order) rather than
+    per-row tuples — the socket encoder reads it straight into packed
+    wire bytes, so nothing materialises a million Python ints on the hot
+    path.  ``indices`` are the indices actually unranked (server-drawn
+    for ``random_perm``), ``None`` for shuffles.  Provenance fields
+    mirror :class:`Response`.
+    """
+
+    request_id: int
+    workload: str
+    n: int
+    count: int
+    indices: tuple[int, ...] | None
+    permutations: object  # (count, n) np.ndarray
+    batch_id: int | None
+    lanes: int
+    cached: bool
+    queued_s: float
+    sweep_s: float
+    total_s: float
+    mode: str = "direct"
+
+
 def validate_request(req: Request, max_n: int) -> None:
     """Reject a malformed request with :class:`InvalidRequestError`.
 
@@ -116,4 +153,58 @@ def validate_request(req: Request, max_n: int) -> None:
         raise InvalidRequestError(
             f"workload {req.workload!r} draws its own randomness; "
             "index must not be supplied"
+        )
+
+
+def validate_wide(
+    workload: str,
+    n: int,
+    count: int,
+    indices,
+    max_n: int,
+    max_count: int,
+) -> None:
+    """Reject a malformed wide submission with :class:`InvalidRequestError`.
+
+    Same rules as :func:`validate_request` applied per frame: workload
+    spelling, the ``n`` bounds, the index contract (``unrank`` supplies
+    exactly ``count`` in-range indices, the random workloads none), plus
+    the wide-specific ``count`` bounds — at least one lane, at most
+    ``max_count`` (the service's ``max_batch``: a wider entry could
+    never fit one sweep).
+    """
+    if workload not in WORKLOADS:
+        raise InvalidRequestError(
+            f"unknown workload {workload!r}; expected one of " + ", ".join(WORKLOADS)
+        )
+    if isinstance(n, bool) or not isinstance(n, int):
+        raise InvalidRequestError(f"n must be an integer, got {n!r}")
+    floor = 2 if workload == "shuffle" else 1
+    if not (floor <= n <= max_n):
+        raise InvalidRequestError(
+            f"n={n} outside {floor}..{max_n} for workload {workload!r}"
+        )
+    if isinstance(count, bool) or not isinstance(count, int):
+        raise InvalidRequestError(f"count must be an integer, got {count!r}")
+    if not (1 <= count <= max_count):
+        raise InvalidRequestError(f"count {count} outside 1..{max_count}")
+    if workload == "unrank":
+        if indices is None:
+            raise InvalidRequestError("unrank requires indices")
+        if len(indices) != count:
+            raise InvalidRequestError(
+                f"unrank sent {len(indices)} indices for count={count}"
+            )
+        limit = factorial(n)
+        for i in indices:
+            if isinstance(i, bool) or not isinstance(i, int):
+                raise InvalidRequestError(f"index must be an integer, got {i!r}")
+            if not (0 <= i < limit):
+                raise InvalidRequestError(
+                    f"index {i} outside 0..{limit - 1} for n={n}"
+                )
+    elif indices is not None:
+        raise InvalidRequestError(
+            f"workload {workload!r} draws its own randomness; "
+            "indices must not be supplied"
         )

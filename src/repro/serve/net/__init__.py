@@ -1,0 +1,56 @@
+"""Socket serving: the ``repro-serve/1`` wire protocol, server, client.
+
+The network tier around :class:`~repro.serve.PermutationService`:
+
+* :mod:`~repro.serve.net.protocol` — the length-prefixed binary frame
+  codec (pure functions + an incremental decoder, no I/O);
+* :mod:`~repro.serve.net.server` — an asyncio TCP front end that decodes
+  frames into wide service submissions and writes responses from future
+  callbacks (no waiter threads);
+* :mod:`~repro.serve.net.client` — a blocking socket client with
+  explicit pipelining, used by the load generator and the CLI.
+"""
+
+from repro.serve.net.client import ServeConnection
+from repro.serve.net.protocol import (
+    MAX_COUNT,
+    MAX_REQUEST_FRAME,
+    MAX_RESPONSE_FRAME,
+    PROTOCOL_VERSION,
+    STATUS_DEGRADED,
+    STATUS_ERROR,
+    STATUS_INVALID,
+    STATUS_OK,
+    STATUS_OVERLOADED,
+    STATUS_SHUTDOWN,
+    FrameDecoder,
+    WireRequest,
+    WireResponse,
+    decode_request,
+    decode_response,
+    encode_request,
+    encode_response,
+)
+from repro.serve.net.server import NetServer
+
+__all__ = [
+    "MAX_COUNT",
+    "MAX_REQUEST_FRAME",
+    "MAX_RESPONSE_FRAME",
+    "PROTOCOL_VERSION",
+    "STATUS_OK",
+    "STATUS_INVALID",
+    "STATUS_OVERLOADED",
+    "STATUS_DEGRADED",
+    "STATUS_SHUTDOWN",
+    "STATUS_ERROR",
+    "FrameDecoder",
+    "WireRequest",
+    "WireResponse",
+    "decode_request",
+    "decode_response",
+    "encode_request",
+    "encode_response",
+    "NetServer",
+    "ServeConnection",
+]

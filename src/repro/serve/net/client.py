@@ -1,0 +1,97 @@
+"""Blocking socket client for the ``repro-serve/1`` protocol.
+
+:class:`ServeConnection` is deliberately simple: a plain TCP socket, an
+incremental :class:`~repro.serve.net.protocol.FrameDecoder`, and explicit
+``send`` / ``recv`` so callers control pipelining depth themselves.  The
+load generator keeps ``depth`` frames outstanding per connection; the
+CLI client uses ``request`` (send one, wait for one).
+
+Responses are matched to requests by ``request_id``, which the
+connection assigns monotonically when the caller does not.  ``recv``
+returns responses in arrival order — the server may interleave
+completions across shards — so pipelining callers should key off
+``WireResponse.request_id`` rather than assume FIFO.
+"""
+
+from __future__ import annotations
+
+import socket
+from collections import deque
+from collections.abc import Sequence
+
+from repro.serve.net import protocol as wire
+
+__all__ = ["ServeConnection"]
+
+
+class ServeConnection:
+    """One client connection to a :class:`~repro.serve.net.server.NetServer`."""
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0):
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        try:
+            self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError:
+            pass  # not fatal on exotic transports
+        self._decoder = wire.FrameDecoder(wire.MAX_RESPONSE_FRAME)
+        self._frames: deque[bytes] = deque()
+        self._next_id = 1
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+
+    def send(
+        self,
+        workload: str,
+        n: int,
+        count: int = 1,
+        indices: Sequence[int] | None = None,
+        request_id: int | None = None,
+    ) -> int:
+        """Encode and send one request frame; return its request id."""
+        if request_id is None:
+            request_id = self._next_id
+            self._next_id = (self._next_id + 1) & 0xFFFFFFFF or 1
+        payload = wire.encode_request(
+            workload, n, count, request_id=request_id, indices=indices
+        )
+        self._sock.sendall(payload)
+        return request_id
+
+    def recv(self) -> wire.WireResponse:
+        """Block until one complete response frame arrives and decode it."""
+        while not self._frames:
+            data = self._sock.recv(1 << 16)
+            if not data:
+                raise ConnectionError("server closed the connection")
+            self._frames.extend(self._decoder.feed(data))
+        return wire.decode_response(self._frames.popleft())
+
+    def request(
+        self,
+        workload: str,
+        n: int,
+        count: int = 1,
+        indices: Sequence[int] | None = None,
+    ) -> wire.WireResponse:
+        """Send one request and wait for its response (depth-1 round trip)."""
+        self.send(workload, n, count, indices)
+        return self.recv()
+
+    # ------------------------------------------------------------------ #
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        self._sock.close()
+
+    def __enter__(self) -> "ServeConnection":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

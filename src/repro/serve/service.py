@@ -73,9 +73,21 @@ from repro.rng.scaled import ScaledRandomInteger
 from repro.serve.batcher import Batch, MicroBatcher, PendingEntry
 from repro.serve.cache import ResultCache
 from repro.serve.engine import ConverterEngine, EngineBank
-from repro.serve.model import Request, Response, validate_request
+from repro.serve.model import (
+    Request,
+    Response,
+    WideResponse,
+    validate_request,
+    validate_wide,
+)
 
-__all__ = ["CompletionFuture", "ServiceConfig", "PermutationService", "serve_bulk"]
+__all__ = [
+    "CompletionFuture",
+    "ServiceConfig",
+    "PermutationService",
+    "serve_bulk",
+    "batch_indices",
+]
 
 # Injectable clock seam (monotonic), mirroring parallel.sharding: all
 # deadline arithmetic goes through this so tests can drive it.
@@ -164,18 +176,29 @@ class _TelemetryFlusher(threading.Thread):
 
     @staticmethod
     def _fold(record: tuple) -> None:
-        lanes, mode, kind, sweep_s, queued_vals, workload_totals, pending = record
+        (
+            lanes,
+            entries,
+            front_misses,
+            mode,
+            sweep_s,
+            queued_vals,
+            workload_totals,
+            pending,
+        ) = record
         _BATCH_LANES.observe(lanes)
-        _MODE_TOTAL.inc(lanes, mode=mode)
+        _MODE_TOTAL.inc(entries, mode=mode)
         _STAGE_SECONDS.labels(stage="queued").observe_many(queued_vals)
-        _STAGE_SECONDS.labels(stage="sweep").observe_n(sweep_s, lanes)
+        _STAGE_SECONDS.labels(stage="sweep").observe_n(sweep_s, entries)
         for wl, totals in workload_totals.items():
             _LATENCY_DIGEST.labels(workload=wl, mode=mode).observe_many(totals)
             _REQUESTS.inc(len(totals), workload=wl, outcome="ok")
-        if kind != "shuffle":
-            # every converter-batch entry missed the cache at admission
-            # (hits resolve inline in submit)
-            _CACHE_TOTAL.inc(lanes, result="miss")
+        if front_misses:
+            # entries that consulted the front cache at admission and
+            # missed (hits resolve inline in submit; wide entries with
+            # count > 1 never consult the front tier, so they are not
+            # counted — the worker-tier cache accounts for them)
+            _CACHE_TOTAL.inc(front_misses, result="miss")
         _QUEUE_DEPTH.set(pending)
 
 
@@ -191,22 +214,51 @@ class CompletionFuture:
     (:meth:`_finish`), so one ``notify_all`` settles a whole batch.
     """
 
-    __slots__ = ("_cond", "_value", "_exc", "_done")
+    __slots__ = ("_cond", "_value", "_exc", "_done", "_callbacks")
 
     def __init__(self, cond: threading.Condition) -> None:
         self._cond = cond
         self._value: Response | None = None
         self._exc: BaseException | None = None
         self._done = False
+        self._callbacks: list | None = None
 
     def done(self) -> bool:
         return self._done
+
+    def add_done_callback(self, fn) -> None:
+        """Run ``fn(self)`` once resolved — immediately if already done.
+
+        The bridge the asyncio front end needs: instead of parking a
+        waiter thread per in-flight frame, the connection handler hangs
+        a ``loop.call_soon_threadsafe`` trampoline here and the batch
+        that resolves the future pokes the event loop.  Callbacks run on
+        the *resolving* thread (dispatcher / sweep executor) with the
+        service condition held, so they must be fast and non-blocking;
+        exceptions are swallowed — a callback must never be able to kill
+        the batch that happened to resolve it.
+        """
+        with self._cond:
+            if not self._done:
+                if self._callbacks is None:
+                    self._callbacks = []
+                self._callbacks.append(fn)
+                return
+        fn(self)
 
     def _finish(self, value: Response | None, exc: BaseException | None) -> None:
         """Resolve; the caller must hold the shared condition."""
         self._value = value
         self._exc = exc
         self._done = True
+        callbacks = self._callbacks
+        if callbacks is not None:
+            self._callbacks = None
+            for fn in callbacks:
+                try:
+                    fn(self)
+                except Exception:  # noqa: BLE001 - see add_done_callback
+                    pass
 
     def result(self, timeout: float | None = None) -> Response:
         # ``_done`` is written under the condition but read here without
@@ -335,6 +387,10 @@ class PermutationService:
             self._closed = True
             self._cond.notify_all()
         self._dispatcher.join()
+        # pooled tiers run batches on executor threads: wait for every
+        # in-flight sweep to settle its futures before declaring the
+        # leftovers dead and closing telemetry
+        self._drain_executors()
         self._fail_pending(ServiceShutdownError("service closed before execution"))
         if self._telemetry is not None:
             # dispatcher is down, so no new records: drain and stop
@@ -379,7 +435,7 @@ class PermutationService:
         validate_request(request, self.config.max_n)
         metrics_on = _metrics.REGISTRY.enabled
         t_submit = time.perf_counter()
-        run_inline: Batch | None = None
+        run_inline: list[Batch] = []
         with self._cond:
             if self._closed:
                 raise ServiceShutdownError("service is closed")
@@ -430,11 +486,19 @@ class PermutationService:
                 # ladder has stepped down to cache-only: hits (above)
                 # still serve, everything else is shed with a typed
                 # signal the client can distinguish from overload.
+                # Pooled tiers also raise ServiceOverloadedError here
+                # when the shard's worker queue is saturated — counted
+                # as a shed, exactly like the batcher-depth shed below.
                 self._degrade_gate(workload, key)
             except ServiceDegradedError:
                 self._degraded_shed += 1
                 if metrics_on:
                     _REQUESTS.inc(workload=workload, outcome="degraded")
+                raise
+            except ServiceOverloadedError:
+                self._shed += 1
+                if metrics_on:
+                    _REQUESTS.inc(workload=workload, outcome="shed")
                 raise
             depth = self._batcher.pending
             if depth >= self.config.max_queue_depth:
@@ -453,15 +517,124 @@ class PermutationService:
             )
             was_empty = self._batcher.pending == 0
             run_inline = self._batcher.add(key, entry, entry.enqueued_at)
-            if run_inline is None and was_empty:
+            if not run_inline and was_empty:
                 # The dispatcher only needs waking when it had nothing
                 # to wait for: any later-opened group's deadline is by
                 # construction later than the one it is already armed
                 # on, so per-request notifies would be pure wakeup
                 # overhead on the hot path.
                 self._cond.notify_all()
-        if run_inline is not None:
-            self._execute(run_inline)
+        for batch in run_inline:
+            self._execute(batch)
+        return future
+
+    def submit_wide(
+        self,
+        workload: str,
+        n: int,
+        count: int,
+        indices=None,
+    ) -> CompletionFuture:
+        """Admit one *wide* request: ``count`` lanes behind one future.
+
+        The network front end's amortisation primitive — one socket
+        frame carrying ``count`` indices becomes a single batcher entry
+        occupying ``count`` sweep lanes, so the per-request admission
+        cost (validation, locking, future allocation) is paid once per
+        frame instead of once per lane.  The future resolves to a
+        :class:`~repro.serve.model.WideResponse` whose ``permutations``
+        is a ``(count, n)`` array.  Raises exactly the same taxonomy as
+        :meth:`submit`.  A ``count == 1`` deterministic request checks
+        the front result cache like ``submit`` does; wider requests skip
+        the front tier (the pooled path's worker-side caches handle
+        them) so front hit/miss accounting never double-counts.
+        """
+        validate_wide(
+            workload, n, count, indices, self.config.max_n, self.config.max_batch
+        )
+        metrics_on = _metrics.REGISTRY.enabled
+        t_submit = time.perf_counter()
+        run_inline: list[Batch] = []
+        with self._cond:
+            if self._closed:
+                raise ServiceShutdownError("service is closed")
+            request_id = self._next_request_id
+            self._next_request_id += 1
+            key = ("shuffle", n) if workload == "shuffle" else ("converter", n)
+            idx: tuple[int, ...] | None
+            if workload == "unrank":
+                idx = tuple(int(i) for i in indices)
+            elif workload == "random_perm":
+                idx = tuple(self._draw_index(n) for _ in range(count))
+            else:
+                idx = None
+            future = CompletionFuture(self._cond)
+            if count == 1 and workload != "shuffle":
+                cached = self._cache.get(("unrank", n, idx[0]))
+                if cached is not None:
+                    if metrics_on:
+                        _CACHE_TOTAL.inc(result="hit")
+                        _REQUESTS.inc(workload=workload, outcome="ok")
+                    total = time.perf_counter() - t_submit
+                    future._finish(
+                        WideResponse(
+                            request_id=request_id,
+                            workload=workload,
+                            n=n,
+                            count=1,
+                            indices=idx,
+                            permutations=np.asarray([cached], dtype=np.int64),
+                            batch_id=None,
+                            lanes=0,
+                            cached=True,
+                            queued_s=0.0,
+                            sweep_s=0.0,
+                            total_s=total,
+                            mode="cached",
+                        ),
+                        None,
+                    )
+                    if metrics_on:
+                        _MODE_TOTAL.inc(mode="cached")
+                        _LATENCY_DIGEST.observe(total, workload=workload, mode="cached")
+                    return future
+            try:
+                self._degrade_gate(workload, key)
+            except ServiceDegradedError:
+                self._degraded_shed += 1
+                if metrics_on:
+                    _REQUESTS.inc(workload=workload, outcome="degraded")
+                raise
+            except ServiceOverloadedError:
+                self._shed += 1
+                if metrics_on:
+                    _REQUESTS.inc(workload=workload, outcome="shed")
+                raise
+            depth = self._batcher.pending
+            # a lone wide entry always admits (liveness even when count
+            # exceeds the depth limit); with company, shed on projected
+            # lane depth so wide traffic respects the same bound
+            if depth > 0 and depth + count > self.config.max_queue_depth:
+                self._shed += 1
+                if metrics_on:
+                    _REQUESTS.inc(workload=workload, outcome="shed")
+                raise ServiceOverloadedError(
+                    f"queue depth {depth}+{count} over limit; request shed",
+                    queue_depth=depth,
+                    limit=self.config.max_queue_depth,
+                )
+            entry = PendingEntry(
+                request=_AdmittedWide(request_id, workload, n, count, idx, t_submit),
+                future=future,
+                enqueued_at=_monotonic(),
+                lanes=count,
+            )
+            was_empty = self._batcher.pending == 0
+            run_inline = self._batcher.add(key, entry, entry.enqueued_at)
+            if not run_inline and was_empty:
+                self._cond.notify_all()
+        for batch in run_inline:
+            self._execute(batch)
         return future
 
     def convert(self, request: Request, timeout: float | None = 10.0) -> Response:
@@ -518,7 +691,18 @@ class PermutationService:
         served by its in-process engine — so this is a no-op.  The
         supervised tier overrides it to raise
         :class:`~repro.errors.ServiceDegradedError` for shards pinned in
-        cache-only mode.
+        cache-only mode; the pooled tier additionally raises
+        :class:`~repro.errors.ServiceOverloadedError` when the shard's
+        worker queue is saturated (per-shard backpressure).
+        """
+
+    def _drain_executors(self) -> None:
+        """Shutdown hook: wait for out-of-band batch executors.
+
+        The base service executes batches on the submitting thread or
+        the dispatcher, both already settled by the time ``close()``
+        reaches this point — no-op.  The pooled tier overrides it to
+        join its sweep-executor thread pool.
         """
 
     def _run_sweep(self, batch: Batch, kind: str, n: int, span: Span | None = None):
@@ -542,7 +726,7 @@ class PermutationService:
         with self._engine_lock(batch.key):
             if kind == "shuffle":
                 return engine.run(batch.lanes), "direct"
-            return engine.run([e.request.index for e in batch.entries]), "direct"
+            return engine.run(batch_indices(batch)), "direct"
 
     def _run_dispatcher(self) -> None:
         """Deadline loop: flush groups whose batching window expired.
@@ -620,6 +804,7 @@ class PermutationService:
         sweep_s = time.perf_counter() - exec_start
         done = time.perf_counter()
         responses = []
+        front_misses = 0
         if metrics_on:
             # Per-entry telemetry is two list appends; everything else —
             # label resolution, histogram/digest folds, counter incs —
@@ -629,30 +814,53 @@ class PermutationService:
             # (see bench_serving's overhead assertion).
             queued_vals: list[float] = []
             workload_totals: dict[str, list[float]] = {}
-        for lane, e in enumerate(batch.entries):
+        off = 0  # first sweep lane of the current entry
+        for e in batch.entries:
             adm = e.request
-            perm = tuple(int(v) for v in perms[lane])
             queued = max(0.0, exec_start - adm.submitted_at)
             total = done - adm.submitted_at
-            responses.append(
-                (
-                    e.future,
-                    Response(
-                        request_id=adm.request_id,
-                        workload=adm.workload,
-                        n=adm.n,
-                        index=adm.index,
-                        permutation=perm,
-                        batch_id=batch.batch_id,
-                        lanes=batch.lanes,
-                        cached=False,
-                        queued_s=queued,
-                        sweep_s=sweep_s,
-                        total_s=total,
-                        mode=mode,
-                    ),
+            if type(adm) is _Admitted:
+                perm = tuple(int(v) for v in perms[off])
+                off += 1
+                resp = Response(
+                    request_id=adm.request_id,
+                    workload=adm.workload,
+                    n=adm.n,
+                    index=adm.index,
+                    permutation=perm,
+                    batch_id=batch.batch_id,
+                    lanes=batch.lanes,
+                    cached=False,
+                    queued_s=queued,
+                    sweep_s=sweep_s,
+                    total_s=total,
+                    mode=mode,
                 )
-            )
+                if kind == "converter":
+                    front_misses += 1
+            else:
+                # wide entry: its rows stay an ndarray slice — the
+                # socket encoder packs them straight into wire bytes
+                rows = perms[off : off + adm.count]
+                off += adm.count
+                resp = WideResponse(
+                    request_id=adm.request_id,
+                    workload=adm.workload,
+                    n=adm.n,
+                    count=adm.count,
+                    indices=adm.indices,
+                    permutations=rows,
+                    batch_id=batch.batch_id,
+                    lanes=batch.lanes,
+                    cached=False,
+                    queued_s=queued,
+                    sweep_s=sweep_s,
+                    total_s=total,
+                    mode=mode,
+                )
+                if kind == "converter" and adm.count == 1:
+                    front_misses += 1
+            responses.append((e.future, resp))
             if metrics_on:
                 queued_vals.append(queued)
                 wt = workload_totals.get(adm.workload)
@@ -680,9 +888,10 @@ class PermutationService:
                 self._telemetry = _TelemetryFlusher()
             self._telemetry.put(
                 (
+                    batch.lanes,
                     len(batch.entries),
+                    front_misses,
                     mode,
-                    kind,
                     sweep_s,
                     queued_vals,
                     workload_totals,
@@ -692,7 +901,17 @@ class PermutationService:
         with self._cond:
             if kind == "converter":
                 for _, resp in responses:
-                    self._cache.put(("unrank", resp.n, resp.index), resp.permutation)
+                    if type(resp) is Response:
+                        self._cache.put(
+                            ("unrank", resp.n, resp.index), resp.permutation
+                        )
+                    elif resp.count == 1:
+                        # symmetric with the count==1 get in submit_wide;
+                        # wider entries stay out of the front tier
+                        self._cache.put(
+                            ("unrank", resp.n, resp.indices[0]),
+                            tuple(int(v) for v in resp.permutations[0]),
+                        )
             self._completed += len(responses)
             for future, resp in responses:
                 future._finish(resp, None)
@@ -714,6 +933,34 @@ class _Admitted:
     n: int
     index: int | None
     submitted_at: float
+
+    def lane_indices(self) -> tuple:
+        return (self.index,)
+
+
+@dataclass(frozen=True)
+class _AdmittedWide:
+    """An admitted wide request: ``count`` lanes, one future."""
+
+    request_id: int
+    workload: str
+    n: int
+    count: int
+    indices: tuple[int, ...] | None
+    submitted_at: float
+
+    def lane_indices(self) -> tuple:
+        return self.indices  # type: ignore[return-value]
+
+
+def batch_indices(batch: Batch) -> list[int]:
+    """Flatten a converter batch's entries into per-lane indices.
+
+    Single entries contribute one index, wide entries ``count`` — the
+    flat list lines up with the sweep's lane order, which is how
+    ``_execute`` slices the result rows back out.
+    """
+    return [i for e in batch.entries for i in e.request.lane_indices()]
 
 
 # ---------------------------------------------------------------------- #

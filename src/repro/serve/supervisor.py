@@ -82,7 +82,7 @@ from repro.obs import metrics as _metrics
 from repro.obs.tracing import Span, Tracer
 from repro.robustness.checkers import check_served_batch
 from repro.serve.engine import ConverterEngine, ShuffleEngine
-from repro.serve.service import PermutationService, ServiceConfig
+from repro.serve.service import PermutationService, ServiceConfig, batch_indices
 
 __all__ = [
     "BREAKER_STATES",
@@ -988,11 +988,7 @@ class SupervisedService(PermutationService):
             )
 
     def _run_sweep(self, batch, kind: str, n: int, span: Span | None = None):
-        payload = (
-            batch.lanes
-            if kind == "shuffle"
-            else [e.request.index for e in batch.entries]
-        )
+        payload = batch.lanes if kind == "shuffle" else batch_indices(batch)
         return self.supervisor.execute(batch.key, payload, span)
 
     # ------------------------------------------------------------------ #

@@ -1,0 +1,173 @@
+"""NetServer + ServeConnection: the repro-serve/1 socket front end."""
+
+import socket
+import struct
+
+import pytest
+
+from repro.core.converter import IndexToPermutationConverter
+from repro.errors import ServiceOverloadedError
+from repro.serve import (
+    NetServer,
+    PermutationService,
+    ServeConnection,
+    ServiceConfig,
+)
+
+
+@pytest.fixture()
+def served():
+    """A live socket front end over an in-process service."""
+    config = ServiceConfig(batch_deadline_s=0.001)
+    with PermutationService(config) as svc:
+        with NetServer(svc) as server:
+            yield svc, server
+
+
+def connect(server: NetServer) -> ServeConnection:
+    host, port = server.address
+    return ServeConnection(host, port, timeout=10.0)
+
+
+class TestEndToEnd:
+    def test_unrank_round_trip_is_correct(self, served):
+        _, server = served
+        conv = IndexToPermutationConverter(6)
+        with connect(server) as conn:
+            resp = conn.request("unrank", 6, count=3, indices=[0, 41, 719])
+        assert resp.ok and resp.count == 3
+        assert resp.indices == (0, 41, 719)
+        for row, idx in zip(resp.permutations, resp.indices):
+            assert tuple(row) == conv.convert(idx)
+
+    def test_random_perm_echoes_drawn_indices(self, served):
+        _, server = served
+        conv = IndexToPermutationConverter(7)
+        with connect(server) as conn:
+            resp = conn.request("random_perm", 7, count=4)
+        assert resp.ok and len(resp.indices) == 4
+        for row, idx in zip(resp.permutations, resp.indices):
+            assert tuple(row) == conv.convert(idx)
+
+    def test_shuffle_rows_are_permutations(self, served):
+        _, server = served
+        with connect(server) as conn:
+            resp = conn.request("shuffle", 8, count=5)
+        assert resp.ok and resp.indices is None
+        for row in resp.permutations:
+            assert sorted(row) == list(range(8))
+
+    def test_pipelined_frames_correlate_by_request_id(self, served):
+        _, server = served
+        conv = IndexToPermutationConverter(5)
+        with connect(server) as conn:
+            ids = [conn.send("unrank", 5, count=1, indices=[i]) for i in range(6)]
+            by_id = {}
+            for _ in ids:
+                resp = conn.recv()
+                by_id[resp.request_id] = resp
+        assert sorted(by_id) == sorted(ids)
+        for rid, idx in zip(ids, range(6)):
+            assert tuple(by_id[rid].permutations[0]) == conv.convert(idx)
+
+    def test_two_connections_share_one_server(self, served):
+        _, server = served
+        with connect(server) as a, connect(server) as b:
+            ra = a.request("unrank", 5, count=1, indices=[7])
+            rb = b.request("unrank", 5, count=1, indices=[8])
+        assert ra.ok and rb.ok
+        assert server.stats()["connections"] == 2
+
+
+class TestSemanticErrors:
+    def test_zero_count_answers_invalid_and_keeps_the_connection(self, served):
+        _, server = served
+        with connect(server) as conn:
+            resp = conn.request("shuffle", 5, count=0)
+            assert resp.status == "invalid" and "count" in resp.message
+            # the stream is still frame-aligned: the next request works
+            again = conn.request("shuffle", 5, count=1)
+            assert again.ok
+
+    def test_out_of_range_index_answers_invalid(self, served):
+        _, server = served
+        with connect(server) as conn:
+            resp = conn.request("unrank", 4, count=1, indices=[24])
+            assert resp.status == "invalid"
+            assert conn.request("unrank", 4, count=1, indices=[23]).ok
+
+    def test_overload_surfaces_as_overloaded_status(self, served):
+        svc, server = served
+
+        def shed(*args, **kwargs):
+            raise ServiceOverloadedError(3, 3)
+
+        original = svc.submit_wide
+        svc.submit_wide = shed
+        try:
+            with connect(server) as conn:
+                resp = conn.request("shuffle", 5, count=1)
+                assert resp.status == "overloaded"
+                assert not resp.ok
+        finally:
+            svc.submit_wide = original
+
+
+class TestFramingErrors:
+    def test_oversized_frame_gets_error_frame_then_close(self, served):
+        _, server = served
+        host, port = server.address
+        with socket.create_connection((host, port), timeout=10.0) as raw:
+            raw.sendall(struct.pack("!I", 1 << 24))  # 16 MiB: over the cap
+            blob = b""
+            while True:
+                chunk = raw.recv(1 << 16)
+                if not chunk:
+                    break  # server closed after the ERROR frame
+                blob += chunk
+        from repro.serve.net.protocol import FrameDecoder, decode_response
+
+        (body,) = FrameDecoder().feed(blob)
+        resp = decode_response(body)
+        assert resp.status == "error" and "ProtocolError" in resp.message
+        assert server.stats()["protocol_errors"] == 1
+
+    def test_garbage_header_closes_the_connection(self, served):
+        _, server = served
+        host, port = server.address
+        # a plausible length prefix followed by an invalid request body
+        body = b"\xff" * 16
+        with socket.create_connection((host, port), timeout=10.0) as raw:
+            raw.sendall(struct.pack("!I", len(body)) + body)
+            blob = b""
+            while True:
+                chunk = raw.recv(1 << 16)
+                if not chunk:
+                    break
+                blob += chunk
+        from repro.serve.net.protocol import FrameDecoder, decode_response
+
+        (frame,) = FrameDecoder().feed(blob)
+        assert decode_response(frame).status == "error"
+
+    def test_half_a_frame_then_disconnect_is_harmless(self, served):
+        _, server = served
+        host, port = server.address
+        with socket.create_connection((host, port), timeout=10.0) as raw:
+            raw.sendall(struct.pack("!I", 100) + b"\x01" * 10)
+        # the server just drops the partial state; a new connection works
+        with connect(server) as conn:
+            assert conn.request("shuffle", 5, count=1).ok
+
+
+class TestLifecycle:
+    def test_close_is_idempotent(self):
+        with PermutationService(ServiceConfig(batch_deadline_s=0.001)) as svc:
+            server = NetServer(svc).start()
+            server.close()
+            server.close()
+
+    def test_port_zero_binds_an_ephemeral_port(self, served):
+        _, server = served
+        host, port = server.address
+        assert host == "127.0.0.1" and port > 0

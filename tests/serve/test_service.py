@@ -246,7 +246,7 @@ class TestLoadGenerator:
         with make_service() as svc:
             report = run_closed_loop(svc, 6, total=40, clients=4, seed=7)
         assert report.completed == 40
-        assert len(report.latencies_s) == 40
+        assert report.latency_digest.count == 40
         assert sum(report.by_workload.values()) == 40
         pct = report.latency_percentiles()
         assert 0 <= pct["p50"] <= pct["p90"] <= pct["p99"] <= pct["max"]

@@ -275,7 +275,10 @@ class TestObservability:
             with make_supervised(script={0: "crash", 1: "corrupt"}) as svc:
                 for idx in (1, 2, 3):
                     svc.convert(Request("unrank", 5, idx))
-                text = REGISTRY.render_exposition()
+            # render only after close: the telemetry flusher folds batch
+            # records asynchronously, and close() is the drain barrier —
+            # rendering inside the block races the last batch's record
+            text = REGISTRY.render_exposition()
         finally:
             REGISTRY.disable()
             REGISTRY.reset()
