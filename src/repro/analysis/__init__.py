@@ -10,7 +10,12 @@
   (O(n²) comparators/crossovers, O(n) delay) checked against real
   netlists, with least-squares exponents;
 * :mod:`repro.analysis.faultcoverage` — confidence intervals and sample
-  sizing for the sampled fault-injection campaigns.
+  sizing for the sampled fault-injection campaigns;
+* :mod:`repro.analysis.special` — the chi-square/normal tail functions
+  (regularised incomplete gamma), stdlib-only — no scipy;
+* :mod:`repro.analysis.stream` — population-scale streaming validation:
+  mergeable accumulators over lazily-streamed engine output, sharded
+  campaigns with checkpoint/resume (:mod:`repro.analysis.checkpoint`).
 """
 
 from repro.analysis.derangements import (
@@ -20,12 +25,27 @@ from repro.analysis.derangements import (
     derangement_experiment,
     estimate_e,
 )
+from repro.analysis.special import (
+    chi2_survival,
+    normal_survival,
+    regularized_gamma_p,
+    regularized_gamma_q,
+)
 from repro.analysis.uniformity import (
     chi_square_uniform,
     total_variation_from_uniform,
     empirical_entropy_bits,
+    entropy_deficit_bits,
+    rank_bucket_counts,
+    bucket_null_probabilities,
     UniformityReport,
     uniformity_report,
+)
+from repro.analysis.stream import (
+    CampaignConfig,
+    CampaignResult,
+    PopulationStats,
+    run_population_campaign,
 )
 from repro.analysis.distribution import (
     permutation_histogram,
@@ -61,11 +81,22 @@ __all__ = [
     "DerangementResult",
     "derangement_experiment",
     "estimate_e",
+    "chi2_survival",
+    "normal_survival",
+    "regularized_gamma_p",
+    "regularized_gamma_q",
     "chi_square_uniform",
     "total_variation_from_uniform",
     "empirical_entropy_bits",
+    "entropy_deficit_bits",
+    "rank_bucket_counts",
+    "bucket_null_probabilities",
     "UniformityReport",
     "uniformity_report",
+    "CampaignConfig",
+    "CampaignResult",
+    "PopulationStats",
+    "run_population_campaign",
     "permutation_histogram",
     "packed_histogram",
     "fig4_experiment",

@@ -1,0 +1,134 @@
+"""Versioned checkpoint / report files for streaming campaigns.
+
+Schema ``repro-analysis/1``, two document kinds:
+
+* ``kind="checkpoint"`` — a campaign in flight: the config (and its
+  fingerprint), the shard decomposition, the completed block ranges and
+  the merged pure-integer accumulator state.  Written atomically after
+  every round by :func:`repro.analysis.stream.run_population_campaign`,
+  so a killed campaign resumes losing at most one round and reproduces
+  the uninterrupted result bit for bit.
+* ``kind="report"`` — a finished campaign's summary + verdict document
+  (:meth:`repro.analysis.stream.CampaignResult.payload`), the artifact
+  CI validates and archives.
+
+Malformed files raise :class:`repro.errors.CheckpointError`; a
+well-formed checkpoint for a *different* campaign raises
+:class:`repro.errors.CheckpointMismatchError` at resume time (that check
+lives with the fingerprint comparison in ``stream``).  Writes go through
+``tmp + os.replace`` so a crash mid-write leaves the previous checkpoint
+intact — a torn checkpoint would silently drop completed rounds.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+from repro.errors import CheckpointError
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "checkpoint_payload",
+    "validate_payload",
+    "save_checkpoint",
+    "load_checkpoint",
+]
+
+SCHEMA_VERSION = "repro-analysis/1"
+
+_CHECKPOINT_KEYS = ("version", "kind", "fingerprint", "config", "shards", "completed", "state")
+_REPORT_KEYS = ("version", "kind", "fingerprint", "config", "summary", "verdict", "runtime")
+
+
+def checkpoint_payload(
+    cfg: Any,
+    state: Mapping[str, Any] | None,
+    completed: Sequence[tuple[int, int]],
+    shards: int,
+) -> dict:
+    """Assemble a ``kind="checkpoint"`` document for one campaign."""
+    return {
+        "version": SCHEMA_VERSION,
+        "kind": "checkpoint",
+        "fingerprint": cfg.fingerprint(),
+        "config": cfg.to_dict(),
+        "shards": int(shards),
+        "completed": [[int(a), int(b)] for a, b in completed],
+        "state": dict(state) if state is not None else None,
+    }
+
+
+def validate_payload(payload: Any, kind: str | None = None, path: str | None = None) -> dict:
+    """Schema-check a ``repro-analysis/1`` document; return it.
+
+    ``kind`` optionally pins the expected document kind.  Raises
+    :class:`~repro.errors.CheckpointError` with the offending path on
+    any violation — version, kind, missing keys, or mis-typed ranges.
+    """
+
+    def fail(msg: str) -> CheckpointError:
+        where = f" in {path}" if path else ""
+        return CheckpointError(f"invalid repro-analysis document{where}: {msg}", path=path)
+
+    if not isinstance(payload, dict):
+        raise fail(f"expected an object, got {type(payload).__name__}")
+    if payload.get("version") != SCHEMA_VERSION:
+        raise fail(f"version {payload.get('version')!r}, expected {SCHEMA_VERSION!r}")
+    doc_kind = payload.get("kind")
+    if doc_kind not in ("checkpoint", "report"):
+        raise fail(f"unknown kind {doc_kind!r}")
+    if kind is not None and doc_kind != kind:
+        raise fail(f"kind {doc_kind!r}, expected {kind!r}")
+    required = _CHECKPOINT_KEYS if doc_kind == "checkpoint" else _REPORT_KEYS
+    missing = [key for key in required if key not in payload]
+    if missing:
+        raise fail(f"missing keys {missing}")
+    if not isinstance(payload["fingerprint"], str) or not payload["fingerprint"]:
+        raise fail("fingerprint must be a non-empty string")
+    if not isinstance(payload["config"], dict):
+        raise fail("config must be an object")
+    if doc_kind == "checkpoint":
+        if not isinstance(payload["shards"], int) or payload["shards"] < 1:
+            raise fail("shards must be a positive integer")
+        ranges = payload["completed"]
+        if not isinstance(ranges, list) or any(
+            not isinstance(r, list)
+            or len(r) != 2
+            or not all(isinstance(x, int) for x in r)
+            or r[0] >= r[1]
+            for r in ranges
+        ):
+            raise fail("completed must be a list of [start, stop) integer pairs")
+        state = payload["state"]
+        if state is not None and (
+            not isinstance(state, dict) or "accumulators" not in state
+        ):
+            raise fail("state must be null or an accumulator state object")
+    return payload
+
+
+def save_checkpoint(path: str | os.PathLike, payload: Mapping[str, Any]) -> None:
+    """Atomically write a validated document: tmp file + ``os.replace``."""
+    doc = validate_payload(dict(payload))
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    tmp = target.with_name(target.name + ".tmp")
+    tmp.write_text(json.dumps(doc, sort_keys=True))
+    os.replace(tmp, target)
+
+
+def load_checkpoint(path: str | os.PathLike, kind: str = "checkpoint") -> dict:
+    """Read + schema-check a document; typed errors for every failure."""
+    p = Path(path)
+    try:
+        raw = p.read_text()
+    except OSError as exc:
+        raise CheckpointError(f"cannot read checkpoint {p}: {exc}", path=str(p)) from exc
+    try:
+        payload = json.loads(raw)
+    except ValueError as exc:
+        raise CheckpointError(f"checkpoint {p} is not valid JSON: {exc}", path=str(p)) from exc
+    return validate_payload(payload, kind=kind, path=str(p))

@@ -23,9 +23,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.analysis.uniformity import chi_square_uniform
-from repro.core.factorial import factorial
-from repro.core.lehmer import rank_batch
+from repro.analysis.uniformity import DEFAULT_BUCKETS, uniformity_report
 from repro.rng.lfsr import LFSRBase
 
 __all__ = [
@@ -99,12 +97,16 @@ def serial_correlation(words: np.ndarray, lag: int = 1) -> TestResult:
     return TestResult(f"serial_lag{lag}", z, p)
 
 
-def permutation_chi2(perms: np.ndarray) -> TestResult:
-    """The Fig.-4 uniformity test generalised: chi-square over n! cells."""
-    p = np.asarray(perms)
-    counts = np.bincount(rank_batch(p), minlength=factorial(p.shape[1]))
-    chi2, pv = chi_square_uniform(counts)
-    return TestResult("permutation_chi2", chi2, pv)
+def permutation_chi2(perms: np.ndarray, *, buckets: int = DEFAULT_BUCKETS) -> TestResult:
+    """The Fig.-4 uniformity test generalised to any n.
+
+    Small n uses one chi-square cell per rank; past the dense-cell
+    budget the sample is routed through residue rank buckets (see
+    :func:`repro.analysis.uniformity.uniformity_report`) instead of
+    allocating n! cells — ``buckets`` caps the bucketed cell count.
+    """
+    rep = uniformity_report(np.asarray(perms), buckets=buckets)
+    return TestResult("permutation_chi2", rep.chi2, rep.p_value)
 
 
 def battery(

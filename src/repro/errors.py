@@ -55,6 +55,9 @@ __all__ = [
     "WorkerStalledError",
     "InvalidRequestError",
     "ProtocolError",
+    "CellBudgetError",
+    "CheckpointError",
+    "CheckpointMismatchError",
     "ServiceOverloadedError",
     "ServiceOverloaded",
     "ServiceDegradedError",
@@ -183,6 +186,47 @@ class ProtocolError(ReproError, ValueError):
     longer be trusted to be frame-aligned — while *semantic* mistakes in
     a well-formed frame (bad ``n``, index out of range, zero count) stay
     :class:`InvalidRequestError` and leave the connection open.
+    """
+
+
+class CellBudgetError(ReproError, ValueError):
+    """A dense histogram was requested past the analysis cell budget.
+
+    Raised instead of allocating ``n!`` chi-square cells when the exact
+    method is forced for an ``n`` whose factorial exceeds
+    ``MAX_EXACT_CELLS`` (:mod:`repro.analysis.uniformity`).  The caller
+    should switch to the bucketed method (the default ``method="auto"``
+    does so on its own).  ``cells`` carries the refused allocation and
+    ``budget`` the limit.
+    """
+
+    def __init__(self, message: str, cells: int | None = None, budget: int | None = None):
+        super().__init__(message)
+        self.cells = cells
+        self.budget = budget
+
+
+class CheckpointError(ReproError):
+    """A campaign checkpoint file could not be read or is malformed.
+
+    Covers unreadable files, JSON that fails to parse, and payloads that
+    do not validate against the ``repro-analysis/1`` schema.  ``path``
+    names the offending file when known.
+    """
+
+    def __init__(self, message: str, path: str | None = None):
+        super().__init__(message)
+        self.path = path
+
+
+class CheckpointMismatchError(CheckpointError):
+    """A well-formed checkpoint that belongs to a *different* campaign.
+
+    Resuming from a checkpoint whose configuration fingerprint disagrees
+    with the requested campaign would silently merge statistics from two
+    different populations — the exact corruption class the fingerprint
+    exists to stop, so it is refused with its own type rather than a
+    generic error.
     """
 
 

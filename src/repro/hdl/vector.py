@@ -59,6 +59,7 @@ from repro.hdl.simulator import (
     _observe_sweep,
     bits_from_ints,
     ints_from_bits,
+    packed_bit_columns,
 )
 from repro.obs import metrics as _metrics
 
@@ -240,14 +241,7 @@ def vec_from_ints(
         hi = int(arr.max())
         if hi.bit_length() > width:
             raise ValueError(f"value {hi} does not fit in {width} bits")
-        nb = (width + 7) // 8
-        size = next(s for s in (1, 2, 4, 8) if s >= nb)
-        u = arr.astype(f"<u{size}")
-        mat = u.view(np.uint8).reshape(n_vals, size)[:, :nb]
-        bits = np.unpackbits(
-            np.ascontiguousarray(mat.T), axis=0, bitorder="little"
-        )[:width]
-        cols = np.packbits(bits, axis=1, bitorder="little")
+        cols = packed_bit_columns(arr, width)
         buf = np.zeros((width, words * 8), dtype=np.uint8)
         buf[:, : cols.shape[1]] = cols
         rows = buf.view(_WORD_LE).astype(np.uint64, copy=False)

@@ -212,6 +212,68 @@ class FibonacciLFSR(LFSRBase):
         fb = _parity(state & self.tap_mask)
         return ((state << 1) & self.full_mask) | fb
 
+    def words(self, count: int) -> np.ndarray:
+        """Vectorised batch generation, bit-exact with the scalar loop.
+
+        The register is a sliding window over the m-sequence bit stream
+        ``b``: state_t bit j is ``b[m−1+t−j]``, and the feedback shifted
+        in at step t satisfies the order-m linear recurrence
+
+            b[k] = XOR over tap positions p of b[k − p]
+
+        (tap position p taps register bit p−1, one extra clock of
+        latency).  So instead of clocking the register ``count`` times
+        in Python, generate the bit stream in NumPy chunks of the
+        smallest tap lag — every value a chunk reads is already final —
+        then rebuild the ``count`` state words as m shifted slices.
+        Population-scale consumers (:mod:`repro.analysis.stream`) draw
+        millions of words; the scalar loop was their bottleneck, not
+        the gate-level engines.
+        """
+        if count <= 0 or self.width > 64:
+            return super().words(count)
+        m = self.width
+        lags = sorted(self.taps)
+        total = m + count
+        bits = np.empty(total, dtype=np.uint8)
+        state = self.state
+        for i in range(m):  # bits[i] = state bit (m−1−i): oldest first
+            bits[i] = (state >> (m - 1 - i)) & 1
+        if lags[0] == 1:
+            # a lag-1 term makes b[k] depend on b[k−1]; fold it out with
+            # a running-XOR prefix and chunk on the next-smallest lag
+            rest = lags[1:]
+            chunk = rest[0]
+            k = m
+            while k < total:
+                end = min(k + chunk, total)
+                seg = bits[k - rest[0] : end - rest[0]].copy()
+                for lag in rest[1:]:
+                    seg ^= bits[k - lag : end - lag]
+                np.bitwise_xor.accumulate(seg, out=seg)
+                seg ^= bits[k - 1]
+                bits[k:end] = seg
+                k = end
+        else:
+            chunk = lags[0]
+            k = m
+            while k < total:
+                end = min(k + chunk, total)
+                seg = bits[k - lags[0] : end - lags[0]].copy()
+                for lag in lags[1:]:
+                    seg ^= bits[k - lag : end - lag]
+                bits[k:end] = seg
+                k = end
+        states = np.zeros(count, dtype=np.uint64)
+        for j in range(m):  # state_t bit j = bits[(m−1−j) + t], t = 1..count
+            states |= bits[m - j : m - j + count].astype(np.uint64) << np.uint64(j)
+        self.state = int(states[-1])
+        if m <= 8:
+            return states.astype(np.uint8)
+        if m <= 32:
+            return states.astype(np.uint32)
+        return states
+
 
 class GaloisLFSR(LFSRBase):
     """One-to-many LFSR: the bit shifted out is XORed into the taps.

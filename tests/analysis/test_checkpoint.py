@@ -1,0 +1,97 @@
+"""Checkpoint schema and durability tests."""
+
+import json
+import os
+
+import pytest
+
+from repro.analysis.checkpoint import (
+    SCHEMA_VERSION,
+    checkpoint_payload,
+    load_checkpoint,
+    save_checkpoint,
+    validate_payload,
+)
+from repro.analysis.stream import CampaignConfig, PopulationStats
+from repro.errors import CheckpointError
+
+
+@pytest.fixture
+def payload():
+    cfg = CampaignConfig(n=5, samples=4096, engine="compiled").validated()
+    state = PopulationStats.fresh(cfg).state_dict()
+    return checkpoint_payload(cfg, state, [(0, 1)], 2)
+
+
+class TestSchema:
+    def test_payload_shape(self, payload):
+        assert payload["version"] == SCHEMA_VERSION
+        assert payload["kind"] == "checkpoint"
+        assert payload["shards"] == 2
+        assert payload["completed"] == [[0, 1]]
+        validate_payload(payload)  # does not raise
+
+    def test_json_round_trippable(self, payload):
+        assert json.loads(json.dumps(payload)) == payload
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda p: p.pop("fingerprint"),
+            lambda p: p.update(version="repro-analysis/0"),
+            lambda p: p.update(kind="snapshot"),
+            lambda p: p.update(shards=0),
+            lambda p: p.update(completed=[[3, 3]]),  # empty range
+            lambda p: p.update(completed=[[0]]),  # not a pair
+            lambda p: p.update(fingerprint=""),
+            lambda p: p.update(state={"no_accumulators": True}),
+        ],
+    )
+    def test_violations_are_typed(self, payload, mutate):
+        mutate(payload)
+        with pytest.raises(CheckpointError):
+            validate_payload(payload)
+
+    def test_report_kind_accepted(self, payload):
+        payload["kind"] = "report"
+        for key in ("summary", "verdict", "runtime"):
+            payload[key] = {}
+        with pytest.raises(CheckpointError):
+            validate_payload(payload, kind="checkpoint")  # wrong expectation
+        validate_payload(payload, kind="report")
+
+
+class TestDurability:
+    def test_save_load_roundtrip(self, tmp_path, payload):
+        path = tmp_path / "deep" / "ckpt.json"
+        save_checkpoint(path, payload)  # creates parents
+        assert load_checkpoint(path) == payload
+
+    def test_save_is_atomic(self, tmp_path, payload):
+        """No partially-written checkpoint is ever visible: the write
+        goes to a temp file and lands via os.replace."""
+        path = tmp_path / "ckpt.json"
+        save_checkpoint(path, payload)
+        before = load_checkpoint(path)
+        bad = dict(payload)
+        bad.pop("fingerprint")
+        with pytest.raises(CheckpointError):
+            save_checkpoint(path, bad)  # rejected *before* touching disk
+        assert load_checkpoint(path) == before
+        assert [p for p in os.listdir(tmp_path) if p != "ckpt.json"] == []
+
+    def test_missing_file_is_typed(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            load_checkpoint(tmp_path / "absent.json")
+
+    def test_corrupt_json_is_typed(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        path.write_text("{not json")
+        with pytest.raises(CheckpointError):
+            load_checkpoint(path)
+
+    def test_wrong_kind_on_load(self, tmp_path, payload):
+        path = tmp_path / "ckpt.json"
+        save_checkpoint(path, payload)
+        with pytest.raises(CheckpointError):
+            load_checkpoint(path, kind="report")

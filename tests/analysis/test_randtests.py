@@ -76,6 +76,22 @@ class TestPermutationChi2:
         perms = np.tile(np.arange(4), (5_000, 1))
         assert not permutation_chi2(perms).passed
 
+    def test_large_n_does_not_materialise_factorial_cells(self):
+        """Regression: n = 12 has 12! ≈ 4.8e8 cells — the old dense
+        bincount allocated them all.  The bucketed path must both fit in
+        memory and still pass an honest sampler."""
+        from repro.core.factorial import factorial
+        from repro.core.lehmer import unrank_batch
+
+        rng = np.random.default_rng(5)
+        idx = rng.integers(0, factorial(12), size=50_000, dtype=np.int64)
+        result = permutation_chi2(unrank_batch(idx, 12))
+        assert result.passed
+
+    def test_large_n_stuck_sampler_fails(self):
+        perms = np.tile(np.arange(12), (20_000, 1))
+        assert not permutation_chi2(perms).passed
+
 
 class TestBattery:
     def test_dense_seeded_lfsr_balance(self):

@@ -1,0 +1,99 @@
+"""The scipy-free tail functions against closed forms and each other."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.special import (
+    chi2_survival,
+    normal_survival,
+    regularized_gamma_p,
+    regularized_gamma_q,
+)
+
+
+class TestRegularizedGamma:
+    def test_boundaries(self):
+        assert regularized_gamma_p(3.0, 0.0) == 0.0
+        assert regularized_gamma_q(3.0, 0.0) == 1.0
+
+    def test_exponential_special_case(self):
+        # a = 1: P(1, x) = 1 − e^−x exactly
+        for x in (0.1, 1.0, 3.7, 20.0):
+            assert regularized_gamma_p(1.0, x) == pytest.approx(
+                1.0 - math.exp(-x), abs=1e-12
+            )
+
+    def test_half_special_case(self):
+        # a = 1/2: Q(1/2, x) = erfc(√x)
+        for x in (0.01, 0.5, 2.0, 9.0):
+            assert regularized_gamma_q(0.5, x) == pytest.approx(
+                math.erfc(math.sqrt(x)), rel=1e-10
+            )
+
+    @given(
+        a=st.floats(min_value=0.5, max_value=500.0),
+        x=st.floats(min_value=0.0, max_value=1500.0),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_p_plus_q_is_one(self, a, x):
+        p = regularized_gamma_p(a, x)
+        q = regularized_gamma_q(a, x)
+        assert 0.0 <= p <= 1.0 and 0.0 <= q <= 1.0
+        assert p + q == pytest.approx(1.0, abs=1e-9)
+
+    def test_monotone_in_x(self):
+        values = [regularized_gamma_p(4.0, x) for x in (0.5, 1, 2, 4, 8, 16)]
+        assert values == sorted(values)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            regularized_gamma_p(0.0, 1.0)
+        with pytest.raises(ValueError):
+            regularized_gamma_q(1.0, -0.5)
+
+
+class TestChi2Survival:
+    def test_zero_statistic(self):
+        assert chi2_survival(0.0, 5) == 1.0
+
+    def test_df2_closed_form(self):
+        # df = 2: survival is exactly e^{−s/2}
+        for s in (0.5, 2.0, 10.0, 40.0):
+            assert chi2_survival(s, 2) == pytest.approx(math.exp(-s / 2), rel=1e-10)
+
+    def test_df1_closed_form(self):
+        # df = 1: survival is erfc(√(s/2))
+        for s in (0.2, 1.0, 4.0, 16.0):
+            assert chi2_survival(s, 1) == pytest.approx(
+                math.erfc(math.sqrt(s / 2)), rel=1e-10
+            )
+
+    def test_median_near_df(self):
+        # the chi-square median sits just below df: survival there ≈ 0.5
+        assert 0.4 < chi2_survival(99.0, 100) < 0.6
+
+    def test_scipy_agreement_if_available(self):
+        scipy_stats = pytest.importorskip("scipy.stats")
+        for df in (1, 2, 7, 100, 4092):
+            for s in (df * 0.5, float(df), df * 1.5):
+                expected = float(scipy_stats.chi2.sf(s, df))
+                assert chi2_survival(s, df) == pytest.approx(
+                    expected, rel=1e-9, abs=1e-300
+                )
+
+    def test_negative_stat_clamped(self):
+        assert chi2_survival(-1e-9, 3) == 1.0
+
+    def test_bad_df(self):
+        with pytest.raises(ValueError):
+            chi2_survival(1.0, 0)
+
+
+class TestNormalSurvival:
+    def test_symmetry_and_known_values(self):
+        assert normal_survival(0.0) == 1.0
+        assert normal_survival(1.959963985) == pytest.approx(0.05, rel=1e-6)
+        assert normal_survival(-3.0) == normal_survival(3.0)

@@ -4,12 +4,21 @@ import numpy as np
 import pytest
 
 from repro.analysis.uniformity import (
+    DEFAULT_BUCKETS,
+    MAX_EXACT_CELLS,
+    bucket_null_probabilities,
     chi_square_uniform,
+    effective_bucket_count,
     empirical_entropy_bits,
+    entropy_deficit_bits,
+    rank_bucket_counts,
     total_variation_from_uniform,
     uniformity_report,
 )
+from repro.core.factorial import factorial
 from repro.core.knuth import KnuthShuffleCircuit
+from repro.core.lehmer import rank_batch, unrank_batch
+from repro.errors import CellBudgetError
 
 
 class TestChiSquare:
@@ -68,3 +77,106 @@ class TestReport:
         assert not rep.looks_uniform
         assert rep.entropy_bits == 0.0
         assert rep.counts.sum() == 5000
+
+
+class TestSparseHistograms:
+    """Regression: sparse/truncated counts must not shrink the support.
+
+    The old signatures used ``len(counts)`` as the cell count, so a
+    histogram carrying only the observed cells understated TV distance
+    (absent cells each contribute 1/k) and the entropy deficit.
+    """
+
+    def test_sparse_point_mass_tv(self):
+        # a point mass over 100 true cells, handed over as a 1-cell
+        # "sparse histogram": the old code said TV = 0
+        sparse = np.array([1000.0])
+        assert total_variation_from_uniform(sparse) == 0.0  # the trap
+        assert total_variation_from_uniform(sparse, num_cells=100) == pytest.approx(
+            0.99
+        )
+
+    def test_sparse_matches_dense(self):
+        dense = np.zeros(50)
+        dense[:5] = [10, 20, 30, 40, 50]
+        sparse = dense[:5]
+        assert total_variation_from_uniform(sparse, num_cells=50) == pytest.approx(
+            total_variation_from_uniform(dense)
+        )
+
+    def test_num_cells_below_support_rejected(self):
+        with pytest.raises(ValueError):
+            total_variation_from_uniform(np.full(10, 3), num_cells=4)
+        with pytest.raises(ValueError):
+            empirical_entropy_bits(np.full(10, 3), num_cells=4)
+
+    def test_entropy_deficit_uses_true_support(self):
+        # uniform over the 5 observed cells of a 50-cell support:
+        # entropy is log2(5), the deficit is log2(50) − log2(5) — huge,
+        # where the old len()-based reading would have called it 0
+        sparse = np.full(5, 100)
+        assert entropy_deficit_bits(sparse, num_cells=5) == pytest.approx(0.0)
+        assert entropy_deficit_bits(sparse, num_cells=50) == pytest.approx(
+            np.log2(50) - np.log2(5)
+        )
+
+
+class TestBucketedReport:
+    def test_exact_small_n_unchanged(self):
+        perms = KnuthShuffleCircuit(4).sample_ideal(30000, np.random.default_rng(1))
+        rep = uniformity_report(perms)
+        assert rep.method == "exact" and rep.cells == 24
+        assert rep.max_entropy_bits == pytest.approx(np.log2(24))
+
+    def test_large_n_routes_through_buckets(self):
+        rng = np.random.default_rng(7)
+        n = 12  # 12! ≈ 4.8e8 dense cells would be ~4 GB of counts
+        idx = rng.integers(0, factorial(n), size=60000, dtype=np.int64)
+        rep = uniformity_report(unrank_batch(idx, n))
+        assert rep.method == "buckets"
+        assert rep.cells <= DEFAULT_BUCKETS
+        assert len(rep.counts) == rep.cells
+        assert rep.looks_uniform
+
+    def test_bucketed_detects_point_mass(self):
+        perms = np.tile(np.arange(12), (20000, 1))
+        rep = uniformity_report(perms)
+        assert rep.method == "buckets"
+        assert not rep.looks_uniform
+        assert rep.tv_distance > 0.9
+
+    def test_forced_exact_past_budget_is_typed_error(self):
+        perms = np.tile(np.arange(12), (10, 1))
+        with pytest.raises(CellBudgetError) as excinfo:
+            uniformity_report(perms, method="exact")
+        assert excinfo.value.cells == factorial(12)
+        assert excinfo.value.budget == MAX_EXACT_CELLS
+
+    def test_cochran_rule_shrinks_buckets(self):
+        # 1000 samples cannot feed 4093 cells at ≥ 5 expected each
+        assert effective_bucket_count(1000, DEFAULT_BUCKETS, 12) == 200
+        assert effective_bucket_count(3, DEFAULT_BUCKETS, 12) == 2
+        assert effective_bucket_count(10**9, DEFAULT_BUCKETS, 4) == 24
+
+    def test_residue_null_is_exact(self):
+        # n = 4, 7 buckets: 24 = 3·7 + 3 → three classes hold 4 ranks
+        probs = bucket_null_probabilities(4, 7)
+        assert probs.sum() == pytest.approx(1.0)
+        assert sorted(set(np.round(probs * 24).astype(int))) == [3, 4]
+
+    def test_residue_counts_match_rank_mod(self):
+        rng = np.random.default_rng(3)
+        n = 7
+        idx = rng.integers(0, factorial(n), size=5000, dtype=np.int64)
+        perms = unrank_batch(idx, n)
+        counts = rank_bucket_counts(perms, 101)
+        expected = np.bincount(rank_batch(perms) % 101, minlength=101)
+        assert np.array_equal(counts, expected)
+
+    def test_exhaustive_enumeration_is_flat(self):
+        # every rank exactly once → bucket counts equal the exact null
+        n = 6
+        perms = unrank_batch(np.arange(factorial(n)), n)
+        counts = rank_bucket_counts(perms, 97)
+        null = bucket_null_probabilities(n, 97) * factorial(n)
+        assert np.array_equal(counts, null.astype(np.int64))

@@ -5,7 +5,8 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.hdl.simulator import SequentialSimulator
-from repro.rng.lfsr import FibonacciLFSR, GaloisLFSR, build_lfsr_netlist
+from repro.rng.lfsr import FibonacciLFSR, GaloisLFSR, build_lfsr_netlist, dense_seed
+from repro.rng.taps import MAXIMAL_TAPS
 
 
 @pytest.mark.parametrize("cls", [FibonacciLFSR, GaloisLFSR])
@@ -51,6 +52,34 @@ def test_words_batch_equals_sequential():
     seq = [b.next_word() for _ in range(50)]
     assert [int(x) for x in batch] == seq
     assert a.state == b.state
+
+
+@pytest.mark.parametrize("width", sorted(MAXIMAL_TAPS))
+def test_vectorised_words_bit_exact_every_width(width):
+    """The chunked-recurrence fast path must reproduce the scalar clock
+    loop bit for bit — including widths whose tap set has a lag-1 term
+    (tap position 1), which takes the running-XOR branch."""
+    seed = dense_seed(width, salt=3)
+    fast = FibonacciLFSR(width, seed=seed)
+    slow = FibonacciLFSR(width, seed=seed)
+    batch = fast.words(257)
+    seq = np.array([slow.next_word() for _ in range(257)], dtype=batch.dtype)
+    assert np.array_equal(batch, seq)
+    assert fast.state == slow.state
+
+
+def test_vectorised_words_chunked_calls_continue_stream():
+    a = FibonacciLFSR(31, seed=dense_seed(31))
+    b = FibonacciLFSR(31, seed=dense_seed(31))
+    parts = np.concatenate([a.words(7), a.words(1), a.words(120)])
+    assert np.array_equal(parts, b.words(128))
+    assert a.state == b.state
+
+
+def test_words_zero_count():
+    lfsr = FibonacciLFSR(31, seed=9)
+    assert lfsr.words(0).size == 0
+    assert lfsr.state == 9
 
 
 @pytest.mark.parametrize(

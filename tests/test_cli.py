@@ -328,3 +328,39 @@ class TestFaultsCommand:
     def test_campaign_with_workers(self, capsys):
         assert main(["faults", "4", "--samples", "16", "--workers", "2"]) == 0
         assert "coverage" in capsys.readouterr().out
+
+
+class TestValidateCommand:
+    ARGS = ["validate", "--n", "5", "--samples", "4096", "--block", "2048",
+            "--engine", "compiled", "--workers", "1", "--battery-draws", "512"]
+
+    def test_smoke_campaign_passes(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "population validation" in out
+        assert "verdict            PASS" in out
+        assert "expected m-sequence artifact" in out
+
+    def test_ideal_source_p_value_mode(self, capsys):
+        assert main(self.ARGS + ["--source", "ideal"]) == 0
+        assert "[p_value]" in capsys.readouterr().out
+
+    def test_report_written_and_schema_valid(self, capsys, tmp_path):
+        from repro.analysis.checkpoint import load_checkpoint
+
+        report = tmp_path / "report.json"
+        assert main(self.ARGS + ["--report", str(report)]) == 0
+        payload = load_checkpoint(report, kind="report")
+        assert payload["verdict"]["passed"]
+        assert payload["summary"]["samples"] == 4096
+
+    def test_checkpoint_resume_roundtrip(self, capsys, tmp_path):
+        ckpt = tmp_path / "ckpt.json"
+        assert main(self.ARGS + ["--shards", "2", "--checkpoint", str(ckpt)]) == 0
+        # everything already complete: resume just replays the verdict
+        assert main(self.ARGS + ["--checkpoint", str(ckpt), "--resume"]) == 0
+        assert "resumed" in capsys.readouterr().out
+
+    def test_bad_engine_is_usage_error(self):
+        assert main(["validate", "--n", "5", "--samples", "64",
+                     "--engine", "quantum"]) == 2
